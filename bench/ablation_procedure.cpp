@@ -1,0 +1,128 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   (a) L_S growth schedule: the paper's +1 walk vs the accelerated
+//       geometric schedule (same guarantees, fewer candidate lengths),
+//   (b) reverse-order simulation on/off (Section 4.3's benefit),
+//   (c) static compaction of T on/off (effect on |T| and weight sizes).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "core/reverse_sim.h"
+#include "tgen/compaction.h"
+#include "tgen/random_tgen.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace wbist;
+
+namespace {
+
+std::vector<fault::FaultId> targets_of(
+    const std::vector<std::int32_t>& detection_time) {
+  std::vector<fault::FaultId> out;
+  for (fault::FaultId f = 0; f < detection_time.size(); ++f)
+    if (detection_time[f] != fault::DetectionResult::kUndetected)
+      out.push_back(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  for (int a = 1; a < argc; ++a) names.emplace_back(argv[a]);
+  if (names.empty()) names = {"s27", "s298", "s386", "s526"};
+
+  std::printf("== Ablation: procedure design choices ==\n\n");
+
+  util::Table schedule;
+  schedule.header({"circuit", "schedule", "seq", "subs", "max len", "full sims",
+                   "sec"});
+  util::Table pruning;
+  pruning.header({"circuit", "omega", "after reverse-order", "removed"});
+  util::Table compaction;
+  compaction.header({"circuit", "|T| raw", "|T| compacted", "subs raw",
+                     "subs compacted", "len raw", "len compacted"});
+
+  for (const std::string& name : names) {
+    const auto nl = circuits::circuit_by_name(name);
+    const auto faults = fault::FaultSet::collapsed(nl);
+    fault::FaultSimulator sim(nl, faults);
+    tgen::TgenConfig tc;
+    tc.max_length = 1024;
+    const auto gen = tgen::generate_test_sequence(sim, tc);
+    const auto must = targets_of(gen.detection_time);
+    const auto compacted =
+        tgen::compact_sequence(sim, gen.sequence, must);
+
+    const auto count_subs = [](const core::ProcedureResult& res) {
+      std::vector<core::Subsequence> subs;
+      std::size_t max_len = 0;
+      for (const auto& w : res.omega)
+        for (const auto& s : w.per_input) {
+          subs.push_back(s);
+          max_len = std::max(max_len, s.length());
+        }
+      return std::pair{core::synthesize_weight_fsms(subs).output_count(),
+                       max_len};
+    };
+
+    // (a) schedule ablation, on the compacted sequence.
+    for (const bool exact : {false, true}) {
+      core::ProcedureConfig pc;
+      pc.sequence_length = 500;
+      pc.exact_paper_schedule = exact;
+      util::Timer timer;
+      const auto res = core::select_weight_assignments(
+          sim, compacted.sequence, compacted.detection_time, pc);
+      const auto [subs, max_len] = count_subs(res);
+      schedule.row({name, exact ? "paper +1" : "accelerated",
+                    std::to_string(res.omega.size()), std::to_string(subs),
+                    std::to_string(max_len),
+                    std::to_string(res.stats.full_simulations),
+                    util::fixed(timer.seconds(), 2)});
+    }
+
+    // (b) reverse-order pruning.
+    {
+      core::ProcedureConfig pc;
+      pc.sequence_length = 500;
+      const auto res = core::select_weight_assignments(
+          sim, compacted.sequence, compacted.detection_time, pc);
+      const auto pruned = core::reverse_order_prune(
+          sim, res.omega, targets_of(compacted.detection_time),
+          res.sequence_length);
+      pruning.row({name, std::to_string(res.omega.size()),
+                   std::to_string(pruned.omega.size()),
+                   std::to_string(res.omega.size() - pruned.omega.size())});
+    }
+
+    // (c) compaction ablation.
+    {
+      core::ProcedureConfig pc;
+      pc.sequence_length = 500;
+      const auto raw = core::select_weight_assignments(
+          sim, gen.sequence, gen.detection_time, pc);
+      const auto comp = core::select_weight_assignments(
+          sim, compacted.sequence, compacted.detection_time, pc);
+      const auto [raw_subs, raw_len] = count_subs(raw);
+      const auto [comp_subs, comp_len] = count_subs(comp);
+      compaction.row({name, std::to_string(gen.sequence.length()),
+                      std::to_string(compacted.sequence.length()),
+                      std::to_string(raw_subs), std::to_string(comp_subs),
+                      std::to_string(raw_len), std::to_string(comp_len)});
+    }
+    std::printf("  %-8s done\n", name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(a) L_S growth schedule (both reach 100%% f.e.):\n");
+  std::fputs(schedule.render().c_str(), stdout);
+  std::printf("\n(b) reverse-order simulation (Section 4.3):\n");
+  std::fputs(pruning.render().c_str(), stdout);
+  std::printf("\n(c) static compaction of T:\n");
+  std::fputs(compaction.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "common/bench_common.h"
+
+#include <cstdio>
+
+#include "core/obs_points.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace wbist::bench {
+
+using fault::DetectionResult;
+using fault::FaultId;
+
+core::FlowConfig scaled_flow_config(const netlist::NetlistStats& stats) {
+  core::FlowConfig cfg;
+  const std::size_t gates = stats.logic_gates;
+  if (gates < 1000) {
+    cfg.tgen.max_length = 2000;
+    cfg.compaction.max_simulations = 600;
+    cfg.procedure.sequence_length = 2000;
+  } else if (gates < 2500) {
+    cfg.tgen.max_length = 1500;
+    cfg.compaction.max_simulations = 150;
+    cfg.procedure.sequence_length = 2000;
+  } else if (gates < 10000) {
+    cfg.tgen.max_length = 800;
+    cfg.compaction.max_simulations = 40;
+    cfg.procedure.sequence_length = 1000;
+  } else {
+    cfg.tgen.max_length = 300;
+    cfg.tgen.chunk = 64;
+    cfg.compaction.max_simulations = 10;
+    cfg.procedure.sequence_length = 400;
+  }
+  return cfg;
+}
+
+CircuitRun run_circuit(const std::string& name) {
+  util::Timer timer;
+  CircuitRun run;
+  run.name = name;
+  run.netlist = circuits::circuit_by_name(name);
+  run.faults = fault::FaultSet::collapsed(run.netlist);
+  run.sim = std::make_unique<fault::FaultSimulator>(run.netlist, run.faults);
+  run.config = scaled_flow_config(run.netlist.stats());
+  run.flow = core::run_flow(*run.sim, name, run.config);
+  run.seconds = timer.seconds();
+  return run;
+}
+
+std::vector<PaperTable6Row> paper_table6() {
+  return {
+      {"s208", 105, 137, 10, 39, 18, 14, 38},
+      {"s298", 117, 265, 3, 9, 44, 7, 9},
+      {"s344", 57, 329, 9, 60, 8, 8, 56},
+      {"s382", 516, 364, 5, 15, 211, 9, 15},
+      {"s386", 121, 314, 20, 94, 14, 13, 80},
+      {"s400", 611, 380, 4, 12, 154, 8, 12},
+      {"s420", 108, 179, 5, 90, 18, 11, 90},
+      {"s444", 608, 424, 4, 12, 231, 8, 12},
+      {"s526", 1006, 454, 11, 32, 161, 28, 32},
+      {"s641", 101, 404, 10, 145, 10, 10, 127},
+      {"s820", 491, 814, 14, 244, 86, 28, 236},
+      {"s1196", 238, 1239, 151, 14, 3, 3, 10},
+      {"s1423", 1024, 1414, 15, 223, 201, 46, 219},
+      {"s1488", 455, 1444, 6, 46, 225, 16, 46},
+      {"s5378", 646, 3639, 27, 701, 25, 25, 679},
+      {"s35932", 150, 35100, 14, 445, 53, 23, 436},
+  };
+}
+
+std::optional<PaperObsSummary> paper_obs_summary(const std::string& circuit) {
+  static const PaperObsSummary kRows[] = {
+      {"s208", 7, 2, 7, 7},    {"s298", 8, 1, 4, 3},
+      {"s344", 9, 4, 9, 8},    {"s386", 10, 7, 12, 19},
+      {"s400", 11, 2, 7, 4},   {"s420", 12, 2, 3, 5},
+      {"s526", 13, 1, 18, 9},  {"s641", 14, 3, 12, 7},
+      {"s1423", 15, 4, 9, 9},  {"s5378", 16, 5, 31, 23},
+  };
+  for (const auto& row : kRows)
+    if (circuit == row.circuit) return row;
+  return std::nullopt;
+}
+
+int run_obs_table_main(const std::string& circuit, int argc, char** argv) {
+  std::string target = circuit;
+  if (argc > 1) target = argv[1];
+
+  const auto paper = paper_obs_summary(target);
+  std::printf("== Observation-point insertion for %s", target.c_str());
+  if (paper)
+    std::printf("  (reproduces paper Table %d)", paper->paper_table_number);
+  std::printf(" ==\n");
+  const auto info = circuits::circuit_info(target);
+  if (info && info->synthetic)
+    std::printf(
+        "note: synthetic analog of ISCAS-89 %s (see DESIGN.md substitutions)\n",
+        target.c_str());
+
+  util::Timer timer;
+  CircuitRun run = run_circuit(target);
+
+  std::vector<FaultId> targets;
+  for (FaultId id = 0; id < run.faults.size(); ++id)
+    if (run.flow.detection_time[id] != DetectionResult::kUndetected)
+      targets.push_back(id);
+
+  core::ObsTradeoffConfig cfg;
+  cfg.sequence_length = run.flow.procedure.sequence_length;
+  const auto result = core::observation_point_tradeoff(
+      *run.sim, run.flow.procedure.omega, targets, cfg);
+
+  util::Table table;
+  table.header({"circuit", "seq", "sub", "len", "f.e.", "obs", "f.e."});
+  for (const auto& row : result.rows) {
+    table.row({target, std::to_string(row.n_seq), std::to_string(row.n_subs),
+               std::to_string(row.max_len), util::fixed(row.fe_before, 1),
+               std::to_string(row.n_obs), util::fixed(row.fe_after, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nmeasured: |T|=%zu, targets=%zu, |omega|=%zu, rows=%zu (%.1fs)\n",
+      run.flow.sequence.length(), targets.size(),
+      run.flow.procedure.omega.size(), result.rows.size(), timer.seconds());
+  if (paper) {
+    std::printf(
+        "paper (Table %d) shape: first reported row %zu seq / %zu obs; "
+        "100%% f.e. with 0 obs at %zu seq\n",
+        paper->paper_table_number, paper->first_seq, paper->first_obs,
+        paper->full_seq);
+  }
+  if (!result.rows.empty()) {
+    const auto& first = result.rows.front();
+    const auto& last = result.rows.back();
+    std::printf(
+        "shape check: fewer sequences need more observation points "
+        "(first row %zu seq / %zu obs; last row %zu seq / %zu obs)\n",
+        first.n_seq, first.n_obs, last.n_seq, last.n_obs);
+  }
+  return 0;
+}
+
+}  // namespace wbist::bench

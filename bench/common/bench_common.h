@@ -1,0 +1,60 @@
+// Shared plumbing for the experiment harnesses: size-scaled budgets, the
+// circuit -> flow pipeline, and the paper's published values for
+// side-by-side "paper vs measured" reporting.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/flow.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+
+namespace wbist::bench {
+
+/// Budgets scaled to circuit size so every harness finishes in minutes on a
+/// laptop while the small/medium circuits still run with the paper's
+/// parameters (L_G = 2000).
+core::FlowConfig scaled_flow_config(const netlist::NetlistStats& stats);
+
+/// One fully evaluated circuit: netlist, collapsed faults, simulator, and
+/// the end-to-end flow result.
+struct CircuitRun {
+  std::string name;
+  netlist::Netlist netlist;
+  fault::FaultSet faults;
+  std::unique_ptr<fault::FaultSimulator> sim;
+  core::FlowConfig config;
+  core::FlowResult flow;
+  double seconds = 0;
+};
+
+/// Build + run the whole flow for a registry circuit.
+CircuitRun run_circuit(const std::string& name);
+
+/// The paper's Table 6 rows (for the shape comparison printed next to our
+/// measured rows).
+struct PaperTable6Row {
+  const char* circuit;
+  std::size_t len, det, seq, subs, max_len, fsm_num, fsm_out;
+};
+std::vector<PaperTable6Row> paper_table6();
+
+/// Paper values for the observation-point tables 7-16: first and last rows
+/// (seq, obs at first 100% f.e., final seq count for 0 obs).
+struct PaperObsSummary {
+  const char* circuit;
+  int paper_table_number;
+  std::size_t first_seq;   ///< fewest assignments reported
+  std::size_t first_obs;   ///< observation points needed at that row
+  std::size_t full_seq;    ///< assignments for 100% f.e. with 0 obs
+};
+std::optional<PaperObsSummary> paper_obs_summary(const std::string& circuit);
+
+/// Shared main for the tables 7-16 binaries.
+int run_obs_table_main(const std::string& circuit, int argc, char** argv);
+
+}  // namespace wbist::bench

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the performance-critical layers:
+// good-machine simulation, parallel-fault simulation, weighted-sequence
+// expansion, candidate-set construction, and two-level minimization.
+#include <benchmark/benchmark.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "core/assignment.h"
+#include "core/qm.h"
+#include "core/weight_set.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/good_sim.h"
+#include "util/rng.h"
+
+using namespace wbist;
+
+namespace {
+
+sim::TestSequence random_sequence(std::size_t length, std::size_t width,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  sim::TestSequence seq(length, width);
+  for (std::size_t u = 0; u < length; ++u)
+    for (std::size_t i = 0; i < width; ++i)
+      seq.set(u, i,
+              rng.next_bit() ? sim::Val3::kOne : sim::Val3::kZero);
+  return seq;
+}
+
+const char* kCircuits[] = {"s27", "s298", "s641", "s1423", "s5378"};
+
+void BM_GoodSimulation(benchmark::State& state) {
+  const auto nl =
+      circuits::circuit_by_name(kCircuits[state.range(0)]);
+  sim::GoodSimulator sim(nl);
+  const auto seq = random_sequence(256, nl.primary_inputs().size(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(seq));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256 *
+                          static_cast<std::int64_t>(nl.eval_order().size()));
+  state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_GoodSimulation)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultSimulation(benchmark::State& state) {
+  const auto nl =
+      circuits::circuit_by_name(kCircuits[state.range(0)]);
+  const auto faults = fault::FaultSet::collapsed(nl);
+  fault::FaultSimulator sim(nl, faults);
+  const auto seq = random_sequence(128, nl.primary_inputs().size(), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_all(seq));
+  }
+  // fault-cycles per second: faults x time units per iteration.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()) * 128);
+  state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_FaultSimulation)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_WeightedExpansion(benchmark::State& state) {
+  core::WeightAssignment w;
+  for (int i = 0; i < 35; ++i)
+    w.per_input.push_back(core::Subsequence::parse(i % 2 ? "100110" : "01"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.expand(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_WeightedExpansion)->Arg(500)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateSets(benchmark::State& state) {
+  const auto nl = circuits::circuit_by_name("s641");
+  const auto seq = random_sequence(256, nl.primary_inputs().size(), 3);
+  core::WeightSet S;
+  for (std::size_t u = 8; u < 250; u += 13)
+    for (std::size_t len = 1; len <= 8; ++len) S.extend(seq, u, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_candidate_sets(S, seq, 200, 8));
+  }
+  state.SetLabel("s641, |S|=" + std::to_string(S.size()));
+}
+BENCHMARK(BM_CandidateSets)->Unit(benchmark::kMicrosecond);
+
+void BM_QuineMcCluskey(benchmark::State& state) {
+  const unsigned n_vars = static_cast<unsigned>(state.range(0));
+  util::Rng rng(42);
+  std::vector<std::uint32_t> onset, dc;
+  for (std::uint32_t m = 0; m < (1u << n_vars); ++m) {
+    const auto roll = rng.below(4);
+    if (roll == 0) onset.push_back(m);
+    else if (roll == 1) dc.push_back(m);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minimize(n_vars, onset, dc));
+  }
+}
+BENCHMARK(BM_QuineMcCluskey)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultCollapsing(benchmark::State& state) {
+  const auto nl = circuits::circuit_by_name("s5378");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::FaultSet::collapsed(nl));
+  }
+  state.SetLabel("s5378");
+}
+BENCHMARK(BM_FaultCollapsing)->Unit(benchmark::kMillisecond);
+
+}  // namespace

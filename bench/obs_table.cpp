@@ -1,0 +1,12 @@
+// Shared main for the observation-point tables (paper Tables 7-16). The
+// circuit is baked in per binary via WBIST_OBS_CIRCUIT; an explicit circuit
+// name may be passed as argv[1] to run the harness on any registry circuit.
+#include "common/bench_common.h"
+
+#ifndef WBIST_OBS_CIRCUIT
+#define WBIST_OBS_CIRCUIT "s208"
+#endif
+
+int main(int argc, char** argv) {
+  return wbist::bench::run_obs_table_main(WBIST_OBS_CIRCUIT, argc, argv);
+}

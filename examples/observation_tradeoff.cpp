@@ -1,0 +1,64 @@
+// Observation-point tradeoff exploration (the paper's Section 5 scenario).
+//
+// A test engineer with a tight area budget asks: "how many weight
+// assignments do I really need if I may add a few observation points?"
+// This example sweeps the tradeoff for one circuit and prints the frontier:
+// each row is a (number of BIST sessions, number of observation points)
+// operating point reaching >= 99% fault efficiency.
+//
+// Usage: ./build/examples/observation_tradeoff [circuit] (default s344)
+#include <cstdio>
+#include <string>
+
+#include "circuits/registry.h"
+#include "core/flow.h"
+#include "core/obs_points.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wbist;
+  const std::string name = argc > 1 ? argv[1] : "s344";
+
+  const netlist::Netlist circuit = circuits::circuit_by_name(name);
+  const fault::FaultSet faults = fault::FaultSet::collapsed(circuit);
+  fault::FaultSimulator simulator(circuit, faults);
+
+  core::FlowConfig config;
+  config.tgen.max_length = 1024;
+  config.procedure.sequence_length = 500;
+  const core::FlowResult flow = core::run_flow(simulator, name, config);
+
+  std::vector<fault::FaultId> targets;
+  for (fault::FaultId f = 0; f < faults.size(); ++f)
+    if (flow.detection_time[f] != fault::DetectionResult::kUndetected)
+      targets.push_back(f);
+
+  core::ObsTradeoffConfig cfg;
+  cfg.sequence_length = flow.procedure.sequence_length;
+  const core::ObsTradeoffResult result = core::observation_point_tradeoff(
+      simulator, flow.procedure.omega, targets, cfg);
+
+  std::printf("%s: %zu target faults, %zu candidate weight assignments\n\n",
+              name.c_str(), targets.size(), flow.procedure.omega.size());
+
+  util::Table t{"Sessions vs observation points (>= 99% final f.e.)"};
+  t.header({"seq", "subs", "len", "f.e. before", "obs", "f.e. after"});
+  for (const core::ObsRow& row : result.rows)
+    t.row({std::to_string(row.n_seq), std::to_string(row.n_subs),
+           std::to_string(row.max_len), util::fixed(row.fe_before, 1),
+           std::to_string(row.n_obs), util::fixed(row.fe_after, 1)});
+  std::fputs(t.render().c_str(), stdout);
+
+  if (!result.rows.empty()) {
+    const core::ObsRow& cheap = result.rows.front();
+    std::printf("\ncheapest session count: %zu sessions + %zu observation "
+                "points;\nobservation-point lines:", cheap.n_seq, cheap.n_obs);
+    for (const netlist::NodeId line : cheap.observation_points)
+      std::printf(" %s", circuit.node(line).name.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "circuits/iscas.h"
+
+#include "netlist/bench_io.h"
+
+namespace wbist::circuits {
+
+std::string_view s27_bench_text() {
+  return R"(# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+}
+
+netlist::Netlist s27() { return netlist::read_bench(s27_bench_text(), "s27"); }
+
+sim::TestSequence s27_paper_sequence() {
+  // Table 1 of the paper; row u, columns i = 0..3.
+  return sim::TestSequence::from_rows({
+      "0111",
+      "1001",
+      "0111",
+      "1001",
+      "0100",
+      "1011",
+      "1001",
+      "0000",
+      "0000",
+      "1011",
+  });
+}
+
+sim::TestSequence s27_paper_weighted_sequence() {
+  // Table 2 of the paper: inputs driven by (01)^r, (0)^r, (100)^r, (1)^r.
+  return sim::TestSequence::from_rows({
+      "0011",
+      "1001",
+      "0001",
+      "1011",
+      "0001",
+      "1001",
+      "0011",
+      "1001",
+      "0001",
+      "1011",
+      "0001",
+      "1001",
+  });
+}
+
+}  // namespace wbist::circuits

@@ -1,0 +1,27 @@
+// Embedded ISCAS-89 material: the real s27 benchmark circuit and the
+// deterministic test sequence the paper uses in its Section 2 example.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.h"
+#include "sim/sequence.h"
+
+namespace wbist::circuits {
+
+/// `.bench` source of ISCAS-89 s27 (4 PIs, 1 PO, 3 DFFs, 10 gates;
+/// 52 uncollapsed / 32 collapsed stuck-at faults).
+std::string_view s27_bench_text();
+
+/// The parsed, finalized s27 netlist.
+netlist::Netlist s27();
+
+/// The 10-vector deterministic test sequence of the paper's Table 1
+/// (inputs ordered i = 0..3, i.e. G0 G1 G2 G3).
+sim::TestSequence s27_paper_sequence();
+
+/// The 12-vector weighted sequence of the paper's Table 2, produced by the
+/// weight assignment (01, 0, 100, 1).
+sim::TestSequence s27_paper_weighted_sequence();
+
+}  // namespace wbist::circuits

@@ -1,0 +1,57 @@
+#include "circuits/registry.h"
+
+#include <stdexcept>
+
+#include "circuits/iscas.h"
+
+namespace wbist::circuits {
+
+namespace {
+
+/// Published ISCAS-89 structural sizes (PIs, POs, DFFs, gates). The seed is
+/// fixed per circuit so all experiments are reproducible.
+const SynthProfile kProfiles[] = {
+    {"s27", 4, 1, 3, 10, 27},
+    {"s208", 10, 1, 8, 96, 208},
+    {"s298", 3, 6, 14, 119, 298},
+    {"s344", 9, 11, 15, 160, 344},
+    {"s382", 3, 6, 21, 158, 382},
+    {"s386", 7, 7, 6, 159, 386},
+    {"s400", 3, 6, 21, 162, 400},
+    {"s420", 18, 1, 16, 196, 420},
+    {"s444", 3, 6, 21, 181, 444},
+    {"s526", 3, 6, 21, 193, 526},
+    {"s641", 35, 23, 19, 379, 641},
+    {"s820", 18, 19, 5, 289, 820},
+    {"s1196", 14, 14, 18, 529, 1196},
+    {"s1423", 17, 5, 74, 657, 1423},
+    {"s1488", 8, 19, 6, 653, 1488},
+    {"s5378", 35, 49, 179, 2779, 5378},
+    {"s35932", 35, 320, 1728, 16065, 35932},
+};
+
+}  // namespace
+
+std::vector<CircuitInfo> known_circuits() {
+  std::vector<CircuitInfo> out;
+  for (const SynthProfile& p : kProfiles)
+    out.push_back({p.name, p.name != "s27", p});
+  return out;
+}
+
+std::optional<CircuitInfo> circuit_info(std::string_view name) {
+  for (const SynthProfile& p : kProfiles)
+    if (p.name == name) return CircuitInfo{p.name, p.name != "s27", p};
+  return std::nullopt;
+}
+
+netlist::Netlist circuit_by_name(std::string_view name) {
+  const auto info = circuit_info(name);
+  if (!info)
+    throw std::invalid_argument("registry: unknown circuit '" +
+                                std::string(name) + "'");
+  if (!info->synthetic) return s27();
+  return generate_circuit(info->profile);
+}
+
+}  // namespace wbist::circuits

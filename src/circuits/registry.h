@@ -1,0 +1,34 @@
+// Registry of the benchmark circuits used in the paper's evaluation.
+//
+// "s27" is the real ISCAS-89 netlist; every other name maps to a synthetic
+// analog generated with the published structural profile of the ISCAS-89
+// circuit of the same name (see DESIGN.md, substitutions). All circuits are
+// fully deterministic: a name always produces the same netlist.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuits/synth_gen.h"
+#include "netlist/netlist.h"
+
+namespace wbist::circuits {
+
+struct CircuitInfo {
+  std::string name;
+  bool synthetic = true;  ///< false only for the embedded real s27
+  SynthProfile profile;   ///< structural profile (also filled in for s27)
+};
+
+/// All circuits of the paper's Table 6, in the paper's order.
+std::vector<CircuitInfo> known_circuits();
+
+/// Info for one circuit; std::nullopt if the name is unknown.
+std::optional<CircuitInfo> circuit_info(std::string_view name);
+
+/// Build the circuit. Throws std::invalid_argument for unknown names.
+netlist::Netlist circuit_by_name(std::string_view name);
+
+}  // namespace wbist::circuits

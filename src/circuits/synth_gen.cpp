@@ -1,0 +1,211 @@
+#include "circuits/synth_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wbist::circuits {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+GateType random_type(util::Rng& rng) {
+  // XOR-rich mix: XOR/XNOR gates propagate fault effects unconditionally,
+  // which keeps the observability of deep random logic comparable to real
+  // designs (pure AND/OR random logic masks faults exponentially in depth).
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 18) return GateType::kAnd;
+  if (roll < 36) return GateType::kNand;
+  if (roll < 54) return GateType::kOr;
+  if (roll < 70) return GateType::kNor;
+  if (roll < 78) return GateType::kNot;
+  if (roll < 90) return GateType::kXor;
+  return GateType::kXnor;
+}
+
+std::size_t random_arity(util::Rng& rng) {
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 70) return 2;
+  if (roll < 95) return 3;
+  return 4;
+}
+
+/// Pick with a bias toward recently created signals (quadratic recency),
+/// which stretches the circuit into deeper logic instead of a shallow fan.
+NodeId pick_recent(const std::vector<NodeId>& pool, util::Rng& rng) {
+  if (rng.below(5) == 0) return pool[rng.below(pool.size())];
+  const double r = rng.next_double();
+  const auto offset = static_cast<std::size_t>(r * r * static_cast<double>(pool.size()));
+  return pool[pool.size() - 1 - std::min(offset, pool.size() - 1)];
+}
+
+std::vector<NodeId> pick_fanins(const std::vector<NodeId>& pool,
+                                std::size_t arity, util::Rng& rng) {
+  std::vector<NodeId> fanin;
+  fanin.reserve(arity);
+  for (std::size_t k = 0; k < arity; ++k) {
+    NodeId pick = pick_recent(pool, rng);
+    // One resample to avoid degenerate duplicated fanins; a residual
+    // duplicate is legal, just uninteresting.
+    if (std::find(fanin.begin(), fanin.end(), pick) != fanin.end())
+      pick = pick_recent(pool, rng);
+    fanin.push_back(pick);
+  }
+  return fanin;
+}
+
+}  // namespace
+
+Netlist generate_circuit(const SynthProfile& profile) {
+  if (profile.n_pi == 0 || profile.n_po == 0)
+    throw std::invalid_argument("synth_gen: need at least one PI and one PO");
+  // Budget: one gate per flip-flop for the forcing next-state function plus
+  // at least one PI-cone gate and one free gate.
+  if (profile.n_gates < profile.n_ff + 3)
+    throw std::invalid_argument("synth_gen: gate budget too small");
+
+  util::Rng rng(profile.seed ^ 0x5eedc1fc0debull);
+  Netlist nl(profile.name);
+
+  std::vector<NodeId> pi_only;   // signals whose cone touches only PIs
+  std::vector<NodeId> all;       // every usable signal
+  std::vector<std::size_t> usage;  // fanout counts by NodeId
+
+  const auto track = [&usage](NodeId id) {
+    if (usage.size() <= id) usage.resize(id + 1, 0);
+  };
+
+  for (std::size_t i = 0; i < profile.n_pi; ++i) {
+    const NodeId id = nl.add_input("I" + std::to_string(i));
+    track(id);
+    pi_only.push_back(id);
+    all.push_back(id);
+  }
+  std::vector<NodeId> ffs;
+  for (std::size_t i = 0; i < profile.n_ff; ++i) {
+    const NodeId id = nl.add_dff("F" + std::to_string(i));
+    track(id);
+    ffs.push_back(id);
+    all.push_back(id);
+  }
+
+  std::size_t gate_serial = 0;
+  const auto new_gate = [&](GateType type, std::vector<NodeId> fanin) {
+    for (NodeId f : fanin) ++usage[f];
+    const NodeId id =
+        nl.add_gate(type, "G" + std::to_string(gate_serial++), std::move(fanin));
+    track(id);
+    all.push_back(id);
+    return id;
+  };
+
+  // Shared synchronizing signal: I0 = 0 forces every AND-type flip-flop to
+  // 0 and (through this inverter) every OR-type flip-flop to 1 in a single
+  // cycle, so the all-X power-up state is flushed as soon as a random
+  // sequence drives I0 low once. Without it, XOR-rich logic locks the state
+  // in X almost permanently.
+  const NodeId sync_low = all[0];  // I0
+  const NodeId sync_high = new_gate(GateType::kNot, {sync_low});
+  pi_only.push_back(sync_high);
+
+  // Phase A: PI-only cones. These make every flip-flop forcible (see .h).
+  const std::size_t budget = profile.n_gates - profile.n_ff - 1;
+  const std::size_t phase_a =
+      std::clamp<std::size_t>(std::max<std::size_t>(profile.n_ff / 2 + 1,
+                                                    profile.n_gates / 8),
+                              1, budget - 1);
+  for (std::size_t g = 0; g < phase_a; ++g) {
+    GateType type = random_type(rng);
+    const std::size_t arity =
+        type == GateType::kNot ? 1 : std::min(random_arity(rng), pi_only.size());
+    new_gate(type, pick_fanins(pi_only, std::max<std::size_t>(arity, 1), rng));
+    pi_only.push_back(all.back());
+  }
+
+  // Reserve gates for the PO collectors built at the end.
+  const std::size_t collectors =
+      std::min(profile.n_po, budget - phase_a > 1 ? budget - phase_a - 1 : 0);
+
+  // Phase B: general logic over the whole pool (PIs, FFs, earlier gates).
+  for (std::size_t g = 0; g < budget - phase_a - collectors; ++g) {
+    const GateType type = random_type(rng);
+    const std::size_t arity = type == GateType::kNot ? 1 : random_arity(rng);
+    new_gate(type, pick_fanins(all, arity, rng));
+  }
+
+  // Flip-flop next-state functions: AND/OR of the synchronizing signal, one
+  // random PI-only signal, and deep logic. I0 = 0 forces every state bit in
+  // one cycle; afterwards the binary state persists.
+  for (std::size_t i = 0; i < profile.n_ff; ++i) {
+    const bool and_type = i % 2 == 0;
+    std::vector<NodeId> fanin{and_type ? sync_low : sync_high,
+                              pick_recent(all, rng)};
+    if (rng.below(2) == 0) fanin.push_back(pi_only[rng.below(pi_only.size())]);
+    const NodeId d =
+        new_gate(and_type ? GateType::kAnd : GateType::kOr, std::move(fanin));
+    nl.connect_dff(ffs[i], d);
+    ++usage[d];
+  }
+
+  // Primary outputs. Each reserved collector is an XOR over unused sink
+  // signals, spreading observability across the whole cone instead of
+  // leaving most of the random logic dangling.
+  std::vector<NodeId> sinks;
+  for (NodeId id = 0; id < nl.node_count(); ++id)
+    if (netlist::is_logic_gate(nl.node(id).type) && usage[id] == 0)
+      sinks.push_back(id);
+
+  std::size_t marked = 0;
+  std::size_t next_sink = 0;
+  for (std::size_t c = 0; c < collectors; ++c) {
+    // Spread the remaining sinks evenly over the remaining collectors.
+    const std::size_t remaining_cols = collectors - c;
+    const std::size_t remaining_sinks =
+        sinks.size() > next_sink ? sinks.size() - next_sink : 0;
+    std::size_t take =
+        std::max<std::size_t>(2, (remaining_sinks + remaining_cols - 1) /
+                                     remaining_cols);
+    std::vector<NodeId> fanin;
+    for (; take > 0 && next_sink < sinks.size(); --take)
+      fanin.push_back(sinks[next_sink++]);
+    while (fanin.size() < 2) fanin.push_back(pick_recent(all, rng));
+    const NodeId po = new_gate(GateType::kXor, std::move(fanin));
+    nl.mark_output(po);
+    ++marked;
+  }
+  // Leftover sinks (more than 4x collectors) become outputs directly while
+  // the PO budget lasts.
+  for (; next_sink < sinks.size() && marked < profile.n_po; ++next_sink) {
+    nl.mark_output(sinks[next_sink]);
+    ++marked;
+  }
+  std::size_t guard = 0;
+  while (marked < profile.n_po && guard < 100 * profile.n_po) {
+    ++guard;
+    const NodeId pick = pick_recent(all, rng);
+    if (!netlist::is_logic_gate(nl.node(pick).type) ||
+        nl.node(pick).is_primary_output)
+      continue;
+    nl.mark_output(pick);
+    ++marked;
+  }
+  // Degenerate fallback: tiny profiles may not have enough gates to mark.
+  for (NodeId id = static_cast<NodeId>(nl.node_count());
+       marked < profile.n_po && id-- > 0;) {
+    if (!nl.node(id).is_primary_output &&
+        netlist::is_logic_gate(nl.node(id).type)) {
+      nl.mark_output(id);
+      ++marked;
+    }
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace wbist::circuits

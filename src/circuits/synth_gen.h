@@ -1,0 +1,39 @@
+// Seeded synthetic benchmark generator.
+//
+// Stands in for the ISCAS-89 netlists that are not available offline (see
+// DESIGN.md, substitutions). Given a structural profile — the published
+// PI/PO/FF/gate counts of an ISCAS-89 circuit — the generator produces a
+// random synchronous circuit with three guarantees the experiments rely on:
+//
+//  1. *Initializability.* Every flip-flop's next-state function is an
+//     AND/OR gate with one fanin from a PI-only combinational cone, so a
+//     definite value can always be forced into the state regardless of the
+//     unknown power-up state (ISCAS circuits have no reset line, and the
+//     fault model starts from all-X).
+//  2. *Observability.* Primary outputs are drawn first from sink signals
+//     (no-fanout gates), so the bulk of the logic feeds some output.
+//  3. *Determinism.* The same profile + seed always yields the same netlist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace wbist::circuits {
+
+struct SynthProfile {
+  std::string name;
+  std::size_t n_pi = 4;
+  std::size_t n_po = 2;
+  std::size_t n_ff = 3;
+  std::size_t n_gates = 20;  ///< total logic gates, including FF input gates
+  std::uint64_t seed = 1;
+};
+
+/// Generate a finalized circuit matching `profile`. Throws
+/// std::invalid_argument for degenerate profiles (no PIs, no POs, or a gate
+/// budget too small to connect the flip-flops).
+netlist::Netlist generate_circuit(const SynthProfile& profile);
+
+}  // namespace wbist::circuits

@@ -1,0 +1,119 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+
+namespace wbist::core {
+
+using sim::TestSequence;
+using sim::Val3;
+
+TestSequence WeightAssignment::expand(std::size_t length) const {
+  TestSequence seq(length, per_input.size());
+  for (std::size_t u = 0; u < length; ++u)
+    for (std::size_t i = 0; i < per_input.size(); ++i)
+      seq.set(u, i, per_input[i].value_at(u));
+  return seq;
+}
+
+std::size_t WeightAssignment::max_subsequence_length() const {
+  std::size_t best = 0;
+  for (const Subsequence& s : per_input) best = std::max(best, s.length());
+  return best;
+}
+
+std::string WeightAssignment::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < per_input.size(); ++i) {
+    if (i != 0) out += " / ";
+    out += per_input[i].str();
+  }
+  return out;
+}
+
+std::size_t CandidateSets::max_rank() const {
+  std::size_t m = 0;
+  for (const auto& set : per_input) m = std::max(m, set.size());
+  return m;
+}
+
+WeightAssignment CandidateSets::assignment_at(std::size_t j) const {
+  WeightAssignment w;
+  w.per_input.reserve(per_input.size());
+  for (const auto& set : per_input) {
+    const std::size_t k = std::min(j, set.size() - 1);
+    w.per_input.push_back(set[k].alpha);
+  }
+  return w;
+}
+
+CandidateSets build_candidate_sets(const WeightSet& S, const TestSequence& T,
+                                   std::size_t u, std::size_t max_len,
+                                   bool ensure_full_length) {
+  CandidateSets sets;
+  sets.per_input.resize(T.width());
+
+  for (std::size_t i = 0; i < T.width(); ++i) {
+    const std::vector<Val3> column = T.column(i);
+    std::vector<Candidate>& A = sets.per_input[i];
+    for (std::size_t j = 0; j < S.size(); ++j) {
+      const Subsequence& alpha = S[j];
+      if (alpha.length() > max_len) continue;
+      if (!alpha.matches_window(column, u)) continue;
+      A.push_back({alpha, j, alpha.match_count(column)});
+    }
+    // Order of Table 5: decreasing n_m; ties broken toward shorter
+    // subsequences (they need fewer state variables), then set order.
+    std::stable_sort(A.begin(), A.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.n_m != b.n_m) return a.n_m > b.n_m;
+                       if (a.alpha.length() != b.alpha.length())
+                         return a.alpha.length() < b.alpha.length();
+                       return a.index_in_s < b.index_in_s;
+                     });
+    // Defensive fallback: X values in the window can leave A_i empty; a
+    // constant weight keeps the assignment well-formed without affecting
+    // the match-driven selection for fully specified sequences.
+    if (A.empty()) {
+      const Val3 v = u < column.size() ? column[u] : Val3::kZero;
+      const Subsequence constant =
+          Subsequence({v == Val3::kOne});
+      A.push_back({constant, S.contains(constant) ? S.index_of(constant) : 0,
+                   constant.match_count(column)});
+    }
+  }
+
+  if (ensure_full_length) {
+    // Section 4.1 modification: guarantee some rank reproduces T on the full
+    // window. A rank j works when every A_i entry at j has length max_len.
+    bool exists = false;
+    const std::size_t ranks = sets.max_rank();
+    for (std::size_t j = 0; j < ranks && !exists; ++j) {
+      bool all = true;
+      for (const auto& A : sets.per_input) {
+        const std::size_t k = std::min(j, A.size() - 1);
+        if (A[k].alpha.length() != max_len) {
+          all = false;
+          break;
+        }
+      }
+      exists = all;
+    }
+    if (!exists) {
+      // "Adding at its beginning": the best length-max_len candidate is
+      // *inserted* in front (it also keeps its sorted position), so the
+      // n_m-ordered assignments that follow are shifted by one rank, not
+      // reordered.
+      for (auto& A : sets.per_input) {
+        const auto it = std::find_if(A.begin(), A.end(),
+                                     [max_len](const Candidate& c) {
+                                       return c.alpha.length() == max_len;
+                                     });
+        if (it != A.end()) A.insert(A.begin(), *it);
+      }
+    }
+  }
+
+  return sets;
+}
+
+}  // namespace wbist::core

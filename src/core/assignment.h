@@ -1,0 +1,77 @@
+// Weight assignments (Section 4.1): one subsequence per primary input, and
+// the candidate sets A_i from which assignments are drawn.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/subsequence.h"
+#include "core/weight_set.h"
+#include "sim/sequence.h"
+
+namespace wbist::core {
+
+/// A weight assignment w = {α_i : 0 <= i < n}: input i is driven with α_i^r.
+struct WeightAssignment {
+  std::vector<Subsequence> per_input;
+
+  /// Expand into a test sequence of `length` time units (the sequence T_G
+  /// applied during one BIST session of L_G cycles).
+  sim::TestSequence expand(std::size_t length) const;
+
+  /// Longest subsequence in the assignment.
+  std::size_t max_subsequence_length() const;
+
+  /// "01 / 0 / 100 / 1" display form.
+  std::string str() const;
+
+  friend bool operator==(const WeightAssignment&,
+                         const WeightAssignment&) = default;
+};
+
+struct WeightAssignmentHash {
+  std::size_t operator()(const WeightAssignment& w) const {
+    std::size_t h = 0xc6a4a7935bd1e995ULL;
+    SubsequenceHash sh;
+    for (const Subsequence& s : w.per_input) h = h * 31 + sh(s);
+    return h;
+  }
+};
+
+/// One entry of a candidate set A_i: a subsequence, its index in S, and its
+/// total match count n_m against T_i (Table 5's columns).
+struct Candidate {
+  Subsequence alpha;
+  std::size_t index_in_s = 0;
+  std::size_t n_m = 0;
+};
+
+/// The sets A_i of Section 4.1 for one detection time u.
+struct CandidateSets {
+  std::vector<std::vector<Candidate>> per_input;  ///< sorted by n_m desc
+
+  /// Max over i of |A_i|: one more than the largest usable j.
+  std::size_t max_rank() const;
+
+  /// w_j = { α_{i, min(j, |A_i|-1)} }. Ranks beyond a set's size clamp to
+  /// its last entry so every input always contributes a weight.
+  WeightAssignment assignment_at(std::size_t j) const;
+};
+
+/// Build the sets A_i: every subsequence in S of length <= max_len that
+/// matches T_i perfectly on the window ending at detection time `u`, sorted
+/// by decreasing n_m (ties: shorter subsequence first, then smaller index in
+/// S — the order of the paper's Table 5).
+///
+/// When `ensure_full_length` is set (Section 4.1's modification), if no rank
+/// j yields an assignment whose subsequences all have length exactly
+/// `max_len`, the first length-`max_len` candidate of each A_i is moved to
+/// its front so that rank 0 reproduces T exactly on the window.
+CandidateSets build_candidate_sets(const WeightSet& S,
+                                   const sim::TestSequence& T, std::size_t u,
+                                   std::size_t max_len,
+                                   bool ensure_full_length = true);
+
+}  // namespace wbist::core

@@ -1,0 +1,49 @@
+#include "core/cover_hw.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace wbist::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+NodeId instantiate_cover(Netlist& nl, const Cover& cover,
+                         std::span<const NodeId> vars, NodeId const_zero,
+                         NodeId const_one, const std::string& prefix) {
+  if (cover.cubes.empty()) return const_zero;
+
+  std::unordered_map<NodeId, NodeId> inverters;
+  const auto inverted = [&](NodeId signal) {
+    const auto it = inverters.find(signal);
+    if (it != inverters.end()) return it->second;
+    const NodeId inv = nl.add_gate(
+        GateType::kNot, prefix + "_n" + std::to_string(inverters.size()),
+        {signal});
+    inverters.emplace(signal, inv);
+    return inv;
+  };
+
+  std::vector<NodeId> terms;
+  for (std::size_t k = 0; k < cover.cubes.size(); ++k) {
+    const Cube& cube = cover.cubes[k];
+    if (cube.care == 0) return const_one;
+    std::vector<NodeId> lits;
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      if (((cube.care >> v) & 1) == 0) continue;
+      lits.push_back(((cube.value >> v) & 1) != 0 ? vars[v]
+                                                  : inverted(vars[v]));
+    }
+    terms.push_back(lits.size() == 1
+                        ? lits[0]
+                        : nl.add_gate(GateType::kAnd,
+                                      prefix + "_t" + std::to_string(k),
+                                      std::move(lits)));
+  }
+  return terms.size() == 1
+             ? terms[0]
+             : nl.add_gate(GateType::kOr, prefix + "_or", std::move(terms));
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,23 @@
+// Instantiate a minimized SOP cover (core/qm.h) as gates in a netlist.
+// Shared by the generator builder and the self-test assembler.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/qm.h"
+#include "netlist/netlist.h"
+
+namespace wbist::core {
+
+/// Build AND/OR/NOT gates computing `cover` over the variable signals
+/// `vars` (bit k of a cube refers to vars[k]). Constant covers need
+/// constant nodes, which the caller provides (const_zero / const_one).
+/// Returns the output node. Gate names are derived from `prefix`.
+netlist::NodeId instantiate_cover(netlist::Netlist& nl, const Cover& cover,
+                                  std::span<const netlist::NodeId> vars,
+                                  netlist::NodeId const_zero,
+                                  netlist::NodeId const_one,
+                                  const std::string& prefix);
+
+}  // namespace wbist::core

@@ -1,0 +1,56 @@
+#include "core/flow.h"
+
+namespace wbist::core {
+
+using fault::DetectionResult;
+using fault::FaultId;
+
+FlowResult run_flow(const fault::FaultSimulator& sim,
+                    const std::string& circuit_name,
+                    const FlowConfig& config) {
+  FlowResult flow;
+
+  // 1. Deterministic sequence T (substitute for STRATEGATE/SEQCOM).
+  tgen::TgenResult gen = tgen::generate_test_sequence(sim, config.tgen);
+  flow.sequence = std::move(gen.sequence);
+  flow.detection_time = std::move(gen.detection_time);
+
+  // 2. Static compaction, preserving every detected fault.
+  if (config.compact && flow.sequence.length() > 1) {
+    std::vector<FaultId> must;
+    for (FaultId f = 0; f < flow.detection_time.size(); ++f)
+      if (flow.detection_time[f] != DetectionResult::kUndetected)
+        must.push_back(f);
+    tgen::CompactionResult comp =
+        tgen::compact_sequence(sim, flow.sequence, must, config.compaction);
+    flow.sequence = std::move(comp.sequence);
+    flow.detection_time = std::move(comp.detection_time);
+  }
+  for (const std::int32_t t : flow.detection_time)
+    if (t != DetectionResult::kUndetected) ++flow.t_detected;
+
+  // 3. Weight-assignment selection (Section 4.2).
+  flow.procedure = select_weight_assignments(sim, flow.sequence,
+                                             flow.detection_time,
+                                             config.procedure);
+
+  // 4. Reverse-order simulation (Section 4.3).
+  std::vector<FaultId> targets;
+  for (FaultId f = 0; f < flow.detection_time.size(); ++f)
+    if (flow.detection_time[f] != DetectionResult::kUndetected)
+      targets.push_back(f);
+  flow.pruned = reverse_order_prune(sim, flow.procedure.omega, targets,
+                                    flow.procedure.sequence_length);
+
+  // 5. FSM synthesis over the surviving subsequences.
+  std::vector<Subsequence> subs;
+  for (const WeightAssignment& w : flow.pruned.omega)
+    subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());
+  flow.fsms = synthesize_weight_fsms(subs);
+
+  flow.table6 = make_table6_row(circuit_name, flow.sequence.length(),
+                                flow.t_detected, flow.pruned.omega, flow.fsms);
+  return flow;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,46 @@
+// End-to-end flow: circuit -> deterministic sequence -> weight assignments
+// -> pruned Ω -> FSM synthesis -> Table-6 row.
+//
+// This is the one-call public entry point used by the examples and the
+// experiment harnesses; each stage is also available individually through
+// the module headers.
+#pragma once
+
+#include <string>
+
+#include "core/procedure.h"
+#include "core/report.h"
+#include "core/reverse_sim.h"
+#include "fault/fault_sim.h"
+#include "tgen/compaction.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::core {
+
+struct FlowConfig {
+  tgen::TgenConfig tgen;
+  bool compact = true;                 ///< static compaction of T (the paper
+                                       ///  uses compacted sequences)
+  tgen::CompactionConfig compaction;
+  ProcedureConfig procedure;
+};
+
+struct FlowResult {
+  /// The deterministic test sequence T (after compaction when enabled) and
+  /// per-fault detection times under it.
+  sim::TestSequence sequence;
+  std::vector<std::int32_t> detection_time;
+  std::size_t t_detected = 0;
+
+  ProcedureResult procedure;   ///< Ω before pruning, S, statistics
+  ReverseSimResult pruned;     ///< Ω after reverse-order simulation
+  FsmSynthesisResult fsms;     ///< FSMs for the pruned Ω
+  Table6Row table6;            ///< the summary row
+};
+
+/// Run the complete flow on the simulator's circuit.
+FlowResult run_flow(const fault::FaultSimulator& sim,
+                    const std::string& circuit_name,
+                    const FlowConfig& config = {});
+
+}  // namespace wbist::core

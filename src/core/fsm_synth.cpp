@@ -1,0 +1,142 @@
+#include "core/fsm_synth.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+namespace wbist::core {
+
+namespace {
+
+unsigned bits_for(std::size_t period) {
+  return period <= 1 ? 0
+                     : static_cast<unsigned>(
+                           std::bit_width(period - 1));
+}
+
+/// 2-input-gate equivalents of one SOP cover (ANDs decomposed to 2-input,
+/// plus the OR). Single-literal covers cost nothing beyond wiring.
+std::size_t cover_gate_count(const Cover& cover) {
+  if (cover.cubes.empty()) return 0;  // constant 0
+  std::size_t gates = 0;
+  for (const Cube& c : cover.cubes) {
+    const unsigned lits = c.literal_count();
+    if (lits >= 2) gates += lits - 1;
+  }
+  if (cover.cubes.size() >= 2) gates += cover.cubes.size() - 1;
+  return gates;
+}
+
+}  // namespace
+
+std::vector<bool> WeightFsm::run_output(std::size_t k, std::size_t n) const {
+  std::vector<bool> out;
+  out.reserve(n);
+  std::uint32_t state = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    out.push_back(output_covers[k].evaluates(state));
+    // Advance through the synthesized next-state logic.
+    std::uint32_t next = 0;
+    for (unsigned b = 0; b < state_bits; ++b)
+      if (next_state[b].evaluates(state)) next |= std::uint32_t{1} << b;
+    state = next;
+  }
+  return out;
+}
+
+std::size_t WeightFsm::estimated_gate_count() const {
+  std::size_t gates = 0;
+  for (const Cover& c : next_state) gates += cover_gate_count(c);
+  for (const Cover& c : output_covers) gates += cover_gate_count(c);
+  // One inverter per state variable used complemented anywhere.
+  std::uint32_t inverted = 0;
+  const auto scan = [&inverted](const Cover& cover) {
+    for (const Cube& c : cover.cubes) inverted |= c.care & ~c.value;
+  };
+  for (const Cover& c : next_state) scan(c);
+  for (const Cover& c : output_covers) scan(c);
+  gates += static_cast<std::size_t>(std::popcount(inverted));
+  return gates;
+}
+
+std::size_t FsmSynthesisResult::output_count() const {
+  std::size_t n = 0;
+  for (const WeightFsm& f : fsms) n += f.outputs.size();
+  return n;
+}
+
+std::size_t FsmSynthesisResult::estimated_gate_count() const {
+  std::size_t n = 0;
+  for (const WeightFsm& f : fsms) n += f.estimated_gate_count();
+  return n;
+}
+
+std::size_t FsmSynthesisResult::flip_flop_count() const {
+  std::size_t n = 0;
+  for (const WeightFsm& f : fsms) n += f.state_bits;
+  return n;
+}
+
+FsmSynthesisResult synthesize_weight_fsms(std::span<const Subsequence> subs) {
+  FsmSynthesisResult result;
+
+  // Primitive-reduce and group by period (ascending: shortest FSMs first).
+  std::map<std::size_t, std::vector<Subsequence>> by_period;
+  std::unordered_map<Subsequence, Subsequence, SubsequenceHash> reduced;
+  for (const Subsequence& s : subs) {
+    if (s.empty() || reduced.count(s) != 0) continue;
+    Subsequence prim = s.primitive();
+    reduced.emplace(s, prim);
+    auto& group = by_period[prim.length()];
+    if (std::find(group.begin(), group.end(), prim) == group.end())
+      group.push_back(prim);
+  }
+
+  for (auto& [period, outputs] : by_period) {
+    WeightFsm fsm;
+    fsm.period = period;
+    fsm.state_bits = bits_for(period);
+    fsm.outputs = std::move(outputs);
+
+    // Unreachable counter states are don't-cares for every function.
+    std::vector<std::uint32_t> dc;
+    for (std::uint32_t s = static_cast<std::uint32_t>(period);
+         s < (std::uint32_t{1} << fsm.state_bits); ++s)
+      dc.push_back(s);
+
+    for (unsigned b = 0; b < fsm.state_bits; ++b) {
+      std::vector<std::uint32_t> onset;
+      for (std::uint32_t s = 0; s < period; ++s) {
+        const std::uint32_t next = (s + 1) % static_cast<std::uint32_t>(period);
+        if (((next >> b) & 1) != 0) onset.push_back(s);
+      }
+      fsm.next_state.push_back(minimize(fsm.state_bits, onset, dc));
+    }
+    for (const Subsequence& alpha : fsm.outputs) {
+      std::vector<std::uint32_t> onset;
+      for (std::uint32_t s = 0; s < period; ++s)
+        if (alpha.bit(s)) onset.push_back(s);
+      fsm.output_covers.push_back(minimize(fsm.state_bits, onset, dc));
+    }
+
+    result.fsms.push_back(std::move(fsm));
+  }
+
+  // Map every original subsequence to the FSM output of its primitive form.
+  for (const auto& [orig, prim] : reduced) {
+    for (std::size_t fi = 0; fi < result.fsms.size(); ++fi) {
+      const WeightFsm& fsm = result.fsms[fi];
+      if (fsm.period != prim.length()) continue;
+      const auto it =
+          std::find(fsm.outputs.begin(), fsm.outputs.end(), prim);
+      result.mapping.emplace(
+          orig, FsmOutputRef{fi, static_cast<std::size_t>(
+                                     it - fsm.outputs.begin())});
+      break;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace wbist::core

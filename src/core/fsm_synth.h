@@ -1,0 +1,68 @@
+// Hardware model of the weight generators (Section 3, Table 3).
+//
+// All subsequences of one length L_S share a single FSM: a modulo-L_S
+// counter with ceil(log2 L_S) state variables, plus one combinational output
+// function per subsequence (state s drives output α(s)). Counter states
+// L_S..2^bits-1 are unreachable and enter the output functions as
+// don't-cares, exactly the structure the paper argues makes short
+// subsequences cheap. Subsequences whose periodic expansions coincide
+// ("01" vs "0101") are merged by primitive-period reduction before grouping,
+// as in Section 5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qm.h"
+#include "core/subsequence.h"
+
+namespace wbist::core {
+
+/// One synthesized FSM: the shared counter plus its output functions.
+struct WeightFsm {
+  std::size_t period = 0;      ///< L_S
+  unsigned state_bits = 0;     ///< ceil(log2 period); 0 for constant weights
+  std::vector<Subsequence> outputs;   ///< primitive subsequences, |α| == period
+  std::vector<Cover> next_state;      ///< per state bit, inputs = state bits
+  std::vector<Cover> output_covers;   ///< per output, inputs = state bits
+
+  /// Counter state after `t` clocks from reset (t mod period).
+  std::uint32_t state_at(std::size_t t) const {
+    return static_cast<std::uint32_t>(period == 0 ? 0 : t % period);
+  }
+
+  /// Produce `n` cycles of output `k` starting from reset — the sequence
+  /// α^r the hardware emits (evaluated through the synthesized covers, not
+  /// the subsequence, so tests exercise the logic itself).
+  std::vector<bool> run_output(std::size_t k, std::size_t n) const;
+
+  /// Technology-independent size: 2-input-gate equivalents of all covers
+  /// plus state-bit inverters.
+  std::size_t estimated_gate_count() const;
+};
+
+struct FsmOutputRef {
+  std::size_t fsm = 0;     ///< index into fsms
+  std::size_t output = 0;  ///< index into fsms[fsm].outputs
+};
+
+/// The full Section-3 synthesis for a set of subsequences.
+struct FsmSynthesisResult {
+  std::vector<WeightFsm> fsms;  ///< sorted by ascending period
+
+  /// Where each *original* (pre-reduction) subsequence is produced.
+  std::unordered_map<Subsequence, FsmOutputRef, SubsequenceHash> mapping;
+
+  std::size_t fsm_count() const { return fsms.size(); }      ///< Table 6 "num"
+  std::size_t output_count() const;                          ///< Table 6 "out"
+  std::size_t estimated_gate_count() const;
+  std::size_t flip_flop_count() const;
+};
+
+/// Group `subs` (duplicates allowed) into FSMs. Every distinct primitive
+/// period becomes one FSM; every distinct primitive subsequence one output.
+FsmSynthesisResult synthesize_weight_fsms(std::span<const Subsequence> subs);
+
+}  // namespace wbist::core

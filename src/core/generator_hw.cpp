@@ -1,0 +1,282 @@
+#include "core/generator_hw.h"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wbist::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// Builder for the generator netlist: wraps Netlist with constants, lazy
+/// inverters, and SOP-cover instantiation.
+class HwBuilder {
+ public:
+  explicit HwBuilder(Netlist& nl) : nl_(&nl) {
+    reset_ = nl_->add_input("R");
+    not_reset_ = nl_->add_gate(GateType::kNot, "nR", {reset_});
+    const_zero_ = nl_->add_gate(GateType::kAnd, "ZERO", {reset_, not_reset_});
+    const_one_ = nl_->add_gate(GateType::kOr, "ONE", {reset_, not_reset_});
+    inverters_.resize(not_reset_ + 1, netlist::kNoNode);
+    inverters_[reset_] = not_reset_;
+  }
+
+  NodeId reset() const { return reset_; }
+  NodeId not_reset() const { return not_reset_; }
+  NodeId zero() const { return const_zero_; }
+  NodeId one() const { return const_one_; }
+
+  NodeId gate(GateType type, const std::string& name,
+              std::vector<NodeId> fanin) {
+    return nl_->add_gate(type, name, std::move(fanin));
+  }
+
+  NodeId inverter(NodeId signal) {
+    if (inverters_.size() <= signal)
+      inverters_.resize(signal + 1, netlist::kNoNode);
+    if (inverters_[signal] == netlist::kNoNode)
+      inverters_[signal] = nl_->add_gate(
+          GateType::kNot, "n_" + nl_->node(signal).name, {signal});
+    return inverters_[signal];
+  }
+
+  /// Instantiate an SOP cover over the given variable signals.
+  NodeId cover(const Cover& c, std::span<const NodeId> vars,
+               const std::string& name) {
+    if (c.cubes.empty()) return const_zero_;
+    std::vector<NodeId> terms;
+    for (std::size_t k = 0; k < c.cubes.size(); ++k) {
+      const Cube& cube = c.cubes[k];
+      if (cube.care == 0) return const_one_;
+      std::vector<NodeId> lits;
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        if (((cube.care >> v) & 1) == 0) continue;
+        lits.push_back(((cube.value >> v) & 1) != 0 ? vars[v]
+                                                    : inverter(vars[v]));
+      }
+      terms.push_back(lits.size() == 1
+                          ? lits[0]
+                          : gate(GateType::kAnd,
+                                 name + "_t" + std::to_string(k), lits));
+    }
+    return terms.size() == 1
+               ? terms[0]
+               : gate(GateType::kOr, name + "_or", std::move(terms));
+  }
+
+ private:
+  Netlist* nl_;
+  NodeId reset_;
+  NodeId not_reset_;
+  NodeId const_zero_;
+  NodeId const_one_;
+  std::vector<NodeId> inverters_;
+};
+
+/// The session machinery shared by both generator flavours: the 2^k-cycle
+/// divider with its wrap tick, the hold signal that phase-aligns the weight
+/// FSMs, and the session counter selecting the active assignment.
+struct SessionBlocks {
+  NodeId tick = netlist::kNoNode;
+  NodeId hold = netlist::kNoNode;  ///< low on reset or session boundary
+  std::vector<NodeId> sc;          ///< session counter bits (may be empty)
+};
+
+SessionBlocks build_session_blocks(Netlist& nl, HwBuilder& hb,
+                                   std::size_t session_length,
+                                   std::size_t session_count) {
+  SessionBlocks blocks;
+
+  // Divider: k-bit binary counter, k = log2(session_length).
+  const auto div_bits =
+      static_cast<unsigned>(std::bit_width(session_length - 1));
+  std::vector<NodeId> div(div_bits);
+  for (unsigned b = 0; b < div_bits; ++b)
+    div[b] = nl.add_dff("DIV" + std::to_string(b));
+  blocks.tick =
+      div_bits == 1
+          ? div[0]
+          : hb.gate(GateType::kAnd, "TICK",
+                    std::vector<NodeId>(div.begin(), div.end()));
+  {
+    // next DIV_b = (DIV_b XOR carry_b) AND nR; carry_0 = 1.
+    NodeId carry = hb.one();
+    for (unsigned b = 0; b < div_bits; ++b) {
+      const std::string nm = "DIV" + std::to_string(b);
+      const NodeId toggled =
+          hb.gate(GateType::kXor, nm + "_x", {div[b], carry});
+      nl.connect_dff(
+          div[b], hb.gate(GateType::kAnd, nm + "_d", {toggled, hb.not_reset()}));
+      if (b + 1 < div_bits)
+        carry = b == 0 ? div[0]
+                       : hb.gate(GateType::kAnd, nm + "_c", {carry, div[b]});
+    }
+  }
+
+  blocks.hold = hb.gate(GateType::kNor, "HOLD", {hb.reset(), blocks.tick});
+
+  // Session counter: +1 at each session boundary, reset with R.
+  const auto sc_bits = static_cast<unsigned>(
+      session_count <= 1 ? 0 : std::bit_width(session_count - 1));
+  blocks.sc.resize(sc_bits);
+  for (unsigned b = 0; b < sc_bits; ++b)
+    blocks.sc[b] = nl.add_dff("SC" + std::to_string(b));
+  {
+    NodeId enable = blocks.tick;
+    for (unsigned b = 0; b < sc_bits; ++b) {
+      const std::string nm = "SC" + std::to_string(b);
+      const NodeId toggled =
+          hb.gate(GateType::kXor, nm + "_x", {blocks.sc[b], enable});
+      nl.connect_dff(
+          blocks.sc[b],
+          hb.gate(GateType::kAnd, nm + "_d", {toggled, hb.not_reset()}));
+      if (b + 1 < sc_bits)
+        enable = hb.gate(GateType::kAnd, nm + "_c", {enable, blocks.sc[b]});
+    }
+  }
+  return blocks;
+}
+
+/// Weight FSM counters (reset on every session boundary) and the output
+/// node of every (fsm, output) pair.
+std::vector<std::vector<NodeId>> build_weight_fsms(
+    Netlist& nl, HwBuilder& hb, const FsmSynthesisResult& fsms,
+    NodeId hold) {
+  std::vector<std::vector<NodeId>> fsm_out(fsms.fsms.size());
+  for (std::size_t fi = 0; fi < fsms.fsms.size(); ++fi) {
+    const WeightFsm& fsm = fsms.fsms[fi];
+    const std::string base = "L" + std::to_string(fsm.period);
+    std::vector<NodeId> state(fsm.state_bits);
+    for (unsigned b = 0; b < fsm.state_bits; ++b)
+      state[b] = nl.add_dff(base + "_S" + std::to_string(b));
+    for (unsigned b = 0; b < fsm.state_bits; ++b) {
+      const NodeId next = hb.cover(fsm.next_state[b], state,
+                                   base + "_NS" + std::to_string(b));
+      // Forcing to 0 on reset/tick keeps every session phase-aligned.
+      nl.connect_dff(state[b],
+                     hb.gate(GateType::kAnd, base + "_D" + std::to_string(b),
+                             {next, hold}));
+    }
+    for (std::size_t k = 0; k < fsm.outputs.size(); ++k)
+      fsm_out[fi].push_back(hb.cover(fsm.output_covers[k], state,
+                                     base + "_Z" + std::to_string(k)));
+  }
+  return fsm_out;
+}
+
+/// The per-input multiplexer: session j routes signal session_signals[j][i]
+/// to output TG_i.
+void build_output_muxes(
+    Netlist& nl, HwBuilder& hb, const SessionBlocks& blocks,
+    const std::vector<std::vector<NodeId>>& session_signals,
+    std::size_t n_inputs) {
+  const std::size_t sessions = session_signals.size();
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    std::vector<NodeId> terms;
+    for (std::size_t j = 0; j < sessions; ++j) {
+      const NodeId signal = session_signals[j][i];
+      if (blocks.sc.empty()) {
+        terms.push_back(signal);
+        continue;
+      }
+      std::vector<NodeId> decode{signal};
+      for (std::size_t b = 0; b < blocks.sc.size(); ++b)
+        decode.push_back(((j >> b) & 1) != 0 ? blocks.sc[b]
+                                             : hb.inverter(blocks.sc[b]));
+      terms.push_back(hb.gate(
+          GateType::kAnd,
+          "MUX" + std::to_string(i) + "_" + std::to_string(j),
+          std::move(decode)));
+    }
+    const std::string nm = "TG" + std::to_string(i);
+    const NodeId out = terms.size() == 1
+                           ? hb.gate(GateType::kBuf, nm, {terms[0]})
+                           : hb.gate(GateType::kOr, nm, std::move(terms));
+    nl.mark_output(out);
+  }
+}
+
+}  // namespace
+
+unsigned lfsr_tap_for_input(const Lfsr& lfsr, std::size_t input) {
+  // Stride coprime to common widths so adjacent CUT inputs do not share a
+  // tap until the LFSR is exhausted.
+  return static_cast<unsigned>((input * 7 + 3) % lfsr.width());
+}
+
+GeneratorHardware build_generator(std::span<const WeightAssignment> omega,
+                                  std::size_t sequence_length) {
+  if (omega.empty())
+    throw std::invalid_argument("generator_hw: empty weight assignment set");
+  ExtendedGeneratorSpec spec;
+  spec.random_sessions = 0;
+  spec.omega.assign(omega.begin(), omega.end());
+  return build_extended_generator(spec, omega[0].per_input.size(),
+                                  sequence_length);
+}
+
+GeneratorHardware build_extended_generator(const ExtendedGeneratorSpec& spec,
+                                           std::size_t n_inputs,
+                                           std::size_t sequence_length) {
+  if (spec.omega.empty() && spec.random_sessions == 0)
+    throw std::invalid_argument("generator_hw: no sessions at all");
+  if (n_inputs == 0)
+    throw std::invalid_argument("generator_hw: CUT has no inputs");
+  for (const WeightAssignment& w : spec.omega)
+    if (w.per_input.size() != n_inputs)
+      throw std::invalid_argument("generator_hw: inconsistent input counts");
+
+  GeneratorHardware hw;
+  hw.random_sessions = spec.random_sessions;
+  hw.session_count = spec.random_sessions + spec.omega.size();
+  hw.session_length = std::bit_ceil(std::max<std::size_t>(sequence_length, 2));
+
+  // Shared weight FSMs for every subsequence used by any assignment.
+  std::vector<Subsequence> subs;
+  for (const WeightAssignment& w : spec.omega)
+    subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());
+  hw.fsms = synthesize_weight_fsms(subs);
+
+  Netlist& nl = hw.netlist;
+  nl.set_name("tg_generator");
+  HwBuilder hb(nl);
+
+  const SessionBlocks blocks =
+      build_session_blocks(nl, hb, hw.session_length, hw.session_count);
+  const std::vector<std::vector<NodeId>> fsm_out =
+      build_weight_fsms(nl, hb, hw.fsms, blocks.hold);
+
+  // LFSR block (free-running: only R resets it, session ticks do not).
+  std::vector<NodeId> lfsr_bits;
+  if (spec.random_sessions > 0)
+    lfsr_bits = emit_lfsr(nl, spec.lfsr, hb.reset(), "LFSR");
+
+  // Session signal matrix.
+  std::vector<std::vector<NodeId>> session_signals;
+  for (std::size_t r = 0; r < spec.random_sessions; ++r) {
+    std::vector<NodeId> row(n_inputs);
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      row[i] = lfsr_bits[lfsr_tap_for_input(spec.lfsr, i)];
+    session_signals.push_back(std::move(row));
+  }
+  for (const WeightAssignment& w : spec.omega) {
+    std::vector<NodeId> row(n_inputs);
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      const FsmOutputRef ref = hw.fsms.mapping.at(w.per_input[i]);
+      row[i] = fsm_out[ref.fsm][ref.output];
+    }
+    session_signals.push_back(std::move(row));
+  }
+
+  build_output_muxes(nl, hb, blocks, session_signals, n_inputs);
+
+  nl.finalize();
+  return hw;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,73 @@
+// Structural synthesis of the complete on-chip test-sequence generator of
+// Figure 1 (Section 4.4).
+//
+// The generator is emitted as an ordinary gate-level netlist (so the
+// library's own simulator can verify it cycle-accurately):
+//
+//   R ──► [ session divider: 2^k-cycle binary counter ] ──tick──┐
+//         [ session counter: selects Ω_j, +1 per tick ]◄────────┤
+//         [ weight FSMs: one mod-L_S counter per length,        │
+//           reset to state 0 on R and on every session tick ]◄──┘
+//         [ per-CUT-input multiplexer over FSM outputs ] ──► TG_i
+//
+// The only input is the reset R (one cycle high). The session length is the
+// smallest power of two >= L_G, so the divider is a plain binary counter;
+// resetting the weight FSMs on the session tick keeps every session phase-
+// aligned with the software expansion w.expand(L) from α(0) — the same
+// behaviour as resetting the Table-3 machine to state A.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/assignment.h"
+#include "core/fsm_synth.h"
+#include "core/lfsr.h"
+#include "netlist/netlist.h"
+
+namespace wbist::core {
+
+struct GeneratorHardware {
+  /// The generator netlist. One primary input "R"; primary outputs
+  /// "TG0".."TGn-1", one per CUT input, in CUT input order.
+  netlist::Netlist netlist;
+
+  std::size_t session_length = 0;   ///< 2^k cycles per weight assignment
+  std::size_t session_count = 0;    ///< total sessions (random + weighted)
+  std::size_t random_sessions = 0;  ///< leading LFSR-driven sessions
+  FsmSynthesisResult fsms;          ///< the shared weight FSMs
+
+  /// Area snapshot of the emitted netlist (gates + flip-flops).
+  netlist::NetlistStats stats() const { return netlist.stats(); }
+};
+
+/// Build the generator for the weight assignments in Ω. `sequence_length`
+/// is L_G; the hardware session length is the next power of two. All
+/// assignments must have the same number of inputs, and Ω must be non-empty.
+GeneratorHardware build_generator(std::span<const WeightAssignment> omega,
+                                  std::size_t sequence_length);
+
+/// Extended scheme (the paper's Section 6 future work): the first
+/// `random_sessions` sessions drive every CUT input from a free-running
+/// on-chip LFSR (pure-random weights); the remaining sessions use the
+/// subsequence weight assignments. The LFSR is *not* reset at session
+/// boundaries — consecutive random sessions continue one pseudo-random
+/// stream, which is what makes them distinct tests.
+struct ExtendedGeneratorSpec {
+  std::size_t random_sessions = 0;
+  Lfsr lfsr{16};
+  std::vector<WeightAssignment> omega;  ///< weighted sessions (may be empty
+                                        ///  only if random_sessions > 0)
+};
+
+/// `n_inputs` is the CUT input count (needed when omega is empty).
+GeneratorHardware build_extended_generator(const ExtendedGeneratorSpec& spec,
+                                           std::size_t n_inputs,
+                                           std::size_t sequence_length);
+
+/// Tap index of the LFSR stream feeding CUT input `i` (shared by software
+/// expansion and hardware routing; decorrelates neighbouring inputs when
+/// the circuit has more inputs than the LFSR has bits).
+unsigned lfsr_tap_for_input(const Lfsr& lfsr, std::size_t input);
+
+}  // namespace wbist::core

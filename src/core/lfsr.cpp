@@ -1,0 +1,92 @@
+#include "core/lfsr.h"
+
+#include <stdexcept>
+
+namespace wbist::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+std::vector<unsigned> default_taps(unsigned width) {
+  switch (width) {
+    case 8:
+      return {7, 5, 4, 3};  // x^8 + x^6 + x^5 + x^4 + 1 (maximal)
+    case 16:
+      return {15, 13, 12, 10};  // x^16 + x^14 + x^13 + x^11 + 1 (maximal)
+    default: {
+      // Dense deterministic default; long period, not necessarily maximal.
+      std::vector<unsigned> taps{width - 1, width / 2};
+      if (width > 2) taps.push_back(1);
+      return taps;
+    }
+  }
+}
+
+}  // namespace
+
+Lfsr::Lfsr(unsigned width) : Lfsr(width, default_taps(width)) {}
+
+Lfsr::Lfsr(unsigned width, std::vector<unsigned> taps)
+    : width_(width), taps_(std::move(taps)) {
+  if (width_ < 2 || width_ > 32)
+    throw std::invalid_argument("lfsr: width must be in [2, 32]");
+  if (taps_.empty()) throw std::invalid_argument("lfsr: no feedback taps");
+  for (const unsigned t : taps_)
+    if (t >= width_) throw std::invalid_argument("lfsr: tap out of range");
+}
+
+std::uint32_t Lfsr::step() {
+  bool feedback_xor = false;
+  for (const unsigned t : taps_) feedback_xor ^= bit(t);
+  const std::uint32_t fb = feedback_xor ? 0u : 1u;  // XNOR
+  state_ = ((state_ << 1) | fb);
+  if (width_ < 32) state_ &= (std::uint32_t{1} << width_) - 1;
+  return state_;
+}
+
+std::vector<std::uint32_t> Lfsr::run(std::size_t cycles) {
+  // result[t] is the state *during* active cycle t: the hardware spends the
+  // reset pulse forcing all flip-flops to 0, so cycle 0 shows state 0 and
+  // each later cycle shows one step further.
+  reset();
+  std::vector<std::uint32_t> states;
+  states.reserve(cycles);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    states.push_back(state_);
+    step();
+  }
+  return states;
+}
+
+std::vector<NodeId> emit_lfsr(Netlist& nl, const Lfsr& lfsr,
+                              NodeId reset_high, const std::string& prefix) {
+  const unsigned width = lfsr.width();
+  std::vector<NodeId> state(width);
+  for (unsigned k = 0; k < width; ++k)
+    state[k] = nl.add_dff(prefix + std::to_string(k));
+
+  const NodeId not_reset =
+      nl.add_gate(GateType::kNot, prefix + "_nR", {reset_high});
+
+  // Feedback: XNOR over the tap bits (bit 0's next value).
+  std::vector<NodeId> tap_nodes;
+  for (const unsigned t : lfsr.taps()) tap_nodes.push_back(state[t]);
+  const NodeId feedback =
+      nl.add_gate(GateType::kXnor, prefix + "_fb", std::move(tap_nodes));
+
+  // next bit0 = feedback, next bitK = bit(K-1); synchronous reset to 0.
+  // AND with !R forces the zero state during the reset pulse — valid for
+  // the XNOR form (the zero state is on the sequence).
+  nl.connect_dff(state[0], nl.add_gate(GateType::kAnd, prefix + "_d0",
+                                       {feedback, not_reset}));
+  for (unsigned k = 1; k < width; ++k)
+    nl.connect_dff(state[k],
+                   nl.add_gate(GateType::kAnd, prefix + "_d" + std::to_string(k),
+                               {state[k - 1], not_reset}));
+  return state;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,61 @@
+// Linear feedback shift register used for the pseudo-random ("weight 0.5")
+// input streams of the extended weight scheme (the paper's Section 6 future
+// work: "The use of pure-random sequences as part of the weight scheme").
+//
+// The register is an XNOR-form Fibonacci LFSR: the all-ZERO state is a valid
+// sequence state (the lock-up state is all-ones instead). That matters
+// because the generator hardware's synchronous reset forces every flip-flop
+// to 0 — an XOR-form LFSR would lock up immediately, the XNOR form starts
+// streaming from the reset state with no seed logic at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wbist::core {
+
+/// Software model of the XNOR Fibonacci LFSR; bit k of state() is the
+/// stream tapped for input k (k < width). Hardware equivalent:
+/// emit_lfsr(). Sequence: state bit0 receives XNOR of the feedback taps,
+/// other bits shift from their lower neighbour.
+class Lfsr {
+ public:
+  /// Width 2..32. Feedback taps default to a maximal-length polynomial for
+  /// widths 16 and 8; other widths use a dense default (not necessarily
+  /// maximal, but deterministic and long-period).
+  explicit Lfsr(unsigned width = 16);
+  Lfsr(unsigned width, std::vector<unsigned> taps);
+
+  unsigned width() const { return width_; }
+  const std::vector<unsigned>& taps() const { return taps_; }
+
+  /// Reset to the all-zero state (the hardware reset state).
+  void reset() { state_ = 0; }
+
+  /// Advance one clock; returns the new state.
+  std::uint32_t step();
+
+  std::uint32_t state() const { return state_; }
+  bool bit(unsigned k) const { return ((state_ >> k) & 1) != 0; }
+
+  /// The streams produced over `cycles` clocks from reset: result[t] is the
+  /// state after t+1 steps (matching what the hardware outputs present
+  /// during cycle t after the reset pulse).
+  std::vector<std::uint32_t> run(std::size_t cycles);
+
+ private:
+  unsigned width_;
+  std::vector<unsigned> taps_;
+  std::uint32_t state_ = 0;
+};
+
+/// Instantiate the LFSR in a netlist: `width` DFFs named <prefix>0.., with
+/// synchronous reset on `reset_high` (active high). Returns the state-bit
+/// node ids (index k = tap k).
+std::vector<netlist::NodeId> emit_lfsr(netlist::Netlist& nl, const Lfsr& lfsr,
+                                       netlist::NodeId reset_high,
+                                       const std::string& prefix);
+
+}  // namespace wbist::core

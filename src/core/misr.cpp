@@ -1,0 +1,119 @@
+#include "core/misr.h"
+
+#include <stdexcept>
+
+#include "core/lfsr.h"
+
+namespace wbist::core {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+using sim::Val3;
+
+Misr::Misr(unsigned width) : width_(width), taps_(Lfsr(width).taps()) {}
+
+bool Misr::capture(std::span<const Val3> response) {
+  // Fold the response into width lanes: PO p drives lane p % width.
+  std::uint32_t in = 0;
+  for (std::size_t p = 0; p < response.size(); ++p) {
+    if (response[p] == Val3::kX) {
+      poisoned_ = true;
+      return false;
+    }
+    if (response[p] == Val3::kOne) in ^= std::uint32_t{1} << (p % width_);
+  }
+  bool feedback = false;
+  for (const unsigned t : taps_) feedback ^= ((state_ >> t) & 1) != 0;
+  std::uint32_t next = (state_ << 1) | (feedback ? 1u : 0u);
+  if (width_ < 32) next &= (std::uint32_t{1} << width_) - 1;
+  state_ = next ^ in;
+  return true;
+}
+
+std::optional<std::uint32_t> Misr::signature(
+    std::span<const std::vector<Val3>> responses, std::size_t warmup) {
+  reset();
+  poisoned_ = false;
+  for (std::size_t u = warmup; u < responses.size(); ++u)
+    if (!capture(responses[u])) return std::nullopt;
+  return state_;
+}
+
+std::optional<std::size_t> compute_warmup(
+    std::span<const std::vector<Val3>> responses) {
+  // Last cycle holding an X, plus one.
+  std::optional<std::size_t> warmup = 0;
+  for (std::size_t u = 0; u < responses.size(); ++u)
+    for (const Val3 v : responses[u])
+      if (v == Val3::kX) warmup = u + 1;
+  if (*warmup >= responses.size() && !responses.empty())
+    return std::nullopt;  // X all the way to the end
+  return warmup;
+}
+
+std::vector<NodeId> emit_misr(Netlist& nl, const Misr& model,
+                              std::span<const NodeId> inputs, NodeId enable,
+                              const std::string& prefix) {
+  const unsigned width = model.width();
+  std::vector<NodeId> state(width);
+  for (unsigned k = 0; k < width; ++k)
+    state[k] = nl.add_dff(prefix + std::to_string(k));
+
+  // Input folding: lane k = XOR of inputs with index == k (mod width).
+  std::vector<NodeId> lane_in(width, netlist::kNoNode);
+  for (unsigned k = 0; k < width; ++k) {
+    std::vector<NodeId> sources;
+    for (std::size_t p = k; p < inputs.size(); p += width)
+      sources.push_back(inputs[p]);
+    if (sources.empty()) continue;
+    lane_in[k] = sources.size() == 1
+                     ? sources[0]
+                     : nl.add_gate(GateType::kXor,
+                                   prefix + "_in" + std::to_string(k),
+                                   std::move(sources));
+  }
+
+  // Feedback: XOR over tap state bits (a single tap is just a wire).
+  std::vector<NodeId> tap_nodes;
+  for (const unsigned t : model.taps()) tap_nodes.push_back(state[t]);
+  const NodeId feedback =
+      tap_nodes.size() == 1
+          ? tap_nodes[0]
+          : nl.add_gate(GateType::kXor, prefix + "_fb", std::move(tap_nodes));
+
+  // next[k] = EN AND (shift_in XOR lane_in); EN low clears the register,
+  // which realizes both reset-to-zero and warm-up gating.
+  for (unsigned k = 0; k < width; ++k) {
+    const NodeId shift_in = k == 0 ? feedback : state[k - 1];
+    NodeId next = shift_in;
+    if (lane_in[k] != netlist::kNoNode)
+      next = nl.add_gate(GateType::kXor, prefix + "_x" + std::to_string(k),
+                         {shift_in, lane_in[k]});
+    nl.connect_dff(state[k],
+                   nl.add_gate(GateType::kAnd, prefix + "_d" + std::to_string(k),
+                               {next, enable}));
+  }
+  return state;
+}
+
+MisrHardware attach_misr(const Netlist& cut, unsigned width,
+                         const Misr& model) {
+  if (width != model.width())
+    throw std::invalid_argument("misr: width mismatch with model");
+
+  MisrHardware hw;
+  hw.netlist = cut.unfrozen_copy();
+  Netlist& nl = hw.netlist;
+
+  hw.enable = nl.add_input("MISR_EN");
+  const std::vector<NodeId> pos(cut.primary_outputs().begin(),
+                                cut.primary_outputs().end());
+  hw.state = emit_misr(nl, model, pos, hw.enable, "MISR");
+  for (const NodeId bit : hw.state) nl.mark_output(bit);  // readout
+
+  nl.finalize();
+  return hw;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,88 @@
+// Multiple-input signature register (MISR) response compaction.
+//
+// The paper's Figure-1 generator drives the CUT inputs; a complete BIST
+// architecture also needs on-chip response evaluation. This module adds the
+// standard choice — an XOR-form MISR hanging off the primary outputs — both
+// as a software model (signature computation over simulated responses) and
+// as a netlist transformation (attach_misr), so the whole self-test loop
+// can be verified inside the library's own simulator.
+//
+// Unknown handling: ISCAS circuits power up in the all-X state, and an X
+// captured into a MISR corrupts the signature forever. Signature capture is
+// therefore gated by an enable that opens after a warm-up period; the
+// warm-up is computed from the good machine (first cycle after which every
+// primary output is binary for the rest of the session).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic.h"
+#include "sim/sequence.h"
+
+namespace wbist::core {
+
+/// Software MISR model. State update per captured cycle:
+///   state' = (state << 1 | msb-feedback via taps) XOR inputs
+/// with inputs = the PO vector (input k XORed into bit k % width).
+class Misr {
+ public:
+  /// Width 2..32; taps as in Lfsr (feedback polynomial over state bits).
+  explicit Misr(unsigned width);
+
+  unsigned width() const { return width_; }
+  const std::vector<unsigned>& taps() const { return taps_; }
+
+  void reset() { state_ = 0; }
+  std::uint32_t state() const { return state_; }
+
+  /// Capture one response vector. Returns false (and poisons the
+  /// signature) if any captured value is X.
+  bool capture(std::span<const sim::Val3> response);
+
+  /// Signature over a full response stream, capturing cycles
+  /// [warmup, responses.size()). nullopt if any captured value is X.
+  std::optional<std::uint32_t> signature(
+      std::span<const std::vector<sim::Val3>> responses, std::size_t warmup);
+
+ private:
+  unsigned width_;
+  std::vector<unsigned> taps_;
+  std::uint32_t state_ = 0;
+  bool poisoned_ = false;
+};
+
+/// First cycle w such that every primary-output response in
+/// responses[w..end) is binary; nullopt if no such cycle exists.
+std::optional<std::size_t> compute_warmup(
+    std::span<const std::vector<sim::Val3>> responses);
+
+/// Result of attaching a MISR to a circuit copy.
+struct MisrHardware {
+  netlist::Netlist netlist;          ///< CUT + MISR, finalized
+  netlist::NodeId enable = netlist::kNoNode;  ///< new PI "MISR_EN"
+  std::vector<netlist::NodeId> state;         ///< MISR flip-flops, bit order
+};
+
+/// Append an XOR-form MISR observing the CUT's primary outputs. The CUT's
+/// own PIs/POs are unchanged; two things are added: a capture-enable input
+/// (holding it low clears the register, which realizes both reset-to-zero
+/// and warm-up gating) and `width` MISR flip-flops marked as additional
+/// primary outputs for signature readout.
+MisrHardware attach_misr(const netlist::Netlist& cut, unsigned width,
+                         const Misr& model);
+
+/// Low-level emission used by attach_misr and the self-test assembler:
+/// instantiate the MISR in `nl` observing `inputs` (input k folds into lane
+/// k % width). `enable` low clears the register synchronously. Returns the
+/// state-bit node ids (not marked as outputs).
+std::vector<netlist::NodeId> emit_misr(netlist::Netlist& nl,
+                                       const Misr& model,
+                                       std::span<const netlist::NodeId> inputs,
+                                       netlist::NodeId enable,
+                                       const std::string& prefix);
+
+}  // namespace wbist::core

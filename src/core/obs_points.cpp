@@ -1,0 +1,190 @@
+#include "core/obs_points.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wbist::core {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using netlist::NodeId;
+
+namespace {
+
+/// Distinct subsequences and max length over a prefix of assignments.
+void subsequence_stats(std::span<const WeightAssignment> prefix,
+                       std::size_t& n_subs, std::size_t& max_len) {
+  std::unordered_set<Subsequence, SubsequenceHash> distinct;
+  max_len = 0;
+  for (const WeightAssignment& w : prefix)
+    for (const Subsequence& s : w.per_input) {
+      distinct.insert(s);
+      max_len = std::max(max_len, s.length());
+    }
+  n_subs = distinct.size();
+}
+
+/// Greedy set covering: pick lines covering the most still-uncovered
+/// faults. Returns the chosen lines; `covered` marks the faults they catch.
+std::vector<NodeId> greedy_cover(
+    const std::vector<std::pair<FaultId, std::vector<NodeId>>>& op_sets,
+    std::vector<bool>& covered) {
+  covered.assign(op_sets.size(), false);
+  std::vector<NodeId> chosen;
+  for (;;) {
+    std::unordered_map<NodeId, std::size_t> gain;
+    for (std::size_t k = 0; k < op_sets.size(); ++k) {
+      if (covered[k]) continue;
+      for (NodeId line : op_sets[k].second) ++gain[line];
+    }
+    NodeId best = netlist::kNoNode;
+    std::size_t best_gain = 0;
+    for (const auto& [line, g] : gain)
+      if (g > best_gain || (g == best_gain && g > 0 && line < best)) {
+        best = line;
+        best_gain = g;
+      }
+    if (best_gain == 0) break;
+    chosen.push_back(best);
+    for (std::size_t k = 0; k < op_sets.size(); ++k) {
+      if (covered[k]) continue;
+      const auto& lines = op_sets[k].second;
+      if (std::binary_search(lines.begin(), lines.end(), best))
+        covered[k] = true;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+ObsTradeoffResult observation_point_tradeoff(
+    const fault::FaultSimulator& sim, std::span<const WeightAssignment> omega,
+    std::span<const fault::FaultId> targets,
+    const ObsTradeoffConfig& config) {
+  ObsTradeoffResult result;
+  if (omega.empty() || targets.empty()) return result;
+
+  // Detected set of each assignment over `targets` (bit per target index).
+  std::vector<std::vector<bool>> detects(omega.size(),
+                                         std::vector<bool>(targets.size()));
+  std::vector<sim::TestSequence> sequences;
+  sequences.reserve(omega.size());
+  for (std::size_t j = 0; j < omega.size(); ++j) {
+    sequences.push_back(omega[j].expand(config.sequence_length));
+    const DetectionResult det = sim.run(sequences.back(), targets);
+    for (std::size_t k = 0; k < targets.size(); ++k)
+      detects[j][k] = det.detected(k);
+  }
+
+  // Universe: targets detected by the full Ω (the paper's denominator).
+  std::vector<bool> in_universe(targets.size(), false);
+  std::size_t universe = 0;
+  for (std::size_t k = 0; k < targets.size(); ++k)
+    for (std::size_t j = 0; j < omega.size(); ++j)
+      if (detects[j][k]) {
+        in_universe[k] = true;
+        ++universe;
+        break;
+      }
+  result.total_targets = universe;
+  if (universe == 0) return result;
+
+  // OP(f) cache: per assignment, per fault, the observable lines. Filled
+  // lazily; remaining fault sets shrink as the prefix grows, so each
+  // (assignment, fault) pair is computed at most once.
+  std::vector<std::unordered_map<FaultId, std::vector<NodeId>>> op_cache(
+      omega.size());
+  const auto ensure_op = [&](std::size_t j,
+                             std::span<const FaultId> faults) {
+    std::vector<FaultId> missing;
+    for (FaultId f : faults)
+      if (op_cache[j].count(f) == 0) missing.push_back(f);
+    if (missing.empty()) return;
+    const auto lines = sim.observable_lines(sequences[j], missing);
+    for (std::size_t k = 0; k < missing.size(); ++k)
+      op_cache[j].emplace(missing[k], lines[k]);
+  };
+
+  // Greedy ordering of Ω by newly detected faults.
+  std::vector<bool> covered(targets.size(), false);
+  std::size_t covered_count = 0;
+  std::vector<bool> used(omega.size(), false);
+  std::vector<std::size_t> order;
+
+  while (covered_count < universe) {
+    std::size_t best = omega.size();
+    std::size_t best_gain = 0;
+    for (std::size_t j = 0; j < omega.size(); ++j) {
+      if (used[j]) continue;
+      std::size_t gain = 0;
+      for (std::size_t k = 0; k < targets.size(); ++k)
+        if (!covered[k] && detects[j][k]) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = j;
+      }
+    }
+    if (best == omega.size()) break;  // defensive; universe construction
+    used[best] = true;
+    order.push_back(best);
+    for (std::size_t k = 0; k < targets.size(); ++k)
+      if (detects[best][k] && !covered[k]) {
+        covered[k] = true;
+        ++covered_count;
+      }
+
+    // Row for this prefix.
+    ObsRow row;
+    row.n_seq = order.size();
+    std::vector<WeightAssignment> prefix;
+    for (std::size_t j : order) prefix.push_back(omega[j]);
+    subsequence_stats(prefix, row.n_subs, row.max_len);
+    row.fe_before =
+        100.0 * static_cast<double>(covered_count) / static_cast<double>(universe);
+
+    // Remaining faults and their OP sets under the chosen sequences.
+    std::vector<FaultId> remaining;
+    std::vector<std::size_t> remaining_idx;
+    for (std::size_t k = 0; k < targets.size(); ++k)
+      if (in_universe[k] && !covered[k]) {
+        remaining.push_back(targets[k]);
+        remaining_idx.push_back(k);
+      }
+
+    if (remaining.empty()) {
+      row.n_obs = 0;
+      row.fe_after = row.fe_before;
+    } else {
+      for (std::size_t j : order) ensure_op(j, remaining);
+      std::vector<std::pair<FaultId, std::vector<NodeId>>> op_sets;
+      for (FaultId f : remaining) {
+        std::vector<NodeId> lines;
+        for (std::size_t j : order) {
+          const auto& cached = op_cache[j].at(f);
+          lines.insert(lines.end(), cached.begin(), cached.end());
+        }
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+        op_sets.emplace_back(f, std::move(lines));
+      }
+      std::vector<bool> op_covered;
+      row.observation_points = greedy_cover(op_sets, op_covered);
+      row.n_obs = row.observation_points.size();
+      const auto extra = static_cast<std::size_t>(
+          std::count(op_covered.begin(), op_covered.end(), true));
+      row.fe_after = 100.0 *
+                     static_cast<double>(covered_count + extra) /
+                     static_cast<double>(universe);
+    }
+
+    if (row.fe_after >= 100.0 * config.min_final_fe)
+      result.rows.push_back(std::move(row));
+  }
+
+  return result;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,50 @@
+// Observation-point insertion experiment (Section 5, Tables 7-16).
+//
+// Weight assignments are selected out of Ω greedily (largest number of
+// newly detected faults first). For every prefix Ω_lim of that order, the
+// faults Ω detects but Ω_lim misses are candidates for observation points:
+// OP(f) is the set of lines on which fault f's effect is visible under some
+// sequence of Ω_lim, and a greedy covering chooses a minimal-ish set of
+// lines OP detecting every coverable fault. The resulting rows trace the
+// paper's tradeoff between #assignments and #observation points.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/assignment.h"
+#include "fault/fault_sim.h"
+
+namespace wbist::core {
+
+struct ObsRow {
+  std::size_t n_seq = 0;       ///< |Ω_lim|
+  std::size_t n_subs = 0;      ///< distinct subsequences in Ω_lim
+  std::size_t max_len = 0;     ///< longest subsequence in Ω_lim
+  double fe_before = 0;        ///< % of Ω-detected faults caught by Ω_lim
+  std::size_t n_obs = 0;       ///< observation points inserted
+  double fe_after = 0;         ///< % caught with the observation points
+  std::vector<netlist::NodeId> observation_points;
+};
+
+struct ObsTradeoffConfig {
+  std::size_t sequence_length = 2000;  ///< L_G
+  /// Rows whose final fault efficiency is below this are dropped, matching
+  /// the paper's "99% or higher" reporting rule (fraction, not percent).
+  double min_final_fe = 0.99;
+};
+
+struct ObsTradeoffResult {
+  std::vector<ObsRow> rows;     ///< one per greedy prefix, ascending n_seq
+  std::size_t total_targets = 0;  ///< faults detected by the full Ω
+};
+
+/// Run the tradeoff experiment for the (unpruned) assignment set Ω against
+/// `targets` (the faults detected by the deterministic sequence).
+ObsTradeoffResult observation_point_tradeoff(
+    const fault::FaultSimulator& sim, std::span<const WeightAssignment> omega,
+    std::span<const fault::FaultId> targets,
+    const ObsTradeoffConfig& config = {});
+
+}  // namespace wbist::core

@@ -1,0 +1,145 @@
+#include "core/procedure.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace wbist::core {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using sim::TestSequence;
+
+namespace {
+
+/// Next subsequence length to try for detection time u.
+std::size_t next_length(std::size_t prev, std::size_t u,
+                        const ProcedureConfig& config) {
+  const std::size_t cap = u + 1;
+  if (prev == 0) return std::min<std::size_t>(1, cap);
+  if (config.exact_paper_schedule || prev < config.linear_growth_limit)
+    return std::min(prev + 1, cap);
+  return std::min(std::max(prev + 1, prev + prev / 2), cap);
+}
+
+}  // namespace
+
+ProcedureResult select_weight_assignments(
+    const fault::FaultSimulator& sim, const TestSequence& T,
+    std::span<const std::int32_t> detection_time,
+    const ProcedureConfig& config) {
+  if (detection_time.size() != sim.fault_set().size())
+    throw std::invalid_argument(
+        "procedure: detection_time not aligned with fault set");
+
+  ProcedureResult result;
+  result.sequence_length = std::max(config.sequence_length, T.length());
+
+  // F: remaining target faults, kept sorted by any order; u_det lookup is by
+  // fault id through `detection_time`.
+  std::vector<FaultId> F;
+  for (FaultId f = 0; f < detection_time.size(); ++f)
+    if (detection_time[f] != DetectionResult::kUndetected) F.push_back(f);
+  result.target_count = F.size();
+
+  util::Rng rng(config.seed);
+  std::unordered_set<WeightAssignment, WeightAssignmentHash> fully_simulated;
+
+  const auto drop_detected = [&](std::span<const FaultId> ids,
+                                 const DetectionResult& det,
+                                 std::vector<FaultId>& from) {
+    std::unordered_set<FaultId> hit;
+    for (std::size_t k = 0; k < ids.size(); ++k)
+      if (det.detected(k)) hit.insert(ids[k]);
+    if (hit.empty()) return std::size_t{0};
+    const auto new_end = std::remove_if(
+        from.begin(), from.end(),
+        [&hit](FaultId f) { return hit.count(f) != 0; });
+    const auto removed = static_cast<std::size_t>(from.end() - new_end);
+    from.erase(new_end, from.end());
+    return removed;
+  };
+
+  while (!F.empty()) {
+    // Largest remaining detection time (harder faults first, Section 3).
+    std::int32_t u_max = -1;
+    for (FaultId f : F) u_max = std::max(u_max, detection_time[f]);
+    const auto u = static_cast<std::size_t>(u_max);
+
+    auto faults_at_u = [&]() {
+      std::vector<FaultId> ids;
+      for (FaultId f : F)
+        if (detection_time[f] == u_max) ids.push_back(f);
+      return ids;
+    };
+
+    std::size_t len = 0;
+    while (!faults_at_u().empty()) {
+      const std::size_t prev = len;
+      len = next_length(prev, u, config);
+      result.weights.extend(T, u, len);
+      const CandidateSets sets =
+          build_candidate_sets(result.weights, T, u, len);
+
+      const std::size_t ranks = sets.max_rank();
+      for (std::size_t j = 0; j < ranks; ++j) {
+        const std::vector<FaultId> targets = faults_at_u();
+        if (targets.empty()) break;
+
+        WeightAssignment w = sets.assignment_at(j);
+        // Only assignments carrying at least one length-`len` subsequence
+        // are new at this length (Section 4.2).
+        const bool has_len = std::any_of(
+            w.per_input.begin(), w.per_input.end(),
+            [len](const Subsequence& s) { return s.length() == len; });
+        if (!has_len) continue;
+        if (fully_simulated.count(w) != 0) continue;
+        ++result.stats.assignments_tried;
+
+        const TestSequence tg = w.expand(result.sequence_length);
+
+        // Sample pre-simulation: the faults this assignment was built for,
+        // plus a random sample of the remaining targets.
+        std::vector<FaultId> sample(
+            targets.begin(),
+            targets.begin() +
+                static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+                    targets.size(), std::max<std::size_t>(config.sample_size / 2, 4))));
+        for (std::size_t k = 0; k < config.sample_size && k < F.size(); ++k)
+          sample.push_back(F[rng.below(F.size())]);
+        const DetectionResult sample_det = sim.run(tg, sample);
+        if (sample_det.detected_count == 0) {
+          ++result.stats.sample_rejections;
+          continue;
+        }
+
+        const DetectionResult det = sim.run(tg, F);
+        ++result.stats.full_simulations;
+        fully_simulated.insert(w);
+        if (det.detected_count > 0) {
+          result.detected_count += drop_detected(F, det, F);
+          result.omega.push_back(std::move(w));
+        }
+      }
+
+      if (len >= u + 1 && !faults_at_u().empty()) {
+        // Unreachable for fully specified T (rank 0 reproduces T through u);
+        // reachable only when X values blocked subsequence derivation.
+        const std::vector<FaultId> stuck = faults_at_u();
+        result.abandoned_count += stuck.size();
+        const auto new_end = std::remove_if(
+            F.begin(), F.end(), [&](FaultId f) {
+              return detection_time[f] == u_max;
+            });
+        F.erase(new_end, F.end());
+        break;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace wbist::core

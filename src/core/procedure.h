@@ -1,0 +1,84 @@
+// The overall weight-assignment selection procedure (Section 4.2).
+//
+// Detection times are visited in decreasing order; for the current time u
+// the subsequence length L_S grows until the weight assignments constructed
+// from the sets A_i detect every remaining fault with detection time u.
+// Termination is guaranteed: at L_S = u+1 the (modified) rank-0 assignment
+// reproduces T exactly through time u, so the target fault is detected.
+//
+// The fault-sample speedup of the paper is implemented: each candidate
+// sequence T_G is first simulated against a small sample that always
+// includes the fault T_G was generated for; the full fault set is simulated
+// only when the sample detects something.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/weight_set.h"
+#include "fault/fault_sim.h"
+#include "sim/sequence.h"
+
+namespace wbist::core {
+
+struct ProcedureConfig {
+  /// L_G: length of the test sequence generated per weight assignment.
+  /// Raised to |T| automatically when shorter (reproduction needs it).
+  std::size_t sequence_length = 2000;
+
+  /// Faults in the pre-simulation sample (in addition to the targets at u).
+  std::size_t sample_size = 32;
+
+  /// L_S grows by +1 up to this value, then geometrically (x1.5), with
+  /// u+1 as the final fallback. Set exact_paper_schedule to walk +1 all the
+  /// way, as the paper describes (slower, same guarantees).
+  std::size_t linear_growth_limit = 8;
+  bool exact_paper_schedule = false;
+
+  std::uint64_t seed = 7;  ///< fault-sampling seed
+};
+
+struct ProcedureStats {
+  std::size_t assignments_tried = 0;    ///< distinct candidate assignments
+  std::size_t sample_rejections = 0;    ///< skipped by the sample heuristic
+  std::size_t full_simulations = 0;     ///< full fault simulations of a T_G
+};
+
+struct ProcedureResult {
+  /// Ω: weight assignments whose sequences detected new faults, in
+  /// generation order (input to reverse-order simulation / OP selection).
+  std::vector<WeightAssignment> omega;
+
+  /// Final weight set S.
+  WeightSet weights;
+
+  /// L_G actually used (config value, possibly raised to |T|).
+  std::size_t sequence_length = 0;
+
+  std::size_t target_count = 0;     ///< faults detected by T (the targets)
+  std::size_t detected_count = 0;   ///< targets detected by Ω's sequences
+  /// Targets given up on (only possible when T contains X values that block
+  /// window reproduction; never happens for fully specified sequences).
+  std::size_t abandoned_count = 0;
+
+  ProcedureStats stats;
+
+  double fault_efficiency() const {
+    return target_count == 0
+               ? 1.0
+               : static_cast<double>(detected_count) /
+                     static_cast<double>(target_count);
+  }
+};
+
+/// Run the procedure. `detection_time` is aligned with the simulator's fault
+/// set and holds u_det(f) under T, or DetectionResult::kUndetected for
+/// faults T does not detect (those are not targets).
+ProcedureResult select_weight_assignments(
+    const fault::FaultSimulator& sim, const sim::TestSequence& T,
+    std::span<const std::int32_t> detection_time,
+    const ProcedureConfig& config = {});
+
+}  // namespace wbist::core

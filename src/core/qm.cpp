@@ -1,0 +1,126 @@
+#include "core/qm.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wbist::core {
+
+unsigned Cube::literal_count() const {
+  return static_cast<unsigned>(std::popcount(care));
+}
+
+std::string Cube::str(unsigned n_vars) const {
+  if (care == 0) return "-";
+  std::string out;
+  for (unsigned v = 0; v < n_vars; ++v) {
+    if (((care >> v) & 1) == 0) continue;
+    if (!out.empty()) out += "·";
+    out += "x" + std::to_string(v);
+    if (((value >> v) & 1) == 0) out += "'";
+  }
+  return out;
+}
+
+namespace {
+
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const {
+    return (static_cast<std::size_t>(c.value) << 21) ^ c.care;
+  }
+};
+
+}  // namespace
+
+Cover minimize(unsigned n_vars, const std::vector<std::uint32_t>& onset,
+               const std::vector<std::uint32_t>& dcset) {
+  if (n_vars > 20) throw std::invalid_argument("qm: too many variables");
+  if (onset.empty()) return {};
+
+  const std::uint32_t full_care =
+      n_vars >= 32 ? ~std::uint32_t{0}
+                   : ((std::uint32_t{1} << n_vars) - 1);
+
+  // Level 0: every onset and don't-care minterm is a full-care cube.
+  std::unordered_set<Cube, CubeHash> current;
+  for (std::uint32_t m : onset) current.insert({m & full_care, full_care});
+  for (std::uint32_t m : dcset) current.insert({m & full_care, full_care});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::vector<Cube> cubes(current.begin(), current.end());
+    std::unordered_set<Cube, CubeHash> next;
+    std::vector<bool> combined(cubes.size(), false);
+
+    // Combine cubes identical except in one specified bit.
+    for (std::size_t a = 0; a < cubes.size(); ++a) {
+      for (std::size_t b = a + 1; b < cubes.size(); ++b) {
+        if (cubes[a].care != cubes[b].care) continue;
+        const std::uint32_t diff =
+            (cubes[a].value ^ cubes[b].value) & cubes[a].care;
+        if (std::popcount(diff) != 1) continue;
+        next.insert({cubes[a].value & ~diff & cubes[a].care,
+                     cubes[a].care & ~diff});
+        combined[a] = combined[b] = true;
+      }
+    }
+    for (std::size_t a = 0; a < cubes.size(); ++a)
+      if (!combined[a]) primes.push_back(cubes[a]);
+    current = std::move(next);
+  }
+
+  // Cover the onset (only) with primes: essentials first, then greedy.
+  std::vector<std::uint32_t> to_cover(onset.begin(), onset.end());
+  std::sort(to_cover.begin(), to_cover.end());
+  to_cover.erase(std::unique(to_cover.begin(), to_cover.end()),
+                 to_cover.end());
+
+  Cover cover;
+  std::vector<bool> covered(to_cover.size(), false);
+
+  // Essential primes: sole cover of some minterm.
+  for (std::size_t m = 0; m < to_cover.size(); ++m) {
+    const Cube* only = nullptr;
+    int count = 0;
+    for (const Cube& p : primes) {
+      if (p.covers(to_cover[m])) {
+        ++count;
+        only = &p;
+        if (count > 1) break;
+      }
+    }
+    if (count == 1 &&
+        std::find(cover.cubes.begin(), cover.cubes.end(), *only) ==
+            cover.cubes.end()) {
+      cover.cubes.push_back(*only);
+      for (std::size_t k = 0; k < to_cover.size(); ++k)
+        if (only->covers(to_cover[k])) covered[k] = true;
+    }
+  }
+  // Greedy: repeatedly take the prime covering most uncovered minterms,
+  // breaking ties toward fewer literals.
+  for (;;) {
+    std::size_t best_gain = 0;
+    const Cube* best = nullptr;
+    for (const Cube& p : primes) {
+      std::size_t gain = 0;
+      for (std::size_t k = 0; k < to_cover.size(); ++k)
+        if (!covered[k] && p.covers(to_cover[k])) ++gain;
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best != nullptr &&
+           p.literal_count() < best->literal_count())) {
+        best_gain = gain;
+        best = &p;
+      }
+    }
+    if (best == nullptr || best_gain == 0) break;
+    cover.cubes.push_back(*best);
+    for (std::size_t k = 0; k < to_cover.size(); ++k)
+      if (best->covers(to_cover[k])) covered[k] = true;
+  }
+
+  return cover;
+}
+
+}  // namespace wbist::core

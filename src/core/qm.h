@@ -1,0 +1,56 @@
+// Compact Quine–McCluskey two-level minimization with don't-cares.
+//
+// Used to synthesize the weight-FSM output functions (Section 3): each
+// subsequence of length L_S becomes one output over the ceil(log2 L_S)
+// counter state bits, with the unreachable counter states as don't-cares.
+// Functions here are tiny (<= 8 variables by construction), so exact prime
+// generation plus essential-then-greedy covering is fast and near-minimal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbist::core {
+
+/// A product term over n variables. Bit k of `care` set means variable k is
+/// a literal in the cube; its polarity is bit k of `value`. care == 0 is the
+/// constant-1 cube.
+struct Cube {
+  std::uint32_t value = 0;
+  std::uint32_t care = 0;
+
+  bool covers(std::uint32_t minterm) const {
+    return (minterm & care) == (value & care);
+  }
+
+  /// Number of literals.
+  unsigned literal_count() const;
+
+  /// "x1'·x3" style rendering, LSB variable first ("-" for constant 1).
+  std::string str(unsigned n_vars) const;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+};
+
+/// A sum-of-products cover. Empty cubes vector = constant 0; a cover whose
+/// single cube has care == 0 = constant 1.
+struct Cover {
+  std::vector<Cube> cubes;
+
+  bool evaluates(std::uint32_t minterm) const {
+    for (const Cube& c : cubes)
+      if (c.covers(minterm)) return true;
+    return false;
+  }
+};
+
+/// Minimize the single-output function with the given onset and don't-care
+/// set (minterms over n_vars variables, n_vars <= 20). The result covers
+/// every onset minterm, no offset minterm, and uses prime implicants only.
+/// Minterm sets are tiny by construction (<= 2^8 in this library), so they
+/// are passed as plain vectors for call-site convenience.
+Cover minimize(unsigned n_vars, const std::vector<std::uint32_t>& onset,
+               const std::vector<std::uint32_t>& dcset);
+
+}  // namespace wbist::core

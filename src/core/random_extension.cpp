@@ -1,0 +1,93 @@
+#include "core/random_extension.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace wbist::core {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using sim::TestSequence;
+using sim::Val3;
+
+TestSequence expand_random_session(const Lfsr& lfsr, std::size_t session,
+                                   std::size_t session_length,
+                                   std::size_t n_inputs) {
+  // One continuous stream: session r covers cycles [r*P, (r+1)*P).
+  Lfsr runner = lfsr;
+  runner.reset();
+  for (std::size_t t = 0; t < session * session_length; ++t) runner.step();
+
+  TestSequence seq(session_length, n_inputs);
+  for (std::size_t u = 0; u < session_length; ++u) {
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      seq.set(u, i,
+              runner.bit(lfsr_tap_for_input(lfsr, i)) ? Val3::kOne
+                                                      : Val3::kZero);
+    runner.step();
+  }
+  return seq;
+}
+
+ExtendedSchemeResult run_extended_scheme(
+    const fault::FaultSimulator& sim, const TestSequence& T,
+    std::span<const std::int32_t> detection_time,
+    const ExtendedSchemeConfig& config) {
+  if (detection_time.size() != sim.fault_set().size())
+    throw std::invalid_argument(
+        "extended_scheme: detection_time not aligned with fault set");
+
+  ExtendedSchemeResult result;
+  result.lfsr = Lfsr(config.lfsr_width);
+  result.session_length = std::bit_ceil(std::max<std::size_t>(
+      std::max(config.procedure.sequence_length, T.length()), 2));
+
+  const std::size_t n_inputs = sim.circuit().primary_inputs().size();
+
+  std::vector<FaultId> remaining;
+  for (FaultId f = 0; f < detection_time.size(); ++f)
+    if (detection_time[f] != DetectionResult::kUndetected)
+      remaining.push_back(f);
+  result.target_count = remaining.size();
+
+  // Phase 1: pure-random sessions with fault dropping.
+  for (std::size_t r = 0;
+       r < config.max_random_sessions && !remaining.empty(); ++r) {
+    const TestSequence tg =
+        expand_random_session(result.lfsr, r, result.session_length, n_inputs);
+    const DetectionResult det = sim.run(tg, remaining);
+    if (det.detected_count == 0) {
+      if (config.stop_on_fruitless_session) break;
+      // Keep the session count anyway? A fruitless session adds hardware
+      // sessions without payoff; never keep it.
+      break;
+    }
+    ++result.random_sessions;
+    result.detected_by_random += det.detected_count;
+    std::vector<FaultId> still;
+    still.reserve(remaining.size() - det.detected_count);
+    for (std::size_t k = 0; k < remaining.size(); ++k)
+      if (!det.detected(k)) still.push_back(remaining[k]);
+    remaining = std::move(still);
+  }
+
+  // Phase 2: the Section 4.2 procedure on the residual faults only.
+  std::vector<std::int32_t> residual(detection_time.begin(),
+                                     detection_time.end());
+  {
+    std::vector<bool> keep(residual.size(), false);
+    for (const FaultId f : remaining) keep[f] = true;
+    for (FaultId f = 0; f < residual.size(); ++f)
+      if (!keep[f]) residual[f] = DetectionResult::kUndetected;
+  }
+  ProcedureConfig pc = config.procedure;
+  pc.sequence_length = result.session_length;
+  result.procedure = select_weight_assignments(sim, T, residual, pc);
+
+  result.detected_count =
+      result.detected_by_random + result.procedure.detected_count;
+  return result;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,73 @@
+// Extended weight scheme with pure-random sessions (Section 6 future work).
+//
+// The paper's Section 4.4 notes: "In the implementation above, we do not
+// allow pseudo-random sequences (or LFSR sequences) on the circuit inputs.
+// Adding this option is likely to reduce the number of subsequences that
+// need to be generated." This module implements that option: a configurable
+// number of leading sessions drive every input from a free-running on-chip
+// LFSR; only the faults those sessions miss are handed to the subsequence
+// procedure, which therefore needs fewer weights and fewer FSM outputs.
+//
+// The ablation harness (bench/ablation_random_weights) measures exactly
+// that reduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/generator_hw.h"
+#include "core/lfsr.h"
+#include "core/procedure.h"
+#include "fault/fault_sim.h"
+#include "sim/sequence.h"
+
+namespace wbist::core {
+
+struct ExtendedSchemeConfig {
+  unsigned lfsr_width = 16;
+  /// Maximum pure-random sessions to try; sessions detecting no new fault
+  /// beyond this point are trimmed.
+  std::size_t max_random_sessions = 8;
+  /// Stop prepending random sessions once one detects no new fault.
+  bool stop_on_fruitless_session = true;
+  ProcedureConfig procedure;
+};
+
+struct ExtendedSchemeResult {
+  Lfsr lfsr{16};
+  std::size_t random_sessions = 0;   ///< sessions actually kept
+  std::size_t session_length = 0;    ///< hardware session length (2^k)
+  std::size_t detected_by_random = 0;
+  ProcedureResult procedure;         ///< subsequence part, residual faults
+
+  std::size_t target_count = 0;
+  std::size_t detected_count = 0;    ///< random + subsequence detections
+
+  double fault_efficiency() const {
+    return target_count == 0 ? 1.0
+                             : static_cast<double>(detected_count) /
+                                   static_cast<double>(target_count);
+  }
+
+  /// Hardware spec for build_extended_generator.
+  ExtendedGeneratorSpec generator_spec() const {
+    return {random_sessions, lfsr, procedure.omega};
+  }
+};
+
+/// The input sequence applied during pure-random session `session`
+/// (sessions share one continuous LFSR stream; the hardware LFSR free-runs
+/// across session boundaries).
+sim::TestSequence expand_random_session(const Lfsr& lfsr, std::size_t session,
+                                        std::size_t session_length,
+                                        std::size_t n_inputs);
+
+/// Run the extended scheme: pure-random sessions first, the Section 4.2
+/// subsequence procedure on the residual faults afterwards.
+ExtendedSchemeResult run_extended_scheme(
+    const fault::FaultSimulator& sim, const sim::TestSequence& T,
+    std::span<const std::int32_t> detection_time,
+    const ExtendedSchemeConfig& config = {});
+
+}  // namespace wbist::core

@@ -1,0 +1,30 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace wbist::core {
+
+Table6Row make_table6_row(std::string circuit, std::size_t t_length,
+                          std::size_t t_detected,
+                          std::span<const WeightAssignment> omega,
+                          const FsmSynthesisResult& fsms) {
+  Table6Row row;
+  row.circuit = std::move(circuit);
+  row.t_length = t_length;
+  row.t_detected = t_detected;
+  row.n_seq = omega.size();
+
+  std::unordered_set<Subsequence, SubsequenceHash> distinct;
+  for (const WeightAssignment& w : omega)
+    for (const Subsequence& s : w.per_input) {
+      distinct.insert(s);
+      row.max_len = std::max(row.max_len, s.length());
+    }
+  row.n_subs = distinct.size();
+  row.n_fsms = fsms.fsm_count();
+  row.n_fsm_outputs = fsms.output_count();
+  return row;
+}
+
+}  // namespace wbist::core

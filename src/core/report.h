@@ -1,0 +1,30 @@
+// Table-6 style result rows: the per-circuit summary the paper reports.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/assignment.h"
+#include "core/fsm_synth.h"
+
+namespace wbist::core {
+
+struct Table6Row {
+  std::string circuit;
+  std::size_t t_length = 0;     ///< "given seq / len": |T|
+  std::size_t t_detected = 0;   ///< "given seq / det": faults T detects
+  std::size_t n_seq = 0;        ///< "proposed / seq": |Ω| after pruning
+  std::size_t n_subs = 0;       ///< "proposed / subs": distinct subsequences
+  std::size_t max_len = 0;      ///< "proposed / len": longest subsequence
+  std::size_t n_fsms = 0;       ///< "FSMs / num" (after primitive merging)
+  std::size_t n_fsm_outputs = 0;  ///< "FSMs / out"
+};
+
+/// Assemble a row from a pruned assignment set. `fsms` must be the
+/// synthesis result over exactly the subsequences of `omega`.
+Table6Row make_table6_row(std::string circuit, std::size_t t_length,
+                          std::size_t t_detected,
+                          std::span<const WeightAssignment> omega,
+                          const FsmSynthesisResult& fsms);
+
+}  // namespace wbist::core

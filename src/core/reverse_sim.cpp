@@ -1,0 +1,40 @@
+#include "core/reverse_sim.h"
+
+#include <algorithm>
+
+namespace wbist::core {
+
+using fault::DetectionResult;
+using fault::FaultId;
+
+ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
+                                     std::span<const WeightAssignment> omega,
+                                     std::span<const FaultId> targets,
+                                     std::size_t sequence_length) {
+  ReverseSimResult result;
+  std::vector<FaultId> remaining(targets.begin(), targets.end());
+  std::vector<bool> keep(omega.size(), false);
+
+  for (std::size_t k = omega.size(); k-- > 0 && !remaining.empty();) {
+    const sim::TestSequence tg = omega[k].expand(sequence_length);
+    const DetectionResult det = sim.run(tg, remaining);
+    if (det.detected_count == 0) continue;
+    keep[k] = true;
+    std::vector<FaultId> still;
+    still.reserve(remaining.size() - det.detected_count);
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (det.detected(i))
+        result.detected.push_back(remaining[i]);
+      else
+        still.push_back(remaining[i]);
+    }
+    remaining = std::move(still);
+  }
+
+  for (std::size_t k = 0; k < omega.size(); ++k)
+    if (keep[k]) result.omega.push_back(omega[k]);
+  std::sort(result.detected.begin(), result.detected.end());
+  return result;
+}
+
+}  // namespace wbist::core

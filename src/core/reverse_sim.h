@@ -1,0 +1,29 @@
+// Reverse-order simulation (Section 4.3): removes weight assignments whose
+// detected faults are fully covered by assignments generated after them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/assignment.h"
+#include "fault/fault_sim.h"
+
+namespace wbist::core {
+
+struct ReverseSimResult {
+  /// Surviving assignments, in the original (generation) order.
+  std::vector<WeightAssignment> omega;
+  /// Faults (ids into the simulator's fault set) detected by the survivors.
+  std::vector<fault::FaultId> detected;
+};
+
+/// Simulate the assignments of `omega` in reverse generation order against
+/// the target faults; an assignment is kept only if its sequence detects a
+/// fault not detected by any later (already kept) assignment. Coverage of
+/// `targets` is preserved exactly.
+ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
+                                     std::span<const WeightAssignment> omega,
+                                     std::span<const fault::FaultId> targets,
+                                     std::size_t sequence_length);
+
+}  // namespace wbist::core

@@ -1,0 +1,65 @@
+// Full self-test assembly: the Figure-1 generator, the circuit under test
+// and a MISR composed into ONE autonomous netlist.
+//
+// The assembled chip model has a single input (R, the test-start pulse) and
+// the MISR state bits as outputs. Pulsing R and clocking for
+// session_count x session_length cycles applies every weighted session to
+// the CUT and accumulates the response signature; the test passes if the
+// final signature equals `expected_signature` (computed from the golden
+// software model, and independently checkable against the assembled
+// hardware — the integration tests do exactly that).
+//
+// Capture gating: the CUT powers up in the all-X state, so captures are
+// enabled only from `warmup_cycles` onwards (a comparator on the session /
+// divider counters). The warm-up is derived from the golden simulation:
+// once every CUT flip-flop holds a binary value it stays binary, so a
+// single global warm-up suffices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/generator_hw.h"
+#include "core/misr.h"
+#include "fault/fault_list.h"
+#include "netlist/netlist.h"
+
+namespace wbist::core {
+
+struct SelfTestConfig {
+  unsigned misr_width = 16;
+  /// Extra margin added to the automatically determined warm-up.
+  std::size_t warmup_margin = 0;
+};
+
+struct SelfTestHardware {
+  netlist::Netlist netlist;  ///< PI: "R"; POs: MISR state bits
+  std::size_t session_length = 0;
+  std::size_t session_count = 0;
+  std::size_t warmup_cycles = 0;        ///< captures start at this cycle
+  std::uint32_t expected_signature = 0; ///< golden signature
+  std::vector<netlist::NodeId> misr_state;
+
+  /// CUT fault sites translated into the assembled netlist (same order as
+  /// the fault set passed to assemble_self_test).
+  fault::FaultSet cut_faults;
+
+  /// Active cycles to run after the one-cycle R pulse so the signature is
+  /// latched and readable on the outputs.
+  std::size_t total_cycles() const {
+    return session_length * session_count + 1;
+  }
+};
+
+/// Assemble the self-test chip model for `cut` with the weighted sessions
+/// in `omega`. Throws std::runtime_error if the CUT never produces fully
+/// binary outputs under these sessions (no warm-up exists).
+SelfTestHardware assemble_self_test(const netlist::Netlist& cut,
+                                    const fault::FaultSet& faults,
+                                    std::span<const WeightAssignment> omega,
+                                    std::size_t sequence_length,
+                                    const SelfTestConfig& config = {});
+
+}  // namespace wbist::core

@@ -1,0 +1,72 @@
+#include "core/subsequence.h"
+
+#include <stdexcept>
+
+namespace wbist::core {
+
+using sim::Val3;
+
+Subsequence Subsequence::parse(std::string_view text) {
+  std::vector<bool> bits;
+  bits.reserve(text.size());
+  for (char c : text) {
+    if (c != '0' && c != '1')
+      throw std::invalid_argument("subsequence: bad character in '" +
+                                  std::string(text) + "'");
+    bits.push_back(c == '1');
+  }
+  return Subsequence(std::move(bits));
+}
+
+std::optional<Subsequence> Subsequence::derive(std::span<const Val3> column,
+                                               std::size_t u,
+                                               std::size_t len) {
+  if (len == 0 || len > u + 1 || u >= column.size()) return std::nullopt;
+  std::vector<bool> bits(len);
+  // The window covers len consecutive time units, so each residue mod len
+  // is assigned exactly once.
+  for (std::size_t up = u + 1 - len; up <= u; ++up) {
+    const Val3 v = column[up];
+    if (v == Val3::kX) return std::nullopt;
+    bits[up % len] = v == Val3::kOne;
+  }
+  return Subsequence(std::move(bits));
+}
+
+bool Subsequence::matches_window(std::span<const Val3> column,
+                                 std::size_t u) const {
+  if (empty() || length() > u + 1 || u >= column.size()) return false;
+  for (std::size_t up = u + 1 - length(); up <= u; ++up)
+    if (column[up] != value_at(up)) return false;
+  return true;
+}
+
+std::size_t Subsequence::match_count(std::span<const Val3> column) const {
+  if (empty()) return 0;
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < column.size(); ++u)
+    if (column[u] == value_at(u)) ++count;
+  return count;
+}
+
+Subsequence Subsequence::primitive() const {
+  const std::size_t n = length();
+  for (std::size_t period = 1; period <= n / 2; ++period) {
+    if (n % period != 0) continue;
+    bool ok = true;
+    for (std::size_t k = period; k < n && ok; ++k) ok = bits_[k] == bits_[k - period];
+    if (ok)
+      return Subsequence(std::vector<bool>(bits_.begin(),
+                                           bits_.begin() + static_cast<std::ptrdiff_t>(period)));
+  }
+  return *this;
+}
+
+std::string Subsequence::str() const {
+  std::string s;
+  s.reserve(length());
+  for (bool b : bits_) s += b ? '1' : '0';
+  return s;
+}
+
+}  // namespace wbist::core

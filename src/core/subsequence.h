@@ -1,0 +1,82 @@
+// Subsequence weights — the paper's generalization of the 3-weight scheme.
+//
+// A weight is a finite binary subsequence α; assigning it to input i means
+// driving i with the periodic sequence α^r = αα…α, where α^r(u) = α(u mod
+// |α|). The classic weights 0 and 1 are the length-1 subsequences; longer
+// subsequences reproduce windows of a deterministic test sequence exactly
+// (Sections 2–3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/logic.h"
+
+namespace wbist::core {
+
+class Subsequence {
+ public:
+  Subsequence() = default;
+
+  /// From bits, index 0 first: Subsequence({false, true}) is "01".
+  explicit Subsequence(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  /// From text, e.g. Subsequence::parse("100").
+  static Subsequence parse(std::string_view text);
+
+  /// Derive the subsequence of length `len` whose periodic repetition
+  /// matches `column` (the sequence T_i of one input) on the window of
+  /// `len` time units ending at `u`: α(u' mod len) = T_i(u') for
+  /// u-len+1 <= u' <= u. Requires len >= 1 and len <= u+1 and every window
+  /// value binary; returns std::nullopt otherwise.
+  static std::optional<Subsequence> derive(std::span<const sim::Val3> column,
+                                           std::size_t u, std::size_t len);
+
+  std::size_t length() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+  bool bit(std::size_t k) const { return bits_[k]; }
+
+  /// Value of the periodic expansion α^r at time u.
+  bool at(std::size_t u) const { return bits_[u % bits_.size()]; }
+  sim::Val3 value_at(std::size_t u) const {
+    return at(u) ? sim::Val3::kOne : sim::Val3::kZero;
+  }
+
+  /// True when α^r matches `column` on the whole window of length()
+  /// time units ending at `u` ("perfect match", Section 4.1). X entries in
+  /// the column never match.
+  bool matches_window(std::span<const sim::Val3> column, std::size_t u) const;
+
+  /// n_m of Section 4.1: the number of time units u' in the column where
+  /// α^r(u') equals the column value.
+  std::size_t match_count(std::span<const sim::Val3> column) const;
+
+  /// The shortest β with β^r == α^r (e.g. "0101" -> "01"). Subsequences with
+  /// equal primitive forms generate identical input sequences and share one
+  /// FSM output in hardware.
+  Subsequence primitive() const;
+
+  /// "001"-style text.
+  std::string str() const;
+
+  friend bool operator==(const Subsequence&, const Subsequence&) = default;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+struct SubsequenceHash {
+  std::size_t operator()(const Subsequence& s) const {
+    std::size_t h = 0x9e3779b97f4a7c15ULL ^ s.length();
+    for (std::size_t k = 0; k < s.length(); ++k)
+      h = h * 1099511628211ULL + static_cast<std::size_t>(s.bit(k)) + 1;
+    return h;
+  }
+};
+
+}  // namespace wbist::core

@@ -1,0 +1,149 @@
+#include "core/three_weight_baseline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/generator_hw.h"
+
+namespace wbist::core {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using sim::TestSequence;
+using sim::Val3;
+
+TestSequence ThreeWeightAssignment::expand(const Lfsr& lfsr,
+                                           std::size_t session,
+                                           std::size_t length) const {
+  Lfsr runner = lfsr;
+  runner.reset();
+  for (std::size_t t = 0; t < session * length; ++t) runner.step();
+
+  TestSequence seq(length, per_input.size());
+  for (std::size_t u = 0; u < length; ++u) {
+    for (std::size_t i = 0; i < per_input.size(); ++i) {
+      switch (per_input[i]) {
+        case ThreeWeight::kZero:
+          seq.set(u, i, Val3::kZero);
+          break;
+        case ThreeWeight::kOne:
+          seq.set(u, i, Val3::kOne);
+          break;
+        case ThreeWeight::kRandom:
+          seq.set(u, i,
+                  runner.bit(lfsr_tap_for_input(lfsr, i)) ? Val3::kOne
+                                                          : Val3::kZero);
+          break;
+      }
+    }
+    runner.step();
+  }
+  return seq;
+}
+
+std::string ThreeWeightAssignment::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < per_input.size(); ++i) {
+    if (i != 0) out += " / ";
+    switch (per_input[i]) {
+      case ThreeWeight::kZero: out += "0"; break;
+      case ThreeWeight::kOne: out += "1"; break;
+      case ThreeWeight::kRandom: out += "R"; break;
+    }
+  }
+  return out;
+}
+
+ThreeWeightAssignment intersect_window(const TestSequence& T, std::size_t u,
+                                       std::size_t window) {
+  if (u >= T.length())
+    throw std::invalid_argument("three_weight: window end out of range");
+  const std::size_t begin = u + 1 >= window ? u + 1 - window : 0;
+
+  ThreeWeightAssignment w;
+  w.per_input.resize(T.width(), ThreeWeight::kRandom);
+  for (std::size_t i = 0; i < T.width(); ++i) {
+    bool all_zero = true;
+    bool all_one = true;
+    for (std::size_t t = begin; t <= u; ++t) {
+      const Val3 v = T.at(t, i);
+      all_zero &= v == Val3::kZero;
+      all_one &= v == Val3::kOne;
+    }
+    if (all_zero)
+      w.per_input[i] = ThreeWeight::kZero;
+    else if (all_one)
+      w.per_input[i] = ThreeWeight::kOne;
+  }
+  return w;
+}
+
+ThreeWeightResult run_three_weight_baseline(
+    const fault::FaultSimulator& sim, const TestSequence& T,
+    std::span<const std::int32_t> detection_time,
+    const ThreeWeightConfig& config) {
+  if (detection_time.size() != sim.fault_set().size())
+    throw std::invalid_argument(
+        "three_weight: detection_time not aligned with fault set");
+
+  const Lfsr lfsr(config.lfsr_width);
+  ThreeWeightResult result;
+
+  std::vector<FaultId> remaining;
+  for (FaultId f = 0; f < detection_time.size(); ++f)
+    if (detection_time[f] != DetectionResult::kUndetected)
+      remaining.push_back(f);
+  result.target_count = remaining.size();
+
+  std::size_t session = 0;
+  std::vector<ThreeWeightAssignment> tried;
+  while (!remaining.empty()) {
+    // Hardest remaining fault first, exactly like the proposed procedure.
+    FaultId target = remaining.front();
+    for (const FaultId f : remaining)
+      if (detection_time[f] > detection_time[target]) target = f;
+    const auto u = static_cast<std::size_t>(detection_time[target]);
+
+    bool target_detected = false;
+    for (std::size_t attempt = 0;
+         attempt < config.attempts_per_fault && !target_detected; ++attempt) {
+      // Shrinking windows: the first attempt intersects the configured
+      // window; later attempts halve it (fewer constants, more randomness).
+      const std::size_t window =
+          std::max<std::size_t>(1, config.window >> attempt);
+      const ThreeWeightAssignment w = intersect_window(T, u, window);
+      if (std::find(tried.begin(), tried.end(), w) != tried.end()) continue;
+      tried.push_back(w);
+
+      const TestSequence tg =
+          w.expand(lfsr, session++, config.sequence_length);
+      const DetectionResult det = sim.run(tg, remaining);
+      if (det.detected_count == 0) continue;
+
+      result.assignments.push_back(w);
+      result.detected_count += det.detected_count;
+      std::vector<FaultId> still;
+      still.reserve(remaining.size() - det.detected_count);
+      for (std::size_t k = 0; k < remaining.size(); ++k) {
+        if (det.detected(k)) {
+          if (remaining[k] == target) target_detected = true;
+        } else {
+          still.push_back(remaining[k]);
+        }
+      }
+      remaining = std::move(still);
+    }
+
+    if (!target_detected) {
+      // The baseline cannot reach this fault: constant-or-random inputs do
+      // not reproduce the required subsequences. Drop it as abandoned.
+      const auto it = std::find(remaining.begin(), remaining.end(), target);
+      if (it != remaining.end()) remaining.erase(it);
+      ++result.abandoned_count;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace wbist::core

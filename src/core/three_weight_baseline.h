@@ -1,0 +1,80 @@
+// The classic 3-weight scheme of [10] (Pomeranz & Reddy, TCAD 1993),
+// adapted to sequential circuits as the baseline the paper argues against.
+//
+// A weight assignment gives every primary input one of {0, 0.5, 1}: held
+// constant at 0, held constant at 1, or driven pseudo-randomly, for a whole
+// session of L_G cycles. Assignments are derived from the deterministic
+// sequence T by *intersecting* the input vectors in a window ending at a
+// target fault's detection time: a column that is constant over the window
+// becomes weight 0 or 1, a changing column becomes 0.5.
+//
+// The paper's point (Section 1): for sequential circuits, constant-or-random
+// inputs cannot reproduce the input *subsequences* needed to walk the state
+// space, so this baseline plateaus below 100% fault efficiency — which the
+// baseline benches demonstrate against the subsequence scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/lfsr.h"
+#include "fault/fault_sim.h"
+#include "sim/sequence.h"
+
+namespace wbist::core {
+
+enum class ThreeWeight : std::uint8_t { kZero, kOne, kRandom };
+
+struct ThreeWeightAssignment {
+  std::vector<ThreeWeight> per_input;
+
+  /// Expand into a session sequence: constants held, random inputs driven
+  /// from `lfsr` streams offset by `session` sessions (one continuous
+  /// stream, as in the hardware).
+  sim::TestSequence expand(const Lfsr& lfsr, std::size_t session,
+                           std::size_t length) const;
+
+  /// "0 / R / 1 / R" display form.
+  std::string str() const;
+
+  friend bool operator==(const ThreeWeightAssignment&,
+                         const ThreeWeightAssignment&) = default;
+};
+
+/// Intersect the input vectors of T over the window of `window` time units
+/// ending at `u` (clamped to the start of T): constant columns become fixed
+/// weights, changing or unknown columns become 0.5.
+ThreeWeightAssignment intersect_window(const sim::TestSequence& T,
+                                       std::size_t u, std::size_t window);
+
+struct ThreeWeightConfig {
+  std::size_t sequence_length = 2000;  ///< L_G per assignment
+  std::size_t window = 16;             ///< intersection window
+  unsigned lfsr_width = 16;
+  /// Give up on a target fault after this many fruitless assignments.
+  std::size_t attempts_per_fault = 3;
+};
+
+struct ThreeWeightResult {
+  std::vector<ThreeWeightAssignment> assignments;  ///< useful ones only
+  std::size_t target_count = 0;
+  std::size_t detected_count = 0;
+  std::size_t abandoned_count = 0;  ///< targets the baseline cannot reach
+
+  double fault_efficiency() const {
+    return target_count == 0 ? 1.0
+                             : static_cast<double>(detected_count) /
+                                   static_cast<double>(target_count);
+  }
+};
+
+/// Run the baseline: intersect windows around undetected faults' detection
+/// times (hardest first), simulate, drop, repeat.
+ThreeWeightResult run_three_weight_baseline(
+    const fault::FaultSimulator& sim, const sim::TestSequence& T,
+    std::span<const std::int32_t> detection_time,
+    const ThreeWeightConfig& config = {});
+
+}  // namespace wbist::core

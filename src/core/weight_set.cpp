@@ -1,0 +1,49 @@
+#include "core/weight_set.h"
+
+#include <stdexcept>
+
+namespace wbist::core {
+
+std::size_t WeightSet::add(Subsequence s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const std::size_t j = items_.size();
+  index_.emplace(s, j);
+  items_.push_back(std::move(s));
+  return j;
+}
+
+std::size_t WeightSet::index_of(const Subsequence& s) const {
+  const auto it = index_.find(s);
+  if (it == index_.end())
+    throw std::out_of_range("weight_set: subsequence not in S");
+  return it->second;
+}
+
+std::size_t WeightSet::extend(const sim::TestSequence& T, std::size_t u,
+                              std::size_t len) {
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < T.width(); ++i) {
+    const std::vector<sim::Val3> column = T.column(i);
+    const auto alpha = Subsequence::derive(column, u, len);
+    if (!alpha) continue;
+    const std::size_t before = items_.size();
+    add(*alpha);
+    if (items_.size() != before) ++added;
+  }
+  return added;
+}
+
+WeightSet WeightSet::all_up_to(std::size_t max_len) {
+  WeightSet set;
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    for (std::uint64_t code = 0; code < (std::uint64_t{1} << len); ++code) {
+      std::vector<bool> bits(len);
+      for (std::size_t k = 0; k < len; ++k) bits[k] = ((code >> k) & 1) != 0;
+      set.add(Subsequence(std::move(bits)));
+    }
+  }
+  return set;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,50 @@
+// The weight set S of Section 3: an ordered, duplicate-free collection of
+// subsequences from which weight assignments are constructed.
+//
+// Order matters: the paper indexes S (Table 4) and keeps repetition-
+// equivalent subsequences (e.g. "0" and "00") as distinct members, merging
+// them only when FSMs are synthesized. This container preserves both
+// behaviours.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/subsequence.h"
+#include "sim/sequence.h"
+
+namespace wbist::core {
+
+class WeightSet {
+ public:
+  /// Insert if new; returns the index of the subsequence in S either way.
+  std::size_t add(Subsequence s);
+
+  bool contains(const Subsequence& s) const { return index_.count(s) != 0; }
+  std::size_t size() const { return items_.size(); }
+  const Subsequence& operator[](std::size_t j) const { return items_[j]; }
+  std::span<const Subsequence> items() const { return items_; }
+
+  /// Index of `s` in S; throws std::out_of_range if absent.
+  std::size_t index_of(const Subsequence& s) const;
+
+  /// Section 3 extension step: for every input i of T, derive the length-
+  /// `len` subsequence reproducing T_i on the window ending at detection
+  /// time `u`, and insert it. Returns the number of new members. Window
+  /// positions holding X are skipped (no subsequence derived for that input).
+  std::size_t extend(const sim::TestSequence& T, std::size_t u,
+                     std::size_t len);
+
+  /// The complete set of subsequences of length 1..max_len in the paper's
+  /// Table 4 order (lengths ascending; within a length, α(0) is the least
+  /// significant bit of an ascending counter).
+  static WeightSet all_up_to(std::size_t max_len);
+
+ private:
+  std::vector<Subsequence> items_;
+  std::unordered_map<Subsequence, std::size_t, SubsequenceHash> index_;
+};
+
+}  // namespace wbist::core

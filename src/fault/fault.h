@@ -1,0 +1,44 @@
+// Single stuck-at fault model on gate-level lines.
+//
+// Fault sites follow the classic stem/branch line model:
+//   - a *stem* fault sits on the output of a node (pin == kStemPin);
+//   - a *branch* fault sits on one input pin of a gate, i.e. on the branch of
+//     a fanout stem feeding that pin (pin == fanin index). Branch faults are
+//     only distinct sites when the driving stem has fanout > 1.
+// A fault on the D pin of a flip-flop is a branch fault with pin 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace wbist::fault {
+
+/// Index of a fault within a FaultSet.
+using FaultId = std::uint32_t;
+
+inline constexpr std::int16_t kStemPin = -1;
+
+struct Fault {
+  netlist::NodeId node = netlist::kNoNode;  ///< gate owning the faulty line
+  std::int16_t pin = kStemPin;              ///< kStemPin or fanin pin index
+  bool stuck_at_one = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// "G11 s-a-1" or "G8<-G14 s-a-0" (branch on the pin fed by G14).
+inline std::string fault_name(const netlist::Netlist& nl, const Fault& f) {
+  std::string s;
+  if (f.pin == kStemPin) {
+    s = nl.node(f.node).name;
+  } else {
+    s = nl.node(f.node).name + "<-" +
+        nl.node(nl.node(f.node).fanin[static_cast<std::size_t>(f.pin)]).name;
+  }
+  s += f.stuck_at_one ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+}  // namespace wbist::fault

@@ -1,0 +1,182 @@
+#include "fault/fault_list.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wbist::fault {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+
+namespace {
+
+/// Key for (node, pin, polarity) -> uncollapsed fault index lookup.
+std::uint64_t fault_key(NodeId node, std::int16_t pin, bool sa1) {
+  return (static_cast<std::uint64_t>(node) << 18) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(pin)) << 1) |
+         static_cast<std::uint64_t>(sa1);
+}
+
+/// The fault site of the line feeding pin `pin` of node `g`: the driver stem
+/// when the driver has a single fanout, otherwise the branch at the pin.
+std::pair<NodeId, std::int16_t> pin_site(const Netlist& nl, NodeId g,
+                                         std::size_t pin) {
+  const NodeId driver = nl.node(g).fanin[pin];
+  if (nl.node(driver).fanout.size() == 1) return {driver, kStemPin};
+  return {g, static_cast<std::int16_t>(pin)};
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Merge, keeping the smaller root (deterministic representatives).
+  void merge(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+std::vector<Fault> enumerate_uncollapsed(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    faults.push_back({id, kStemPin, false});
+    faults.push_back({id, kStemPin, true});
+  }
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::kInput) continue;
+    for (std::size_t pin = 0; pin < n.fanin.size(); ++pin) {
+      if (nl.node(n.fanin[pin]).fanout.size() > 1) {
+        faults.push_back({id, static_cast<std::int16_t>(pin), false});
+        faults.push_back({id, static_cast<std::int16_t>(pin), true});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace
+
+FaultSet FaultSet::uncollapsed(const Netlist& nl) {
+  if (!nl.finalized())
+    throw std::invalid_argument("fault_list: netlist not finalized");
+  FaultSet set;
+  set.faults_ = enumerate_uncollapsed(nl);
+  set.class_sizes_.assign(set.faults_.size(), 1);
+  return set;
+}
+
+FaultSet FaultSet::collapsed(const Netlist& nl) {
+  if (!nl.finalized())
+    throw std::invalid_argument("fault_list: netlist not finalized");
+
+  const std::vector<Fault> all = enumerate_uncollapsed(nl);
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(all.size() * 2);
+  for (std::uint32_t i = 0; i < all.size(); ++i)
+    index.emplace(fault_key(all[i].node, all[i].pin, all[i].stuck_at_one), i);
+
+  const auto idx_of = [&](NodeId node, std::int16_t pin, bool sa1) {
+    return index.at(fault_key(node, pin, sa1));
+  };
+
+  UnionFind uf(all.size());
+  const auto merge_pin_stem = [&](NodeId g, std::size_t pin, bool pin_sa1,
+                                  bool stem_sa1) {
+    const auto [site_node, site_pin] = pin_site(nl, g, pin);
+    uf.merge(idx_of(site_node, site_pin, pin_sa1),
+             idx_of(g, kStemPin, stem_sa1));
+  };
+
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    const std::size_t arity = n.fanin.size();
+    switch (n.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kDff:
+        // No collapsing across the clock boundary: a fault on Q acts from
+        // the unknown initial state, a fault on D only from cycle 1, so the
+        // two are not equivalent under three-valued start-up semantics
+        // (standard tools also keep them separate; s27 -> 32 faults).
+        break;
+      case GateType::kBuf:
+        merge_pin_stem(id, 0, false, false);
+        merge_pin_stem(id, 0, true, true);
+        break;
+      case GateType::kNot:
+        merge_pin_stem(id, 0, false, true);
+        merge_pin_stem(id, 0, true, false);
+        break;
+      case GateType::kAnd:
+        for (std::size_t p = 0; p < arity; ++p) merge_pin_stem(id, p, false, false);
+        if (arity == 1) merge_pin_stem(id, 0, true, true);
+        break;
+      case GateType::kNand:
+        for (std::size_t p = 0; p < arity; ++p) merge_pin_stem(id, p, false, true);
+        if (arity == 1) merge_pin_stem(id, 0, true, false);
+        break;
+      case GateType::kOr:
+        for (std::size_t p = 0; p < arity; ++p) merge_pin_stem(id, p, true, true);
+        if (arity == 1) merge_pin_stem(id, 0, false, false);
+        break;
+      case GateType::kNor:
+        for (std::size_t p = 0; p < arity; ++p) merge_pin_stem(id, p, true, false);
+        if (arity == 1) merge_pin_stem(id, 0, false, true);
+        break;
+      case GateType::kXor:
+      case GateType::kXnor:
+        break;
+    }
+  }
+
+  // Collect one representative (the smallest member index) per class, in
+  // deterministic enumeration order, and count class sizes.
+  std::unordered_map<std::uint32_t, std::uint32_t> rep_to_out;
+  FaultSet set;
+  for (std::uint32_t i = 0; i < all.size(); ++i) {
+    const std::uint32_t root = uf.find(i);
+    const auto [it, inserted] =
+        rep_to_out.emplace(root, static_cast<std::uint32_t>(set.faults_.size()));
+    if (inserted) {
+      set.faults_.push_back(all[root]);
+      set.class_sizes_.push_back(1);
+    } else {
+      ++set.class_sizes_[it->second];
+    }
+  }
+  return set;
+}
+
+FaultSet FaultSet::from_faults(std::vector<Fault> faults) {
+  FaultSet set;
+  set.faults_ = std::move(faults);
+  set.class_sizes_.assign(set.faults_.size(), 1);
+  return set;
+}
+
+std::vector<FaultId> FaultSet::all_ids() const {
+  std::vector<FaultId> ids(size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+}  // namespace wbist::fault

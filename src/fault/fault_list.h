@@ -1,0 +1,57 @@
+// Fault universe construction and structural equivalence collapsing.
+//
+// The uncollapsed universe contains both stuck-at polarities on every stem
+// and on every fanout branch (branches only where the stem has fanout > 1),
+// which is the standard line-oriented fault universe for ISCAS circuits
+// (s27: 52 uncollapsed faults).
+//
+// Equivalence collapsing merges faults that produce identical faulty
+// behaviour using the classic gate rules:
+//   AND : input s-a-0 == output s-a-0      NAND: input s-a-0 == output s-a-1
+//   OR  : input s-a-1 == output s-a-1      NOR : input s-a-1 == output s-a-0
+//   NOT : input s-a-v == output s-a-v'     BUF : input s-a-v == output s-a-v
+//   XOR / XNOR: no equivalences
+// Flip-flops are NOT collapsed through: under three-valued start-up
+// semantics a stuck Q acts from the unknown initial state while a stuck D
+// acts only from cycle 1. With these rules s27 collapses to the paper's 32
+// faults (f0..f31).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace wbist::fault {
+
+/// A collapsed fault universe for one circuit.
+class FaultSet {
+ public:
+  /// Build the collapsed fault set for `nl` (must be finalized).
+  static FaultSet collapsed(const netlist::Netlist& nl);
+
+  /// Build the raw, uncollapsed fault set (mainly for tests / reference).
+  static FaultSet uncollapsed(const netlist::Netlist& nl);
+
+  /// Wrap an explicit fault list (class sizes all 1). Used when fault sites
+  /// are translated into a composed netlist (see netlist/compose.h).
+  static FaultSet from_faults(std::vector<Fault> faults);
+
+  std::span<const Fault> faults() const { return faults_; }
+  std::size_t size() const { return faults_.size(); }
+  const Fault& operator[](FaultId id) const { return faults_[id]; }
+
+  /// For collapsed sets: the number of faults in the uncollapsed universe
+  /// represented by fault `id` (>= 1). For uncollapsed sets, always 1.
+  std::size_t class_size(FaultId id) const { return class_sizes_[id]; }
+
+  /// All fault ids, 0..size-1 (convenience for simulator calls).
+  std::vector<FaultId> all_ids() const;
+
+ private:
+  std::vector<Fault> faults_;
+  std::vector<std::size_t> class_sizes_;
+};
+
+}  // namespace wbist::fault

@@ -1,0 +1,483 @@
+#include "fault/fault_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/good_sim.h"
+
+namespace wbist::fault {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using sim::broadcast;
+using sim::TestSequence;
+using sim::Val3;
+using sim::Word3;
+
+namespace {
+
+struct Injection {
+  NodeId node;
+  std::int16_t pin;  // kStemPin for output-stem injection
+  bool sa1;
+  std::uint64_t mask;
+};
+
+}  // namespace
+
+/// One word of up to 64 faulty machines simulated together.
+struct FaultSimulator::Group {
+  std::array<FaultId, 64> ids{};
+  std::array<std::uint32_t, 64> result_index{};  // lane -> position in `ids` span
+  unsigned count = 0;
+  std::uint64_t active = 0;
+
+  std::vector<Injection> source;  // PI / DFF-output stem faults
+  std::vector<Injection> latch;   // DFF D-pin faults
+  std::vector<Injection> gate;    // logic-gate stem and pin faults
+};
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults)
+    : nl_(&nl), faults_(&faults) {
+  if (!nl.finalized())
+    throw std::invalid_argument("fault_sim: netlist not finalized");
+  gates_.reserve(nl.eval_order().size());
+  for (NodeId id : nl.eval_order()) {
+    const Node& n = nl.node(id);
+    gates_.push_back({id, n.type, static_cast<std::uint32_t>(flat_fanin_.size()),
+                      static_cast<std::uint32_t>(n.fanin.size())});
+    flat_fanin_.insert(flat_fanin_.end(), n.fanin.begin(), n.fanin.end());
+  }
+  ff_index_.assign(nl.node_count(), 0);
+  const auto ffs = nl.flip_flops();
+  for (std::uint32_t i = 0; i < ffs.size(); ++i) ff_index_[ffs[i]] = i;
+}
+
+std::vector<FaultSimulator::Group> FaultSimulator::pack_groups(
+    std::span<const FaultId> ids) const {
+  std::vector<Group> groups;
+  groups.reserve((ids.size() + 63) / 64);
+  for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+    if (pos % 64 == 0) groups.emplace_back();
+    Group& g = groups.back();
+    const unsigned lane = g.count++;
+    g.ids[lane] = ids[pos];
+    g.result_index[lane] = static_cast<std::uint32_t>(pos);
+    g.active |= std::uint64_t{1} << lane;
+
+    const Fault& f = (*faults_)[ids[pos]];
+    const Node& n = nl_->node(f.node);
+    const Injection inj{f.node, f.pin, f.stuck_at_one, std::uint64_t{1} << lane};
+    if (f.pin == kStemPin) {
+      if (n.type == GateType::kInput || n.type == GateType::kDff)
+        g.source.push_back(inj);
+      else
+        g.gate.push_back(inj);
+    } else {
+      if (n.type == GateType::kDff)
+        g.latch.push_back(inj);
+      else
+        g.gate.push_back(inj);
+    }
+  }
+  return groups;
+}
+
+namespace {
+
+/// Scratch per-node chain of gate injections for the group being simulated.
+/// head_[node] is an index into links_, or -1. Building and tearing down
+/// touches only the injected nodes, so reuse across groups is O(#injections).
+class InjectionIndex {
+ public:
+  explicit InjectionIndex(std::size_t node_count) : head_(node_count, -1) {}
+
+  void attach(const std::vector<Injection>& injections) {
+    for (const Injection& inj : injections) {
+      links_.push_back({inj, head_[inj.node]});
+      head_[inj.node] = static_cast<std::int32_t>(links_.size()) - 1;
+      touched_.push_back(inj.node);
+    }
+  }
+
+  void detach() {
+    for (NodeId n : touched_) head_[n] = -1;
+    touched_.clear();
+    links_.clear();
+  }
+
+  std::int32_t head(NodeId node) const { return head_[node]; }
+  const Injection& injection(std::int32_t link) const {
+    return links_[static_cast<std::size_t>(link)].first;
+  }
+  std::int32_t next(std::int32_t link) const {
+    return links_[static_cast<std::size_t>(link)].second;
+  }
+
+ private:
+  std::vector<std::int32_t> head_;
+  std::vector<std::pair<Injection, std::int32_t>> links_;
+  std::vector<NodeId> touched_;
+};
+
+Word3 fold(GateType type, std::span<const Word3> in) {
+  return sim::eval_gate(type, in);
+}
+
+}  // namespace
+
+DetectionResult FaultSimulator::run(const TestSequence& seq,
+                                    std::span<const FaultId> ids,
+                                    const FaultSimOptions& options) const {
+  const auto pis = nl_->primary_inputs();
+  DetectionResult result;
+  result.detection_time.assign(ids.size(), DetectionResult::kUndetected);
+  if (ids.empty() || seq.length() == 0) return result;
+  if (seq.width() != pis.size())
+    throw std::invalid_argument("fault_sim: sequence width != #inputs");
+
+  const std::size_t length = std::min(seq.length(), options.max_time_units);
+
+  // Observed lines: primary outputs plus caller-provided observation points.
+  std::vector<NodeId> observed(nl_->primary_outputs().begin(),
+                               nl_->primary_outputs().end());
+  observed.insert(observed.end(), options.observation_points.begin(),
+                  options.observation_points.end());
+
+  // One pass of the good machine; record input words and the good values of
+  // every observed line per time unit.
+  std::vector<Word3> pi_words(length * pis.size());
+  std::vector<Word3> good_obs(length * observed.size());
+  {
+    sim::GoodSimulator good(*nl_);
+    for (std::size_t u = 0; u < length; ++u) {
+      good.step(seq.row(u));
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
+      const auto raw = good.raw_values();
+      for (std::size_t k = 0; k < observed.size(); ++k)
+        good_obs[u * observed.size() + k] = raw[observed[k]];
+    }
+  }
+
+  std::vector<Group> groups = pack_groups(ids);
+  const auto ffs = nl_->flip_flops();
+
+  std::vector<Word3> vals(nl_->node_count());
+  std::vector<Word3> state(ffs.size());
+  std::vector<Word3> next_state(ffs.size());
+  std::vector<Word3> fanin_buf;
+  InjectionIndex inj_index(nl_->node_count());
+
+  for (Group& group : groups) {
+    inj_index.attach(group.gate);
+    for (Word3& w : state) w = broadcast(Val3::kX);
+
+    for (std::size_t u = 0; u < length && group.active != 0; ++u) {
+      // Load sources and apply source (PI / DFF output) stem faults.
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        vals[pis[i]] = pi_words[u * pis.size() + i];
+      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+      for (const Injection& inj : group.source)
+        vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+
+      // Combinational core in topological order.
+      for (const GateRec& g : gates_) {
+        const std::span<const NodeId> fanin{flat_fanin_.data() + g.fanin_begin,
+                                            g.fanin_count};
+        const std::int32_t head = inj_index.head(g.id);
+        Word3 out;
+        if (head < 0) [[likely]] {
+          switch (g.type) {
+            case GateType::kBuf:
+              out = vals[fanin[0]];
+              break;
+            case GateType::kNot:
+              out = sim::not3(vals[fanin[0]]);
+              break;
+            case GateType::kAnd:
+            case GateType::kNand: {
+              Word3 acc = vals[fanin[0]];
+              for (std::size_t k = 1; k < fanin.size(); ++k)
+                acc = sim::and3(acc, vals[fanin[k]]);
+              out = g.type == GateType::kNand ? sim::not3(acc) : acc;
+              break;
+            }
+            case GateType::kOr:
+            case GateType::kNor: {
+              Word3 acc = vals[fanin[0]];
+              for (std::size_t k = 1; k < fanin.size(); ++k)
+                acc = sim::or3(acc, vals[fanin[k]]);
+              out = g.type == GateType::kNor ? sim::not3(acc) : acc;
+              break;
+            }
+            default: {
+              Word3 acc = vals[fanin[0]];
+              for (std::size_t k = 1; k < fanin.size(); ++k)
+                acc = sim::xor3(acc, vals[fanin[k]]);
+              out = g.type == GateType::kXnor ? sim::not3(acc) : acc;
+              break;
+            }
+          }
+        } else {
+          // Slow path: apply pin injections on a copy of the fanin values,
+          // then stem injections on the gate output.
+          fanin_buf.assign(fanin.size(), Word3{});
+          for (std::size_t k = 0; k < fanin.size(); ++k)
+            fanin_buf[k] = vals[fanin[k]];
+          for (std::int32_t link = head; link >= 0;
+               link = inj_index.next(link)) {
+            const Injection& inj = inj_index.injection(link);
+            if (inj.pin != kStemPin)
+              fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
+                  fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask,
+                  inj.sa1);
+          }
+          out = fold(g.type, fanin_buf);
+          for (std::int32_t link = head; link >= 0;
+               link = inj_index.next(link)) {
+            const Injection& inj = inj_index.injection(link);
+            if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
+          }
+        }
+        vals[g.id] = out;
+      }
+
+      // Detection at observed lines.
+      std::uint64_t detected = 0;
+      for (std::size_t k = 0; k < observed.size(); ++k) {
+        const Word3 g = good_obs[u * observed.size() + k];
+        const Word3 f = vals[observed[k]];
+        detected |= (f.one ^ f.zero) & (g.one ^ g.zero) & (f.one ^ g.one);
+      }
+      detected &= group.active;
+      while (detected != 0) {
+        const unsigned lane = static_cast<unsigned>(std::countr_zero(detected));
+        detected &= detected - 1;
+        group.active &= ~(std::uint64_t{1} << lane);
+        result.detection_time[group.result_index[lane]] =
+            static_cast<std::int32_t>(u);
+        ++result.detected_count;
+      }
+      if (group.active == 0) break;
+
+      // Latch flip-flops, applying D-pin faults.
+      for (std::size_t i = 0; i < ffs.size(); ++i)
+        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+      for (const Injection& inj : group.latch)
+        next_state[ff_index_[inj.node]] =
+            sim::force(next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+      state.swap(next_state);
+    }
+
+    inj_index.detach();
+  }
+  return result;
+}
+
+DetectionResult FaultSimulator::run_all(const TestSequence& seq,
+                                        const FaultSimOptions& options) const {
+  const std::vector<FaultId> ids = faults_->all_ids();
+  return run(seq, ids, options);
+}
+
+std::vector<std::vector<Val3>> FaultSimulator::observe_final(
+    const TestSequence& seq, std::span<const FaultId> ids,
+    std::span<const NodeId> nodes) const {
+  const auto pis = nl_->primary_inputs();
+  std::vector<std::vector<Val3>> result(
+      ids.size(), std::vector<Val3>(nodes.size(), Val3::kX));
+  if (ids.empty() || seq.length() == 0) return result;
+  if (seq.width() != pis.size())
+    throw std::invalid_argument("fault_sim: sequence width != #inputs");
+
+  std::vector<Group> groups = pack_groups(ids);
+  const auto ffs = nl_->flip_flops();
+
+  std::vector<Word3> pi_words(seq.length() * pis.size());
+  for (std::size_t u = 0; u < seq.length(); ++u)
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
+
+  std::vector<Word3> vals(nl_->node_count());
+  std::vector<Word3> state(ffs.size());
+  std::vector<Word3> next_state(ffs.size());
+  std::vector<Word3> fanin_buf;
+  InjectionIndex inj_index(nl_->node_count());
+
+  for (Group& group : groups) {
+    inj_index.attach(group.gate);
+    for (Word3& w : state) w = broadcast(Val3::kX);
+
+    for (std::size_t u = 0; u < seq.length(); ++u) {
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        vals[pis[i]] = pi_words[u * pis.size() + i];
+      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+      for (const Injection& inj : group.source)
+        vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+
+      for (const GateRec& g : gates_) {
+        const std::span<const NodeId> fanin{flat_fanin_.data() + g.fanin_begin,
+                                            g.fanin_count};
+        const std::int32_t head = inj_index.head(g.id);
+        fanin_buf.resize(fanin.size());
+        for (std::size_t k = 0; k < fanin.size(); ++k)
+          fanin_buf[k] = vals[fanin[k]];
+        if (head >= 0) {
+          for (std::int32_t link = head; link >= 0;
+               link = inj_index.next(link)) {
+            const Injection& inj = inj_index.injection(link);
+            if (inj.pin != kStemPin)
+              fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
+                  fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask,
+                  inj.sa1);
+          }
+        }
+        Word3 out = fold(g.type, fanin_buf);
+        if (head >= 0) {
+          for (std::int32_t link = head; link >= 0;
+               link = inj_index.next(link)) {
+            const Injection& inj = inj_index.injection(link);
+            if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
+          }
+        }
+        vals[g.id] = out;
+      }
+
+      if (u + 1 == seq.length()) {
+        for (unsigned lane = 0; lane < group.count; ++lane)
+          for (std::size_t n = 0; n < nodes.size(); ++n)
+            result[group.result_index[lane]][n] =
+                sim::lane(vals[nodes[n]], lane);
+        break;
+      }
+
+      for (std::size_t i = 0; i < ffs.size(); ++i)
+        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+      for (const Injection& inj : group.latch)
+        next_state[ff_index_[inj.node]] =
+            sim::force(next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+      state.swap(next_state);
+    }
+
+    inj_index.detach();
+  }
+  return result;
+}
+
+std::vector<std::vector<NodeId>> FaultSimulator::observable_lines(
+    const TestSequence& seq, std::span<const FaultId> ids) const {
+  const auto pis = nl_->primary_inputs();
+  if (seq.width() != pis.size())
+    throw std::invalid_argument("fault_sim: sequence width != #inputs");
+
+  std::vector<std::vector<NodeId>> result(ids.size());
+  if (ids.empty() || seq.length() == 0) return result;
+
+  const std::size_t node_count = nl_->node_count();
+  std::vector<Group> groups = pack_groups(ids);
+  const auto ffs = nl_->flip_flops();
+
+  // Per-group persistent faulty state (time is the outer loop here because
+  // the good machine's full value vector is needed each cycle).
+  std::vector<std::vector<Word3>> group_state(
+      groups.size(), std::vector<Word3>(ffs.size(), broadcast(Val3::kX)));
+
+  std::vector<std::uint8_t> seen(ids.size() * node_count, 0);
+
+  sim::GoodSimulator good(*nl_);
+  std::vector<Word3> vals(node_count);
+  std::vector<Word3> next_state(ffs.size());
+  std::vector<Word3> fanin_buf;
+  InjectionIndex inj_index(node_count);
+
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    good.step(seq.row(u));
+    const auto good_vals = good.raw_values();
+
+    std::vector<Word3> pi_words(pis.size());
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      pi_words[i] = broadcast(seq.at(u, i));
+
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      Group& group = groups[gi];
+      std::vector<Word3>& state = group_state[gi];
+
+      inj_index.attach(group.gate);
+      for (std::size_t i = 0; i < pis.size(); ++i) vals[pis[i]] = pi_words[i];
+      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+      for (const Injection& inj : group.source)
+        vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+
+      for (const GateRec& g : gates_) {
+        const std::span<const NodeId> fanin{flat_fanin_.data() + g.fanin_begin,
+                                            g.fanin_count};
+        const std::int32_t head = inj_index.head(g.id);
+        if (head < 0) {
+          fanin_buf.resize(fanin.size());
+          for (std::size_t k = 0; k < fanin.size(); ++k)
+            fanin_buf[k] = vals[fanin[k]];
+          vals[g.id] = fold(g.type, fanin_buf);
+        } else {
+          fanin_buf.resize(fanin.size());
+          for (std::size_t k = 0; k < fanin.size(); ++k)
+            fanin_buf[k] = vals[fanin[k]];
+          for (std::int32_t link = head; link >= 0;
+               link = inj_index.next(link)) {
+            const Injection& inj = inj_index.injection(link);
+            if (inj.pin != kStemPin)
+              fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
+                  fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask,
+                  inj.sa1);
+          }
+          Word3 out = fold(g.type, fanin_buf);
+          for (std::int32_t link = head; link >= 0;
+               link = inj_index.next(link)) {
+            const Injection& inj = inj_index.injection(link);
+            if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
+          }
+          vals[g.id] = out;
+        }
+      }
+
+      // Record every line where some lane's faulty value provably differs
+      // from the good value.
+      for (NodeId node = 0; node < node_count; ++node) {
+        const Word3 gv = good_vals[node];
+        const Word3 fv = vals[node];
+        std::uint64_t diff =
+            (fv.one ^ fv.zero) & (gv.one ^ gv.zero) & (fv.one ^ gv.one);
+        diff &= group.active;
+        while (diff != 0) {
+          const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+          diff &= diff - 1;
+          const std::uint32_t ri = group.result_index[lane];
+          std::uint8_t& flag = seen[static_cast<std::size_t>(ri) * node_count +
+                                    node];
+          if (flag == 0) {
+            flag = 1;
+            result[ri].push_back(node);
+          }
+        }
+      }
+
+      for (std::size_t i = 0; i < ffs.size(); ++i)
+        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+      for (const Injection& inj : group.latch)
+        next_state[ff_index_[inj.node]] =
+            sim::force(next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+      state.swap(next_state);
+
+      inj_index.detach();
+    }
+  }
+
+  for (auto& lines : result) std::sort(lines.begin(), lines.end());
+  return result;
+}
+
+}  // namespace wbist::fault

@@ -1,0 +1,225 @@
+#include "fault/transition.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/good_sim.h"
+
+namespace wbist::fault {
+
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using sim::broadcast;
+using sim::TestSequence;
+using sim::Val3;
+using sim::Word3;
+
+TransitionFaultSet TransitionFaultSet::all(const Netlist& nl) {
+  if (!nl.finalized())
+    throw std::invalid_argument("transition: netlist not finalized");
+  TransitionFaultSet set;
+  set.faults_.reserve(nl.node_count() * 2);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    set.faults_.push_back({id, true});
+    set.faults_.push_back({id, false});
+  }
+  return set;
+}
+
+std::vector<FaultId> TransitionFaultSet::all_ids() const {
+  std::vector<FaultId> ids(size());
+  for (FaultId id = 0; id < size(); ++id) ids[id] = id;
+  return ids;
+}
+
+TransitionFaultSimulator::TransitionFaultSimulator(
+    const Netlist& nl, const TransitionFaultSet& faults)
+    : nl_(&nl), faults_(&faults) {
+  if (!nl.finalized())
+    throw std::invalid_argument("transition: netlist not finalized");
+}
+
+namespace {
+
+/// Lane masks of the transition faults one group holds at one node.
+struct SiteMasks {
+  std::uint64_t rise = 0;  ///< slow-to-rise lanes
+  std::uint64_t fall = 0;  ///< slow-to-fall lanes
+};
+
+struct Group {
+  std::array<FaultId, 64> ids{};
+  std::array<std::uint32_t, 64> result_index{};
+  unsigned count = 0;
+  std::uint64_t active = 0;
+  std::vector<std::pair<NodeId, SiteMasks>> sites;  ///< per faulty node
+};
+
+inline Word3 splice(const Word3& keep, const Word3& take,
+                    std::uint64_t mask) {
+  return {(keep.one & ~mask) | (take.one & mask),
+          (keep.zero & ~mask) | (take.zero & mask)};
+}
+
+/// Apply the one-cycle-late transition semantics at one fault site:
+/// transforms vals[node] for the faulty lanes and refreshes their memory of
+/// the line's computed value.
+inline void apply_site(Word3& value, Word3& prev, const SiteMasks& m) {
+  const Word3 computed = value;
+  const std::uint64_t lanes = m.rise | m.fall;
+  const Word3 delayed_rise = sim::and3(computed, prev);
+  const Word3 delayed_fall = sim::or3(computed, prev);
+  Word3 out = splice(computed, delayed_rise, m.rise);
+  out = splice(out, delayed_fall, m.fall);
+  value = out;
+  prev = splice(prev, computed, lanes);
+}
+
+}  // namespace
+
+DetectionResult TransitionFaultSimulator::run(
+    const TestSequence& seq, std::span<const FaultId> ids) const {
+  const auto pis = nl_->primary_inputs();
+  DetectionResult result;
+  result.detection_time.assign(ids.size(), DetectionResult::kUndetected);
+  if (ids.empty() || seq.length() == 0) return result;
+  if (seq.width() != pis.size())
+    throw std::invalid_argument("transition: sequence width != #inputs");
+
+  // Pack groups; collect the per-node lane masks.
+  std::vector<Group> groups;
+  for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+    if (pos % 64 == 0) groups.emplace_back();
+    Group& g = groups.back();
+    const unsigned lane = g.count++;
+    g.ids[lane] = ids[pos];
+    g.result_index[lane] = static_cast<std::uint32_t>(pos);
+    g.active |= std::uint64_t{1} << lane;
+    const TransitionFault& f = (*faults_)[ids[pos]];
+    auto it = std::find_if(g.sites.begin(), g.sites.end(),
+                           [&f](const auto& s) { return s.first == f.node; });
+    if (it == g.sites.end()) {
+      g.sites.push_back({f.node, {}});
+      it = g.sites.end() - 1;
+    }
+    (f.slow_to_rise ? it->second.rise : it->second.fall) |=
+        std::uint64_t{1} << lane;
+  }
+
+  const std::size_t length = seq.length();
+
+  // Good machine pass: input words + good values at the observed outputs.
+  const auto pos_out = nl_->primary_outputs();
+  std::vector<Word3> pi_words(length * pis.size());
+  std::vector<Word3> good_obs(length * pos_out.size());
+  {
+    sim::GoodSimulator good(*nl_);
+    for (std::size_t u = 0; u < length; ++u) {
+      good.step(seq.row(u));
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
+      const auto raw = good.raw_values();
+      for (std::size_t k = 0; k < pos_out.size(); ++k)
+        good_obs[u * pos_out.size() + k] = raw[pos_out[k]];
+    }
+  }
+
+  const auto ffs = nl_->flip_flops();
+  std::vector<Word3> vals(nl_->node_count());
+  std::vector<Word3> state(ffs.size());
+  std::vector<Word3> next_state(ffs.size());
+
+  // Scratch per-node site lookup (reset between groups via touched list).
+  std::vector<std::int32_t> site_at(nl_->node_count(), -1);
+
+  for (Group& group : groups) {
+    for (std::size_t s = 0; s < group.sites.size(); ++s)
+      site_at[group.sites[s].first] = static_cast<std::int32_t>(s);
+    for (Word3& w : state) w = broadcast(Val3::kX);
+    // Each lane's memory of its own line's previous computed value.
+    Word3 prev = broadcast(Val3::kX);
+
+    for (std::size_t u = 0; u < length && group.active != 0; ++u) {
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        vals[pis[i]] = pi_words[u * pis.size() + i];
+      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+      // Transition faults on sources act right after the load.
+      for (const auto& [node, masks] : group.sites) {
+        const Node& n = nl_->node(node);
+        if (!netlist::is_logic_gate(n.type))
+          apply_site(vals[node], prev, masks);
+      }
+
+      for (const NodeId id : nl_->eval_order()) {
+        const Node& n = nl_->node(id);
+        Word3 acc = vals[n.fanin[0]];
+        switch (n.type) {
+          case netlist::GateType::kBuf:
+            break;
+          case netlist::GateType::kNot:
+            acc = sim::not3(acc);
+            break;
+          case netlist::GateType::kAnd:
+          case netlist::GateType::kNand:
+            for (std::size_t k = 1; k < n.fanin.size(); ++k)
+              acc = sim::and3(acc, vals[n.fanin[k]]);
+            if (n.type == netlist::GateType::kNand) acc = sim::not3(acc);
+            break;
+          case netlist::GateType::kOr:
+          case netlist::GateType::kNor:
+            for (std::size_t k = 1; k < n.fanin.size(); ++k)
+              acc = sim::or3(acc, vals[n.fanin[k]]);
+            if (n.type == netlist::GateType::kNor) acc = sim::not3(acc);
+            break;
+          default:
+            for (std::size_t k = 1; k < n.fanin.size(); ++k)
+              acc = sim::xor3(acc, vals[n.fanin[k]]);
+            if (n.type == netlist::GateType::kXnor) acc = sim::not3(acc);
+            break;
+        }
+        vals[id] = acc;
+        const std::int32_t s = site_at[id];
+        if (s >= 0) [[unlikely]]
+          apply_site(vals[id], prev,
+                     group.sites[static_cast<std::size_t>(s)].second);
+      }
+
+      // Detection at the primary outputs.
+      std::uint64_t detected = 0;
+      for (std::size_t k = 0; k < pos_out.size(); ++k) {
+        const Word3 g = good_obs[u * pos_out.size() + k];
+        const Word3 f = vals[pos_out[k]];
+        detected |= (f.one ^ f.zero) & (g.one ^ g.zero) & (f.one ^ g.one);
+      }
+      detected &= group.active;
+      while (detected != 0) {
+        const unsigned lane =
+            static_cast<unsigned>(std::countr_zero(detected));
+        detected &= detected - 1;
+        group.active &= ~(std::uint64_t{1} << lane);
+        result.detection_time[group.result_index[lane]] =
+            static_cast<std::int32_t>(u);
+        ++result.detected_count;
+      }
+      if (group.active == 0) break;
+
+      for (std::size_t i = 0; i < ffs.size(); ++i)
+        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+      state.swap(next_state);
+    }
+
+    for (const auto& [node, masks] : group.sites) site_at[node] = -1;
+  }
+  return result;
+}
+
+DetectionResult TransitionFaultSimulator::run_all(
+    const TestSequence& seq) const {
+  const auto ids = faults_->all_ids();
+  return run(seq, ids);
+}
+
+}  // namespace wbist::fault

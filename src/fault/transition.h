@@ -1,0 +1,80 @@
+// Transition (gross-delay) fault model and simulator.
+//
+// The paper's Section 1 places its weight scheme in the lineage of the
+// 5-weight delay-fault generators of [11] and [15] (weights 0, 1, 0.5 and
+// the alternating w01/w10 — which are exactly the subsequences "01" and
+// "10" of this library). This module supplies the fault model those schemes
+// target: a slow-to-rise (or slow-to-fall) line completes its transition
+// one clock late.
+//
+// Cycle-level semantics, per faulty line with computed value c(t) and the
+// previous computed value p = c(t-1):
+//   slow-to-rise:  out(t) = c(t) except p=0, c=1 -> 0   ==  AND(c, p)
+//   slow-to-fall:  out(t) = c(t) except p=1, c=0 -> 1   ==  OR(c, p)
+// (both identities hold in three-valued logic, which handles the unknown
+// power-up state with the right pessimism for free). Detection uses the
+// same definite-difference criterion as the stuck-at simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+#include "sim/logic.h"
+#include "sim/sequence.h"
+
+namespace wbist::fault {
+
+struct TransitionFault {
+  netlist::NodeId node = netlist::kNoNode;  ///< faulty line (stem)
+  bool slow_to_rise = true;
+
+  friend bool operator==(const TransitionFault&,
+                         const TransitionFault&) = default;
+};
+
+inline std::string transition_fault_name(const netlist::Netlist& nl,
+                                         const TransitionFault& f) {
+  return nl.node(f.node).name + (f.slow_to_rise ? " STR" : " STF");
+}
+
+/// The transition fault universe: both polarities on every stem.
+class TransitionFaultSet {
+ public:
+  static TransitionFaultSet all(const netlist::Netlist& nl);
+
+  std::span<const TransitionFault> faults() const { return faults_; }
+  std::size_t size() const { return faults_.size(); }
+  const TransitionFault& operator[](FaultId id) const { return faults_[id]; }
+  std::vector<FaultId> all_ids() const;
+
+ private:
+  std::vector<TransitionFault> faults_;
+};
+
+/// Parallel-fault sequential transition-fault simulation (64 faulty
+/// machines per word, same architecture as the stuck-at FaultSimulator).
+class TransitionFaultSimulator {
+ public:
+  TransitionFaultSimulator(const netlist::Netlist& nl,
+                           const TransitionFaultSet& faults);
+
+  /// Simulate from the all-X state with fault dropping; detection times are
+  /// first definite differences at the primary outputs.
+  DetectionResult run(const sim::TestSequence& seq,
+                      std::span<const FaultId> ids) const;
+
+  DetectionResult run_all(const sim::TestSequence& seq) const;
+
+  const netlist::Netlist& circuit() const { return *nl_; }
+  const TransitionFaultSet& fault_set() const { return *faults_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  const TransitionFaultSet* faults_;
+};
+
+}  // namespace wbist::fault

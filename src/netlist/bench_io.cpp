@@ -1,0 +1,232 @@
+#include "netlist/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace wbist::netlist {
+
+namespace {
+
+using util::split;
+using util::to_upper;
+using util::trim;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("bench: line " + std::to_string(line_no) + ": " +
+                           msg);
+}
+
+GateType parse_type(std::string_view token, std::size_t line_no) {
+  const std::string t = to_upper(token);
+  if (t == "DFF" || t == "FF") return GateType::kDff;
+  if (t == "BUF" || t == "BUFF") return GateType::kBuf;
+  if (t == "NOT" || t == "INV") return GateType::kNot;
+  if (t == "AND") return GateType::kAnd;
+  if (t == "NAND") return GateType::kNand;
+  if (t == "OR") return GateType::kOr;
+  if (t == "NOR") return GateType::kNor;
+  if (t == "XOR") return GateType::kXor;
+  if (t == "XNOR") return GateType::kXnor;
+  fail(line_no, "unknown gate type '" + std::string(token) + "'");
+}
+
+struct PendingDef {
+  std::string name;
+  GateType type;
+  std::vector<std::string> fanin;
+  std::size_t line_no;
+};
+
+}  // namespace
+
+Netlist read_bench(std::string_view text, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingDef> defs;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    std::string_view line = trim(raw);
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close <= open)
+        fail(line_no, "expected INPUT(...), OUTPUT(...) or an assignment");
+      const std::string kw = to_upper(trim(line.substr(0, open)));
+      const std::string sig{trim(line.substr(open + 1, close - open - 1))};
+      if (sig.empty()) fail(line_no, "empty signal name");
+      if (kw == "INPUT")
+        input_names.push_back(sig);
+      else if (kw == "OUTPUT")
+        output_names.push_back(sig);
+      else
+        fail(line_no, "unknown directive '" + kw + "'");
+      continue;
+    }
+
+    PendingDef def;
+    def.name = std::string(trim(line.substr(0, eq)));
+    def.line_no = line_no;
+    std::string_view rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (def.name.empty() || open == std::string_view::npos ||
+        close == std::string_view::npos || close <= open)
+      fail(line_no, "malformed assignment");
+    def.type = parse_type(trim(rhs.substr(0, open)), line_no);
+    for (std::string_view arg : split(rhs.substr(open + 1, close - open - 1), ',')) {
+      const std::string_view a = trim(arg);
+      if (a.empty()) fail(line_no, "empty fanin name");
+      def.fanin.emplace_back(a);
+    }
+    if (def.fanin.empty()) fail(line_no, "gate with no fanin");
+    defs.push_back(std::move(def));
+  }
+
+  Netlist nl(std::move(circuit_name));
+  // Create all nodes first so fanins can reference later definitions.
+  for (const std::string& name : input_names) nl.add_input(name);
+  for (const PendingDef& def : defs) {
+    if (def.type == GateType::kDff) {
+      if (def.fanin.size() != 1)
+        fail(def.line_no, "DFF must have exactly one input");
+      nl.add_dff(def.name);
+    }
+  }
+  // Gates need their fanin ids at creation; build a name table incrementally
+  // is not enough (forward refs), so create placeholder-free: gates are added
+  // in a dependency-agnostic way by resolving names after all signal names
+  // exist. Gate nodes themselves must exist to be referenced, so allocate
+  // them via a two-step: first declare as BUF with empty fanin is not allowed
+  // by the model; instead resolve using the fact that only names matter.
+  //
+  // Strategy: add gate nodes in file order, but resolve each fanin name to a
+  // NodeId lazily — names that are not yet present must belong to gates
+  // defined later, so pre-register all gate names by creating the nodes in
+  // two passes over `defs`: pass 1 adds DFFs (done above); pass 2 adds gates
+  // whose fanins are all resolvable, looping until done.
+  std::vector<const PendingDef*> remaining;
+  for (const PendingDef& def : defs)
+    if (def.type != GateType::kDff) remaining.push_back(&def);
+
+  while (!remaining.empty()) {
+    std::vector<const PendingDef*> next;
+    bool progress = false;
+    for (const PendingDef* def : remaining) {
+      std::vector<NodeId> fanin;
+      fanin.reserve(def->fanin.size());
+      bool ok = true;
+      for (const std::string& f : def->fanin) {
+        const NodeId id = nl.find(f);
+        if (id == kNoNode) {
+          ok = false;
+          break;
+        }
+        fanin.push_back(id);
+      }
+      if (!ok) {
+        next.push_back(def);
+        continue;
+      }
+      nl.add_gate(def->type, def->name, std::move(fanin));
+      progress = true;
+    }
+    if (!progress) {
+      // Either an undefined signal or a combinational cycle.
+      const PendingDef* def = next.front();
+      for (const std::string& f : def->fanin)
+        if (nl.find(f) == kNoNode && def->name != f)
+          fail(def->line_no, "possible undefined signal '" + f +
+                                 "' or combinational cycle at '" + def->name +
+                                 "'");
+      fail(def->line_no, "combinational cycle at '" + def->name + "'");
+    }
+    remaining = std::move(next);
+  }
+
+  for (const PendingDef& def : defs) {
+    if (def.type != GateType::kDff) continue;
+    const NodeId d = nl.find(def.fanin[0]);
+    if (d == kNoNode)
+      fail(def.line_no, "undefined signal '" + def.fanin[0] + "'");
+    nl.connect_dff(nl.find(def.name), d);
+  }
+
+  for (const std::string& name : output_names) {
+    const NodeId id = nl.find(name);
+    if (id == kNoNode)
+      throw std::runtime_error("bench: OUTPUT references undefined signal '" +
+                               name + "'");
+    nl.mark_output(id);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string name = path;
+  if (const std::size_t slash = name.find_last_of('/');
+      slash != std::string::npos)
+    name = name.substr(slash + 1);
+  if (const std::size_t dot = name.find_last_of('.'); dot != std::string::npos)
+    name = name.substr(0, dot);
+  return read_bench(ss.str(), name);
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream out;
+  out << "# " << (nl.name().empty() ? "circuit" : nl.name()) << "\n";
+  for (NodeId id : nl.primary_inputs())
+    out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.primary_outputs())
+    out << "OUTPUT(" << nl.node(id).name << ")\n";
+  out << "\n";
+  for (NodeId id : nl.flip_flops()) {
+    const Node& n = nl.node(id);
+    out << n.name << " = DFF(" << nl.node(n.fanin[0]).name << ")\n";
+  }
+  for (NodeId id : nl.eval_order()) {
+    const Node& n = nl.node(id);
+    out << n.name << " = " << gate_type_name(n.type) << "(";
+    for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << nl.node(n.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("bench: cannot write '" + path + "'");
+  out << write_bench(nl);
+  if (!out) throw std::runtime_error("bench: write failed for '" + path + "'");
+}
+
+}  // namespace wbist::netlist

@@ -1,0 +1,36 @@
+// Reader and writer for the ISCAS-89 `.bench` netlist format.
+//
+// The format:
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G5 = DFF(G10)
+//   G11 = NOR(G5, G9)
+//
+// Signals may be referenced before they are defined; the reader resolves
+// names in a second pass. The writer emits a canonical file that the reader
+// round-trips exactly (same nodes, same order classes).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace wbist::netlist {
+
+/// Parse `.bench` text. Throws std::runtime_error with a line number on
+/// malformed input. The returned netlist is finalized.
+Netlist read_bench(std::string_view text, std::string circuit_name = "");
+
+/// Parse a `.bench` file from disk.
+Netlist read_bench_file(const std::string& path);
+
+/// Serialize a finalized netlist to `.bench` text.
+std::string write_bench(const Netlist& nl);
+
+/// Write `.bench` text to a file; throws std::runtime_error on I/O failure.
+void write_bench_file(const Netlist& nl, const std::string& path);
+
+}  // namespace wbist::netlist

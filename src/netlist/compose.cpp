@@ -1,0 +1,64 @@
+#include "netlist/compose.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wbist::netlist {
+
+std::vector<NodeId> append_netlist(Netlist& dest, const Netlist& src,
+                                   const std::string& prefix,
+                                   std::span<const PortBinding> bindings) {
+  if (dest.finalized())
+    throw std::invalid_argument("compose: destination is finalized");
+  if (!src.finalized())
+    throw std::invalid_argument("compose: source must be finalized");
+
+  std::unordered_map<std::string, NodeId> bound;
+  for (const PortBinding& b : bindings) {
+    if (src.find(b.inner) == kNoNode ||
+        src.node(src.find(b.inner)).type != GateType::kInput)
+      throw std::invalid_argument("compose: '" + b.inner +
+                                  "' is not a primary input of the source");
+    if (!bound.emplace(b.inner, b.outer).second)
+      throw std::invalid_argument("compose: duplicate binding for '" +
+                                  b.inner + "'");
+  }
+
+  std::vector<NodeId> map(src.node_count(), kNoNode);
+
+  // Pass 1: create nodes (inputs resolve to their bound outer nodes; DFFs
+  // are created unconnected; gates need their fanins, so they wait).
+  for (NodeId id = 0; id < src.node_count(); ++id) {
+    const Node& n = src.node(id);
+    if (n.type == GateType::kInput) {
+      const auto it = bound.find(n.name);
+      if (it == bound.end())
+        throw std::invalid_argument("compose: unbound source input '" +
+                                    n.name + "'");
+      map[id] = it->second;
+    } else if (n.type == GateType::kDff) {
+      map[id] = dest.add_dff(prefix + n.name);
+    }
+  }
+  // Pass 2: gates, in the source's dependency order (eval_order covers all
+  // logic gates with fanins created before use — sources are done, and any
+  // gate's gate-fanins precede it in the order).
+  for (NodeId id : src.eval_order()) {
+    const Node& n = src.node(id);
+    std::vector<NodeId> fanin;
+    fanin.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) {
+      if (map[f] == kNoNode)
+        throw std::logic_error("compose: fanin not yet mapped");
+      fanin.push_back(map[f]);
+    }
+    map[id] = dest.add_gate(n.type, prefix + n.name, std::move(fanin));
+  }
+  // Pass 3: connect DFF D-inputs.
+  for (NodeId id : src.flip_flops())
+    dest.connect_dff(map[id], map[src.node(id).fanin[0]]);
+
+  return map;
+}
+
+}  // namespace wbist::netlist

@@ -1,0 +1,33 @@
+// Netlist composition: instantiate one netlist inside another.
+//
+// append_netlist copies every node of `src` into `dest` under a name
+// prefix. Primary inputs of `src` are *not* copied as inputs: each must be
+// bound to an existing `dest` node (port binding), which is how a BIST
+// generator's TG outputs drive a CUT's former primary inputs, and how a
+// MISR consumes a CUT's outputs. Output markers of `src` are not copied
+// either — the caller decides what the composed circuit observes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wbist::netlist {
+
+struct PortBinding {
+  std::string inner;  ///< primary-input name inside `src`
+  NodeId outer;       ///< node in `dest` that drives it
+};
+
+/// Copy `src` into `dest` (which must not be finalized). Every `src`
+/// primary input must appear in `bindings` exactly once. Returns the node
+/// map: result[src_id] == corresponding dest id (bound inputs map to their
+/// outer driver). Throws std::invalid_argument on missing/unknown bindings
+/// or name collisions that the prefix does not resolve.
+std::vector<NodeId> append_netlist(Netlist& dest, const Netlist& src,
+                                   const std::string& prefix,
+                                   std::span<const PortBinding> bindings);
+
+}  // namespace wbist::netlist

@@ -1,0 +1,195 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wbist::netlist {
+
+std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kDff: return "DFF";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+  }
+  return "?";
+}
+
+bool is_logic_gate(GateType type) {
+  return type != GateType::kInput && type != GateType::kDff;
+}
+
+NodeId Netlist::add_node(Node node) {
+  check_finalized(false);
+  if (node.name.empty())
+    throw std::invalid_argument("netlist: node must have a name");
+  const auto [it, inserted] =
+      by_name_.emplace(node.name, static_cast<NodeId>(nodes_.size()));
+  if (!inserted)
+    throw std::invalid_argument("netlist: duplicate signal name '" +
+                                node.name + "'");
+  nodes_.push_back(std::move(node));
+  return it->second;
+}
+
+NodeId Netlist::add_input(std::string name) {
+  Node n;
+  n.type = GateType::kInput;
+  n.name = std::move(name);
+  const NodeId id = add_node(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_dff(std::string name, NodeId d) {
+  Node n;
+  n.type = GateType::kDff;
+  n.name = std::move(name);
+  if (d != kNoNode) n.fanin.push_back(d);
+  const NodeId id = add_node(std::move(n));
+  dffs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_gate(GateType type, std::string name,
+                         std::vector<NodeId> fanin) {
+  if (!is_logic_gate(type))
+    throw std::invalid_argument("netlist: add_gate requires a logic type");
+  const bool unary = type == GateType::kBuf || type == GateType::kNot;
+  if (unary ? fanin.size() != 1 : fanin.empty())
+    throw std::invalid_argument("netlist: bad fanin arity for gate '" + name +
+                                "'");
+  Node n;
+  n.type = type;
+  n.name = std::move(name);
+  n.fanin = std::move(fanin);
+  return add_node(std::move(n));
+}
+
+void Netlist::connect_dff(NodeId dff, NodeId d) {
+  check_finalized(false);
+  Node& n = nodes_.at(dff);
+  if (n.type != GateType::kDff)
+    throw std::invalid_argument("netlist: connect_dff on non-DFF node");
+  if (!n.fanin.empty())
+    throw std::invalid_argument("netlist: DFF '" + n.name +
+                                "' already connected");
+  n.fanin.push_back(d);
+}
+
+void Netlist::mark_output(NodeId id) {
+  check_finalized(false);
+  Node& n = nodes_.at(id);
+  if (n.is_primary_output) return;
+  n.is_primary_output = true;
+  // Declaration order is the circuit's output order (as in `.bench` files);
+  // it must survive write/read round trips.
+  outputs_.push_back(id);
+}
+
+void Netlist::finalize() {
+  check_finalized(false);
+
+  // Every fanin must reference an existing node, and every DFF must have a
+  // D input.
+  for (const Node& n : nodes_) {
+    if (n.type == GateType::kDff && n.fanin.size() != 1)
+      throw std::runtime_error("netlist: DFF '" + n.name + "' has no D input");
+    for (NodeId f : n.fanin)
+      if (f >= nodes_.size())
+        throw std::runtime_error("netlist: dangling fanin on '" + n.name +
+                                 "'");
+  }
+
+  // Fanout lists.
+  for (Node& n : nodes_) n.fanout.clear();
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    for (NodeId f : nodes_[id].fanin) nodes_[f].fanout.push_back(id);
+
+  // Kahn topological sort of the combinational core. Sources (PIs and DFF
+  // outputs) start at level 0; DFF *inputs* are sinks, so edges into a DFF
+  // node are not followed (they cross a clock boundary).
+  levels_.assign(nodes_.size(), 0);
+  std::vector<std::uint32_t> pending(nodes_.size(), 0);
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (is_logic_gate(n.type))
+      pending[id] = static_cast<std::uint32_t>(n.fanin.size());
+    else
+      ready.push_back(id);  // PI or DFF output: a sequential source
+  }
+
+  order_.clear();
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const NodeId id = ready[head++];
+    for (NodeId out : nodes_[id].fanout) {
+      if (!is_logic_gate(nodes_[out].type)) continue;  // DFF D pin: sink
+      levels_[out] = std::max(levels_[out], levels_[id] + 1);
+      if (--pending[out] == 0) {
+        ready.push_back(out);
+        order_.push_back(out);
+      }
+    }
+  }
+
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (is_logic_gate(nodes_[id].type) && pending[id] != 0)
+      throw std::runtime_error(
+          "netlist: combinational cycle through '" + nodes_[id].name + "'");
+
+  if (outputs_.empty())
+    throw std::runtime_error("netlist: circuit has no primary outputs");
+
+  finalized_ = true;
+}
+
+Netlist Netlist::unfrozen_copy() const {
+  Netlist copy;
+  copy.name_ = name_;
+  copy.nodes_ = nodes_;
+  for (Node& n : copy.nodes_) n.fanout.clear();  // recomputed by finalize()
+  copy.inputs_ = inputs_;
+  copy.outputs_ = outputs_;
+  copy.dffs_ = dffs_;
+  copy.by_name_ = by_name_;
+  copy.finalized_ = false;
+  return copy;
+}
+
+NodeId Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+NetlistStats Netlist::stats() const {
+  check_finalized(true);
+  NetlistStats s;
+  s.primary_inputs = inputs_.size();
+  s.primary_outputs = outputs_.size();
+  s.flip_flops = dffs_.size();
+  s.logic_gates = order_.size();
+  for (const Node& n : nodes_) {
+    s.lines += 1;  // stem
+    if (n.fanout.size() > 1) s.lines += n.fanout.size();  // branches
+  }
+  for (std::uint32_t lvl : levels_)
+    s.max_level = std::max<std::size_t>(s.max_level, lvl);
+  return s;
+}
+
+void Netlist::check_finalized(bool expected) const {
+  if (finalized_ != expected)
+    throw std::logic_error(expected
+                               ? "netlist: operation requires finalize()"
+                               : "netlist: structure is frozen by finalize()");
+}
+
+}  // namespace wbist::netlist

@@ -1,0 +1,144 @@
+// Gate-level model of a synchronous sequential circuit.
+//
+// A circuit is a set of *nodes*; every node defines exactly one signal:
+//   - PrimaryInput nodes (no fanin),
+//   - Dff nodes (one fanin: the D / next-state signal; the node's own value
+//     is the flip-flop output, i.e. the present state), and
+//   - combinational gates (And/Nand/Or/Nor/Not/Buf/Xor/Xnor).
+// Primary outputs are observation markers on nodes, not separate nodes.
+// This matches the ISCAS-89 `.bench` view of a circuit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wbist::netlist {
+
+/// Index of a node inside its Netlist.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+enum class GateType : std::uint8_t {
+  kInput,  ///< primary input
+  kDff,    ///< D flip-flop; fanin[0] is the next-state signal
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Human-readable name ("AND", "DFF", ...) as used in `.bench` files.
+std::string_view gate_type_name(GateType type);
+
+/// True for the eight combinational gate types.
+bool is_logic_gate(GateType type);
+
+struct Node {
+  GateType type = GateType::kInput;
+  std::string name;
+  std::vector<NodeId> fanin;
+  std::vector<NodeId> fanout;  ///< filled by Netlist::finalize()
+  bool is_primary_output = false;
+};
+
+/// Structural statistics, used by reports and the synthetic generator.
+struct NetlistStats {
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t flip_flops = 0;
+  std::size_t logic_gates = 0;
+  std::size_t lines = 0;        ///< stems + fanout branches (fault sites)
+  std::size_t max_level = 0;    ///< combinational depth
+};
+
+/// A synchronous sequential circuit under construction or in use.
+///
+/// Build with add_input/add_dff/add_gate/connect_dff/mark_output, then call
+/// finalize() exactly once. finalize() validates the structure (every fanin
+/// connected, no combinational cycles, sensible arities) and computes fanout
+/// lists plus a topological evaluation order for the combinational core.
+/// All simulators require a finalized netlist.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- construction ---------------------------------------------------------
+
+  /// Add a primary input node. Throws std::invalid_argument on duplicate name.
+  NodeId add_input(std::string name);
+
+  /// Add a flip-flop whose D input will be connected later (connect_dff) or
+  /// immediately (pass d != kNoNode).
+  NodeId add_dff(std::string name, NodeId d = kNoNode);
+
+  /// Add a combinational gate. Throws on duplicate name or bad arity.
+  NodeId add_gate(GateType type, std::string name, std::vector<NodeId> fanin);
+
+  /// Connect the D input of a flip-flop created without one.
+  void connect_dff(NodeId dff, NodeId d);
+
+  /// Mark a node as a primary output (idempotent).
+  void mark_output(NodeId id);
+
+  /// Validate and freeze the structure. Throws std::runtime_error on
+  /// dangling fanin, combinational cycles, or unnamed/duplicate signals.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// A structural copy with the same nodes and NodeIds but *not* finalized,
+  /// so test hardware (MISRs, observation-point outputs) can be appended
+  /// before re-finalizing. Fault lists built against this netlist remain
+  /// valid for the copy because ids are preserved.
+  Netlist unfrozen_copy() const;
+
+  // -- access ---------------------------------------------------------------
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  std::span<const NodeId> primary_inputs() const { return inputs_; }
+  std::span<const NodeId> primary_outputs() const { return outputs_; }
+  std::span<const NodeId> flip_flops() const { return dffs_; }
+
+  /// Combinational gates in topological (fanin-before-fanout) order.
+  /// Primary inputs and flip-flop outputs are the sources and are excluded.
+  std::span<const NodeId> eval_order() const { return order_; }
+
+  /// Logic level of each node (sources at 0); indexed by NodeId.
+  std::span<const std::uint32_t> levels() const { return levels_; }
+
+  /// Lookup by signal name; returns kNoNode if absent.
+  NodeId find(std::string_view name) const;
+
+  NetlistStats stats() const;
+
+ private:
+  NodeId add_node(Node node);
+  void check_finalized(bool expected) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> dffs_;
+  std::vector<NodeId> order_;
+  std::vector<std::uint32_t> levels_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  bool finalized_ = false;
+};
+
+}  // namespace wbist::netlist

@@ -1,0 +1,24 @@
+// Structural Verilog export.
+//
+// Emits a synthesizable Verilog-2001 module for a finalized netlist: one
+// `assign` per combinational gate, one clocked always-block for the
+// flip-flops, and an added `clk` port (the .bench model leaves the clock
+// implicit). Identifiers are escaped when they are not valid Verilog names.
+// This is the bridge from the library's generator/self-test netlists to a
+// standard synthesis flow.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace wbist::netlist {
+
+/// Serialize `nl` as a Verilog module named after the circuit ("top" if the
+/// netlist has no name).
+std::string write_verilog(const Netlist& nl);
+
+/// Write to a file; throws std::runtime_error on I/O failure.
+void write_verilog_file(const Netlist& nl, const std::string& path);
+
+}  // namespace wbist::netlist

@@ -1,0 +1,71 @@
+#include "sim/good_sim.h"
+
+#include <stdexcept>
+
+namespace wbist::sim {
+
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+
+GoodSimulator::GoodSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized())
+    throw std::invalid_argument("good_sim: netlist not finalized");
+  values_.resize(nl.node_count());
+  next_state_.resize(nl.flip_flops().size());
+  reset();
+}
+
+void GoodSimulator::reset() {
+  for (Word3& w : values_) w = broadcast(Val3::kX);
+  for (Word3& w : next_state_) w = broadcast(Val3::kX);
+}
+
+void GoodSimulator::step(std::span<const Val3> pi_values) {
+  const auto pis = nl_->primary_inputs();
+  if (pi_values.size() != pis.size())
+    throw std::invalid_argument("good_sim: input vector width mismatch");
+
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    values_[pis[i]] = broadcast(pi_values[i]);
+  const auto ffs = nl_->flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) values_[ffs[i]] = next_state_[i];
+
+  std::vector<Word3> fanin_buf;
+  for (NodeId id : nl_->eval_order()) {
+    const Node& n = nl_->node(id);
+    fanin_buf.clear();
+    for (NodeId f : n.fanin) fanin_buf.push_back(values_[f]);
+    values_[id] = eval_gate(n.type, fanin_buf);
+  }
+
+  for (std::size_t i = 0; i < ffs.size(); ++i)
+    next_state_[i] = values_[nl_->node(ffs[i]).fanin[0]];
+}
+
+std::vector<Val3> GoodSimulator::outputs() const {
+  std::vector<Val3> out;
+  out.reserve(nl_->primary_outputs().size());
+  for (NodeId id : nl_->primary_outputs()) out.push_back(value(id));
+  return out;
+}
+
+std::vector<Val3> GoodSimulator::state() const {
+  std::vector<Val3> out;
+  out.reserve(next_state_.size());
+  for (const Word3& w : next_state_) out.push_back(lane(w, 0));
+  return out;
+}
+
+std::vector<std::vector<Val3>> GoodSimulator::run(const TestSequence& seq) {
+  reset();
+  std::vector<std::vector<Val3>> responses;
+  responses.reserve(seq.length());
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    step(seq.row(u));
+    responses.push_back(outputs());
+  }
+  return responses;
+}
+
+}  // namespace wbist::sim

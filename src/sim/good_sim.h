@@ -1,0 +1,57 @@
+// Fault-free (good-machine) cycle-accurate simulation of a synchronous
+// sequential circuit with three-valued logic.
+//
+// ISCAS-89 circuits have no reset input; simulation therefore starts from the
+// all-X state, and a fault is only observable once the good machine produces
+// a definite value at an output. This simulator is also the reference the
+// fault simulator is validated against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic.h"
+#include "sim/sequence.h"
+
+namespace wbist::sim {
+
+class GoodSimulator {
+ public:
+  explicit GoodSimulator(const netlist::Netlist& nl);
+
+  /// Return all flip-flops to the unknown state.
+  void reset();
+
+  /// Apply one input vector (ordered as nl.primary_inputs()) and clock once:
+  /// evaluates the combinational core, then latches the flip-flops.
+  void step(std::span<const Val3> pi_values);
+
+  /// Value of any signal after the most recent step() (pre-latch view of the
+  /// combinational core, i.e. the values present during the applied cycle).
+  Val3 value(netlist::NodeId id) const { return lane(values_[id], 0); }
+
+  /// Primary-output vector after the most recent step().
+  std::vector<Val3> outputs() const;
+
+  /// Present state (flip-flop output values) that the *next* step will see.
+  std::vector<Val3> state() const;
+
+  const netlist::Netlist& circuit() const { return *nl_; }
+
+  /// Raw per-node words after the most recent step() (lane 0 meaningful in
+  /// all lanes: values are broadcast). Used by the fault simulator to compare
+  /// faulty machines against the good machine without re-simulation.
+  std::span<const Word3> raw_values() const { return values_; }
+
+  /// Convenience: reset, run the whole sequence, and return the L x |PO|
+  /// matrix of output responses.
+  std::vector<std::vector<Val3>> run(const TestSequence& seq);
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<Word3> values_;      // per node, lane 0 meaningful
+  std::vector<Word3> next_state_;  // per flip-flop, latched at end of step
+};
+
+}  // namespace wbist::sim

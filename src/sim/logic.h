@@ -1,0 +1,117 @@
+// Three-valued (0 / 1 / X) logic, 64 machines wide.
+//
+// Every signal is encoded as two 64-bit planes:
+//   one[k]  — machine k's value *can be* 1
+//   zero[k] — machine k's value *can be* 0
+// so per machine: 0 = (0,1), 1 = (1,0), X = (1,1); (0,0) never occurs.
+// This encoding evaluates AND/OR/NOT exactly with two bitwise ops per plane
+// and XOR/XNOR with four, and is the standard choice for parallel-fault
+// sequential fault simulation (one bit-lane per faulty machine).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wbist::sim {
+
+/// A scalar three-valued logic value.
+enum class Val3 : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+inline char to_char(Val3 v) {
+  return v == Val3::kZero ? '0' : v == Val3::kOne ? '1' : 'x';
+}
+
+/// Parse '0', '1', or anything else ('x', 'X', '-') as X.
+inline Val3 val3_from_char(char c) {
+  return c == '0' ? Val3::kZero : c == '1' ? Val3::kOne : Val3::kX;
+}
+
+/// 64 three-valued machines packed into two planes.
+struct Word3 {
+  std::uint64_t one = 0;
+  std::uint64_t zero = 0;
+
+  friend bool operator==(const Word3&, const Word3&) = default;
+};
+
+inline constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+inline Word3 broadcast(Val3 v) {
+  switch (v) {
+    case Val3::kZero: return {0, kAllOnes};
+    case Val3::kOne: return {kAllOnes, 0};
+    case Val3::kX: return {kAllOnes, kAllOnes};
+  }
+  return {kAllOnes, kAllOnes};
+}
+
+/// Extract machine `lane`'s value.
+inline Val3 lane(const Word3& w, unsigned lane_index) {
+  const bool o = ((w.one >> lane_index) & 1) != 0;
+  const bool z = ((w.zero >> lane_index) & 1) != 0;
+  if (o && z) return Val3::kX;
+  return o ? Val3::kOne : Val3::kZero;
+}
+
+/// Per-lane mask of lanes holding a definite (non-X) value.
+inline std::uint64_t binary_lanes(const Word3& w) { return w.one ^ w.zero; }
+
+inline Word3 and3(Word3 a, Word3 b) { return {a.one & b.one, a.zero | b.zero}; }
+inline Word3 or3(Word3 a, Word3 b) { return {a.one | b.one, a.zero & b.zero}; }
+inline Word3 not3(Word3 a) { return {a.zero, a.one}; }
+inline Word3 xor3(Word3 a, Word3 b) {
+  return {(a.one & b.zero) | (a.zero & b.one),
+          (a.one & b.one) | (a.zero & b.zero)};
+}
+
+/// Force lanes in `mask` to the constant `value` (stuck-at injection).
+inline Word3 force(Word3 w, std::uint64_t mask, bool value) {
+  if (value) {
+    w.one |= mask;
+    w.zero &= ~mask;
+  } else {
+    w.one &= ~mask;
+    w.zero |= mask;
+  }
+  return w;
+}
+
+/// Evaluate one combinational gate over already-computed fanin words.
+inline Word3 eval_gate(netlist::GateType type, std::span<const Word3> in) {
+  using netlist::GateType;
+  Word3 acc = in[0];
+  switch (type) {
+    case GateType::kBuf:
+      return acc;
+    case GateType::kNot:
+      return not3(acc);
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (std::size_t i = 1; i < in.size(); ++i) acc = and3(acc, in[i]);
+      return type == GateType::kNand ? not3(acc) : acc;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (std::size_t i = 1; i < in.size(); ++i) acc = or3(acc, in[i]);
+      return type == GateType::kNor ? not3(acc) : acc;
+    case GateType::kXor:
+    case GateType::kXnor:
+      for (std::size_t i = 1; i < in.size(); ++i) acc = xor3(acc, in[i]);
+      return type == GateType::kXnor ? not3(acc) : acc;
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  return acc;  // unreachable for valid logic gates
+}
+
+/// Scalar three-valued gate evaluation (reference semantics for tests).
+inline Val3 eval_gate_scalar(netlist::GateType type, std::span<const Val3> in) {
+  std::vector<Word3> words(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) words[i] = broadcast(in[i]);
+  return lane(eval_gate(type, words), 0);
+}
+
+}  // namespace wbist::sim

@@ -1,0 +1,57 @@
+#include "sim/sequence.h"
+
+#include <stdexcept>
+
+namespace wbist::sim {
+
+namespace {
+
+template <typename Rows>
+TestSequence build(const Rows& rows) {
+  TestSequence seq;
+  std::vector<Val3> vec;
+  for (const auto& row : rows) {
+    vec.clear();
+    for (char c : row) vec.push_back(val3_from_char(c));
+    seq.append(vec);
+  }
+  return seq;
+}
+
+}  // namespace
+
+TestSequence TestSequence::from_rows(
+    std::initializer_list<std::string_view> rows) {
+  return build(rows);
+}
+
+TestSequence TestSequence::from_rows(std::span<const std::string> rows) {
+  return build(rows);
+}
+
+void TestSequence::append(std::span<const Val3> vec) {
+  if (width_ == 0 && data_.empty()) width_ = vec.size();
+  if (vec.size() != width_)
+    throw std::invalid_argument("sequence: row width mismatch");
+  data_.insert(data_.end(), vec.begin(), vec.end());
+}
+
+void TestSequence::truncate(std::size_t new_length) {
+  if (new_length < length()) data_.resize(new_length * width_);
+}
+
+std::vector<Val3> TestSequence::column(std::size_t input) const {
+  std::vector<Val3> out;
+  out.reserve(length());
+  for (std::size_t u = 0; u < length(); ++u) out.push_back(at(u, input));
+  return out;
+}
+
+std::string TestSequence::row_string(std::size_t u) const {
+  std::string s;
+  s.reserve(width_);
+  for (std::size_t i = 0; i < width_; ++i) s += to_char(at(u, i));
+  return s;
+}
+
+}  // namespace wbist::sim

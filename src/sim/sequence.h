@@ -1,0 +1,65 @@
+// A test sequence: an L x n matrix of three-valued input vectors, applied to
+// the n primary inputs of a circuit over L consecutive clock cycles.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/logic.h"
+
+namespace wbist::sim {
+
+/// Row-major matrix of Val3; row u is the input vector applied at time u.
+class TestSequence {
+ public:
+  TestSequence() = default;
+
+  /// `width` inputs, `length` time units, all values X.
+  TestSequence(std::size_t length, std::size_t width)
+      : width_(width), data_(length * width, Val3::kX) {}
+
+  /// Build from per-time-unit strings, e.g. {"0111", "1001", ...}.
+  /// Every row must have the same width. Characters other than 0/1 parse as X.
+  static TestSequence from_rows(std::initializer_list<std::string_view> rows);
+  static TestSequence from_rows(std::span<const std::string> rows);
+
+  std::size_t length() const { return width_ == 0 ? 0 : data_.size() / width_; }
+  std::size_t width() const { return width_; }
+  bool empty() const { return data_.empty(); }
+
+  Val3 at(std::size_t u, std::size_t input) const {
+    return data_[u * width_ + input];
+  }
+  void set(std::size_t u, std::size_t input, Val3 v) {
+    data_[u * width_ + input] = v;
+  }
+
+  /// The input vector applied at time u.
+  std::span<const Val3> row(std::size_t u) const {
+    return {data_.data() + u * width_, width_};
+  }
+
+  /// Append one vector (must match width; first append fixes the width).
+  void append(std::span<const Val3> vec);
+
+  /// Keep only the first `new_length` vectors.
+  void truncate(std::size_t new_length);
+
+  /// The sequence restricted to one input: T_i in the paper's notation.
+  std::vector<Val3> column(std::size_t input) const;
+
+  /// "0111"-style string for row u (x for unknowns).
+  std::string row_string(std::size_t u) const;
+
+  friend bool operator==(const TestSequence&, const TestSequence&) = default;
+
+ private:
+  std::size_t width_ = 0;
+  std::vector<Val3> data_;
+};
+
+}  // namespace wbist::sim

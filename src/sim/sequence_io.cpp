@@ -1,0 +1,76 @@
+#include "sim/sequence_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wbist::sim {
+
+TestSequence read_sequence(std::string_view text) {
+  TestSequence seq;
+  std::vector<Val3> row;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = util::trim(line);
+    if (line.empty()) continue;
+
+    row.clear();
+    for (const char c : line) {
+      if (c != '0' && c != '1' && c != 'x' && c != 'X' && c != '-')
+        throw std::runtime_error("sequence: line " + std::to_string(line_no) +
+                                 ": bad character '" + std::string(1, c) +
+                                 "'");
+      row.push_back(val3_from_char(c));
+    }
+    if (seq.width() != 0 && row.size() != seq.width())
+      throw std::runtime_error("sequence: line " + std::to_string(line_no) +
+                               ": width mismatch");
+    seq.append(row);
+  }
+  return seq;
+}
+
+TestSequence read_sequence_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("sequence: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return read_sequence(ss.str());
+}
+
+std::string write_sequence(const TestSequence& seq,
+                           std::string_view comment) {
+  std::string out;
+  if (!comment.empty()) {
+    out += "# ";
+    out += comment;
+    out += '\n';
+  }
+  out += "# " + std::to_string(seq.length()) + " vectors, " +
+         std::to_string(seq.width()) + " inputs\n";
+  for (std::size_t u = 0; u < seq.length(); ++u) out += seq.row_string(u) + "\n";
+  return out;
+}
+
+void write_sequence_file(const TestSequence& seq, const std::string& path,
+                         std::string_view comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("sequence: cannot write '" + path + "'");
+  out << write_sequence(seq, comment);
+  if (!out)
+    throw std::runtime_error("sequence: write failed for '" + path + "'");
+}
+
+}  // namespace wbist::sim

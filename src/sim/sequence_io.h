@@ -1,0 +1,33 @@
+// Plain-text persistence for test sequences.
+//
+// Format: one input vector per line ('0' / '1' / 'x'), '#' comments and
+// blank lines ignored:
+//     # s27, 10 vectors, 4 inputs
+//     0111
+//     1001
+// All rows must have equal width. This is the interchange format used by
+// the command-line tool for deterministic sequences and weighted sessions.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/sequence.h"
+
+namespace wbist::sim {
+
+/// Parse sequence text. Throws std::runtime_error (with a line number) on
+/// width mismatches or characters outside {0,1,x,X,-}.
+TestSequence read_sequence(std::string_view text);
+
+/// Load from a file; throws std::runtime_error on I/O failure.
+TestSequence read_sequence_file(const std::string& path);
+
+/// Serialize with an optional comment header.
+std::string write_sequence(const TestSequence& seq,
+                           std::string_view comment = {});
+
+void write_sequence_file(const TestSequence& seq, const std::string& path,
+                         std::string_view comment = {});
+
+}  // namespace wbist::sim

@@ -1,0 +1,52 @@
+#include "sim/vcd.h"
+
+#include <stdexcept>
+
+namespace wbist::sim {
+
+namespace {
+
+/// Compact printable VCD identifier codes: !, ", #, ... (chars 33..126).
+std::string code_for(std::size_t index) {
+  std::string code;
+  do {
+    code += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path, const netlist::Netlist& nl,
+                     std::vector<netlist::NodeId> watch)
+    : out_(path), watch_(std::move(watch)) {
+  if (!out_) throw std::runtime_error("vcd: cannot write '" + path + "'");
+  if (watch_.empty())
+    for (netlist::NodeId id = 0; id < nl.node_count(); ++id)
+      watch_.push_back(id);
+
+  out_ << "$timescale 1ns $end\n$scope module "
+       << (nl.name().empty() ? "top" : nl.name()) << " $end\n";
+  codes_.reserve(watch_.size());
+  for (std::size_t k = 0; k < watch_.size(); ++k) {
+    codes_.push_back(code_for(k));
+    out_ << "$var wire 1 " << codes_[k] << " " << nl.node(watch_[k]).name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  last_.assign(watch_.size(), '?');
+}
+
+void VcdWriter::sample(const GoodSimulator& sim) {
+  out_ << "#" << time_ << "\n";
+  for (std::size_t k = 0; k < watch_.size(); ++k) {
+    const char v = to_char(sim.value(watch_[k]));
+    if (v == last_[k]) continue;
+    last_[k] = v;
+    out_ << v << codes_[k] << "\n";
+  }
+  ++time_;
+}
+
+}  // namespace wbist::sim

@@ -1,0 +1,40 @@
+// VCD (value change dump) waveform export for debugging simulations.
+//
+// Usage:
+//   GoodSimulator sim(nl);
+//   VcdWriter vcd("trace.vcd", nl);            // all signals
+//   for (each cycle) { sim.step(v); vcd.sample(sim); }
+// The file is valid for any VCD viewer (gtkwave etc.); X values dump as x.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/good_sim.h"
+
+namespace wbist::sim {
+
+class VcdWriter {
+ public:
+  /// Watch specific nodes, or every node when `watch` is empty. Throws
+  /// std::runtime_error if the file cannot be opened.
+  VcdWriter(const std::string& path, const netlist::Netlist& nl,
+            std::vector<netlist::NodeId> watch = {});
+
+  /// Record the simulator's current values at the next timestep. Only
+  /// changed signals are written (plus everything on the first sample).
+  void sample(const GoodSimulator& sim);
+
+  std::size_t samples() const { return time_; }
+
+ private:
+  std::ofstream out_;
+  std::vector<netlist::NodeId> watch_;
+  std::vector<std::string> codes_;
+  std::vector<char> last_;
+  std::size_t time_ = 0;
+};
+
+}  // namespace wbist::sim

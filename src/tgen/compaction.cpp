@@ -1,0 +1,74 @@
+#include "tgen/compaction.h"
+
+#include <algorithm>
+
+namespace wbist::tgen {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using sim::TestSequence;
+using sim::Val3;
+
+namespace {
+
+TestSequence without_block(const TestSequence& seq, std::size_t begin,
+                           std::size_t count) {
+  TestSequence out(0, seq.width());
+  std::vector<Val3> row(seq.width());
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    if (u >= begin && u < begin + count) continue;
+    for (std::size_t i = 0; i < seq.width(); ++i) row[i] = seq.at(u, i);
+    out.append(row);
+  }
+  return out;
+}
+
+bool detects_all(const fault::FaultSimulator& sim, const TestSequence& seq,
+                 std::span<const FaultId> must_detect) {
+  const DetectionResult det = sim.run(seq, must_detect);
+  return det.detected_count == must_detect.size();
+}
+
+}  // namespace
+
+CompactionResult compact_sequence(const fault::FaultSimulator& sim,
+                                  const sim::TestSequence& seq,
+                                  std::span<const fault::FaultId> must_detect,
+                                  const CompactionConfig& config) {
+  CompactionResult result;
+  result.sequence = seq;
+
+  std::size_t block = std::max<std::size_t>(1, seq.length() / 4);
+  while (block >= std::max<std::size_t>(1, config.min_block) &&
+         result.simulations_used < config.max_simulations &&
+         result.sequence.length() > 0) {
+    bool removed_any = false;
+    // Scan from the back: late vectors are most often redundant because
+    // fault dropping concentrates detections early in the sequence.
+    std::size_t pos = result.sequence.length();
+    while (pos > 0 && result.simulations_used < config.max_simulations) {
+      const std::size_t begin = pos > block ? pos - block : 0;
+      const std::size_t count = pos - begin;
+      const TestSequence candidate =
+          without_block(result.sequence, begin, count);
+      ++result.simulations_used;
+      if (!candidate.empty() && detects_all(sim, candidate, must_detect)) {
+        result.sequence = candidate;
+        result.removed_vectors += count;
+        removed_any = true;
+      }
+      pos = begin;
+    }
+    if (block == 1 && !removed_any) break;
+    block = block > 1 ? block / 2 : 0;
+  }
+
+  // Recompute detection times for the whole fault set on the final sequence.
+  const fault::FaultSet& faults = sim.fault_set();
+  const std::vector<FaultId> all = faults.all_ids();
+  const DetectionResult det = sim.run(result.sequence, all);
+  result.detection_time = det.detection_time;
+  return result;
+}
+
+}  // namespace wbist::tgen

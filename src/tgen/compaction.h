@@ -1,0 +1,43 @@
+// Restoration-based static compaction of sequential test sequences.
+//
+// The paper applies static compaction to the deterministic sequences before
+// deriving weights. This implements vector-omission compaction: candidate
+// blocks of vectors are removed and the shortened sequence is re-fault-
+// simulated; a removal is kept only when every originally-detected fault is
+// still detected. Block sizes start large and halve, which removes long
+// useless stretches cheaply before fine-grained passes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/sequence.h"
+
+namespace wbist::tgen {
+
+struct CompactionConfig {
+  /// Stop refining once the block size drops below this (1 = full effort).
+  std::size_t min_block = 1;
+  /// Upper bound on fault simulations spent (guards the largest circuits).
+  std::size_t max_simulations = 2000;
+};
+
+struct CompactionResult {
+  sim::TestSequence sequence;
+  /// Aligned with the FaultSet: detection times under the compacted
+  /// sequence (recomputed at the end).
+  std::vector<std::int32_t> detection_time;
+  std::size_t removed_vectors = 0;
+  std::size_t simulations_used = 0;
+};
+
+/// Compact `seq` while preserving detection of every fault in `must_detect`
+/// (ids into the simulator's fault set, all detected by `seq`).
+CompactionResult compact_sequence(const fault::FaultSimulator& sim,
+                                  const sim::TestSequence& seq,
+                                  std::span<const fault::FaultId> must_detect,
+                                  const CompactionConfig& config = {});
+
+}  // namespace wbist::tgen

@@ -1,0 +1,104 @@
+#include "tgen/random_tgen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace wbist::tgen {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using sim::TestSequence;
+using sim::Val3;
+
+namespace {
+
+/// A generation profile: per-input probability of driving 1 and a global
+/// probability of holding the previous vector's value on an input. Profiles
+/// rotate when generation stalls; holding is what lets random sequences walk
+/// deep state-space paths in sequential circuits.
+struct Profile {
+  double p_one;
+  double p_hold;
+};
+
+constexpr Profile kProfiles[] = {
+    {0.5, 0.0},  {0.5, 0.5},   {0.25, 0.5}, {0.75, 0.5},
+    {0.5, 0.85}, {0.1, 0.25},  {0.9, 0.25}, {0.5, 0.95},
+};
+
+void append_chunk(TestSequence& seq, std::size_t n_inputs, std::size_t count,
+                  const Profile& profile, util::Rng& rng) {
+  std::vector<Val3> row(n_inputs, Val3::kZero);
+  std::vector<Val3> prev(n_inputs, Val3::kZero);
+  const bool have_prev = seq.length() > 0;
+  if (have_prev)
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      prev[i] = seq.at(seq.length() - 1, i);
+
+  for (std::size_t v = 0; v < count; ++v) {
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      if ((v > 0 || have_prev) && rng.next_double() < profile.p_hold) {
+        row[i] = v > 0 ? row[i] : prev[i];
+      } else {
+        row[i] = rng.next_double() < profile.p_one ? Val3::kOne : Val3::kZero;
+      }
+    }
+    seq.append(row);
+  }
+}
+
+}  // namespace
+
+TgenResult generate_test_sequence(const fault::FaultSimulator& sim,
+                                  const TgenConfig& config) {
+  const std::size_t n_inputs = sim.circuit().primary_inputs().size();
+  const fault::FaultSet& faults = sim.fault_set();
+
+  TgenResult result;
+  result.detection_time.assign(faults.size(),
+                               DetectionResult::kUndetected);
+
+  util::Rng rng(config.seed);
+  std::vector<FaultId> undetected = faults.all_ids();
+  std::size_t stalls = 0;
+  std::size_t profile_idx = 0;
+  const std::size_t n_profiles = std::size(kProfiles);
+
+  while (!undetected.empty() && result.sequence.length() < config.max_length &&
+         stalls < config.max_stalls) {
+    const std::size_t chunk =
+        std::min(config.chunk, config.max_length - result.sequence.length());
+    TestSequence candidate = result.sequence;
+    append_chunk(candidate, n_inputs, chunk, kProfiles[profile_idx], rng);
+
+    // Simulating the extended sequence from scratch keeps earlier detection
+    // times valid: T only grows by appending, so any fault detected at time
+    // u under a prefix is detected at the same u under the full sequence.
+    const DetectionResult det = sim.run(candidate, undetected);
+
+    if (det.detected_count == 0) {
+      ++stalls;
+      profile_idx = (profile_idx + 1) % n_profiles;
+      continue;
+    }
+
+    result.sequence = std::move(candidate);
+    std::vector<FaultId> still;
+    still.reserve(undetected.size() - det.detected_count);
+    for (std::size_t k = 0; k < undetected.size(); ++k) {
+      if (det.detected(k)) {
+        result.detection_time[undetected[k]] = det.detection_time[k];
+        ++result.detected;
+      } else {
+        still.push_back(undetected[k]);
+      }
+    }
+    undetected = std::move(still);
+    stalls = 0;
+  }
+
+  return result;
+}
+
+}  // namespace wbist::tgen

@@ -1,0 +1,47 @@
+// Deterministic test-sequence generation substrate.
+//
+// The paper derives its weights from a deterministic test sequence produced
+// by STRATEGATE [24] or SEQCOM [25]; neither is available, so this module
+// provides the substitute documented in DESIGN.md: multi-profile weighted-
+// random sequence generation with fault dropping. Each *profile* biases the
+// per-input one-probability and a hold-probability (repeating the previous
+// value, which sequential circuits need to traverse state space); chunks of
+// vectors are appended only when they detect new faults, and generation
+// stops when the fault set is exhausted or progress stalls across profiles.
+//
+// The output is exactly what the weighted-BIST procedure requires: a single
+// deterministic sequence T plus the detection time u_det(f) of every fault
+// it detects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+#include "sim/sequence.h"
+
+namespace wbist::tgen {
+
+struct TgenConfig {
+  std::size_t max_length = 4000;    ///< hard cap on |T|
+  std::size_t chunk = 128;          ///< vectors proposed per attempt
+  std::size_t max_stalls = 24;      ///< fruitless attempts before giving up
+  std::uint64_t seed = 1;
+};
+
+struct TgenResult {
+  sim::TestSequence sequence;
+  /// Aligned with the FaultSet: first detection time under `sequence`,
+  /// or DetectionResult::kUndetected.
+  std::vector<std::int32_t> detection_time;
+  std::size_t detected = 0;
+};
+
+/// Generate a deterministic test sequence for the collapsed fault set of the
+/// simulator's circuit. Fully reproducible from config.seed.
+TgenResult generate_test_sequence(const fault::FaultSimulator& sim,
+                                  const TgenConfig& config = {});
+
+}  // namespace wbist::tgen

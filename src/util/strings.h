@@ -1,0 +1,28 @@
+// Small string utilities shared by the parser and the report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wbist::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a separator character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace; no empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True if `s` starts with `prefix` (ASCII case-insensitive).
+bool starts_with_icase(std::string_view s, std::string_view prefix);
+
+/// ASCII upper-case copy.
+std::string to_upper(std::string_view s);
+
+/// Format a double with fixed `digits` decimals (e.g. fault efficiencies).
+std::string fixed(double value, int digits);
+
+}  // namespace wbist::util

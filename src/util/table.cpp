@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wbist::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != '%')
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numbers) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      const bool right = align_numbers && looks_numeric(cell);
+      if (i != 0) out += "  ";
+      if (right) out.append(pad, ' ');
+      out += cell;
+      if (!right) out.append(pad, ' ');
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  if (!title_.empty()) out += title_ + "\n";
+  if (!header_.empty()) {
+    emit(header_, /*align_numbers=*/false);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r, /*align_numbers=*/true);
+  return out;
+}
+
+}  // namespace wbist::util

@@ -1,0 +1,36 @@
+// ASCII table rendering used by the experiment harnesses to print rows in
+// the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wbist::util {
+
+/// Column-aligned ASCII table with a header row and an optional title.
+///
+/// Usage:
+///   Table t{"Table 6: Experimental results"};
+///   t.header({"circuit", "len", "det", "seq", "subs", "len"});
+///   t.row({"s27", "10", "32", "4", "9", "3"});
+///   std::cout << t.render();
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with columns padded to the widest cell; numbers right-aligned.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wbist::util

@@ -1,0 +1,142 @@
+#include "circuits/synth_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/good_sim.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::circuits {
+namespace {
+
+using netlist::Netlist;
+using sim::Val3;
+
+SynthProfile small_profile(std::uint64_t seed) {
+  SynthProfile p;
+  p.name = "toy";
+  p.n_pi = 4;
+  p.n_po = 2;
+  p.n_ff = 3;
+  p.n_gates = 24;
+  p.seed = seed;
+  return p;
+}
+
+TEST(SynthGen, MatchesProfileCounts) {
+  const Netlist nl = generate_circuit(small_profile(1));
+  const auto stats = nl.stats();
+  EXPECT_EQ(stats.primary_inputs, 4u);
+  EXPECT_EQ(stats.primary_outputs, 2u);
+  EXPECT_EQ(stats.flip_flops, 3u);
+  EXPECT_EQ(stats.logic_gates, 24u);
+}
+
+TEST(SynthGen, DeterministicPerSeed) {
+  const Netlist a = generate_circuit(small_profile(7));
+  const Netlist b = generate_circuit(small_profile(7));
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (netlist::NodeId id = 0; id < a.node_count(); ++id) {
+    EXPECT_EQ(a.node(id).type, b.node(id).type);
+    EXPECT_EQ(a.node(id).name, b.node(id).name);
+    EXPECT_EQ(a.node(id).fanin, b.node(id).fanin);
+  }
+}
+
+TEST(SynthGen, DifferentSeedsDiffer) {
+  const Netlist a = generate_circuit(small_profile(1));
+  const Netlist b = generate_circuit(small_profile(2));
+  bool differs = a.node_count() != b.node_count();
+  for (netlist::NodeId id = 0; !differs && id < a.node_count(); ++id)
+    differs = a.node(id).fanin != b.node(id).fanin ||
+              a.node(id).type != b.node(id).type;
+  EXPECT_TRUE(differs);
+}
+
+TEST(SynthGen, SynchronizingInputInitializesState) {
+  // Driving I0 = 0 for one cycle must flush the all-X state: every flip-flop
+  // becomes binary, and stays binary afterwards.
+  const Netlist nl = generate_circuit(small_profile(3));
+  sim::GoodSimulator sim(nl);
+  std::vector<Val3> vec(nl.primary_inputs().size(), Val3::kOne);
+  vec[0] = Val3::kZero;  // I0 low
+  sim.step(vec);
+  for (const Val3 s : sim.state()) EXPECT_NE(s, Val3::kX);
+  // Any follow-up vector keeps the state binary.
+  std::vector<Val3> vec2(nl.primary_inputs().size(), Val3::kOne);
+  sim.step(vec2);
+  for (const Val3 s : sim.state()) EXPECT_NE(s, Val3::kX);
+}
+
+TEST(SynthGen, DegenerateProfilesRejected) {
+  SynthProfile p = small_profile(1);
+  p.n_pi = 0;
+  EXPECT_THROW(generate_circuit(p), std::invalid_argument);
+  p = small_profile(1);
+  p.n_po = 0;
+  EXPECT_THROW(generate_circuit(p), std::invalid_argument);
+  p = small_profile(1);
+  p.n_gates = p.n_ff;  // too small
+  EXPECT_THROW(generate_circuit(p), std::invalid_argument);
+}
+
+TEST(SynthGen, RandomlyTestable) {
+  // The generated circuits must be meaningfully testable, otherwise the
+  // whole evaluation is vacuous: random sequences should detect > 40%.
+  const Netlist nl = generate_circuit(small_profile(11));
+  const auto set = fault::FaultSet::collapsed(nl);
+  fault::FaultSimulator sim(nl, set);
+  tgen::TgenConfig cfg;
+  cfg.max_length = 1024;
+  const auto res = tgen::generate_test_sequence(sim, cfg);
+  EXPECT_GT(res.detected, set.size() * 2 / 5);
+}
+
+TEST(SynthGen, NoFlipFlopIsCompletelyDangling) {
+  const Netlist nl = generate_circuit(small_profile(13));
+  for (const netlist::NodeId ff : nl.flip_flops())
+    EXPECT_EQ(nl.node(ff).fanin.size(), 1u);
+}
+
+class RegistryCircuits : public testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryCircuits, BuildsAndMatchesProfile) {
+  const auto info = circuit_info(GetParam());
+  ASSERT_TRUE(info.has_value());
+  const Netlist nl = circuit_by_name(GetParam());
+  const auto stats = nl.stats();
+  EXPECT_EQ(stats.primary_inputs, info->profile.n_pi);
+  EXPECT_EQ(stats.flip_flops, info->profile.n_ff);
+  EXPECT_EQ(stats.logic_gates, info->profile.n_gates);
+  EXPECT_EQ(nl.name(), info->name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, RegistryCircuits,
+                         testing::Values("s27", "s208", "s298", "s344",
+                                         "s382", "s386", "s400", "s420",
+                                         "s444", "s526", "s641", "s820",
+                                         "s1196", "s1423", "s1488"));
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(circuit_by_name("s9999"), std::invalid_argument);
+  EXPECT_FALSE(circuit_info("s9999").has_value());
+}
+
+TEST(Registry, S27IsReal) {
+  const auto info = circuit_info("s27");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->synthetic);
+}
+
+TEST(Registry, KnownCircuitsListIsStable) {
+  const auto all = known_circuits();
+  ASSERT_GE(all.size(), 16u);
+  EXPECT_EQ(all.front().name, "s27");
+  for (const auto& info : all)
+    EXPECT_TRUE(circuit_info(info.name).has_value());
+}
+
+}  // namespace
+}  // namespace wbist::circuits

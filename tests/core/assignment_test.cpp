@@ -1,0 +1,202 @@
+#include "core/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+
+namespace wbist::core {
+namespace {
+
+WeightAssignment paper_best() {
+  // Section 2 / 4.1: the first weight assignment for s27 at u = 9.
+  WeightAssignment w;
+  w.per_input = {Subsequence::parse("01"), Subsequence::parse("0"),
+                 Subsequence::parse("100"), Subsequence::parse("1")};
+  return w;
+}
+
+TEST(Assignment, ExpandReproducesTable2) {
+  // Expanding (01, 0, 100, 1) for 12 cycles gives exactly Table 2.
+  const sim::TestSequence got = paper_best().expand(12);
+  EXPECT_EQ(got, circuits::s27_paper_weighted_sequence());
+}
+
+TEST(Assignment, ExpandLengthAndWidth) {
+  const sim::TestSequence seq = paper_best().expand(5);
+  EXPECT_EQ(seq.length(), 5u);
+  EXPECT_EQ(seq.width(), 4u);
+}
+
+TEST(Assignment, MaxSubsequenceLength) {
+  EXPECT_EQ(paper_best().max_subsequence_length(), 3u);
+}
+
+TEST(Assignment, StrFormat) {
+  EXPECT_EQ(paper_best().str(), "01 / 0 / 100 / 1");
+}
+
+TEST(Assignment, HashAndEquality) {
+  const WeightAssignmentHash h;
+  EXPECT_EQ(paper_best(), paper_best());
+  EXPECT_EQ(h(paper_best()), h(paper_best()));
+  WeightAssignment other = paper_best();
+  other.per_input[0] = Subsequence::parse("10");
+  EXPECT_NE(paper_best(), other);
+}
+
+// ---------------------------------------------------------------------------
+// Table 5: the sets A_i for s27, u = 9, S = all subsequences of length <= 3.
+// ---------------------------------------------------------------------------
+
+class Table5 : public testing::Test {
+ protected:
+  // ensure_full_length = false reproduces the paper's Table 5 exactly; the
+  // Section 4.1 modification is covered by the dedicated tests below.
+  Table5()
+      : S_(WeightSet::all_up_to(3)),
+        T_(circuits::s27_paper_sequence()),
+        sets_(build_candidate_sets(S_, T_, 9, 3, false)) {}
+
+  WeightSet S_;
+  sim::TestSequence T_;
+  CandidateSets sets_;
+};
+
+TEST_F(Table5, SetSizes) {
+  ASSERT_EQ(sets_.per_input.size(), 4u);
+  for (const auto& A : sets_.per_input) EXPECT_EQ(A.size(), 3u);
+}
+
+TEST_F(Table5, A0ContentsAndOrder) {
+  const auto& A = sets_.per_input[0];
+  EXPECT_EQ(A[0].alpha.str(), "01");
+  EXPECT_EQ(A[0].n_m, 8u);
+  EXPECT_EQ(A[0].index_in_s, 4u);
+  EXPECT_EQ(A[1].alpha.str(), "100");
+  EXPECT_EQ(A[1].n_m, 7u);
+  EXPECT_EQ(A[1].index_in_s, 7u);
+  EXPECT_EQ(A[2].alpha.str(), "1");
+  EXPECT_EQ(A[2].n_m, 5u);
+  EXPECT_EQ(A[2].index_in_s, 1u);
+}
+
+TEST_F(Table5, A1ContentsAndOrder) {
+  const auto& A = sets_.per_input[1];
+  EXPECT_EQ(A[0].alpha.str(), "0");
+  EXPECT_EQ(A[1].alpha.str(), "00");
+  EXPECT_EQ(A[2].alpha.str(), "000");
+  for (const auto& c : A) EXPECT_EQ(c.n_m, 7u);
+}
+
+TEST_F(Table5, A2ContentsAndOrder) {
+  const auto& A = sets_.per_input[2];
+  EXPECT_EQ(A[0].alpha.str(), "100");
+  EXPECT_EQ(A[0].n_m, 6u);
+  EXPECT_EQ(A[1].alpha.str(), "01");
+  EXPECT_EQ(A[1].n_m, 5u);
+  EXPECT_EQ(A[2].alpha.str(), "1");
+  EXPECT_EQ(A[2].n_m, 4u);
+}
+
+TEST_F(Table5, A3ContentsAndOrder) {
+  const auto& A = sets_.per_input[3];
+  EXPECT_EQ(A[0].alpha.str(), "1");
+  EXPECT_EQ(A[0].n_m, 7u);
+  EXPECT_EQ(A[1].alpha.str(), "100");
+  EXPECT_EQ(A[1].n_m, 7u);
+  EXPECT_EQ(A[2].alpha.str(), "01");
+  EXPECT_EQ(A[2].n_m, 6u);
+}
+
+TEST_F(Table5, Rank0IsThePaperAssignment) {
+  EXPECT_EQ(sets_.assignment_at(0), paper_best());
+}
+
+TEST_F(Table5, Rank1IsThePaperSecondBest) {
+  // Section 2: "the subsequence 100 for input 0, 00 for input 1, 01 for
+  // input 2, and 100 for input 3."
+  const WeightAssignment w = sets_.assignment_at(1);
+  EXPECT_EQ(w.per_input[0].str(), "100");
+  EXPECT_EQ(w.per_input[1].str(), "00");
+  EXPECT_EQ(w.per_input[2].str(), "01");
+  EXPECT_EQ(w.per_input[3].str(), "100");
+}
+
+TEST_F(Table5, RanksClampToLastEntry) {
+  const WeightAssignment w = sets_.assignment_at(10);
+  EXPECT_EQ(w.per_input[0].str(), "1");  // last of A_0
+  EXPECT_EQ(sets_.max_rank(), 3u);
+}
+
+TEST(Assignment, EnsureFullLengthModification) {
+  // With S = {1-bit and 2-bit subsequences} and max_len = 2, A_i sorted by
+  // n_m may put short subsequences first everywhere; the modification must
+  // hoist a length-2 candidate to the front of every set.
+  const WeightSet S = WeightSet::all_up_to(2);
+  const auto T = circuits::s27_paper_sequence();
+  const CandidateSets sets = build_candidate_sets(S, T, 9, 2, true);
+  const WeightAssignment w0 = sets.assignment_at(0);
+  bool all_full = true;
+  for (const auto& s : w0.per_input) all_full &= s.length() == 2;
+  EXPECT_TRUE(all_full);
+  // Rank 0 must therefore reproduce T on the window ending at u = 9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto col = T.column(i);
+    EXPECT_TRUE(w0.per_input[i].matches_window(col, 9));
+  }
+}
+
+TEST(Assignment, WithoutModificationOrderIsPureNm) {
+  const WeightSet S = WeightSet::all_up_to(2);
+  const auto T = circuits::s27_paper_sequence();
+  const CandidateSets sets = build_candidate_sets(S, T, 9, 2, false);
+  for (const auto& A : sets.per_input)
+    for (std::size_t k = 1; k < A.size(); ++k)
+      EXPECT_GE(A[k - 1].n_m, A[k].n_m);
+}
+
+TEST(Assignment, ModificationShiftsRanksByOne) {
+  // With insertion, the all-length-L_S assignment takes rank 0 and the
+  // paper's Table-5 assignments follow at ranks 1 and 2.
+  const WeightSet S = WeightSet::all_up_to(3);
+  const auto T = circuits::s27_paper_sequence();
+  const CandidateSets sets = build_candidate_sets(S, T, 9, 3, true);
+  const WeightAssignment w0 = sets.assignment_at(0);
+  for (const auto& s : w0.per_input) EXPECT_EQ(s.length(), 3u);
+  EXPECT_EQ(sets.assignment_at(1), paper_best());
+  const WeightAssignment w2 = sets.assignment_at(2);
+  EXPECT_EQ(w2.per_input[0].str(), "100");
+  EXPECT_EQ(w2.per_input[1].str(), "00");
+  EXPECT_EQ(w2.per_input[2].str(), "01");
+  EXPECT_EQ(w2.per_input[3].str(), "100");
+}
+
+TEST(Assignment, ModificationSkippedWhenFullRankExists) {
+  // Build a sequence whose rank-0 candidates are already all of max length:
+  // T with two identical rows makes the length-1 constants and length-2
+  // pairs tie; use max_len = 1 so every candidate trivially has length 1.
+  const WeightSet S = WeightSet::all_up_to(1);
+  const auto T = circuits::s27_paper_sequence();
+  const CandidateSets with = build_candidate_sets(S, T, 9, 1, true);
+  const CandidateSets without = build_candidate_sets(S, T, 9, 1, false);
+  ASSERT_EQ(with.per_input.size(), without.per_input.size());
+  for (std::size_t i = 0; i < with.per_input.size(); ++i)
+    EXPECT_EQ(with.per_input[i].size(), without.per_input[i].size());
+}
+
+TEST(Assignment, CandidatesAllMatchWindow) {
+  const WeightSet S = WeightSet::all_up_to(3);
+  const auto T = circuits::s27_paper_sequence();
+  for (std::size_t u = 2; u < T.length(); ++u) {
+    const CandidateSets sets = build_candidate_sets(S, T, u, 3);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto col = T.column(i);
+      for (const Candidate& c : sets.per_input[i])
+        EXPECT_TRUE(c.alpha.matches_window(col, u))
+            << "u=" << u << " i=" << i << " alpha=" << c.alpha.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wbist::core

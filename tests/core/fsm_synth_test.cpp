@@ -1,0 +1,154 @@
+#include "core/fsm_synth.h"
+
+#include <gtest/gtest.h>
+
+namespace wbist::core {
+namespace {
+
+std::vector<Subsequence> subs(std::initializer_list<const char*> texts) {
+  std::vector<Subsequence> out;
+  for (const char* t : texts) out.push_back(Subsequence::parse(t));
+  return out;
+}
+
+std::string bits_to_string(const std::vector<bool>& bits) {
+  std::string s;
+  for (bool b : bits) s += b ? '1' : '0';
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 of the paper: one FSM producing 00010, 01011 and 11001.
+// ---------------------------------------------------------------------------
+
+TEST(FsmSynth, Table3SingleFsm) {
+  const auto result =
+      synthesize_weight_fsms(subs({"00010", "01011", "11001"}));
+  ASSERT_EQ(result.fsms.size(), 1u);
+  const WeightFsm& fsm = result.fsms[0];
+  EXPECT_EQ(fsm.period, 5u);
+  EXPECT_EQ(fsm.state_bits, 3u);  // ceil(log2 5)
+  EXPECT_EQ(fsm.outputs.size(), 3u);
+}
+
+TEST(FsmSynth, Table3OutputSequences) {
+  const auto result =
+      synthesize_weight_fsms(subs({"00010", "01011", "11001"}));
+  const WeightFsm& fsm = result.fsms[0];
+  // "After resetting the machine to state A, it will produce the sequences
+  // (00010)^r on z1, (01011)^r on z2 and (11001)^r on z3."
+  for (std::size_t k = 0; k < fsm.outputs.size(); ++k) {
+    const std::string alpha = fsm.outputs[k].str();
+    const auto produced = fsm.run_output(k, 15);
+    std::string expect;
+    for (std::size_t t = 0; t < 15; ++t) expect += alpha[t % 5];
+    EXPECT_EQ(bits_to_string(produced), expect) << "output " << k;
+  }
+}
+
+TEST(FsmSynth, CounterCyclesThroughPeriod) {
+  const auto result = synthesize_weight_fsms(subs({"00010"}));
+  const WeightFsm& fsm = result.fsms[0];
+  // Walk the synthesized next-state logic: must visit 0,1,2,3,4,0,1,...
+  std::uint32_t state = 0;
+  for (std::size_t t = 0; t < 12; ++t) {
+    EXPECT_EQ(state, t % 5);
+    std::uint32_t next = 0;
+    for (unsigned b = 0; b < fsm.state_bits; ++b)
+      if (fsm.next_state[b].evaluates(state)) next |= 1u << b;
+    state = next;
+  }
+}
+
+TEST(FsmSynth, RepetitionEquivalentsMerged) {
+  // "01" and "0101" produce the same sequence -> one output on one FSM.
+  const auto result = synthesize_weight_fsms(subs({"01", "0101"}));
+  ASSERT_EQ(result.fsms.size(), 1u);
+  EXPECT_EQ(result.fsms[0].period, 2u);
+  EXPECT_EQ(result.output_count(), 1u);
+  // Both originals map to that single output.
+  EXPECT_EQ(result.mapping.size(), 2u);
+  const auto r1 = result.mapping.at(Subsequence::parse("01"));
+  const auto r2 = result.mapping.at(Subsequence::parse("0101"));
+  EXPECT_EQ(r1.fsm, r2.fsm);
+  EXPECT_EQ(r1.output, r2.output);
+}
+
+TEST(FsmSynth, ConstantsBecomeZeroStateFsm) {
+  const auto result = synthesize_weight_fsms(subs({"0", "1", "00"}));
+  // "0" and "00" merge; period-1 FSM holds both constants, no state bits.
+  ASSERT_EQ(result.fsms.size(), 1u);
+  EXPECT_EQ(result.fsms[0].period, 1u);
+  EXPECT_EQ(result.fsms[0].state_bits, 0u);
+  EXPECT_EQ(result.output_count(), 2u);
+  EXPECT_EQ(result.flip_flop_count(), 0u);
+  // Constant outputs really are constant through the synthesized covers.
+  for (std::size_t k = 0; k < 2; ++k) {
+    const auto seq = result.fsms[0].run_output(k, 5);
+    for (bool b : seq) EXPECT_EQ(b, result.fsms[0].outputs[k].bit(0));
+  }
+}
+
+TEST(FsmSynth, OneFsmPerDistinctLength) {
+  const auto result =
+      synthesize_weight_fsms(subs({"0", "01", "10", "100", "110", "1"}));
+  EXPECT_EQ(result.fsm_count(), 3u);  // lengths 1, 2, 3
+  EXPECT_EQ(result.output_count(), 6u);
+  // FSMs sorted by ascending period.
+  EXPECT_EQ(result.fsms[0].period, 1u);
+  EXPECT_EQ(result.fsms[1].period, 2u);
+  EXPECT_EQ(result.fsms[2].period, 3u);
+}
+
+TEST(FsmSynth, DuplicatesInInputIgnored) {
+  const auto result = synthesize_weight_fsms(subs({"01", "01", "01"}));
+  EXPECT_EQ(result.output_count(), 1u);
+}
+
+TEST(FsmSynth, Table6CountingSemantics) {
+  // subs = 39 distinct subsequences -> out = 38 after one merge, as in the
+  // paper's s208 row: model the counting contract on a small instance.
+  const auto result = synthesize_weight_fsms(subs({"0", "00", "10", "110"}));
+  // "0"/"00" merge (period 1); "10" period 2; "110" period 3.
+  EXPECT_EQ(result.output_count(), 3u);
+  EXPECT_EQ(result.fsm_count(), 3u);
+}
+
+TEST(FsmSynth, EveryOutputMatchesItsSubsequence) {
+  // Property over a mixed set: hardware covers always reproduce α^r.
+  const auto set = subs({"0", "1", "01", "11", "100", "010", "0110",
+                         "10010", "1101001"});
+  const auto result = synthesize_weight_fsms(set);
+  for (const WeightFsm& fsm : result.fsms) {
+    for (std::size_t k = 0; k < fsm.outputs.size(); ++k) {
+      const auto got = fsm.run_output(k, 3 * fsm.period + 2);
+      for (std::size_t t = 0; t < got.size(); ++t)
+        EXPECT_EQ(got[t], fsm.outputs[k].at(t))
+            << fsm.outputs[k].str() << " at t=" << t;
+    }
+  }
+}
+
+TEST(FsmSynth, GateCountEstimates) {
+  const auto trivial = synthesize_weight_fsms(subs({"0", "1"}));
+  EXPECT_EQ(trivial.estimated_gate_count(), 0u);  // constants are wires
+  const auto real = synthesize_weight_fsms(subs({"00010", "01011"}));
+  EXPECT_GT(real.estimated_gate_count(), 0u);
+  EXPECT_EQ(real.flip_flop_count(), 3u);
+}
+
+TEST(FsmSynth, StateAtHelper) {
+  const auto result = synthesize_weight_fsms(subs({"100"}));
+  const WeightFsm& fsm = result.fsms[0];
+  EXPECT_EQ(fsm.state_at(0), 0u);
+  EXPECT_EQ(fsm.state_at(4), 1u);
+}
+
+TEST(FsmSynth, EmptyInput) {
+  const auto result = synthesize_weight_fsms({});
+  EXPECT_EQ(result.fsm_count(), 0u);
+  EXPECT_EQ(result.output_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,73 @@
+// Fuzz-style property suite: random weight-assignment sets synthesized to
+// hardware must stream exactly their software expansion, for every session,
+// across random subsequence contents, lengths and session counts.
+#include <gtest/gtest.h>
+
+#include "core/generator_hw.h"
+#include "sim/good_sim.h"
+#include "util/rng.h"
+
+namespace wbist::core {
+namespace {
+
+using sim::Val3;
+
+Subsequence random_subsequence(util::Rng& rng, std::size_t max_len) {
+  const std::size_t len = 1 + rng.below(max_len);
+  std::vector<bool> bits(len);
+  for (std::size_t k = 0; k < len; ++k) bits[k] = rng.next_bit();
+  return Subsequence(std::move(bits));
+}
+
+class GeneratorFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorFuzz, HardwareEqualsSoftwareExpansion) {
+  util::Rng rng(GetParam());
+  const std::size_t n_inputs = 1 + rng.below(6);
+  const std::size_t n_sessions = 1 + rng.below(5);
+  const std::size_t max_len = 1 + rng.below(9);
+
+  std::vector<WeightAssignment> omega(n_sessions);
+  for (auto& w : omega)
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      w.per_input.push_back(random_subsequence(rng, max_len));
+
+  const std::size_t lg = 4 + rng.below(40);
+  const GeneratorHardware hw = build_generator(omega, lg);
+
+  sim::GoodSimulator sim(hw.netlist);
+  sim.step(std::vector<Val3>{Val3::kOne});  // reset pulse
+  for (std::size_t j = 0; j < n_sessions; ++j) {
+    const sim::TestSequence expect = omega[j].expand(hw.session_length);
+    for (std::size_t u = 0; u < hw.session_length; ++u) {
+      sim.step(std::vector<Val3>{Val3::kZero});
+      const auto out = sim.outputs();
+      ASSERT_EQ(out.size(), n_inputs);
+      for (std::size_t i = 0; i < n_inputs; ++i)
+        ASSERT_EQ(out[i], expect.at(u, i))
+            << "seed=" << GetParam() << " session=" << j << " cycle=" << u
+            << " input=" << i << " alpha=" << omega[j].per_input[i].str();
+    }
+  }
+}
+
+TEST_P(GeneratorFuzz, ExpansionIsPeriodicPerInput) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  WeightAssignment w;
+  const std::size_t n_inputs = 1 + rng.below(8);
+  for (std::size_t i = 0; i < n_inputs; ++i)
+    w.per_input.push_back(random_subsequence(rng, 12));
+  const sim::TestSequence seq = w.expand(100);
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    const std::size_t period = w.per_input[i].length();
+    for (std::size_t u = period; u < 100; ++u)
+      ASSERT_EQ(seq.at(u, i), seq.at(u - period, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorFuzz,
+                         testing::Values(1001, 1002, 1003, 1004, 1005, 1006,
+                                         1007, 1008));
+
+}  // namespace
+}  // namespace wbist::core

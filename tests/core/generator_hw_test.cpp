@@ -1,0 +1,143 @@
+#include "core/generator_hw.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "sim/good_sim.h"
+
+namespace wbist::core {
+namespace {
+
+using sim::Val3;
+
+WeightAssignment make_assignment(std::initializer_list<const char*> texts) {
+  WeightAssignment w;
+  for (const char* t : texts) w.per_input.push_back(Subsequence::parse(t));
+  return w;
+}
+
+/// Simulate the generator netlist: one reset cycle, then `cycles` free-run
+/// cycles; returns the TG output streams (one string per CUT input).
+std::vector<std::string> run_generator(const GeneratorHardware& hw,
+                                       std::size_t cycles) {
+  sim::GoodSimulator sim(hw.netlist);
+  const std::size_t n_outputs = hw.netlist.primary_outputs().size();
+  std::vector<std::string> streams(n_outputs);
+
+  sim.step(std::vector<Val3>{Val3::kOne});  // reset cycle (outputs ignored)
+  for (std::size_t t = 0; t < cycles; ++t) {
+    sim.step(std::vector<Val3>{Val3::kZero});
+    const auto out = sim.outputs();
+    for (std::size_t i = 0; i < n_outputs; ++i)
+      streams[i] += sim::to_char(out[i]);
+  }
+  return streams;
+}
+
+TEST(GeneratorHw, SingleAssignmentStreamsMatchExpansion) {
+  const WeightAssignment w = make_assignment({"01", "0", "100", "1"});
+  const GeneratorHardware hw = build_generator({{w}}, 12);
+  EXPECT_EQ(hw.session_length, 16u);  // next power of two
+  EXPECT_EQ(hw.session_count, 1u);
+
+  const auto streams = run_generator(hw, hw.session_length);
+  const auto expect = w.expand(hw.session_length);
+  for (std::size_t i = 0; i < w.per_input.size(); ++i) {
+    std::string want;
+    for (std::size_t u = 0; u < hw.session_length; ++u)
+      want += sim::to_char(expect.at(u, i));
+    EXPECT_EQ(streams[i], want) << "input " << i;
+  }
+}
+
+TEST(GeneratorHw, MultiSessionSwitchesAssignments) {
+  const std::vector<WeightAssignment> omega{
+      make_assignment({"01", "0"}),
+      make_assignment({"1", "100"}),
+      make_assignment({"110", "10"}),
+  };
+  const GeneratorHardware hw = build_generator(omega, 8);
+  ASSERT_EQ(hw.session_length, 8u);
+  const auto streams = run_generator(hw, hw.session_length * omega.size());
+
+  for (std::size_t j = 0; j < omega.size(); ++j) {
+    const auto expect = omega[j].expand(hw.session_length);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t u = 0; u < hw.session_length; ++u) {
+        EXPECT_EQ(streams[i][j * hw.session_length + u],
+                  sim::to_char(expect.at(u, i)))
+            << "session " << j << " input " << i << " cycle " << u;
+      }
+    }
+  }
+}
+
+TEST(GeneratorHw, OutputsAreBinaryAfterReset) {
+  const std::vector<WeightAssignment> omega{make_assignment({"010", "1"}),
+                                            make_assignment({"0", "10"})};
+  const GeneratorHardware hw = build_generator(omega, 4);
+  const auto streams = run_generator(hw, 2 * hw.session_length + 3);
+  for (const std::string& s : streams)
+    for (char c : s) EXPECT_NE(c, 'x');
+}
+
+TEST(GeneratorHw, SessionCounterWrapsCleanly) {
+  // After the last session the counter wraps; outputs must stay binary (the
+  // decode may select no assignment, producing constant 0 on the MUX).
+  const std::vector<WeightAssignment> omega{make_assignment({"01"}),
+                                            make_assignment({"10"}),
+                                            make_assignment({"1"})};
+  const GeneratorHardware hw = build_generator(omega, 4);
+  const auto streams = run_generator(hw, hw.session_length * 5);
+  for (char c : streams[0]) EXPECT_NE(c, 'x');
+}
+
+TEST(GeneratorHw, SharedFsmOutputsAreReused) {
+  // Both assignments use "01": the generator must instantiate one period-2
+  // FSM with a single output, referenced twice.
+  const std::vector<WeightAssignment> omega{make_assignment({"01", "01"}),
+                                            make_assignment({"01", "0101"})};
+  const GeneratorHardware hw = build_generator(omega, 4);
+  EXPECT_EQ(hw.fsms.fsm_count(), 1u);
+  EXPECT_EQ(hw.fsms.output_count(), 1u);
+}
+
+TEST(GeneratorHw, NetlistRoundTripsThroughBench) {
+  const std::vector<WeightAssignment> omega{make_assignment({"01", "100"}),
+                                            make_assignment({"0", "1"})};
+  const GeneratorHardware hw = build_generator(omega, 8);
+  const std::string text = netlist::write_bench(hw.netlist);
+  const netlist::Netlist again = netlist::read_bench(text, "gen");
+  EXPECT_EQ(again.node_count(), hw.netlist.node_count());
+  EXPECT_EQ(again.primary_outputs().size(),
+            hw.netlist.primary_outputs().size());
+}
+
+TEST(GeneratorHw, StatsReflectRealCost) {
+  const std::vector<WeightAssignment> omega{
+      make_assignment({"00010", "01011", "11001"})};
+  const GeneratorHardware hw = build_generator(omega, 16);
+  const auto stats = hw.stats();
+  EXPECT_GT(stats.logic_gates, 0u);
+  // Divider (log2 16 = 4 FFs) + weight FSM (3 FFs); single session -> no
+  // session counter bits.
+  EXPECT_EQ(stats.flip_flops, 4u + 3u);
+  EXPECT_EQ(stats.primary_inputs, 1u);   // R
+  EXPECT_EQ(stats.primary_outputs, 3u);  // TG0..TG2
+}
+
+TEST(GeneratorHw, RejectsBadInput) {
+  EXPECT_THROW(build_generator({}, 8), std::invalid_argument);
+  const std::vector<WeightAssignment> uneven{make_assignment({"0", "1"}),
+                                             make_assignment({"0"})};
+  EXPECT_THROW(build_generator(uneven, 8), std::invalid_argument);
+}
+
+TEST(GeneratorHw, TinySessionLengthRoundsUp) {
+  const GeneratorHardware hw =
+      build_generator({{make_assignment({"1"})}}, 1);
+  EXPECT_GE(hw.session_length, 2u);
+}
+
+}  // namespace
+}  // namespace wbist::core

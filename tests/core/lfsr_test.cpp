@@ -1,0 +1,107 @@
+#include "core/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/netlist.h"
+#include "sim/good_sim.h"
+
+namespace wbist::core {
+namespace {
+
+using sim::Val3;
+
+TEST(Lfsr, EscapesAllZeroState) {
+  Lfsr lfsr(16);
+  lfsr.reset();
+  EXPECT_EQ(lfsr.state(), 0u);
+  lfsr.step();
+  EXPECT_NE(lfsr.state(), 0u);  // XNOR feedback injects a 1
+}
+
+TEST(Lfsr, MaximalPeriodWidth8) {
+  // The width-8 default polynomial is maximal: period 2^8 - 1 over the
+  // state space excluding the all-ones lock-up state.
+  Lfsr lfsr(8);
+  lfsr.reset();
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_TRUE(seen.insert(lfsr.state()).second) << "state repeated early";
+    lfsr.step();
+  }
+  EXPECT_EQ(lfsr.state(), 0u);  // back to the start after 255 steps
+  EXPECT_EQ(seen.count(0xFFu), 0u);  // lock-up state never visited
+}
+
+TEST(Lfsr, RunMatchesManualStepping) {
+  Lfsr lfsr(16);
+  const auto states = lfsr.run(20);
+  ASSERT_EQ(states.size(), 20u);
+  EXPECT_EQ(states[0], 0u);  // cycle 0 shows the reset state
+  Lfsr manual(16);
+  manual.reset();
+  for (std::size_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(states[t], manual.state());
+    manual.step();
+  }
+}
+
+TEST(Lfsr, ValidatesConfiguration) {
+  EXPECT_THROW(Lfsr(1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(33), std::invalid_argument);
+  EXPECT_THROW(Lfsr(8, {}), std::invalid_argument);
+  EXPECT_THROW(Lfsr(8, {8}), std::invalid_argument);
+  EXPECT_NO_THROW(Lfsr(8, {7, 3}));
+}
+
+TEST(Lfsr, BitAccessor) {
+  Lfsr lfsr(8);
+  lfsr.reset();
+  lfsr.step();  // state becomes 0b1
+  EXPECT_TRUE(lfsr.bit(0));
+  EXPECT_FALSE(lfsr.bit(1));
+}
+
+TEST(Lfsr, HardwareMatchesSoftware) {
+  // Emit the LFSR into a netlist, simulate with one reset cycle, and check
+  // the flip-flop streams against the software model cycle by cycle.
+  const Lfsr model(8);
+  netlist::Netlist nl("lfsr_test");
+  const auto reset = nl.add_input("R");
+  const auto bits = emit_lfsr(nl, model, reset, "L");
+  for (const auto b : bits) nl.mark_output(b);
+  nl.finalize();
+
+  sim::GoodSimulator simulator(nl);
+  simulator.step(std::vector<Val3>{Val3::kOne});  // reset pulse
+
+  Lfsr sw(8);
+  sw.reset();
+  for (int t = 0; t < 64; ++t) {
+    simulator.step(std::vector<Val3>{Val3::kZero});
+    for (unsigned k = 0; k < 8; ++k) {
+      const Val3 hw_bit = simulator.value(bits[k]);
+      ASSERT_NE(hw_bit, Val3::kX) << "cycle " << t;
+      EXPECT_EQ(hw_bit == Val3::kOne, sw.bit(k)) << "cycle " << t << " bit "
+                                                 << k;
+    }
+    sw.step();
+  }
+}
+
+TEST(Lfsr, StreamLooksBalanced) {
+  Lfsr lfsr(16);
+  lfsr.reset();
+  int ones = 0;
+  const int n = 4096;
+  for (int t = 0; t < n; ++t) {
+    lfsr.step();
+    ones += lfsr.bit(0) ? 1 : 0;
+  }
+  EXPECT_GT(ones, n / 2 - n / 8);
+  EXPECT_LT(ones, n / 2 + n / 8);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,212 @@
+#include "core/misr.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/good_sim.h"
+#include "testutil.h"
+
+namespace wbist::core {
+namespace {
+
+using netlist::NodeId;
+using sim::TestSequence;
+using sim::Val3;
+
+TEST(Misr, SignatureIsDeterministic) {
+  Misr misr(8);
+  std::vector<std::vector<Val3>> responses;
+  for (int u = 0; u < 16; ++u)
+    responses.push_back({u % 2 ? Val3::kOne : Val3::kZero, Val3::kOne});
+  const auto a = misr.signature(responses, 0);
+  const auto b = misr.signature(responses, 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(Misr, DifferentStreamsDifferentSignatures) {
+  Misr misr(16);
+  std::vector<std::vector<Val3>> a, b;
+  for (int u = 0; u < 24; ++u) {
+    a.push_back({u % 2 ? Val3::kOne : Val3::kZero});
+    b.push_back({u % 3 ? Val3::kOne : Val3::kZero});
+  }
+  EXPECT_NE(*misr.signature(a, 0), *misr.signature(b, 0));
+}
+
+TEST(Misr, SingleBitErrorChangesSignature) {
+  // A MISR never aliases on a single-bit error (linearity).
+  Misr misr(16);
+  std::vector<std::vector<Val3>> good;
+  for (int u = 0; u < 32; ++u)
+    good.push_back({u % 2 ? Val3::kOne : Val3::kZero, Val3::kZero});
+  for (std::size_t flip = 0; flip < good.size(); ++flip) {
+    auto bad = good;
+    bad[flip][1] = Val3::kOne;
+    EXPECT_NE(*misr.signature(good, 0), *misr.signature(bad, 0))
+        << "flip at " << flip;
+  }
+}
+
+TEST(Misr, XPoisonsSignature) {
+  Misr misr(8);
+  std::vector<std::vector<Val3>> responses(4, {Val3::kOne});
+  responses[2][0] = Val3::kX;
+  EXPECT_FALSE(misr.signature(responses, 0).has_value());
+  // Warm-up past the X recovers a signature.
+  EXPECT_TRUE(misr.signature(responses, 3).has_value());
+}
+
+TEST(Misr, ComputeWarmup) {
+  std::vector<std::vector<Val3>> responses{
+      {Val3::kX}, {Val3::kZero}, {Val3::kX}, {Val3::kOne}, {Val3::kOne}};
+  EXPECT_EQ(compute_warmup(responses), 3u);
+  std::vector<std::vector<Val3>> clean{{Val3::kOne}, {Val3::kZero}};
+  EXPECT_EQ(compute_warmup(clean), 0u);
+  std::vector<std::vector<Val3>> hopeless{{Val3::kZero}, {Val3::kX}};
+  EXPECT_FALSE(compute_warmup(hopeless).has_value());
+}
+
+/// Build CUT+MISR, simulate a sequence with warm-up gating, and return
+/// (hardware signature read from the MISR flip-flops, software signature).
+std::pair<std::uint32_t, std::uint32_t> run_both(
+    const netlist::Netlist& cut, const TestSequence& seq, unsigned width) {
+  // Software: good responses of the bare CUT.
+  sim::GoodSimulator cut_sim(cut);
+  const auto responses = cut_sim.run(seq);
+  const auto warmup = compute_warmup(responses);
+  EXPECT_TRUE(warmup.has_value());
+  Misr model(width);
+  const auto sw = model.signature(responses, *warmup);
+  EXPECT_TRUE(sw.has_value());
+
+  // Hardware: widen the sequence with the MISR_EN column + readout cycle.
+  const MisrHardware hw = attach_misr(cut, width, model);
+  sim::GoodSimulator hw_sim(hw.netlist);
+  std::vector<Val3> row(hw.netlist.primary_inputs().size(), Val3::kZero);
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    for (std::size_t i = 0; i < seq.width(); ++i) row[i] = seq.at(u, i);
+    row.back() = u >= *warmup ? Val3::kOne : Val3::kZero;  // MISR_EN
+    hw_sim.step(row);
+  }
+  // One extra cycle to latch the final capture; EN low (don't capture).
+  for (std::size_t i = 0; i < seq.width(); ++i) row[i] = Val3::kZero;
+  row.back() = Val3::kZero;
+  hw_sim.step(row);
+
+  std::uint32_t hw_sig = 0;
+  for (unsigned k = 0; k < width; ++k) {
+    const Val3 v = hw_sim.value(hw.state[k]);
+    EXPECT_NE(v, Val3::kX) << "MISR bit " << k;
+    if (v == Val3::kOne) hw_sig |= std::uint32_t{1} << k;
+  }
+  return {hw_sig, *sw};
+}
+
+TEST(Misr, HardwareMatchesSoftwareOnS27) {
+  const auto cut = circuits::s27();
+  const auto [hw, sw] = run_both(cut, circuits::s27_paper_sequence(), 8);
+  EXPECT_EQ(hw, sw);
+}
+
+TEST(Misr, HardwareMatchesSoftwareOnTiny) {
+  const auto cut = test::tiny_circuit();
+  const auto seq = test::random_sequence(20, 2, 77);
+  const auto [hw, sw] = run_both(cut, seq, 4);
+  EXPECT_EQ(hw, sw);
+}
+
+TEST(Misr, EnableLowHoldsZero) {
+  const auto cut = circuits::s27();
+  Misr model(8);
+  const MisrHardware hw = attach_misr(cut, 8, model);
+  sim::GoodSimulator s(hw.netlist);
+  std::vector<Val3> row(hw.netlist.primary_inputs().size(), Val3::kOne);
+  row.back() = Val3::kZero;  // EN low
+  for (int u = 0; u < 5; ++u) {
+    s.step(row);
+    for (const NodeId bit : hw.state) {
+      if (u > 0) {
+        EXPECT_EQ(s.value(bit), Val3::kZero);
+      }
+    }
+  }
+}
+
+TEST(Misr, CutBehaviourUnchanged) {
+  // The CUT's own outputs must be bit-identical with and without the MISR.
+  const auto cut = circuits::s27();
+  Misr model(8);
+  const MisrHardware hw = attach_misr(cut, 8, model);
+  const auto seq = circuits::s27_paper_sequence();
+
+  sim::GoodSimulator bare(cut);
+  sim::GoodSimulator combined(hw.netlist);
+  std::vector<Val3> row(hw.netlist.primary_inputs().size(), Val3::kZero);
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    bare.step(seq.row(u));
+    for (std::size_t i = 0; i < seq.width(); ++i) row[i] = seq.at(u, i);
+    row.back() = Val3::kOne;
+    combined.step(row);
+    for (const NodeId po : cut.primary_outputs())
+      EXPECT_EQ(combined.value(po), bare.value(po));
+  }
+}
+
+TEST(Misr, SignatureDetectsFaults) {
+  // End-to-end: most faults detected at the POs under the paper sequence
+  // must also change the MISR signature (little aliasing at width 16).
+  const auto cut = circuits::s27();
+  const auto faults = fault::FaultSet::collapsed(cut);
+  const auto seq = circuits::s27_paper_sequence();
+
+  sim::GoodSimulator cut_sim(cut);
+  const auto responses = cut_sim.run(seq);
+  const auto warmup = compute_warmup(responses);
+  ASSERT_TRUE(warmup.has_value());
+  Misr model(16);
+  const auto good_sig = model.signature(responses, *warmup);
+  ASSERT_TRUE(good_sig.has_value());
+
+  const MisrHardware hw = attach_misr(cut, 16, model);
+  fault::FaultSimulator fsim(hw.netlist, faults);
+
+  // Widened sequence + readout cycle.
+  TestSequence wide(0, hw.netlist.primary_inputs().size());
+  std::vector<Val3> row(hw.netlist.primary_inputs().size(), Val3::kZero);
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    for (std::size_t i = 0; i < seq.width(); ++i) row[i] = seq.at(u, i);
+    row.back() = u >= *warmup ? Val3::kOne : Val3::kZero;
+    wide.append(row);
+  }
+  for (auto& v : row) v = Val3::kZero;
+  wide.append(row);
+
+  const auto ids = faults.all_ids();
+  const auto final_bits = fsim.observe_final(wide, ids, hw.state);
+
+  std::size_t signature_detected = 0;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    bool binary = true;
+    std::uint32_t sig = 0;
+    for (unsigned b = 0; b < 16; ++b) {
+      if (final_bits[k][b] == Val3::kX) binary = false;
+      if (final_bits[k][b] == Val3::kOne) sig |= std::uint32_t{1} << b;
+    }
+    if (binary && sig != *good_sig) ++signature_detected;
+  }
+  // All 32 faults are PO-detected by this sequence; the signature must
+  // catch the overwhelming majority (X-poisoning and aliasing may lose a
+  // few, never most).
+  EXPECT_GE(signature_detected, 24u);
+}
+
+TEST(Misr, RejectsWidthMismatch) {
+  const auto cut = circuits::s27();
+  EXPECT_THROW(attach_misr(cut, 8, Misr(16)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wbist::core

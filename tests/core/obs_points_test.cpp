@@ -1,0 +1,138 @@
+#include "core/obs_points.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "core/procedure.h"
+#include "fault/fault_list.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+struct ObsFixture {
+  explicit ObsFixture(const char* name, std::size_t lg = 200)
+      : nl(circuits::circuit_by_name(name)),
+        faults(FaultSet::collapsed(nl)),
+        sim(nl, faults) {
+    tgen::TgenConfig tc;
+    tc.max_length = 512;
+    const auto gen = tgen::generate_test_sequence(sim, tc);
+    for (FaultId id = 0; id < faults.size(); ++id)
+      if (gen.detection_time[id] != DetectionResult::kUndetected)
+        targets.push_back(id);
+    ProcedureConfig pc;
+    pc.sequence_length = lg;
+    proc = select_weight_assignments(sim, gen.sequence, gen.detection_time,
+                                     pc);
+    cfg.sequence_length = proc.sequence_length;
+  }
+
+  netlist::Netlist nl;
+  FaultSet faults;
+  FaultSimulator sim;
+  std::vector<FaultId> targets;
+  ProcedureResult proc;
+  ObsTradeoffConfig cfg;
+};
+
+TEST(ObsPoints, TradeoffShapeOnS27) {
+  ObsFixture f("s27");
+  const auto result =
+      observation_point_tradeoff(f.sim, f.proc.omega, f.targets, f.cfg);
+  ASSERT_FALSE(result.rows.empty());
+  EXPECT_EQ(result.total_targets, f.targets.size());
+
+  // n_seq strictly increases; fe_before non-decreasing.
+  for (std::size_t k = 1; k < result.rows.size(); ++k) {
+    EXPECT_GT(result.rows[k].n_seq, result.rows[k - 1].n_seq);
+    EXPECT_GE(result.rows[k].fe_before, result.rows[k - 1].fe_before);
+  }
+  // The final row reaches 100% without observation points (Ω achieves full
+  // coverage of its own universe by construction).
+  const ObsRow& last = result.rows.back();
+  EXPECT_DOUBLE_EQ(last.fe_before, 100.0);
+  EXPECT_EQ(last.n_obs, 0u);
+}
+
+TEST(ObsPoints, ObservationPointsActuallyDetect) {
+  // For each row: re-simulate the selected prefix with the chosen
+  // observation points; the achieved efficiency must match fe_after.
+  ObsFixture f("s27");
+  const auto result =
+      observation_point_tradeoff(f.sim, f.proc.omega, f.targets, f.cfg);
+
+  // Recompute the greedy order the same way the implementation does: rows
+  // expose only sizes, so validate via the strongest invariant — re-running
+  // the first row's prefix plus its OPs detects >= fe_after fraction.
+  for (const ObsRow& row : result.rows) {
+    if (row.n_obs == 0) continue;
+    // The prefix is not exposed directly; validate achievability instead:
+    // simulating ALL of Ω's sequences with the row's observation points
+    // must detect at least fe_after of the universe.
+    std::vector<bool> covered(f.targets.size(), false);
+    fault::FaultSimOptions opt;
+    opt.observation_points = row.observation_points;
+    for (const WeightAssignment& w : f.proc.omega) {
+      const auto det = f.sim.run(w.expand(f.cfg.sequence_length), f.targets,
+                                 opt);
+      for (std::size_t k = 0; k < f.targets.size(); ++k)
+        if (det.detected(k)) covered[k] = true;
+    }
+    const auto n = static_cast<double>(
+        std::count(covered.begin(), covered.end(), true));
+    const double fe =
+        100.0 * n / static_cast<double>(result.total_targets);
+    EXPECT_GE(fe + 1e-9, row.fe_after);
+  }
+}
+
+TEST(ObsPoints, FewerSequencesNeedMoreObservationPoints) {
+  // The paper's headline tradeoff. Greedy coverage means the first row has
+  // the fewest sequences and (weakly) the most observation points.
+  ObsFixture f("s208");
+  const auto result =
+      observation_point_tradeoff(f.sim, f.proc.omega, f.targets, f.cfg);
+  if (result.rows.size() >= 2) {
+    EXPECT_GE(result.rows.front().n_obs, result.rows.back().n_obs);
+  }
+}
+
+TEST(ObsPoints, SubsequenceStatsGrowWithPrefix) {
+  ObsFixture f("s27");
+  const auto result =
+      observation_point_tradeoff(f.sim, f.proc.omega, f.targets, f.cfg);
+  for (std::size_t k = 1; k < result.rows.size(); ++k) {
+    EXPECT_GE(result.rows[k].n_subs, result.rows[k - 1].n_subs);
+    EXPECT_GE(result.rows[k].max_len, result.rows[k - 1].max_len);
+  }
+}
+
+TEST(ObsPoints, ThresholdFiltersRows) {
+  ObsFixture f("s27");
+  ObsTradeoffConfig strict = f.cfg;
+  strict.min_final_fe = 1.0;  // only rows reaching 100% after OPs
+  const auto result =
+      observation_point_tradeoff(f.sim, f.proc.omega, f.targets, strict);
+  for (const ObsRow& row : result.rows)
+    EXPECT_DOUBLE_EQ(row.fe_after, 100.0);
+}
+
+TEST(ObsPoints, EmptyInputsAreSafe) {
+  ObsFixture f("s27");
+  const auto none =
+      observation_point_tradeoff(f.sim, {}, f.targets, f.cfg);
+  EXPECT_TRUE(none.rows.empty());
+  const auto no_targets =
+      observation_point_tradeoff(f.sim, f.proc.omega, {}, f.cfg);
+  EXPECT_TRUE(no_targets.rows.empty());
+}
+
+}  // namespace
+}  // namespace wbist::core

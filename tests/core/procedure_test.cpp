@@ -1,0 +1,187 @@
+#include "core/procedure.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "fault/fault_list.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+struct Fixture {
+  explicit Fixture(const char* name)
+      : nl(circuits::circuit_by_name(name)),
+        faults(FaultSet::collapsed(nl)),
+        sim(nl, faults) {}
+  netlist::Netlist nl;
+  FaultSet faults;
+  FaultSimulator sim;
+};
+
+TEST(Procedure, CompleteFaultEfficiencyOnS27PaperSequence) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ASSERT_EQ(det.detected_count, 32u);
+
+  ProcedureConfig cfg;
+  cfg.sequence_length = 100;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  EXPECT_EQ(res.target_count, 32u);
+  EXPECT_EQ(res.detected_count, 32u);
+  EXPECT_EQ(res.abandoned_count, 0u);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+  EXPECT_FALSE(res.omega.empty());
+}
+
+TEST(Procedure, OmegaSequencesCoverAllTargets) {
+  // Re-simulate every Ω sequence: their union must equal the target set.
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 100;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+
+  std::vector<bool> covered(f.faults.size(), false);
+  for (const WeightAssignment& w : res.omega) {
+    const auto tg = w.expand(res.sequence_length);
+    const auto d = f.sim.run(tg, f.faults.all_ids());
+    for (FaultId id = 0; id < f.faults.size(); ++id)
+      if (d.detected(id)) covered[id] = true;
+  }
+  for (FaultId id = 0; id < f.faults.size(); ++id) {
+    if (det.detection_time[id] != DetectionResult::kUndetected) {
+      EXPECT_TRUE(covered[id]) << "target fault " << id << " uncovered";
+    }
+  }
+}
+
+TEST(Procedure, EveryOmegaMemberWasUseful) {
+  // Each stored assignment must have detected at least one fault that no
+  // earlier assignment detected (the procedure drops useless sequences).
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 100;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+
+  std::vector<bool> covered(f.faults.size(), false);
+  for (const WeightAssignment& w : res.omega) {
+    const auto d = f.sim.run(w.expand(res.sequence_length),
+                             f.faults.all_ids());
+    bool useful = false;
+    for (FaultId id = 0; id < f.faults.size(); ++id) {
+      if (det.detection_time[id] == DetectionResult::kUndetected) continue;
+      if (d.detected(id) && !covered[id]) {
+        covered[id] = true;
+        useful = true;
+      }
+    }
+    EXPECT_TRUE(useful);
+  }
+}
+
+TEST(Procedure, SequenceLengthRaisedToT) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 3;  // shorter than |T| = 10
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  EXPECT_EQ(res.sequence_length, 10u);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+}
+
+TEST(Procedure, ExactPaperScheduleAlsoCompletes) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 50;
+  cfg.exact_paper_schedule = true;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+}
+
+TEST(Procedure, DeterministicForSeed) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 60;
+  const ProcedureResult a =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  const ProcedureResult b =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  EXPECT_EQ(a.omega, b.omega);
+  EXPECT_EQ(a.weights.size(), b.weights.size());
+}
+
+TEST(Procedure, MisalignedDetectionTimesRejected) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const std::vector<std::int32_t> wrong(7, 0);
+  EXPECT_THROW(select_weight_assignments(f.sim, T, wrong, {}),
+               std::invalid_argument);
+}
+
+TEST(Procedure, NoTargetsYieldsEmptyOmega) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const std::vector<std::int32_t> none(f.faults.size(),
+                                       DetectionResult::kUndetected);
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, none, {});
+  EXPECT_TRUE(res.omega.empty());
+  EXPECT_EQ(res.target_count, 0u);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+}
+
+TEST(Procedure, StatsArepopulated) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 60;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  EXPECT_GE(res.stats.assignments_tried, res.omega.size());
+  EXPECT_GE(res.stats.full_simulations, res.omega.size());
+}
+
+class ProcedureOnCircuit : public testing::TestWithParam<const char*> {};
+
+TEST_P(ProcedureOnCircuit, ReachesCompleteFaultEfficiency) {
+  Fixture f(GetParam());
+  tgen::TgenConfig tc;
+  tc.max_length = 512;
+  const auto gen = tgen::generate_test_sequence(f.sim, tc);
+  ASSERT_GT(gen.detected, 0u);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 300;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, gen.sequence, gen.detection_time, cfg);
+  EXPECT_EQ(res.detected_count, res.target_count);
+  EXPECT_EQ(res.abandoned_count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, ProcedureOnCircuit,
+                         testing::Values("s27", "s208", "s298", "s344",
+                                         "s386", "s526"));
+
+}  // namespace
+}  // namespace wbist::core

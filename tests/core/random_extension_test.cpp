@@ -1,0 +1,179 @@
+#include "core/random_extension.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "core/generator_hw.h"
+#include "fault/fault_list.h"
+#include "sim/good_sim.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using sim::Val3;
+
+struct ExtFixture {
+  explicit ExtFixture(const char* name)
+      : nl(circuits::circuit_by_name(name)),
+        faults(FaultSet::collapsed(nl)),
+        sim(nl, faults) {
+    if (std::string(name) == "s27") {
+      T = circuits::s27_paper_sequence();
+      const auto det = sim.run_all(T);
+      detection_time = det.detection_time;
+    } else {
+      tgen::TgenConfig tc;
+      tc.max_length = 512;
+      auto gen = tgen::generate_test_sequence(sim, tc);
+      T = std::move(gen.sequence);
+      detection_time = std::move(gen.detection_time);
+    }
+  }
+
+  netlist::Netlist nl;
+  FaultSet faults;
+  FaultSimulator sim;
+  sim::TestSequence T;
+  std::vector<std::int32_t> detection_time;
+};
+
+TEST(RandomExtension, SessionExpansionIsDeterministic) {
+  const Lfsr lfsr(16);
+  const auto a = expand_random_session(lfsr, 2, 64, 5);
+  const auto b = expand_random_session(lfsr, 2, 64, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.length(), 64u);
+  EXPECT_EQ(a.width(), 5u);
+}
+
+TEST(RandomExtension, SessionsContinueOneStream) {
+  // Session r must equal cycles [r*P, (r+1)*P) of one continuous run.
+  const Lfsr lfsr(16);
+  const std::size_t P = 32;
+  const auto s0 = expand_random_session(lfsr, 0, P, 3);
+  const auto s1 = expand_random_session(lfsr, 1, P, 3);
+  Lfsr runner(16);
+  const auto states = runner.run(2 * P);
+  for (std::size_t u = 0; u < P; ++u) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const unsigned tap = lfsr_tap_for_input(lfsr, i);
+      EXPECT_EQ(s0.at(u, i) == Val3::kOne, ((states[u] >> tap) & 1) != 0);
+      EXPECT_EQ(s1.at(u, i) == Val3::kOne, ((states[P + u] >> tap) & 1) != 0);
+    }
+  }
+}
+
+TEST(RandomExtension, SessionsAreBinary) {
+  const auto seq = expand_random_session(Lfsr(8), 0, 40, 6);
+  for (std::size_t u = 0; u < seq.length(); ++u)
+    for (std::size_t i = 0; i < seq.width(); ++i)
+      EXPECT_NE(seq.at(u, i), Val3::kX);
+}
+
+TEST(RandomExtension, CompleteFaultEfficiencyPreserved) {
+  // The extension must never lose coverage: random sessions plus the
+  // residual subsequence procedure reach 100% fault efficiency.
+  ExtFixture f("s27");
+  ExtendedSchemeConfig cfg;
+  cfg.procedure.sequence_length = 100;
+  const ExtendedSchemeResult res =
+      run_extended_scheme(f.sim, f.T, f.detection_time, cfg);
+  EXPECT_EQ(res.detected_count, res.target_count);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+  EXPECT_GT(res.random_sessions, 0u);
+  EXPECT_GT(res.detected_by_random, 0u);
+}
+
+TEST(RandomExtension, ReducesSubsequenceCount) {
+  // The paper's conjecture: allowing LFSR streams reduces the number of
+  // subsequences the weight scheme needs.
+  ExtFixture f("s208");
+  ProcedureConfig base_cfg;
+  base_cfg.sequence_length = 300;
+  const ProcedureResult baseline =
+      select_weight_assignments(f.sim, f.T, f.detection_time, base_cfg);
+
+  ExtendedSchemeConfig cfg;
+  cfg.procedure.sequence_length = 300;
+  const ExtendedSchemeResult extended =
+      run_extended_scheme(f.sim, f.T, f.detection_time, cfg);
+
+  EXPECT_LE(extended.procedure.omega.size(), baseline.omega.size());
+  EXPECT_EQ(extended.detected_count, extended.target_count);
+}
+
+TEST(RandomExtension, ZeroRandomSessionsFallsBackToProcedure) {
+  ExtFixture f("s27");
+  ExtendedSchemeConfig cfg;
+  cfg.max_random_sessions = 0;
+  cfg.procedure.sequence_length = 100;
+  const ExtendedSchemeResult res =
+      run_extended_scheme(f.sim, f.T, f.detection_time, cfg);
+  EXPECT_EQ(res.random_sessions, 0u);
+  EXPECT_EQ(res.detected_by_random, 0u);
+  EXPECT_EQ(res.detected_count, res.target_count);
+}
+
+TEST(RandomExtension, MisalignedDetectionTimesRejected) {
+  ExtFixture f("s27");
+  const std::vector<std::int32_t> wrong(3, 0);
+  EXPECT_THROW(run_extended_scheme(f.sim, f.T, wrong, {}),
+               std::invalid_argument);
+}
+
+TEST(RandomExtension, ExtendedGeneratorMatchesSoftware) {
+  // The extended hardware (LFSR sessions + weighted sessions) must stream
+  // exactly what the software model expands, across every session.
+  ExtFixture f("s27");
+  ExtendedSchemeConfig cfg;
+  cfg.lfsr_width = 8;
+  cfg.procedure.sequence_length = 30;
+  const ExtendedSchemeResult res =
+      run_extended_scheme(f.sim, f.T, f.detection_time, cfg);
+  ASSERT_GT(res.random_sessions, 0u);
+
+  const GeneratorHardware hw = build_extended_generator(
+      res.generator_spec(), f.nl.primary_inputs().size(),
+      res.session_length);
+  EXPECT_EQ(hw.random_sessions, res.random_sessions);
+  EXPECT_EQ(hw.session_count,
+            res.random_sessions + res.procedure.omega.size());
+
+  sim::GoodSimulator gen(hw.netlist);
+  gen.step(std::vector<Val3>{Val3::kOne});  // reset
+
+  const std::size_t n_inputs = f.nl.primary_inputs().size();
+  for (std::size_t j = 0; j < hw.session_count; ++j) {
+    const sim::TestSequence expect =
+        j < res.random_sessions
+            ? expand_random_session(res.lfsr, j, hw.session_length, n_inputs)
+            : res.procedure.omega[j - res.random_sessions].expand(
+                  hw.session_length);
+    for (std::size_t u = 0; u < hw.session_length; ++u) {
+      gen.step(std::vector<Val3>{Val3::kZero});
+      const auto out = gen.outputs();
+      for (std::size_t i = 0; i < n_inputs; ++i)
+        ASSERT_EQ(out[i], expect.at(u, i))
+            << "session " << j << " cycle " << u << " input " << i;
+    }
+  }
+}
+
+TEST(RandomExtension, RandomOnlyGeneratorIsBuildable) {
+  ExtendedGeneratorSpec spec;
+  spec.random_sessions = 2;
+  spec.lfsr = Lfsr(8);
+  const GeneratorHardware hw = build_extended_generator(spec, 4, 16);
+  EXPECT_EQ(hw.session_count, 2u);
+  EXPECT_EQ(hw.fsms.fsm_count(), 0u);
+  EXPECT_EQ(hw.netlist.primary_outputs().size(), 4u);
+}
+
+}  // namespace
+}  // namespace wbist::core

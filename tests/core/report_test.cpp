@@ -1,0 +1,60 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace wbist::core {
+namespace {
+
+std::vector<WeightAssignment> sample_omega() {
+  WeightAssignment w1;
+  w1.per_input = {Subsequence::parse("01"), Subsequence::parse("0"),
+                  Subsequence::parse("100")};
+  WeightAssignment w2;
+  w2.per_input = {Subsequence::parse("0101"), Subsequence::parse("00"),
+                  Subsequence::parse("100")};
+  return {w1, w2};
+}
+
+TEST(Report, CountsDistinctSubsequences) {
+  const auto omega = sample_omega();
+  std::vector<Subsequence> subs;
+  for (const auto& w : omega)
+    subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());
+  const auto fsms = synthesize_weight_fsms(subs);
+  const Table6Row row = make_table6_row("toy", 50, 123, omega, fsms);
+
+  EXPECT_EQ(row.circuit, "toy");
+  EXPECT_EQ(row.t_length, 50u);
+  EXPECT_EQ(row.t_detected, 123u);
+  EXPECT_EQ(row.n_seq, 2u);
+  // Distinct exact subsequences: 01, 0, 100, 0101, 00 -> 5.
+  EXPECT_EQ(row.n_subs, 5u);
+  EXPECT_EQ(row.max_len, 4u);  // "0101"
+  // After primitive merging: 01==0101, 0==00 -> outputs {01, 0, 100} = 3,
+  // over lengths {1, 2, 3} -> 3 FSMs.
+  EXPECT_EQ(row.n_fsm_outputs, 3u);
+  EXPECT_EQ(row.n_fsms, 3u);
+}
+
+TEST(Report, MergingNeverIncreasesCounts) {
+  const auto omega = sample_omega();
+  std::vector<Subsequence> subs;
+  for (const auto& w : omega)
+    subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());
+  const auto fsms = synthesize_weight_fsms(subs);
+  const Table6Row row = make_table6_row("toy", 1, 1, omega, fsms);
+  EXPECT_LE(row.n_fsm_outputs, row.n_subs);
+  EXPECT_LE(row.n_fsms, row.n_fsm_outputs);
+}
+
+TEST(Report, EmptyOmega) {
+  const auto fsms = synthesize_weight_fsms({});
+  const Table6Row row = make_table6_row("none", 0, 0, {}, fsms);
+  EXPECT_EQ(row.n_seq, 0u);
+  EXPECT_EQ(row.n_subs, 0u);
+  EXPECT_EQ(row.max_len, 0u);
+  EXPECT_EQ(row.n_fsms, 0u);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,119 @@
+#include "core/reverse_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "core/procedure.h"
+#include "fault/fault_list.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+struct S27Flow {
+  S27Flow()
+      : nl(circuits::s27()), faults(FaultSet::collapsed(nl)), sim(nl, faults) {
+    T = circuits::s27_paper_sequence();
+    det = sim.run_all(T);
+    for (FaultId id = 0; id < faults.size(); ++id)
+      if (det.detection_time[id] != DetectionResult::kUndetected)
+        targets.push_back(id);
+    ProcedureConfig cfg;
+    cfg.sequence_length = 100;
+    proc = select_weight_assignments(sim, T, det.detection_time, cfg);
+  }
+
+  netlist::Netlist nl;
+  FaultSet faults;
+  FaultSimulator sim;
+  sim::TestSequence T;
+  DetectionResult det;
+  std::vector<FaultId> targets;
+  ProcedureResult proc;
+};
+
+TEST(ReverseSim, PreservesCoverage) {
+  S27Flow f;
+  const ReverseSimResult pruned = reverse_order_prune(
+      f.sim, f.proc.omega, f.targets, f.proc.sequence_length);
+  EXPECT_EQ(pruned.detected.size(), f.targets.size());
+  EXPECT_EQ(pruned.detected, f.targets);  // both sorted ascending
+}
+
+TEST(ReverseSim, ResultIsSubsetInOriginalOrder) {
+  S27Flow f;
+  const ReverseSimResult pruned = reverse_order_prune(
+      f.sim, f.proc.omega, f.targets, f.proc.sequence_length);
+  EXPECT_LE(pruned.omega.size(), f.proc.omega.size());
+  std::size_t pos = 0;
+  for (const WeightAssignment& w : pruned.omega) {
+    while (pos < f.proc.omega.size() && !(f.proc.omega[pos] == w)) ++pos;
+    ASSERT_LT(pos, f.proc.omega.size()) << "not a subsequence of omega";
+    ++pos;
+  }
+}
+
+TEST(ReverseSim, RemovesDuplicatedAssignments) {
+  // Duplicating Ω must prune at least the redundant copies.
+  S27Flow f;
+  std::vector<WeightAssignment> doubled = f.proc.omega;
+  doubled.insert(doubled.end(), f.proc.omega.begin(), f.proc.omega.end());
+  const ReverseSimResult pruned =
+      reverse_order_prune(f.sim, doubled, f.targets, f.proc.sequence_length);
+  EXPECT_LE(pruned.omega.size(), f.proc.omega.size());
+  EXPECT_EQ(pruned.detected.size(), f.targets.size());
+}
+
+TEST(ReverseSim, NoSurvivorIsRedundant) {
+  // Removing any survivor must lose coverage (minimality in the
+  // reverse-order sense: each kept sequence detects a fault no *later*
+  // kept sequence detects; verify the weaker global property that each
+  // survivor contributes at least one unique fault vs all the others).
+  S27Flow f;
+  const ReverseSimResult pruned = reverse_order_prune(
+      f.sim, f.proc.omega, f.targets, f.proc.sequence_length);
+
+  // Detected sets per survivor.
+  std::vector<std::vector<bool>> dsets;
+  for (const WeightAssignment& w : pruned.omega) {
+    const auto d = f.sim.run(w.expand(f.proc.sequence_length), f.targets);
+    std::vector<bool> bits(f.targets.size());
+    for (std::size_t k = 0; k < f.targets.size(); ++k) bits[k] = d.detected(k);
+    dsets.push_back(std::move(bits));
+  }
+  // Survivors kept by reverse order: the i-th (in generation order) must
+  // detect some fault none of the later survivors detects.
+  for (std::size_t i = 0; i < dsets.size(); ++i) {
+    bool unique = false;
+    for (std::size_t k = 0; k < f.targets.size() && !unique; ++k) {
+      if (!dsets[i][k]) continue;
+      bool later_covers = false;
+      for (std::size_t j = i + 1; j < dsets.size(); ++j)
+        later_covers |= dsets[j][k];
+      unique = !later_covers;
+    }
+    EXPECT_TRUE(unique) << "assignment " << i << " is redundant";
+  }
+}
+
+TEST(ReverseSim, EmptyOmega) {
+  S27Flow f;
+  const ReverseSimResult pruned =
+      reverse_order_prune(f.sim, {}, f.targets, 100);
+  EXPECT_TRUE(pruned.omega.empty());
+  EXPECT_TRUE(pruned.detected.empty());
+}
+
+TEST(ReverseSim, EmptyTargets) {
+  S27Flow f;
+  const ReverseSimResult pruned =
+      reverse_order_prune(f.sim, f.proc.omega, {}, 100);
+  EXPECT_TRUE(pruned.omega.empty());
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,151 @@
+#include "core/selftest.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "core/flow.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/good_sim.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::FaultSet;
+using fault::FaultSimulator;
+using sim::Val3;
+
+struct StFixture {
+  explicit StFixture(const char* name, unsigned misr_width = 16)
+      : nl(circuits::circuit_by_name(name)),
+        faults(FaultSet::collapsed(nl)),
+        sim(nl, faults) {
+    FlowConfig cfg;
+    cfg.tgen.max_length = 512;
+    cfg.procedure.sequence_length = 60;
+    flow = run_flow(sim, name, cfg);
+    SelfTestConfig sc;
+    sc.misr_width = misr_width;
+    st = assemble_self_test(nl, faults, flow.pruned.omega,
+                            flow.procedure.sequence_length, sc);
+  }
+
+  netlist::Netlist nl;
+  FaultSet faults;
+  FaultSimulator sim;
+  FlowResult flow;
+  SelfTestHardware st;
+};
+
+/// Run the assembled chip: R pulse, free-run, return the signature (X bits
+/// reported via `binary`).
+std::uint32_t run_selftest(const SelfTestHardware& st, bool& binary) {
+  sim::GoodSimulator s(st.netlist);
+  s.step(std::vector<Val3>{Val3::kOne});
+  for (std::size_t t = 0; t < st.total_cycles(); ++t)
+    s.step(std::vector<Val3>{Val3::kZero});
+  binary = true;
+  std::uint32_t sig = 0;
+  for (std::size_t k = 0; k < st.misr_state.size(); ++k) {
+    const Val3 v = s.value(st.misr_state[k]);
+    if (v == Val3::kX) binary = false;
+    if (v == Val3::kOne) sig |= std::uint32_t{1} << k;
+  }
+  return sig;
+}
+
+TEST(SelfTest, AssembledChipReproducesGoldenSignature) {
+  // The strongest integration check in the library: software golden model
+  // (weight expansion + CUT simulation + software MISR) versus the fully
+  // assembled gate-level netlist (generator + CUT copy + comparator-gated
+  // MISR), cycle-accurate, one input pin.
+  StFixture f("s27");
+  bool binary = false;
+  const std::uint32_t sig = run_selftest(f.st, binary);
+  EXPECT_TRUE(binary);
+  EXPECT_EQ(sig, f.st.expected_signature);
+}
+
+TEST(SelfTest, WorksOnSyntheticCircuit) {
+  StFixture f("s298", 24);
+  bool binary = false;
+  const std::uint32_t sig = run_selftest(f.st, binary);
+  EXPECT_TRUE(binary);
+  EXPECT_EQ(sig, f.st.expected_signature);
+}
+
+TEST(SelfTest, SingleInputSingleClockInterface) {
+  StFixture f("s27");
+  EXPECT_EQ(f.st.netlist.primary_inputs().size(), 1u);
+  EXPECT_EQ(f.st.netlist.primary_outputs().size(), f.st.misr_state.size());
+}
+
+TEST(SelfTest, FaultsChangeTheSignature) {
+  // Inject translated CUT faults into the assembled chip; a healthy
+  // majority must yield a signature different from the golden one (that is
+  // the whole point of BIST).
+  StFixture f("s27");
+  FaultSimulator fsim(f.st.netlist, f.st.cut_faults);
+
+  sim::TestSequence seq(0, 1);
+  {
+    std::vector<Val3> row{Val3::kOne};
+    seq.append(row);
+    row[0] = Val3::kZero;
+    for (std::size_t t = 0; t < f.st.total_cycles(); ++t) seq.append(row);
+  }
+  const auto ids = f.st.cut_faults.all_ids();
+  const auto final_bits = fsim.observe_final(seq, ids, f.st.misr_state);
+
+  std::size_t caught = 0;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    bool binary = true;
+    std::uint32_t sig = 0;
+    for (std::size_t b = 0; b < f.st.misr_state.size(); ++b) {
+      if (final_bits[k][b] == Val3::kX) binary = false;
+      if (final_bits[k][b] == Val3::kOne) sig |= std::uint32_t{1} << b;
+    }
+    if (!binary || sig != f.st.expected_signature) ++caught;
+  }
+  // 32 collapsed faults; the weighted sessions detect all of them at the
+  // POs, so the signature (with X counted as "fails the compare") must
+  // catch most.
+  EXPECT_GE(caught, f.faults.size() * 3 / 4);
+}
+
+TEST(SelfTest, WarmupIsRespected) {
+  StFixture f("s27");
+  EXPECT_LT(f.st.warmup_cycles,
+            f.st.session_length * f.st.session_count);
+  // Warm-up margin shifts the enable point.
+  SelfTestConfig cfg;
+  cfg.warmup_margin = 3;
+  const SelfTestHardware st2 =
+      assemble_self_test(f.nl, f.faults, f.flow.pruned.omega,
+                         f.flow.procedure.sequence_length, cfg);
+  EXPECT_EQ(st2.warmup_cycles, f.st.warmup_cycles + 3);
+  bool binary = false;
+  const std::uint32_t sig = run_selftest(st2, binary);
+  EXPECT_TRUE(binary);
+  EXPECT_EQ(sig, st2.expected_signature);
+}
+
+TEST(SelfTest, EmptyOmegaRejected) {
+  const auto nl = circuits::s27();
+  const auto faults = FaultSet::collapsed(nl);
+  EXPECT_THROW(assemble_self_test(nl, faults, {}, 100, {}),
+               std::invalid_argument);
+}
+
+TEST(SelfTest, TranslatedFaultsAlignWithOriginals) {
+  StFixture f("s27");
+  ASSERT_EQ(f.st.cut_faults.size(), f.faults.size());
+  for (fault::FaultId id = 0; id < f.faults.size(); ++id) {
+    EXPECT_EQ(f.st.cut_faults[id].pin, f.faults[id].pin);
+    EXPECT_EQ(f.st.cut_faults[id].stuck_at_one, f.faults[id].stuck_at_one);
+  }
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,159 @@
+#include "core/subsequence.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+
+namespace wbist::core {
+namespace {
+
+using sim::Val3;
+
+std::vector<Val3> column(const char* bits) {
+  std::vector<Val3> out;
+  for (const char* p = bits; *p; ++p) out.push_back(sim::val3_from_char(*p));
+  return out;
+}
+
+TEST(Subsequence, ParseAndStr) {
+  EXPECT_EQ(Subsequence::parse("001").str(), "001");
+  EXPECT_EQ(Subsequence::parse("1").length(), 1u);
+  EXPECT_TRUE(Subsequence().empty());
+  EXPECT_THROW(Subsequence::parse("01x"), std::invalid_argument);
+}
+
+TEST(Subsequence, PeriodicExpansion) {
+  const Subsequence alpha = Subsequence::parse("100");
+  // (100)^r = 100100100...
+  const char* expect = "100100100100";
+  for (std::size_t u = 0; u < 12; ++u)
+    EXPECT_EQ(alpha.at(u), expect[u] == '1') << u;
+}
+
+TEST(Subsequence, DerivePaperSection3Example) {
+  // Section 3: s27, u = 8, L_S = 4, input 0: window 1100 at times 5..8
+  // yields α = 0110 ("we obtain α = 0110").
+  const auto T0 = column("0101011001");
+  const auto alpha = Subsequence::derive(T0, 8, 4);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(alpha->str(), "0110");
+  // Repetition "matches T_0 perfectly at time units 5 to 8".
+  EXPECT_TRUE(alpha->matches_window(T0, 8));
+}
+
+TEST(Subsequence, DerivePaperSection2Examples) {
+  // Section 2, detection time u = 9.
+  const auto T0 = column("0101011001");
+  EXPECT_EQ(Subsequence::derive(T0, 9, 1)->str(), "1");
+  EXPECT_EQ(Subsequence::derive(T0, 9, 2)->str(), "01");
+  EXPECT_EQ(Subsequence::derive(T0, 9, 3)->str(), "100");
+  const auto T1 = column("1010100000");
+  EXPECT_EQ(Subsequence::derive(T1, 9, 1)->str(), "0");
+  EXPECT_EQ(Subsequence::derive(T1, 9, 2)->str(), "00");
+  EXPECT_EQ(Subsequence::derive(T1, 9, 3)->str(), "000");
+}
+
+TEST(Subsequence, DeriveRejectsBadWindows) {
+  const auto T0 = column("0101011001");
+  EXPECT_FALSE(Subsequence::derive(T0, 2, 4).has_value());  // len > u+1
+  EXPECT_FALSE(Subsequence::derive(T0, 9, 0).has_value());  // len 0
+  EXPECT_FALSE(Subsequence::derive(T0, 42, 2).has_value()); // u out of range
+  const auto with_x = column("01x1");
+  EXPECT_FALSE(Subsequence::derive(with_x, 3, 2).has_value());  // X in window
+  EXPECT_TRUE(Subsequence::derive(with_x, 3, 1).has_value());   // X outside
+}
+
+TEST(Subsequence, DeriveFullPrefixReproducesT) {
+  // L_S = u+1 gives α = T_i(0..u): the reproduction guarantee of Section 3.
+  const auto T0 = column("0101011001");
+  const auto alpha = Subsequence::derive(T0, 9, 10);
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(alpha->str(), "0101011001");
+  for (std::size_t u = 0; u < 10; ++u)
+    EXPECT_EQ(alpha->value_at(u), T0[u]);
+}
+
+TEST(Subsequence, MatchCountTable5Values) {
+  // n_m values from Table 5 of the paper.
+  const auto T0 = column("0101011001");
+  EXPECT_EQ(Subsequence::parse("01").match_count(T0), 8u);
+  EXPECT_EQ(Subsequence::parse("100").match_count(T0), 7u);
+  EXPECT_EQ(Subsequence::parse("1").match_count(T0), 5u);
+  const auto T1 = column("1010100000");
+  EXPECT_EQ(Subsequence::parse("0").match_count(T1), 7u);
+  EXPECT_EQ(Subsequence::parse("00").match_count(T1), 7u);
+  EXPECT_EQ(Subsequence::parse("000").match_count(T1), 7u);
+  const auto T2 = column("1010010001");
+  EXPECT_EQ(Subsequence::parse("100").match_count(T2), 6u);
+  EXPECT_EQ(Subsequence::parse("01").match_count(T2), 5u);
+  EXPECT_EQ(Subsequence::parse("1").match_count(T2), 4u);
+  const auto T3 = column("1111011001");
+  EXPECT_EQ(Subsequence::parse("1").match_count(T3), 7u);
+  EXPECT_EQ(Subsequence::parse("100").match_count(T3), 7u);
+  EXPECT_EQ(Subsequence::parse("01").match_count(T3), 6u);
+}
+
+TEST(Subsequence, MatchesWindowSemantics) {
+  const auto T0 = column("0101011001");
+  EXPECT_TRUE(Subsequence::parse("01").matches_window(T0, 9));
+  EXPECT_TRUE(Subsequence::parse("100").matches_window(T0, 9));
+  EXPECT_FALSE(Subsequence::parse("11").matches_window(T0, 9));
+  EXPECT_FALSE(Subsequence::parse("0").matches_window(T0, 9));
+  // Window longer than available history never matches.
+  EXPECT_FALSE(Subsequence::parse("0101").matches_window(T0, 2));
+}
+
+TEST(Subsequence, XInColumnNeverMatches) {
+  const auto col = column("x1");
+  EXPECT_FALSE(Subsequence::parse("01").matches_window(col, 1));
+  EXPECT_EQ(Subsequence::parse("01").match_count(col), 1u);
+}
+
+TEST(Subsequence, PrimitiveReduction) {
+  EXPECT_EQ(Subsequence::parse("0101").primitive().str(), "01");
+  EXPECT_EQ(Subsequence::parse("00").primitive().str(), "0");
+  EXPECT_EQ(Subsequence::parse("000").primitive().str(), "0");
+  EXPECT_EQ(Subsequence::parse("011011").primitive().str(), "011");
+  // Non-divisor repetitions do not reduce.
+  EXPECT_EQ(Subsequence::parse("01010").primitive().str(), "01010");
+  EXPECT_EQ(Subsequence::parse("100").primitive().str(), "100");
+  EXPECT_EQ(Subsequence::parse("1").primitive().str(), "1");
+}
+
+TEST(Subsequence, PrimitivePreservesExpansion) {
+  for (const char* s : {"0101", "110110", "00", "10", "111", "010010"}) {
+    const Subsequence orig = Subsequence::parse(s);
+    const Subsequence prim = orig.primitive();
+    for (std::size_t u = 0; u < 24; ++u)
+      EXPECT_EQ(prim.at(u), orig.at(u)) << s << " at " << u;
+  }
+}
+
+TEST(Subsequence, HashAndEquality) {
+  const SubsequenceHash h;
+  EXPECT_EQ(Subsequence::parse("01"), Subsequence::parse("01"));
+  EXPECT_NE(Subsequence::parse("01"), Subsequence::parse("10"));
+  EXPECT_NE(Subsequence::parse("0"), Subsequence::parse("00"));
+  EXPECT_EQ(h(Subsequence::parse("01")), h(Subsequence::parse("01")));
+  EXPECT_NE(h(Subsequence::parse("0")), h(Subsequence::parse("00")));
+}
+
+/// Property: derive + matches_window round-trip for every window of the
+/// paper's s27 sequence.
+TEST(Subsequence, DeriveAlwaysMatchesItsWindow) {
+  const auto T = circuits::s27_paper_sequence();
+  for (std::size_t i = 0; i < T.width(); ++i) {
+    const auto col = T.column(i);
+    for (std::size_t u = 0; u < T.length(); ++u) {
+      for (std::size_t len = 1; len <= u + 1; ++len) {
+        const auto alpha = Subsequence::derive(col, u, len);
+        ASSERT_TRUE(alpha.has_value());
+        EXPECT_TRUE(alpha->matches_window(col, u))
+            << "i=" << i << " u=" << u << " len=" << len;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wbist::core

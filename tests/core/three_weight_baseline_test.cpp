@@ -1,0 +1,136 @@
+#include "core/three_weight_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "core/procedure.h"
+#include "fault/fault_list.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using sim::TestSequence;
+using sim::Val3;
+
+TEST(ThreeWeightBaseline, IntersectWindowRules) {
+  // Columns: constant-0, constant-1, changing.
+  const TestSequence T = TestSequence::from_rows({"010", "011", "010"});
+  const ThreeWeightAssignment w = intersect_window(T, 2, 3);
+  ASSERT_EQ(w.per_input.size(), 3u);
+  EXPECT_EQ(w.per_input[0], ThreeWeight::kZero);
+  EXPECT_EQ(w.per_input[1], ThreeWeight::kOne);
+  EXPECT_EQ(w.per_input[2], ThreeWeight::kRandom);
+  EXPECT_EQ(w.str(), "0 / 1 / R");
+}
+
+TEST(ThreeWeightBaseline, WindowClampsAtSequenceStart) {
+  const TestSequence T = TestSequence::from_rows({"01", "01"});
+  const ThreeWeightAssignment w = intersect_window(T, 1, 100);
+  EXPECT_EQ(w.per_input[0], ThreeWeight::kZero);
+  EXPECT_EQ(w.per_input[1], ThreeWeight::kOne);
+  EXPECT_THROW(intersect_window(T, 5, 2), std::invalid_argument);
+}
+
+TEST(ThreeWeightBaseline, XValuesBecomeRandom) {
+  const TestSequence T = TestSequence::from_rows({"x0", "00"});
+  const ThreeWeightAssignment w = intersect_window(T, 1, 2);
+  EXPECT_EQ(w.per_input[0], ThreeWeight::kRandom);
+  EXPECT_EQ(w.per_input[1], ThreeWeight::kZero);
+}
+
+TEST(ThreeWeightBaseline, ExpansionSemantics) {
+  ThreeWeightAssignment w;
+  w.per_input = {ThreeWeight::kZero, ThreeWeight::kOne, ThreeWeight::kRandom};
+  const Lfsr lfsr(8);
+  const TestSequence seq = w.expand(lfsr, 0, 40);
+  bool saw_zero = false;
+  bool saw_one = false;
+  for (std::size_t u = 0; u < 40; ++u) {
+    EXPECT_EQ(seq.at(u, 0), Val3::kZero);
+    EXPECT_EQ(seq.at(u, 1), Val3::kOne);
+    saw_zero |= seq.at(u, 2) == Val3::kZero;
+    saw_one |= seq.at(u, 2) == Val3::kOne;
+  }
+  EXPECT_TRUE(saw_zero);  // the random column actually toggles
+  EXPECT_TRUE(saw_one);
+}
+
+TEST(ThreeWeightBaseline, SessionsDiffer) {
+  ThreeWeightAssignment w;
+  w.per_input = {ThreeWeight::kRandom, ThreeWeight::kRandom};
+  const Lfsr lfsr(8);
+  EXPECT_NE(w.expand(lfsr, 0, 32), w.expand(lfsr, 1, 32));
+}
+
+TEST(ThreeWeightBaseline, DetectsFaultsOnS27) {
+  const auto nl = circuits::s27();
+  const FaultSet faults = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, faults);
+  const TestSequence T = circuits::s27_paper_sequence();
+  const auto det = sim.run_all(T);
+  ThreeWeightConfig cfg;
+  cfg.sequence_length = 200;
+  const ThreeWeightResult res =
+      run_three_weight_baseline(sim, T, det.detection_time, cfg);
+  EXPECT_GT(res.detected_count, 0u);
+  EXPECT_EQ(res.detected_count + res.abandoned_count, res.target_count);
+  EXPECT_FALSE(res.assignments.empty());
+}
+
+TEST(ThreeWeightBaseline, ProposedMethodDominatesBaseline) {
+  // The paper's core motivation: the subsequence scheme reaches complete
+  // fault efficiency where constant-or-random weights fall short (or at
+  // best tie on easy circuits).
+  const auto nl = circuits::circuit_by_name("s298");
+  const FaultSet faults = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, faults);
+  tgen::TgenConfig tc;
+  tc.max_length = 512;
+  const auto gen = tgen::generate_test_sequence(sim, tc);
+
+  ThreeWeightConfig bc;
+  bc.sequence_length = 300;
+  const ThreeWeightResult baseline =
+      run_three_weight_baseline(sim, gen.sequence, gen.detection_time, bc);
+
+  ProcedureConfig pc;
+  pc.sequence_length = 300;
+  const ProcedureResult proposed = select_weight_assignments(
+      sim, gen.sequence, gen.detection_time, pc);
+
+  EXPECT_EQ(proposed.detected_count, proposed.target_count);
+  EXPECT_LE(baseline.fault_efficiency(),
+            1.0 + 1e-12);  // sanity
+  EXPECT_GE(proposed.fault_efficiency(), baseline.fault_efficiency());
+}
+
+TEST(ThreeWeightBaseline, MisalignedDetectionTimesRejected) {
+  const auto nl = circuits::s27();
+  const FaultSet faults = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, faults);
+  const std::vector<std::int32_t> wrong(5, 0);
+  EXPECT_THROW(run_three_weight_baseline(
+                   sim, circuits::s27_paper_sequence(), wrong, {}),
+               std::invalid_argument);
+}
+
+TEST(ThreeWeightBaseline, NoTargetsIsTrivial) {
+  const auto nl = circuits::s27();
+  const FaultSet faults = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, faults);
+  const std::vector<std::int32_t> none(faults.size(),
+                                       DetectionResult::kUndetected);
+  const ThreeWeightResult res = run_three_weight_baseline(
+      sim, circuits::s27_paper_sequence(), none, {});
+  EXPECT_EQ(res.target_count, 0u);
+  EXPECT_TRUE(res.assignments.empty());
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,88 @@
+#include "core/weight_set.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+
+namespace wbist::core {
+namespace {
+
+TEST(WeightSet, AddDeduplicates) {
+  WeightSet s;
+  EXPECT_EQ(s.add(Subsequence::parse("01")), 0u);
+  EXPECT_EQ(s.add(Subsequence::parse("10")), 1u);
+  EXPECT_EQ(s.add(Subsequence::parse("01")), 0u);  // already present
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(WeightSet, KeepsRepetitionEquivalentsDistinct) {
+  // The paper keeps "0" and "00" as separate members of S.
+  WeightSet s;
+  s.add(Subsequence::parse("0"));
+  s.add(Subsequence::parse("00"));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(WeightSet, IndexOf) {
+  WeightSet s;
+  s.add(Subsequence::parse("1"));
+  s.add(Subsequence::parse("11"));
+  EXPECT_EQ(s.index_of(Subsequence::parse("11")), 1u);
+  EXPECT_THROW(s.index_of(Subsequence::parse("0")), std::out_of_range);
+  EXPECT_TRUE(s.contains(Subsequence::parse("1")));
+  EXPECT_FALSE(s.contains(Subsequence::parse("0")));
+}
+
+TEST(WeightSet, AllUpTo3ReproducesTable4) {
+  // Table 4 of the paper: the complete weight set for s27, in order.
+  const WeightSet s = WeightSet::all_up_to(3);
+  const char* expected[] = {"0",   "1",   "00",  "10",  "01",  "11",  "000",
+                            "100", "010", "110", "001", "101", "011", "111"};
+  ASSERT_EQ(s.size(), 14u);
+  for (std::size_t j = 0; j < 14; ++j)
+    EXPECT_EQ(s[j].str(), expected[j]) << "index " << j;
+}
+
+TEST(WeightSet, Table4Indices) {
+  // Table 5 refers to members by index: (4)=01, (7)=100, (0)=0, (2)=00,
+  // (6)=000, (1)=1.
+  const WeightSet s = WeightSet::all_up_to(3);
+  EXPECT_EQ(s.index_of(Subsequence::parse("01")), 4u);
+  EXPECT_EQ(s.index_of(Subsequence::parse("100")), 7u);
+  EXPECT_EQ(s.index_of(Subsequence::parse("0")), 0u);
+  EXPECT_EQ(s.index_of(Subsequence::parse("00")), 2u);
+  EXPECT_EQ(s.index_of(Subsequence::parse("000")), 6u);
+  EXPECT_EQ(s.index_of(Subsequence::parse("1")), 1u);
+}
+
+TEST(WeightSet, ExtendDerivesPerInput) {
+  const auto T = circuits::s27_paper_sequence();
+  WeightSet s;
+  // u = 9, L_S = 3: Section 2 derives 100 (input 0), 000 (input 1),
+  // 100 (input 2), 100 (input 3) -> two distinct new members.
+  const std::size_t added = s.extend(T, 9, 3);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(s.contains(Subsequence::parse("100")));
+  EXPECT_TRUE(s.contains(Subsequence::parse("000")));
+}
+
+TEST(WeightSet, ExtendIsIdempotent) {
+  const auto T = circuits::s27_paper_sequence();
+  WeightSet s;
+  s.extend(T, 9, 3);
+  const std::size_t size = s.size();
+  EXPECT_EQ(s.extend(T, 9, 3), 0u);
+  EXPECT_EQ(s.size(), size);
+}
+
+TEST(WeightSet, ExtendSkipsXWindows) {
+  const auto T = sim::TestSequence::from_rows({"x1", "01"});
+  WeightSet s;
+  // Input 0 has X at u=0: length-2 derivation fails, length-1 succeeds.
+  s.extend(T, 1, 2);
+  EXPECT_EQ(s.size(), 1u);                             // only input 1's "01"
+  EXPECT_TRUE(s.contains(Subsequence::parse("11")));
+}
+
+}  // namespace
+}  // namespace wbist::core

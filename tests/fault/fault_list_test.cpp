@@ -1,0 +1,171 @@
+#include "fault/fault_list.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "circuits/iscas.h"
+#include "testutil.h"
+
+namespace wbist::fault {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(FaultList, S27UncollapsedCount) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::uncollapsed(nl);
+  // 17 stems x 2 + 9 fanout branches x 2 = 52, the classic s27 number.
+  EXPECT_EQ(set.size(), 52u);
+}
+
+TEST(FaultList, S27CollapsedCount) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  // The paper's fault universe f0..f31.
+  EXPECT_EQ(set.size(), 32u);
+}
+
+TEST(FaultList, ClassSizesAccountForEveryFault) {
+  const Netlist nl = circuits::s27();
+  const FaultSet collapsed = FaultSet::collapsed(nl);
+  const FaultSet uncollapsed = FaultSet::uncollapsed(nl);
+  std::size_t total = 0;
+  for (FaultId id = 0; id < collapsed.size(); ++id)
+    total += collapsed.class_size(id);
+  EXPECT_EQ(total, uncollapsed.size());
+}
+
+TEST(FaultList, UncollapsedClassSizesAreOne) {
+  const Netlist nl = test::tiny_circuit();
+  const FaultSet set = FaultSet::uncollapsed(nl);
+  for (FaultId id = 0; id < set.size(); ++id)
+    EXPECT_EQ(set.class_size(id), 1u);
+}
+
+TEST(FaultList, BranchFaultsOnlyOnFanoutStems) {
+  const Netlist nl = test::tiny_circuit();
+  const FaultSet set = FaultSet::uncollapsed(nl);
+  // Only input "a" has fanout 2 (feeds n1 and n2).
+  std::size_t branch_faults = 0;
+  for (const Fault& f : set.faults())
+    if (f.pin != kStemPin) {
+      ++branch_faults;
+      const NodeId driver =
+          nl.node(f.node).fanin[static_cast<std::size_t>(f.pin)];
+      EXPECT_GT(nl.node(driver).fanout.size(), 1u);
+    }
+  EXPECT_EQ(branch_faults, 4u);  // two branches x two polarities
+}
+
+TEST(FaultList, AndGateCollapsing) {
+  // and2: inputs a,b with single fanout. Equivalences:
+  //   {a sa0, b sa0, g sa0}; singleton classes: a sa1, b sa1, g sa1.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+  const FaultSet set = FaultSet::collapsed(nl);
+  EXPECT_EQ(set.size(), 4u);  // 6 stems - 2 merged
+  std::size_t triple = 0;
+  for (FaultId id = 0; id < set.size(); ++id)
+    if (set.class_size(id) == 3) ++triple;
+  EXPECT_EQ(triple, 1u);
+}
+
+TEST(FaultList, NorGateCollapsing) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kNor, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+  // {a sa1, b sa1, g sa0} merge.
+  EXPECT_EQ(FaultSet::collapsed(nl).size(), 4u);
+}
+
+TEST(FaultList, InverterChainCollapses) {
+  // a -> NOT n1 -> NOT n2: all six stem faults collapse into two classes.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n1 = nl.add_gate(GateType::kNot, "n1", {a});
+  const NodeId n2 = nl.add_gate(GateType::kNot, "n2", {n1});
+  nl.mark_output(n2);
+  nl.finalize();
+  EXPECT_EQ(FaultSet::collapsed(nl).size(), 2u);
+}
+
+TEST(FaultList, XorGateDoesNotCollapse) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kXor, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+  EXPECT_EQ(FaultSet::collapsed(nl).size(), 6u);  // nothing merges
+}
+
+TEST(FaultList, DffIsNotCollapsedThrough) {
+  // a -> DFF q -> NOT out: the DFF boundary keeps a/q faults distinct.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff("q", a);
+  const NodeId out = nl.add_gate(GateType::kNot, "out", {q});
+  nl.mark_output(out);
+  nl.finalize();
+  // Stems: a, q, out = 6 faults; NOT merges q/out pairs (-2).
+  EXPECT_EQ(FaultSet::collapsed(nl).size(), 4u);
+}
+
+TEST(FaultList, SingleInputAndActsAsBuffer) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a});
+  nl.mark_output(g);
+  nl.finalize();
+  EXPECT_EQ(FaultSet::collapsed(nl).size(), 2u);
+}
+
+TEST(FaultList, AllIdsCoversSet) {
+  const FaultSet set = FaultSet::collapsed(test::tiny_circuit());
+  const auto ids = set.all_ids();
+  EXPECT_EQ(ids.size(), set.size());
+  for (std::size_t k = 0; k < ids.size(); ++k) EXPECT_EQ(ids[k], k);
+}
+
+TEST(FaultList, FaultNames) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::uncollapsed(nl);
+  bool saw_stem = false, saw_branch = false;
+  for (const Fault& f : set.faults()) {
+    const std::string name = fault_name(nl, f);
+    if (f.pin == kStemPin && name.find("<-") == std::string::npos)
+      saw_stem = true;
+    if (f.pin != kStemPin && name.find("<-") != std::string::npos)
+      saw_branch = true;
+  }
+  EXPECT_TRUE(saw_stem);
+  EXPECT_TRUE(saw_branch);
+}
+
+TEST(FaultList, RequiresFinalizedNetlist) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(FaultSet::collapsed(nl), std::invalid_argument);
+  EXPECT_THROW(FaultSet::uncollapsed(nl), std::invalid_argument);
+}
+
+TEST(FaultList, Deterministic) {
+  const Netlist nl = circuits::s27();
+  const FaultSet a = FaultSet::collapsed(nl);
+  const FaultSet b = FaultSet::collapsed(nl);
+  ASSERT_EQ(a.size(), b.size());
+  for (FaultId id = 0; id < a.size(); ++id) EXPECT_EQ(a[id], b[id]);
+}
+
+}  // namespace
+}  // namespace wbist::fault

@@ -1,0 +1,225 @@
+#include "fault/transition.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "circuits/iscas.h"
+#include "circuits/synth_gen.h"
+#include "testutil.h"
+
+namespace wbist::fault {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+using sim::TestSequence;
+using sim::Val3;
+
+/// Scalar reference: single transition fault, one value per signal, with
+/// the one-cycle-late semantics applied via explicit prev tracking.
+std::optional<std::size_t> reference_transition_detect(
+    const Netlist& nl, const TransitionFault& f, const TestSequence& seq) {
+  const auto eval_with_site = [&](std::vector<Val3>& vals, Val3& prev,
+                                  bool faulty, std::span<const Val3> pi,
+                                  std::vector<Val3>& state) {
+    const auto pis = nl.primary_inputs();
+    const auto ffs = nl.flip_flops();
+    for (std::size_t i = 0; i < pis.size(); ++i) vals[pis[i]] = pi[i];
+    for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+    const auto apply = [&](NodeId id) {
+      if (!faulty || id != f.node) return;
+      const Val3 computed = vals[id];
+      // STR: AND(c, p); STF: OR(c, p).
+      std::vector<Val3> in{computed, prev};
+      vals[id] = sim::eval_gate_scalar(
+          f.slow_to_rise ? GateType::kAnd : GateType::kOr, in);
+      prev = computed;
+    };
+    for (const NodeId src : pis) apply(src);
+    for (const NodeId src : ffs) apply(src);
+    for (const NodeId id : nl.eval_order()) {
+      std::vector<Val3> in;
+      for (const NodeId fi : nl.node(id).fanin) in.push_back(vals[fi]);
+      vals[id] = sim::eval_gate_scalar(nl.node(id).type, in);
+      apply(id);
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i)
+      state[i] = vals[nl.node(ffs[i]).fanin[0]];
+  };
+
+  std::vector<Val3> good(nl.node_count(), Val3::kX);
+  std::vector<Val3> bad(nl.node_count(), Val3::kX);
+  std::vector<Val3> gstate(nl.flip_flops().size(), Val3::kX);
+  std::vector<Val3> bstate(nl.flip_flops().size(), Val3::kX);
+  Val3 prev_good = Val3::kX;  // unused
+  Val3 prev_bad = Val3::kX;
+
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    eval_with_site(good, prev_good, false, seq.row(u), gstate);
+    eval_with_site(bad, prev_bad, true, seq.row(u), bstate);
+    for (const NodeId po : nl.primary_outputs()) {
+      if (good[po] != Val3::kX && bad[po] != Val3::kX && good[po] != bad[po])
+        return u;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(TransitionFaults, UniverseSize) {
+  const Netlist nl = circuits::s27();
+  const TransitionFaultSet set = TransitionFaultSet::all(nl);
+  EXPECT_EQ(set.size(), nl.node_count() * 2);
+}
+
+TEST(TransitionFaults, SlowToRiseDelaysByOneCycle) {
+  // BUF chain: in -> b [PO]. STR on b: output rises one cycle late.
+  Netlist nl;
+  const NodeId in = nl.add_input("in");
+  const NodeId b = nl.add_gate(GateType::kBuf, "b", {in});
+  nl.mark_output(b);
+  nl.finalize();
+  TransitionFaultSet set = TransitionFaultSet::all(nl);
+  FaultId str_b = set.size();
+  for (FaultId id = 0; id < set.size(); ++id)
+    if (set[id].node == b && set[id].slow_to_rise) str_b = id;
+  ASSERT_LT(str_b, set.size());
+
+  TransitionFaultSimulator sim(nl, set);
+  // Input 0,1: good out = 0,1; faulty out at u=1 is AND(1, prev=0) = 0.
+  const auto det =
+      sim.run(TestSequence::from_rows({"0", "1"}),
+              std::vector<FaultId>{str_b});
+  EXPECT_EQ(det.detection_time[0], 1);
+  // Input held 1,1: no transition after the X start -> undetected
+  // (first cycle is AND(1, X) = X: pessimistic, not a definite diff).
+  const auto det2 =
+      sim.run(TestSequence::from_rows({"1", "1"}),
+              std::vector<FaultId>{str_b});
+  EXPECT_FALSE(det2.detected(0));
+}
+
+TEST(TransitionFaults, SlowToFallDelaysByOneCycle) {
+  Netlist nl;
+  const NodeId in = nl.add_input("in");
+  const NodeId b = nl.add_gate(GateType::kBuf, "b", {in});
+  nl.mark_output(b);
+  nl.finalize();
+  TransitionFaultSet set = TransitionFaultSet::all(nl);
+  FaultId stf_b = set.size();
+  for (FaultId id = 0; id < set.size(); ++id)
+    if (set[id].node == b && !set[id].slow_to_rise) stf_b = id;
+  TransitionFaultSimulator sim(nl, set);
+  // 1,0: faulty holds 1 for the falling edge.
+  const auto det = sim.run(TestSequence::from_rows({"1", "0"}),
+                           std::vector<FaultId>{stf_b});
+  EXPECT_EQ(det.detection_time[0], 1);
+  // 0,0: nothing to delay.
+  const auto det2 = sim.run(TestSequence::from_rows({"0", "0"}),
+                            std::vector<FaultId>{stf_b});
+  EXPECT_FALSE(det2.detected(0));
+}
+
+TEST(TransitionFaults, RecoveryAfterOneCycle) {
+  // 0,1,1: the line is late at u=1 but correct at u=2 -> detected only at
+  // u=1 (the delayed edge), confirming the one-cycle (not gross-stuck)
+  // semantics.
+  Netlist nl;
+  const NodeId in = nl.add_input("in");
+  const NodeId b = nl.add_gate(GateType::kBuf, "b", {in});
+  nl.mark_output(b);
+  nl.finalize();
+  TransitionFaultSet set = TransitionFaultSet::all(nl);
+  FaultId str_b = set.size();
+  for (FaultId id = 0; id < set.size(); ++id)
+    if (set[id].node == b && set[id].slow_to_rise) str_b = id;
+  TransitionFaultSimulator sim(nl, set);
+  TestSequence seq = TestSequence::from_rows({"0", "1", "1"});
+  const auto det = sim.run(seq, std::vector<FaultId>{str_b});
+  EXPECT_EQ(det.detection_time[0], 1);
+  // Truncate before the edge: undetected.
+  seq.truncate(1);
+  const auto det2 = sim.run(seq, std::vector<FaultId>{str_b});
+  EXPECT_FALSE(det2.detected(0));
+}
+
+TEST(TransitionFaults, RequiresTwoPatternExcitation) {
+  // A stuck-at test set does not necessarily detect transition faults; a
+  // constant input sequence detects none (no edges anywhere).
+  const Netlist nl = circuits::s27();
+  const TransitionFaultSet set = TransitionFaultSet::all(nl);
+  TransitionFaultSimulator sim(nl, set);
+  const auto det = sim.run_all(TestSequence::from_rows(
+      {"0000", "0000", "0000", "0000", "0000", "0000"}));
+  EXPECT_EQ(det.detected_count, 0u);
+}
+
+TEST(TransitionFaults, PaperSequenceDetectsMany) {
+  const Netlist nl = circuits::s27();
+  const TransitionFaultSet set = TransitionFaultSet::all(nl);
+  TransitionFaultSimulator sim(nl, set);
+  const auto det = sim.run_all(circuits::s27_paper_sequence());
+  // The s27 stuck-at sequence toggles everything heavily; a healthy share
+  // of the 34 transition faults must fall out.
+  EXPECT_GT(det.detected_count, set.size() / 3);
+  EXPECT_LT(det.detected_count, set.size());  // but not all: edges needed
+}
+
+struct TransRefCase {
+  const char* name;
+  std::uint64_t seed;
+};
+
+class TransitionReference : public testing::TestWithParam<TransRefCase> {};
+
+TEST_P(TransitionReference, MatchesScalarReferenceOnS27) {
+  const Netlist nl = circuits::s27();
+  const TransitionFaultSet set = TransitionFaultSet::all(nl);
+  TransitionFaultSimulator sim(nl, set);
+  const TestSequence seq = test::random_sequence(20, 4, GetParam().seed);
+  const auto det = sim.run(seq, set.all_ids());
+  for (FaultId id = 0; id < set.size(); ++id) {
+    const auto expected = reference_transition_detect(nl, set[id], seq);
+    const std::int32_t want = expected
+                                  ? static_cast<std::int32_t>(*expected)
+                                  : DetectionResult::kUndetected;
+    EXPECT_EQ(det.detection_time[id], want)
+        << transition_fault_name(nl, set[id]);
+  }
+}
+
+TEST_P(TransitionReference, MatchesScalarReferenceOnSynthetic) {
+  circuits::SynthProfile profile;
+  profile.name = "trans_synth";
+  profile.n_pi = 4;
+  profile.n_po = 2;
+  profile.n_ff = 3;
+  profile.n_gates = 22;
+  profile.seed = GetParam().seed;
+  const Netlist nl = circuits::generate_circuit(profile);
+  const TransitionFaultSet set = TransitionFaultSet::all(nl);
+  TransitionFaultSimulator sim(nl, set);
+  const TestSequence seq =
+      test::random_sequence(14, 4, GetParam().seed + 9);
+  const auto det = sim.run(seq, set.all_ids());
+  for (FaultId id = 0; id < set.size(); ++id) {
+    const auto expected = reference_transition_detect(nl, set[id], seq);
+    const std::int32_t want = expected
+                                  ? static_cast<std::int32_t>(*expected)
+                                  : DetectionResult::kUndetected;
+    EXPECT_EQ(det.detection_time[id], want)
+        << transition_fault_name(nl, set[id]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TransitionReference,
+    testing::Values(TransRefCase{"a", 31}, TransRefCase{"b", 47},
+                    TransRefCase{"c", 59}, TransRefCase{"d", 71}),
+    [](const testing::TestParamInfo<TransRefCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace wbist::fault

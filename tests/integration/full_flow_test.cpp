@@ -1,0 +1,142 @@
+// Integration: the complete pipeline (deterministic sequence -> weight
+// assignments -> reverse-order pruning -> FSM synthesis -> generator
+// hardware) on the real s27 and on synthetic circuits.
+#include <gtest/gtest.h>
+
+#include "circuits/registry.h"
+#include "core/flow.h"
+#include "core/generator_hw.h"
+#include "core/obs_points.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/good_sim.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+struct FlowFixture {
+  explicit FlowFixture(const char* name, std::size_t lg = 200)
+      : nl(circuits::circuit_by_name(name)),
+        faults(FaultSet::collapsed(nl)),
+        sim(nl, faults) {
+    config.tgen.max_length = 512;
+    config.procedure.sequence_length = lg;
+    flow = run_flow(sim, name, config);
+  }
+
+  netlist::Netlist nl;
+  FaultSet faults;
+  FaultSimulator sim;
+  FlowConfig config;
+  FlowResult flow;
+};
+
+class FullFlow : public testing::TestWithParam<const char*> {};
+
+TEST_P(FullFlow, CompleteFaultEfficiency) {
+  FlowFixture f(GetParam());
+  EXPECT_GT(f.flow.t_detected, 0u);
+  EXPECT_EQ(f.flow.procedure.detected_count, f.flow.procedure.target_count);
+  EXPECT_EQ(f.flow.procedure.abandoned_count, 0u);
+}
+
+TEST_P(FullFlow, PrunedOmegaStillCoversEveryTarget) {
+  FlowFixture f(GetParam());
+  std::vector<FaultId> targets;
+  for (FaultId id = 0; id < f.faults.size(); ++id)
+    if (f.flow.detection_time[id] != DetectionResult::kUndetected)
+      targets.push_back(id);
+
+  std::vector<bool> covered(targets.size(), false);
+  for (const WeightAssignment& w : f.flow.pruned.omega) {
+    const auto det =
+        f.sim.run(w.expand(f.flow.procedure.sequence_length), targets);
+    for (std::size_t k = 0; k < targets.size(); ++k)
+      if (det.detected(k)) covered[k] = true;
+  }
+  for (std::size_t k = 0; k < targets.size(); ++k)
+    EXPECT_TRUE(covered[k]) << "fault " << targets[k];
+}
+
+TEST_P(FullFlow, Table6RowIsConsistent) {
+  FlowFixture f(GetParam());
+  const Table6Row& row = f.flow.table6;
+  EXPECT_EQ(row.circuit, GetParam());
+  EXPECT_EQ(row.t_length, f.flow.sequence.length());
+  EXPECT_EQ(row.t_detected, f.flow.t_detected);
+  EXPECT_EQ(row.n_seq, f.flow.pruned.omega.size());
+  EXPECT_LE(row.n_seq, f.flow.procedure.omega.size());
+  // FSM merging can only shrink counts.
+  EXPECT_LE(row.n_fsm_outputs, row.n_subs);
+  EXPECT_LE(row.n_fsms, row.n_fsm_outputs);
+  // The core claim of Table 6: subsequences are much shorter than T.
+  EXPECT_LE(row.max_len, row.t_length);
+}
+
+TEST_P(FullFlow, GeneratorHardwareDrivesTheCut) {
+  // Glue check: simulate the emitted generator netlist and feed its output
+  // streams to the CUT as test sequences; the faults detected must equal
+  // the faults the software-expanded sequences detect.
+  FlowFixture f(GetParam());
+  if (f.flow.pruned.omega.empty()) GTEST_SKIP();
+  const GeneratorHardware hw =
+      build_generator(f.flow.pruned.omega, f.flow.procedure.sequence_length);
+
+  sim::GoodSimulator gen_sim(hw.netlist);
+  gen_sim.step(std::vector<sim::Val3>{sim::Val3::kOne});  // reset pulse
+
+  for (const WeightAssignment& w : f.flow.pruned.omega) {
+    sim::TestSequence streamed(0, f.nl.primary_inputs().size());
+    for (std::size_t u = 0; u < hw.session_length; ++u) {
+      gen_sim.step(std::vector<sim::Val3>{sim::Val3::kZero});
+      streamed.append(gen_sim.outputs());
+    }
+    const sim::TestSequence expected = w.expand(hw.session_length);
+    EXPECT_EQ(streamed, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FullFlow,
+                         testing::Values("s27", "s298", "s382", "s386",
+                                         "s400", "s444"));
+
+TEST(FullFlowDetail, CompactionShortensSequenceOnS27) {
+  FlowFixture with("s27");
+  FlowConfig no_compact;
+  no_compact.tgen.max_length = 512;
+  no_compact.compact = false;
+  no_compact.procedure.sequence_length = 200;
+  FaultSimulator sim2(with.nl, with.faults);
+  const FlowResult raw = run_flow(sim2, "s27", no_compact);
+  EXPECT_LE(with.flow.sequence.length(), raw.sequence.length());
+}
+
+TEST(FullFlowDetail, ObsTradeoffIntegratesWithFlow) {
+  FlowFixture f("s27");
+  std::vector<FaultId> targets;
+  for (FaultId id = 0; id < f.faults.size(); ++id)
+    if (f.flow.detection_time[id] != DetectionResult::kUndetected)
+      targets.push_back(id);
+  ObsTradeoffConfig cfg;
+  cfg.sequence_length = f.flow.procedure.sequence_length;
+  const auto result = observation_point_tradeoff(f.sim, f.flow.procedure.omega,
+                                                 targets, cfg);
+  ASSERT_FALSE(result.rows.empty());
+  EXPECT_EQ(result.rows.back().fe_before, 100.0);
+}
+
+TEST(FullFlowDetail, DeterministicEndToEnd) {
+  FlowFixture a("s298");
+  FlowFixture b("s298");
+  EXPECT_EQ(a.flow.sequence, b.flow.sequence);
+  EXPECT_EQ(a.flow.pruned.omega, b.flow.pruned.omega);
+  EXPECT_EQ(a.flow.table6.n_subs, b.flow.table6.n_subs);
+}
+
+}  // namespace
+}  // namespace wbist::core

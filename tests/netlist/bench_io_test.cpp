@@ -1,0 +1,159 @@
+#include "netlist/bench_io.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+
+namespace wbist::netlist {
+namespace {
+
+TEST(BenchIo, ParsesS27) {
+  const Netlist nl = read_bench(circuits::s27_bench_text(), "s27");
+  EXPECT_EQ(nl.name(), "s27");
+  EXPECT_EQ(nl.primary_inputs().size(), 4u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.flip_flops().size(), 3u);
+  EXPECT_EQ(nl.eval_order().size(), 10u);
+  EXPECT_EQ(nl.node(nl.find("G13")).type, GateType::kNor);
+  EXPECT_EQ(nl.node(nl.find("G9")).type, GateType::kNand);
+}
+
+TEST(BenchIo, RoundTrip) {
+  const Netlist original = read_bench(circuits::s27_bench_text(), "s27");
+  const std::string text = write_bench(original);
+  const Netlist again = read_bench(text, "s27");
+  EXPECT_EQ(again.node_count(), original.node_count());
+  EXPECT_EQ(again.primary_inputs().size(), original.primary_inputs().size());
+  EXPECT_EQ(again.flip_flops().size(), original.flip_flops().size());
+  EXPECT_EQ(again.eval_order().size(), original.eval_order().size());
+  // Same named nodes with the same types and fanin names.
+  for (NodeId id = 0; id < original.node_count(); ++id) {
+    const Node& n = original.node(id);
+    const NodeId id2 = again.find(n.name);
+    ASSERT_NE(id2, kNoNode) << n.name;
+    const Node& n2 = again.node(id2);
+    EXPECT_EQ(n2.type, n.type) << n.name;
+    ASSERT_EQ(n2.fanin.size(), n.fanin.size()) << n.name;
+    for (std::size_t k = 0; k < n.fanin.size(); ++k)
+      EXPECT_EQ(again.node(n2.fanin[k]).name, original.node(n.fanin[k]).name);
+    EXPECT_EQ(n2.is_primary_output, n.is_primary_output) << n.name;
+  }
+}
+
+TEST(BenchIo, OutputOrderSurvivesRoundTrip) {
+  // Output order is semantic (it defines the response vector); a write/read
+  // cycle must not reorder it even when node ids change.
+  const Netlist nl = read_bench(R"(
+INPUT(a)
+OUTPUT(z2)
+OUTPUT(z0)
+OUTPUT(z1)
+z0 = NOT(a)
+z1 = BUF(a)
+z2 = AND(a, z0)
+)");
+  const Netlist again = read_bench(write_bench(nl));
+  ASSERT_EQ(again.primary_outputs().size(), 3u);
+  EXPECT_EQ(again.node(again.primary_outputs()[0]).name, "z2");
+  EXPECT_EQ(again.node(again.primary_outputs()[1]).name, "z0");
+  EXPECT_EQ(again.node(again.primary_outputs()[2]).name, "z1");
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+  // g uses h before h is defined.
+  const Netlist nl = read_bench(R"(
+INPUT(a)
+OUTPUT(g)
+g = AND(a, h)
+h = NOT(a)
+)");
+  EXPECT_EQ(nl.eval_order().size(), 2u);
+  EXPECT_EQ(nl.node(nl.find("g")).fanin.size(), 2u);
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = read_bench(R"(
+# full line comment
+INPUT(a)   # trailing comment
+
+OUTPUT(b)
+b = NOT(a)
+)");
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+}
+
+TEST(BenchIo, LowercaseKeywordsAccepted) {
+  const Netlist nl = read_bench(R"(
+input(a)
+output(b)
+b = not(a)
+)");
+  EXPECT_EQ(nl.node(nl.find("b")).type, GateType::kNot);
+}
+
+TEST(BenchIo, BuffAliasAccepted) {
+  const Netlist nl = read_bench(R"(
+INPUT(a)
+OUTPUT(b)
+b = BUFF(a)
+)");
+  EXPECT_EQ(nl.node(nl.find("b")).type, GateType::kBuf);
+}
+
+TEST(BenchIo, UnknownGateTypeReportsLine) {
+  try {
+    read_bench("INPUT(a)\nOUTPUT(b)\nb = FOO(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, UndefinedSignalThrows) {
+  EXPECT_THROW(read_bench("INPUT(a)\nOUTPUT(b)\nb = NOT(zzz)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, UndefinedOutputThrows) {
+  EXPECT_THROW(read_bench("INPUT(a)\nOUTPUT(zzz)\na2 = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, CombinationalCycleThrows) {
+  EXPECT_THROW(read_bench(R"(
+INPUT(a)
+OUTPUT(g)
+g = AND(a, h)
+h = NOT(g)
+)"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, MalformedAssignmentThrows) {
+  EXPECT_THROW(read_bench("INPUT(a)\nb = NOT a\nOUTPUT(b)\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench("INPUT(a)\n= NOT(a)\n"), std::runtime_error);
+  EXPECT_THROW(read_bench("INPUT(a)\nb = (a)\n"), std::runtime_error);
+}
+
+TEST(BenchIo, DffWithTwoInputsThrows) {
+  EXPECT_THROW(read_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, FileIoRoundTrip) {
+  const Netlist nl = read_bench(circuits::s27_bench_text(), "s27");
+  const std::string path = testing::TempDir() + "/wbist_s27.bench";
+  write_bench_file(nl, path);
+  const Netlist again = read_bench_file(path);
+  EXPECT_EQ(again.node_count(), nl.node_count());
+  EXPECT_EQ(again.name(), "wbist_s27");  // name from filename
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/file.bench"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wbist::netlist

@@ -1,0 +1,132 @@
+#include "netlist/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "sim/good_sim.h"
+#include "testutil.h"
+
+namespace wbist::netlist {
+namespace {
+
+using sim::Val3;
+
+TEST(Compose, AppendsAndBinds) {
+  // Wrap tiny_circuit: outer inputs feed it through inverters.
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer("wrapper");
+  const NodeId a = outer.add_input("A");
+  const NodeId b = outer.add_input("B");
+  const NodeId na = outer.add_gate(GateType::kNot, "nA", {a});
+  const NodeId nb = outer.add_gate(GateType::kNot, "nB", {b});
+
+  const std::vector<PortBinding> bind{{"a", na}, {"b", nb}};
+  const auto map = append_netlist(outer, inner, "U0_", bind);
+  outer.mark_output(map[inner.find("out")]);
+  outer.finalize();
+
+  EXPECT_NE(outer.find("U0_out"), kNoNode);
+  EXPECT_NE(outer.find("U0_ff"), kNoNode);
+  EXPECT_EQ(outer.find("U0_a"), kNoNode);  // inputs are not copied
+
+  // Behaviour: wrapper(A, B) == inner(!A, !B), cycle by cycle.
+  sim::GoodSimulator inner_sim(inner);
+  sim::GoodSimulator outer_sim(outer);
+  const auto seq = test::random_sequence(12, 2, 5);
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    const Val3 va = seq.at(u, 0);
+    const Val3 vb = seq.at(u, 1);
+    const auto inv = [](Val3 v) {
+      return v == Val3::kZero ? Val3::kOne : Val3::kZero;
+    };
+    inner_sim.step(std::vector<Val3>{inv(va), inv(vb)});
+    outer_sim.step(std::vector<Val3>{va, vb});
+    EXPECT_EQ(outer_sim.outputs()[0], inner_sim.outputs()[0]) << "u=" << u;
+  }
+}
+
+TEST(Compose, NodeMapCoversAllNodes) {
+  const Netlist inner = circuits::s27();
+  Netlist outer;
+  std::vector<PortBinding> bind;
+  std::vector<NodeId> drivers;
+  for (const NodeId pi : inner.primary_inputs()) {
+    const NodeId d = outer.add_input("D_" + inner.node(pi).name);
+    bind.push_back({inner.node(pi).name, d});
+    drivers.push_back(d);
+  }
+  const auto map = append_netlist(outer, inner, "X_", bind);
+  for (NodeId id = 0; id < inner.node_count(); ++id)
+    EXPECT_NE(map[id], kNoNode);
+  // Bound inputs map to their drivers.
+  for (std::size_t i = 0; i < drivers.size(); ++i)
+    EXPECT_EQ(map[inner.primary_inputs()[i]], drivers[i]);
+}
+
+TEST(Compose, MissingBindingThrows) {
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer;
+  const NodeId a = outer.add_input("A");
+  const std::vector<PortBinding> bind{{"a", a}};  // "b" unbound
+  EXPECT_THROW(append_netlist(outer, inner, "U_", bind),
+               std::invalid_argument);
+}
+
+TEST(Compose, UnknownInnerInputThrows) {
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer;
+  const NodeId a = outer.add_input("A");
+  const std::vector<PortBinding> bind{
+      {"a", a}, {"b", a}, {"nope", a}};
+  EXPECT_THROW(append_netlist(outer, inner, "U_", bind),
+               std::invalid_argument);
+}
+
+TEST(Compose, BindingNonInputThrows) {
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer;
+  const NodeId a = outer.add_input("A");
+  const std::vector<PortBinding> bind{{"a", a}, {"n1", a}};
+  EXPECT_THROW(append_netlist(outer, inner, "U_", bind),
+               std::invalid_argument);
+}
+
+TEST(Compose, DuplicateBindingThrows) {
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer;
+  const NodeId a = outer.add_input("A");
+  const std::vector<PortBinding> bind{{"a", a}, {"a", a}, {"b", a}};
+  EXPECT_THROW(append_netlist(outer, inner, "U_", bind),
+               std::invalid_argument);
+}
+
+TEST(Compose, FinalizedDestinationRejected) {
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer = test::tiny_circuit();  // finalized
+  EXPECT_THROW(append_netlist(outer, inner, "U_", {}),
+               std::invalid_argument);
+}
+
+TEST(Compose, TwoInstancesCoexist) {
+  const Netlist inner = test::tiny_circuit();
+  Netlist outer;
+  const NodeId a = outer.add_input("A");
+  const NodeId b = outer.add_input("B");
+  const std::vector<PortBinding> bind{{"a", a}, {"b", b}};
+  const auto m0 = append_netlist(outer, inner, "U0_", bind);
+  const auto m1 = append_netlist(outer, inner, "U1_", bind);
+  const NodeId x = outer.add_gate(
+      GateType::kXor, "diff", {m0[inner.find("out")], m1[inner.find("out")]});
+  outer.mark_output(x);
+  outer.finalize();
+
+  // Identical instances with identical inputs: XOR of outputs is 0 once
+  // both initialize.
+  sim::GoodSimulator s(outer);
+  s.step(std::vector<Val3>{Val3::kOne, Val3::kOne});
+  s.step(std::vector<Val3>{Val3::kZero, Val3::kOne});
+  EXPECT_EQ(s.outputs()[0], Val3::kZero);
+}
+
+}  // namespace
+}  // namespace wbist::netlist

@@ -1,0 +1,78 @@
+#include "netlist/verilog_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "circuits/iscas.h"
+#include "core/generator_hw.h"
+#include "testutil.h"
+
+namespace wbist::netlist {
+namespace {
+
+TEST(VerilogIo, EmitsModuleSkeleton) {
+  const std::string v = write_verilog(circuits::s27());
+  EXPECT_NE(v.find("module s27"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input clk;"), std::string::npos);
+  EXPECT_NE(v.find("input G0;"), std::string::npos);
+  EXPECT_NE(v.find("output G17;"), std::string::npos);
+}
+
+TEST(VerilogIo, GateOperators) {
+  const std::string v = write_verilog(circuits::s27());
+  // G9 = NAND(G16, G15); G11 = NOR(G5, G9); G14 = NOT(G0).
+  EXPECT_NE(v.find("assign G9 = ~(G16 & G15);"), std::string::npos);
+  EXPECT_NE(v.find("assign G11 = ~(G5 | G9);"), std::string::npos);
+  EXPECT_NE(v.find("assign G14 = ~G0;"), std::string::npos);
+}
+
+TEST(VerilogIo, FlipFlopsInAlwaysBlock) {
+  const std::string v = write_verilog(circuits::s27());
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("G5 <= G10;"), std::string::npos);
+  EXPECT_NE(v.find("reg G5;"), std::string::npos);
+}
+
+TEST(VerilogIo, XorAndBufSupported) {
+  const Netlist nl = test::tiny_circuit();
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("assign n2 = a ^ ff;"), std::string::npos);
+}
+
+TEST(VerilogIo, EveryGateIsAssigned) {
+  const Netlist nl = circuits::s27();
+  const std::string v = write_verilog(nl);
+  for (const NodeId id : nl.eval_order())
+    EXPECT_NE(v.find("assign " + nl.node(id).name + " = "),
+              std::string::npos)
+        << nl.node(id).name;
+}
+
+TEST(VerilogIo, GeneratorNetlistExports) {
+  core::WeightAssignment w;
+  w.per_input = {core::Subsequence::parse("01"),
+                 core::Subsequence::parse("100")};
+  const auto hw = core::build_generator({{w}}, 8);
+  const std::string v = write_verilog(hw.netlist);
+  EXPECT_NE(v.find("module tg_generator"), std::string::npos);
+  EXPECT_NE(v.find("output TG0;"), std::string::npos);
+  EXPECT_NE(v.find("output TG1;"), std::string::npos);
+}
+
+TEST(VerilogIo, UnfinalizedRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(write_verilog(nl), std::invalid_argument);
+}
+
+TEST(VerilogIo, FileWrite) {
+  const std::string path = testing::TempDir() + "/wbist_s27.v";
+  write_verilog_file(circuits::s27(), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace wbist::netlist

@@ -1,0 +1,67 @@
+#include "sim/sequence_io.h"
+
+#include <gtest/gtest.h>
+
+namespace wbist::sim {
+namespace {
+
+TEST(SequenceIo, ParsesRowsAndComments) {
+  const TestSequence seq = read_sequence(R"(
+# a comment
+0111   # trailing
+1x01
+
+-010
+)");
+  ASSERT_EQ(seq.length(), 3u);
+  EXPECT_EQ(seq.width(), 4u);
+  EXPECT_EQ(seq.at(0, 0), Val3::kZero);
+  EXPECT_EQ(seq.at(1, 1), Val3::kX);
+  EXPECT_EQ(seq.at(2, 0), Val3::kX);  // '-' parses as X
+}
+
+TEST(SequenceIo, EmptyTextIsEmptySequence) {
+  EXPECT_TRUE(read_sequence("").empty());
+  EXPECT_TRUE(read_sequence("# only comments\n\n").empty());
+}
+
+TEST(SequenceIo, RejectsBadCharacters) {
+  EXPECT_THROW(read_sequence("0101\n01a1\n"), std::runtime_error);
+}
+
+TEST(SequenceIo, RejectsWidthMismatch) {
+  try {
+    read_sequence("01\n011\n");
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SequenceIo, RoundTrip) {
+  const TestSequence seq = TestSequence::from_rows({"01x", "110", "0x1"});
+  const TestSequence again = read_sequence(write_sequence(seq, "test"));
+  EXPECT_EQ(again, seq);
+}
+
+TEST(SequenceIo, FileRoundTrip) {
+  const TestSequence seq = TestSequence::from_rows({"0101", "1x10"});
+  const std::string path = testing::TempDir() + "/wbist_seq_test.seq";
+  write_sequence_file(seq, path, "file round trip");
+  EXPECT_EQ(read_sequence_file(path), seq);
+}
+
+TEST(SequenceIo, MissingFileThrows) {
+  EXPECT_THROW(read_sequence_file("/nonexistent/file.seq"),
+               std::runtime_error);
+}
+
+TEST(SequenceIo, CommentHeaderInOutput) {
+  const TestSequence seq = TestSequence::from_rows({"01"});
+  const std::string text = write_sequence(seq, "hello");
+  EXPECT_NE(text.find("# hello"), std::string::npos);
+  EXPECT_NE(text.find("1 vectors, 2 inputs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wbist::sim

@@ -1,0 +1,90 @@
+#include "sim/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace wbist::sim {
+namespace {
+
+TEST(Sequence, FromRows) {
+  const TestSequence seq = TestSequence::from_rows({"01x", "110"});
+  EXPECT_EQ(seq.length(), 2u);
+  EXPECT_EQ(seq.width(), 3u);
+  EXPECT_EQ(seq.at(0, 0), Val3::kZero);
+  EXPECT_EQ(seq.at(0, 1), Val3::kOne);
+  EXPECT_EQ(seq.at(0, 2), Val3::kX);
+  EXPECT_EQ(seq.at(1, 2), Val3::kZero);
+}
+
+TEST(Sequence, DefaultIsEmpty) {
+  const TestSequence seq;
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.length(), 0u);
+  EXPECT_EQ(seq.width(), 0u);
+}
+
+TEST(Sequence, SizedConstructorFillsX) {
+  const TestSequence seq(3, 2);
+  EXPECT_EQ(seq.length(), 3u);
+  for (std::size_t u = 0; u < 3; ++u)
+    for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(seq.at(u, i), Val3::kX);
+}
+
+TEST(Sequence, AppendChecksWidth) {
+  TestSequence seq = TestSequence::from_rows({"01"});
+  const std::vector<Val3> bad{Val3::kOne};
+  EXPECT_THROW(seq.append(bad), std::invalid_argument);
+  const std::vector<Val3> ok{Val3::kOne, Val3::kZero};
+  seq.append(ok);
+  EXPECT_EQ(seq.length(), 2u);
+}
+
+TEST(Sequence, FirstAppendFixesWidth) {
+  TestSequence seq;
+  const std::vector<Val3> row{Val3::kOne, Val3::kZero, Val3::kX};
+  seq.append(row);
+  EXPECT_EQ(seq.width(), 3u);
+}
+
+TEST(Sequence, ColumnExtractsTi) {
+  const TestSequence seq = TestSequence::from_rows({"01", "10", "11"});
+  const auto t0 = seq.column(0);
+  ASSERT_EQ(t0.size(), 3u);
+  EXPECT_EQ(t0[0], Val3::kZero);
+  EXPECT_EQ(t0[1], Val3::kOne);
+  EXPECT_EQ(t0[2], Val3::kOne);
+}
+
+TEST(Sequence, TruncateShortens) {
+  TestSequence seq = TestSequence::from_rows({"0", "1", "0", "1"});
+  seq.truncate(2);
+  EXPECT_EQ(seq.length(), 2u);
+  seq.truncate(10);  // longer than current: no-op
+  EXPECT_EQ(seq.length(), 2u);
+}
+
+TEST(Sequence, RowString) {
+  const TestSequence seq = TestSequence::from_rows({"0x1"});
+  EXPECT_EQ(seq.row_string(0), "0x1");
+}
+
+TEST(Sequence, RowSpanMatchesAt) {
+  const TestSequence seq = TestSequence::from_rows({"011", "100"});
+  const auto row = seq.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(row[i], seq.at(1, i));
+}
+
+TEST(Sequence, Equality) {
+  const TestSequence a = TestSequence::from_rows({"01", "10"});
+  const TestSequence b = TestSequence::from_rows({"01", "10"});
+  const TestSequence c = TestSequence::from_rows({"01", "11"});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Sequence, MismatchedRowWidthThrows) {
+  EXPECT_THROW(TestSequence::from_rows({"01", "011"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wbist::sim

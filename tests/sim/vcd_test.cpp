@@ -1,0 +1,76 @@
+#include "sim/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "circuits/iscas.h"
+#include "testutil.h"
+
+namespace wbist::sim {
+namespace {
+
+std::string run_and_read(const netlist::Netlist& nl, const TestSequence& seq,
+                         std::vector<netlist::NodeId> watch = {}) {
+  const std::string path = testing::TempDir() + "/wbist_trace.vcd";
+  {
+    GoodSimulator sim(nl);
+    VcdWriter vcd(path, nl, std::move(watch));
+    for (std::size_t u = 0; u < seq.length(); ++u) {
+      sim.step(seq.row(u));
+      vcd.sample(sim);
+    }
+  }
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Vcd, HeaderAndTimestamps) {
+  const auto nl = circuits::s27();
+  const std::string vcd = run_and_read(nl, circuits::s27_paper_sequence());
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! G0 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#9"), std::string::npos);
+}
+
+TEST(Vcd, DumpsXForUnknowns) {
+  const auto nl = test::tiny_circuit();
+  const std::string vcd =
+      run_and_read(nl, TestSequence::from_rows({"11"}));
+  // The flip-flop is X during the first cycle.
+  EXPECT_NE(vcd.find("x"), std::string::npos);
+}
+
+TEST(Vcd, OnlyChangesAfterFirstSample) {
+  // A constant input signal must appear exactly once in the dump.
+  const auto nl = circuits::s27();
+  const std::vector<netlist::NodeId> watch{nl.find("G3")};
+  const std::string vcd = run_and_read(
+      nl, TestSequence::from_rows({"0011", "0011", "0011"}), watch);
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = vcd.find("\n1!", pos)) != std::string::npos;
+       ++pos)
+    ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Vcd, SampleCountTracksTime) {
+  const auto nl = circuits::s27();
+  const std::string path = testing::TempDir() + "/wbist_trace2.vcd";
+  GoodSimulator sim(nl);
+  VcdWriter vcd(path, nl);
+  const auto seq = circuits::s27_paper_sequence();
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    sim.step(seq.row(u));
+    vcd.sample(sim);
+  }
+  EXPECT_EQ(vcd.samples(), seq.length());
+}
+
+}  // namespace
+}  // namespace wbist::sim

@@ -1,0 +1,113 @@
+// Shared helpers for the test suite: tiny hand-built circuits, random
+// sequences, and a deliberately simple scalar reference fault simulator used
+// to cross-validate the word-parallel production simulator.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_list.h"
+#include "netlist/netlist.h"
+#include "sim/logic.h"
+#include "sim/sequence.h"
+#include "util/rng.h"
+
+namespace wbist::test {
+
+/// A 2-input / 1-DFF / 3-gate toy circuit:
+///   n1 = AND(a, b); ff = DFF(n1); n2 = XOR(a, ff); out = NOT(n2) [PO]
+inline netlist::Netlist tiny_circuit() {
+  netlist::Netlist nl("tiny");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto ff = nl.add_dff("ff");
+  const auto n1 = nl.add_gate(netlist::GateType::kAnd, "n1", {a, b});
+  nl.connect_dff(ff, n1);
+  const auto n2 = nl.add_gate(netlist::GateType::kXor, "n2", {a, ff});
+  const auto out = nl.add_gate(netlist::GateType::kNot, "out", {n2});
+  nl.mark_output(out);
+  nl.finalize();
+  return nl;
+}
+
+/// Uniformly random fully specified sequence.
+inline sim::TestSequence random_sequence(std::size_t length, std::size_t width,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  sim::TestSequence seq(length, width);
+  for (std::size_t u = 0; u < length; ++u)
+    for (std::size_t i = 0; i < width; ++i)
+      seq.set(u, i, rng.next_bit() ? sim::Val3::kOne : sim::Val3::kZero);
+  return seq;
+}
+
+/// Scalar three-valued reference fault simulator: simulates the single fault
+/// `f` over `seq` from the all-X state and returns the first detection time
+/// (definite difference at a PO or listed observation node), or nullopt.
+///
+/// Written for obvious correctness, not speed: one value per signal, gate
+/// evaluation through eval_gate_scalar, fault injection by direct override.
+inline std::optional<std::size_t> reference_detect(
+    const netlist::Netlist& nl, const fault::Fault& f,
+    const sim::TestSequence& seq,
+    const std::vector<netlist::NodeId>& observation = {}) {
+  using netlist::GateType;
+  using netlist::NodeId;
+  using sim::Val3;
+
+  const Val3 stuck = f.stuck_at_one ? Val3::kOne : Val3::kZero;
+  const auto ffs = nl.flip_flops();
+
+  std::vector<Val3> good(nl.node_count(), Val3::kX);
+  std::vector<Val3> bad(nl.node_count(), Val3::kX);
+  std::vector<Val3> good_state(ffs.size(), Val3::kX);
+  std::vector<Val3> bad_state(ffs.size(), Val3::kX);
+
+  const auto eval = [&](std::vector<Val3>& vals, bool faulty,
+                        std::span<const Val3> pi,
+                        std::vector<Val3>& state) {
+    const auto pis = nl.primary_inputs();
+    for (std::size_t i = 0; i < pis.size(); ++i) vals[pis[i]] = pi[i];
+    for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+    if (faulty && f.pin == fault::kStemPin) {
+      const GateType t = nl.node(f.node).type;
+      if (t == GateType::kInput || t == GateType::kDff) vals[f.node] = stuck;
+    }
+    for (NodeId id : nl.eval_order()) {
+      const netlist::Node& n = nl.node(id);
+      std::vector<Val3> in;
+      for (std::size_t p = 0; p < n.fanin.size(); ++p) {
+        Val3 v = vals[n.fanin[p]];
+        if (faulty && f.node == id && f.pin == static_cast<std::int16_t>(p))
+          v = stuck;
+        in.push_back(v);
+      }
+      vals[id] = sim::eval_gate_scalar(n.type, in);
+      if (faulty && f.node == id && f.pin == fault::kStemPin)
+        vals[id] = stuck;
+    }
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      Val3 v = vals[nl.node(ffs[i]).fanin[0]];
+      if (faulty && f.node == ffs[i] && f.pin == 0) v = stuck;
+      state[i] = v;
+    }
+  };
+
+  std::vector<NodeId> observed(nl.primary_outputs().begin(),
+                               nl.primary_outputs().end());
+  observed.insert(observed.end(), observation.begin(), observation.end());
+
+  for (std::size_t u = 0; u < seq.length(); ++u) {
+    eval(good, false, seq.row(u), good_state);
+    eval(bad, true, seq.row(u), bad_state);
+    for (NodeId po : observed) {
+      const Val3 g = good[po];
+      const Val3 b = bad[po];
+      if (g != Val3::kX && b != Val3::kX && g != b) return u;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wbist::test

@@ -1,0 +1,106 @@
+#include "tgen/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/registry.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::tgen {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+std::vector<FaultId> detected_ids(const std::vector<std::int32_t>& times) {
+  std::vector<FaultId> ids;
+  for (FaultId f = 0; f < times.size(); ++f)
+    if (times[f] != DetectionResult::kUndetected) ids.push_back(f);
+  return ids;
+}
+
+TEST(Compaction, PreservesCoverage) {
+  const auto nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TgenResult gen = generate_test_sequence(sim);
+  const auto must = detected_ids(gen.detection_time);
+
+  const CompactionResult res = compact_sequence(sim, gen.sequence, must);
+  EXPECT_LE(res.sequence.length(), gen.sequence.length());
+  const auto det = sim.run(res.sequence, must);
+  EXPECT_EQ(det.detected_count, must.size());
+}
+
+TEST(Compaction, RemovedPlusRemainingEqualsOriginal) {
+  const auto nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TgenResult gen = generate_test_sequence(sim);
+  const auto must = detected_ids(gen.detection_time);
+  const CompactionResult res = compact_sequence(sim, gen.sequence, must);
+  EXPECT_EQ(res.sequence.length() + res.removed_vectors,
+            gen.sequence.length());
+}
+
+TEST(Compaction, DetectionTimesRecomputed) {
+  const auto nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TgenResult gen = generate_test_sequence(sim);
+  const auto must = detected_ids(gen.detection_time);
+  const CompactionResult res = compact_sequence(sim, gen.sequence, must);
+  const auto det = sim.run(res.sequence, set.all_ids());
+  EXPECT_EQ(res.detection_time, det.detection_time);
+}
+
+TEST(Compaction, ShrinksRedundantSequence) {
+  // A sequence padded with obviously useless all-zero tail vectors must
+  // shrink below its original length.
+  const auto nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  sim::TestSequence padded = circuits::s27_paper_sequence();
+  const std::vector<sim::Val3> zeros(4, sim::Val3::kZero);
+  for (int k = 0; k < 30; ++k) padded.append(zeros);
+  const auto base = sim.run(padded, set.all_ids());
+  const auto must = detected_ids(base.detection_time);
+  const CompactionResult res = compact_sequence(sim, padded, must);
+  EXPECT_LT(res.sequence.length(), padded.length());
+}
+
+TEST(Compaction, SimulationBudgetHonored) {
+  const auto nl = circuits::circuit_by_name("s208");
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  TgenConfig tc;
+  tc.max_length = 512;
+  const TgenResult gen = generate_test_sequence(sim, tc);
+  const auto must = detected_ids(gen.detection_time);
+  CompactionConfig cfg;
+  cfg.max_simulations = 10;
+  const CompactionResult res = compact_sequence(sim, gen.sequence, must, cfg);
+  EXPECT_LE(res.simulations_used, 10u);
+}
+
+TEST(Compaction, MinBlockLimitsEffort) {
+  const auto nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TgenResult gen = generate_test_sequence(sim);
+  const auto must = detected_ids(gen.detection_time);
+  CompactionConfig coarse;
+  coarse.min_block = 16;
+  const CompactionResult res =
+      compact_sequence(sim, gen.sequence, must, coarse);
+  // Still preserves coverage even with coarse blocks only.
+  const auto det = sim.run(res.sequence, must);
+  EXPECT_EQ(det.detected_count, must.size());
+}
+
+}  // namespace
+}  // namespace wbist::tgen

@@ -1,0 +1,95 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace wbist::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 30u);  // not a degenerate constant stream
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(13);
+  std::vector<int> buckets(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++buckets[r.below(8)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 8 - n / 80);
+    EXPECT_LT(b, n / 8 + n / 80);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 10));
+    EXPECT_TRUE(r.chance(10, 10));
+  }
+}
+
+TEST(Rng, BitIsBalanced) {
+  Rng r(23);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += r.next_bit() ? 1 : 0;
+  EXPECT_GT(ones, n / 2 - n / 20);
+  EXPECT_LT(ones, n / 2 + n / 20);
+}
+
+}  // namespace
+}  // namespace wbist::util

@@ -1,0 +1,64 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace wbist::util {
+namespace {
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, StartsWithIcase) {
+  EXPECT_TRUE(starts_with_icase("INPUT(G0)", "input"));
+  EXPECT_TRUE(starts_with_icase("Output(x)", "OUTPUT"));
+  EXPECT_FALSE(starts_with_icase("IN", "INPUT"));
+  EXPECT_FALSE(starts_with_icase("OUTPUT", "INPUT"));
+}
+
+TEST(Strings, ToUpper) {
+  EXPECT_EQ(to_upper("nand"), "NAND");
+  EXPECT_EQ(to_upper("G17"), "G17");
+}
+
+TEST(Strings, FixedFormatting) {
+  EXPECT_EQ(fixed(93.4, 1), "93.4");
+  EXPECT_EQ(fixed(100.0, 1), "100.0");
+  EXPECT_EQ(fixed(99.995, 2), "100.00");  // rounds
+  EXPECT_EQ(fixed(0.5, 0), "0");          // banker-independent: snprintf
+}
+
+}  // namespace
+}  // namespace wbist::util

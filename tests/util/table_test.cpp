@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace wbist::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t{"Title"};
+  t.header({"circuit", "len"});
+  t.row({"s27", "10"});
+  t.row({"s1196", "238"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("circuit"), std::string::npos);
+  EXPECT_NE(out.find("s1196"), std::string::npos);
+  EXPECT_NE(out.find("238"), std::string::npos);
+}
+
+TEST(Table, NumbersRightAligned) {
+  Table t;
+  t.header({"name", "count"});
+  t.row({"a", "5"});
+  t.row({"bbbb", "12345"});
+  const std::string out = t.render();
+  // "5" must be padded on the left to align with "12345".
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row({"x"});
+  t.row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, NoTrailingSpaces) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"x", "y"});
+  const std::string out = t.render();
+  std::size_t pos = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    if (pos > 0) {
+      EXPECT_NE(out[pos - 1], ' ');
+    }
+    ++pos;
+  }
+}
+
+}  // namespace
+}  // namespace wbist::util

@@ -1,0 +1,205 @@
+// wbist — command-line front end for the weighted-BIST library.
+//
+//   wbist list                          registry circuits
+//   wbist info <circuit>                structure + fault counts
+//   wbist emit <circuit> [out.bench]    write the netlist
+//   wbist tgen <circuit> [out.seq]      deterministic sequence + compaction
+//   wbist flow <circuit>                full method, Table-6 style row
+//   wbist synth <circuit> [out.bench]   flow + Figure-1 generator emission
+//   wbist obs <circuit>                 observation-point tradeoff table
+//
+// Circuits may also be arbitrary `.bench` files: any argument containing
+// '/' or ending in ".bench" is loaded from disk instead of the registry.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/flow.h"
+#include "core/generator_hw.h"
+#include "core/obs_points.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "netlist/bench_io.h"
+#include "sim/sequence_io.h"
+#include "tgen/compaction.h"
+#include "tgen/random_tgen.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace wbist;
+
+netlist::Netlist load_circuit(const std::string& name) {
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 6 && name.substr(name.size() - 6) == ".bench"))
+    return netlist::read_bench_file(name);
+  return circuits::circuit_by_name(name);
+}
+
+int cmd_list() {
+  util::Table t;
+  t.header({"circuit", "PIs", "POs", "FFs", "gates", "kind"});
+  for (const auto& info : circuits::known_circuits())
+    t.row({info.name, std::to_string(info.profile.n_pi),
+           std::to_string(info.profile.n_po),
+           std::to_string(info.profile.n_ff),
+           std::to_string(info.profile.n_gates),
+           info.synthetic ? "synthetic analog" : "real ISCAS-89"});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_info(const std::string& name) {
+  const auto nl = load_circuit(name);
+  const auto stats = nl.stats();
+  const auto collapsed = fault::FaultSet::collapsed(nl);
+  const auto uncollapsed = fault::FaultSet::uncollapsed(nl);
+  std::printf("%s\n", nl.name().c_str());
+  std::printf("  inputs:        %zu\n", stats.primary_inputs);
+  std::printf("  outputs:       %zu\n", stats.primary_outputs);
+  std::printf("  flip-flops:    %zu\n", stats.flip_flops);
+  std::printf("  logic gates:   %zu\n", stats.logic_gates);
+  std::printf("  lines:         %zu\n", stats.lines);
+  std::printf("  logic depth:   %zu\n", stats.max_level);
+  std::printf("  stuck-at faults: %zu uncollapsed, %zu collapsed\n",
+              uncollapsed.size(), collapsed.size());
+  return 0;
+}
+
+int cmd_emit(const std::string& name, const std::string& out) {
+  const auto nl = load_circuit(name);
+  netlist::write_bench_file(nl, out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_tgen(const std::string& name, const std::string& out) {
+  const auto nl = load_circuit(name);
+  const auto faults = fault::FaultSet::collapsed(nl);
+  const fault::FaultSimulator sim(nl, faults);
+  util::Timer timer;
+  tgen::TgenConfig tc;
+  const auto gen = tgen::generate_test_sequence(sim, tc);
+  std::vector<fault::FaultId> must;
+  for (fault::FaultId f = 0; f < faults.size(); ++f)
+    if (gen.detection_time[f] != fault::DetectionResult::kUndetected)
+      must.push_back(f);
+  const auto comp = tgen::compact_sequence(sim, gen.sequence, must);
+  std::printf("%s: %zu -> %zu vectors, %zu/%zu faults (%.1f%%), %.1fs\n",
+              nl.name().c_str(), gen.sequence.length(),
+              comp.sequence.length(), must.size(), faults.size(),
+              100.0 * static_cast<double>(must.size()) /
+                  static_cast<double>(faults.size()),
+              timer.seconds());
+  sim::write_sequence_file(comp.sequence, out,
+                           nl.name() + " deterministic test sequence");
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_flow(const std::string& name) {
+  const auto nl = load_circuit(name);
+  const auto faults = fault::FaultSet::collapsed(nl);
+  const fault::FaultSimulator sim(nl, faults);
+  util::Timer timer;
+  const auto flow = core::run_flow(sim, nl.name());
+  const auto& r = flow.table6;
+  util::Table t;
+  t.header({"circuit", "len", "det", "seq", "subs", "len", "num", "out",
+            "f.e."});
+  t.row({r.circuit, std::to_string(r.t_length), std::to_string(r.t_detected),
+         std::to_string(r.n_seq), std::to_string(r.n_subs),
+         std::to_string(r.max_len), std::to_string(r.n_fsms),
+         std::to_string(r.n_fsm_outputs),
+         util::fixed(100.0 * flow.procedure.fault_efficiency(), 1)});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(%.1fs)\n", timer.seconds());
+  return 0;
+}
+
+int cmd_synth(const std::string& name, const std::string& out) {
+  const auto nl = load_circuit(name);
+  const auto faults = fault::FaultSet::collapsed(nl);
+  const fault::FaultSimulator sim(nl, faults);
+  const auto flow = core::run_flow(sim, nl.name());
+  if (flow.pruned.omega.empty()) {
+    std::printf("no weight assignments selected\n");
+    return 1;
+  }
+  const auto hw = core::build_generator(flow.pruned.omega,
+                                        flow.procedure.sequence_length);
+  netlist::write_bench_file(hw.netlist, out);
+  const auto stats = hw.stats();
+  std::printf("%s: %zu sessions x %zu cycles, %zu FSMs, %zu gates, %zu FFs\n",
+              out.c_str(), hw.session_count, hw.session_length,
+              hw.fsms.fsm_count(), stats.logic_gates, stats.flip_flops);
+  return 0;
+}
+
+int cmd_obs(const std::string& name) {
+  const auto nl = load_circuit(name);
+  const auto faults = fault::FaultSet::collapsed(nl);
+  const fault::FaultSimulator sim(nl, faults);
+  const auto flow = core::run_flow(sim, nl.name());
+  std::vector<fault::FaultId> targets;
+  for (fault::FaultId f = 0; f < faults.size(); ++f)
+    if (flow.detection_time[f] != fault::DetectionResult::kUndetected)
+      targets.push_back(f);
+  core::ObsTradeoffConfig cfg;
+  cfg.sequence_length = flow.procedure.sequence_length;
+  const auto result = core::observation_point_tradeoff(
+      sim, flow.procedure.omega, targets, cfg);
+  util::Table t;
+  t.header({"seq", "sub", "len", "f.e.", "obs", "f.e."});
+  for (const auto& row : result.rows)
+    t.row({std::to_string(row.n_seq), std::to_string(row.n_subs),
+           std::to_string(row.max_len), util::fixed(row.fe_before, 1),
+           std::to_string(row.n_obs), util::fixed(row.fe_after, 1)});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: wbist <command> [args]\n"
+      "  list                         known circuits\n"
+      "  info  <circuit>              structure and fault counts\n"
+      "  emit  <circuit> [out.bench]  write the netlist\n"
+      "  tgen  <circuit> [out.seq]    deterministic sequence + compaction\n"
+      "  flow  <circuit>              full weighted-BIST flow (Table-6 row)\n"
+      "  synth <circuit> [out.bench]  emit the Figure-1 generator netlist\n"
+      "  obs   <circuit>              observation-point tradeoff\n"
+      "a circuit is a registry name (see `list`) or a .bench file path\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (argc < 3) return usage();
+    const std::string name = argv[2];
+    const std::string arg3 = argc > 3 ? argv[3] : "";
+    if (cmd == "info") return cmd_info(name);
+    if (cmd == "emit")
+      return cmd_emit(name, arg3.empty() ? name + ".bench" : arg3);
+    if (cmd == "tgen")
+      return cmd_tgen(name, arg3.empty() ? name + ".seq" : arg3);
+    if (cmd == "flow") return cmd_flow(name);
+    if (cmd == "synth")
+      return cmd_synth(name, arg3.empty() ? name + "_bist.bench" : arg3);
+    if (cmd == "obs") return cmd_obs(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
