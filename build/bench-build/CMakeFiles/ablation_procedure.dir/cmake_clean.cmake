@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_procedure"
+  "../bench/ablation_procedure.pdb"
+  "CMakeFiles/ablation_procedure.dir/ablation_procedure.cpp.o"
+  "CMakeFiles/ablation_procedure.dir/ablation_procedure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

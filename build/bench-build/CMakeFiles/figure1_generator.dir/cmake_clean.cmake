@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure1_generator"
+  "../bench/figure1_generator.pdb"
+  "CMakeFiles/figure1_generator.dir/figure1_generator.cpp.o"
+  "CMakeFiles/figure1_generator.dir/figure1_generator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/selftest_coverage"
+  "../bench/selftest_coverage.pdb"
+  "CMakeFiles/selftest_coverage.dir/selftest_coverage.cpp.o"
+  "CMakeFiles/selftest_coverage.dir/selftest_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftest_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_s386"
+  "../bench/table10_s386.pdb"
+  "CMakeFiles/table10_s386.dir/obs_table.cpp.o"
+  "CMakeFiles/table10_s386.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_s386.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table11_s400"
+  "../bench/table11_s400.pdb"
+  "CMakeFiles/table11_s400.dir/obs_table.cpp.o"
+  "CMakeFiles/table11_s400.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_s400.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table11_s400.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table12_s420"
+  "../bench/table12_s420.pdb"
+  "CMakeFiles/table12_s420.dir/obs_table.cpp.o"
+  "CMakeFiles/table12_s420.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_s420.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

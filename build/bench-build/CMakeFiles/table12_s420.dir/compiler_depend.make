@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table12_s420.
+# This may be replaced when dependencies are built.

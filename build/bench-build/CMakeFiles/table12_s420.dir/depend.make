@@ -1,0 +1,2 @@
+# Empty dependencies file for table12_s420.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table13_s526"
+  "../bench/table13_s526.pdb"
+  "CMakeFiles/table13_s526.dir/obs_table.cpp.o"
+  "CMakeFiles/table13_s526.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_s526.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

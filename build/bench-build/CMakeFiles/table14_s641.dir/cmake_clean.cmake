@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table14_s641"
+  "../bench/table14_s641.pdb"
+  "CMakeFiles/table14_s641.dir/obs_table.cpp.o"
+  "CMakeFiles/table14_s641.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_s641.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

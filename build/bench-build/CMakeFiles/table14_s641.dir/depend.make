@@ -1,0 +1,2 @@
+# Empty dependencies file for table14_s641.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table15_s1423"
+  "../bench/table15_s1423.pdb"
+  "CMakeFiles/table15_s1423.dir/obs_table.cpp.o"
+  "CMakeFiles/table15_s1423.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table15_s1423.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table15_s1423.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table16_s5378"
+  "../bench/table16_s5378.pdb"
+  "CMakeFiles/table16_s5378.dir/obs_table.cpp.o"
+  "CMakeFiles/table16_s5378.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table16_s5378.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table16_s5378.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_2_4_5_s27_example"
+  "../bench/table1_2_4_5_s27_example.pdb"
+  "CMakeFiles/table1_2_4_5_s27_example.dir/table1_2_4_5_s27_example.cpp.o"
+  "CMakeFiles/table1_2_4_5_s27_example.dir/table1_2_4_5_s27_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_4_5_s27_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

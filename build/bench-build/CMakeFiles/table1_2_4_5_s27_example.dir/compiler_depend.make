@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_2_4_5_s27_example.
+# This may be replaced when dependencies are built.

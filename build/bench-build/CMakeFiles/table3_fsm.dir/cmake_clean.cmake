@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_fsm"
+  "../bench/table3_fsm.pdb"
+  "CMakeFiles/table3_fsm.dir/table3_fsm.cpp.o"
+  "CMakeFiles/table3_fsm.dir/table3_fsm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

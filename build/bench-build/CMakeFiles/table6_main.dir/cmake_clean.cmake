@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_main"
+  "../bench/table6_main.pdb"
+  "CMakeFiles/table6_main.dir/table6_main.cpp.o"
+  "CMakeFiles/table6_main.dir/table6_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

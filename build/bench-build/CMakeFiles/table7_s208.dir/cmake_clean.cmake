@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_s208"
+  "../bench/table7_s208.pdb"
+  "CMakeFiles/table7_s208.dir/obs_table.cpp.o"
+  "CMakeFiles/table7_s208.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_s208.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

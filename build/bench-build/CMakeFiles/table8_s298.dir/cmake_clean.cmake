@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_s298"
+  "../bench/table8_s298.pdb"
+  "CMakeFiles/table8_s298.dir/obs_table.cpp.o"
+  "CMakeFiles/table8_s298.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_s298.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

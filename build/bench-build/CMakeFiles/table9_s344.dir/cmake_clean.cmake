@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_s344"
+  "../bench/table9_s344.pdb"
+  "CMakeFiles/table9_s344.dir/obs_table.cpp.o"
+  "CMakeFiles/table9_s344.dir/obs_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_s344.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

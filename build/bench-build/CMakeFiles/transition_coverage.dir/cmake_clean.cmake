@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/transition_coverage"
+  "../bench/transition_coverage.pdb"
+  "CMakeFiles/transition_coverage.dir/transition_coverage.cpp.o"
+  "CMakeFiles/transition_coverage.dir/transition_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

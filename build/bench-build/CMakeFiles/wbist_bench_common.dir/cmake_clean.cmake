@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libwbist_bench_common.a"
+  "../lib/libwbist_bench_common.pdb"
+  "CMakeFiles/wbist_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/wbist_bench_common.dir/common/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

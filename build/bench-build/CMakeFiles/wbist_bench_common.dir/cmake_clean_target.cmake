@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwbist_bench_common.a"
+)

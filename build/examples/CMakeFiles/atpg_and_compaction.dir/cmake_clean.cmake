@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_and_compaction.dir/atpg_and_compaction.cpp.o"
+  "CMakeFiles/atpg_and_compaction.dir/atpg_and_compaction.cpp.o.d"
+  "atpg_and_compaction"
+  "atpg_and_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_and_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

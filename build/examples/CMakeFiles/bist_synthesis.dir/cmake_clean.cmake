@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_synthesis.dir/bist_synthesis.cpp.o"
+  "CMakeFiles/bist_synthesis.dir/bist_synthesis.cpp.o.d"
+  "bist_synthesis"
+  "bist_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

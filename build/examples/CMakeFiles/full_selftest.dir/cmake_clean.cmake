@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_selftest.dir/full_selftest.cpp.o"
+  "CMakeFiles/full_selftest.dir/full_selftest.cpp.o.d"
+  "full_selftest"
+  "full_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observation_tradeoff.dir/observation_tradeoff.cpp.o"
+  "CMakeFiles/observation_tradeoff.dir/observation_tradeoff.cpp.o.d"
+  "observation_tradeoff"
+  "observation_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observation_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist_circuits.dir/iscas.cpp.o"
+  "CMakeFiles/wbist_circuits.dir/iscas.cpp.o.d"
+  "CMakeFiles/wbist_circuits.dir/registry.cpp.o"
+  "CMakeFiles/wbist_circuits.dir/registry.cpp.o.d"
+  "CMakeFiles/wbist_circuits.dir/synth_gen.cpp.o"
+  "CMakeFiles/wbist_circuits.dir/synth_gen.cpp.o.d"
+  "libwbist_circuits.a"
+  "libwbist_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

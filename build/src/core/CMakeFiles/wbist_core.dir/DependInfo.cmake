@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/wbist_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/cover_hw.cpp" "src/core/CMakeFiles/wbist_core.dir/cover_hw.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/cover_hw.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/wbist_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/fsm_synth.cpp" "src/core/CMakeFiles/wbist_core.dir/fsm_synth.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/fsm_synth.cpp.o.d"
+  "/root/repo/src/core/generator_hw.cpp" "src/core/CMakeFiles/wbist_core.dir/generator_hw.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/generator_hw.cpp.o.d"
+  "/root/repo/src/core/lfsr.cpp" "src/core/CMakeFiles/wbist_core.dir/lfsr.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/lfsr.cpp.o.d"
+  "/root/repo/src/core/misr.cpp" "src/core/CMakeFiles/wbist_core.dir/misr.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/misr.cpp.o.d"
+  "/root/repo/src/core/obs_points.cpp" "src/core/CMakeFiles/wbist_core.dir/obs_points.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/obs_points.cpp.o.d"
+  "/root/repo/src/core/procedure.cpp" "src/core/CMakeFiles/wbist_core.dir/procedure.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/procedure.cpp.o.d"
+  "/root/repo/src/core/qm.cpp" "src/core/CMakeFiles/wbist_core.dir/qm.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/qm.cpp.o.d"
+  "/root/repo/src/core/random_extension.cpp" "src/core/CMakeFiles/wbist_core.dir/random_extension.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/random_extension.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/wbist_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/reverse_sim.cpp" "src/core/CMakeFiles/wbist_core.dir/reverse_sim.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/reverse_sim.cpp.o.d"
+  "/root/repo/src/core/selftest.cpp" "src/core/CMakeFiles/wbist_core.dir/selftest.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/selftest.cpp.o.d"
+  "/root/repo/src/core/subsequence.cpp" "src/core/CMakeFiles/wbist_core.dir/subsequence.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/subsequence.cpp.o.d"
+  "/root/repo/src/core/three_weight_baseline.cpp" "src/core/CMakeFiles/wbist_core.dir/three_weight_baseline.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/three_weight_baseline.cpp.o.d"
+  "/root/repo/src/core/weight_set.cpp" "src/core/CMakeFiles/wbist_core.dir/weight_set.cpp.o" "gcc" "src/core/CMakeFiles/wbist_core.dir/weight_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/wbist_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/wbist_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/wbist_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wbist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist_fault.dir/fault_list.cpp.o"
+  "CMakeFiles/wbist_fault.dir/fault_list.cpp.o.d"
+  "CMakeFiles/wbist_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/wbist_fault.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/wbist_fault.dir/transition.cpp.o"
+  "CMakeFiles/wbist_fault.dir/transition.cpp.o.d"
+  "libwbist_fault.a"
+  "libwbist_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

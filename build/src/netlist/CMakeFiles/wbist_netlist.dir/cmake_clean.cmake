@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/wbist_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/wbist_netlist.dir/compose.cpp.o"
+  "CMakeFiles/wbist_netlist.dir/compose.cpp.o.d"
+  "CMakeFiles/wbist_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/wbist_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/wbist_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/wbist_netlist.dir/verilog_io.cpp.o.d"
+  "libwbist_netlist.a"
+  "libwbist_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwbist_netlist.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/good_sim.cpp" "src/sim/CMakeFiles/wbist_sim.dir/good_sim.cpp.o" "gcc" "src/sim/CMakeFiles/wbist_sim.dir/good_sim.cpp.o.d"
+  "/root/repo/src/sim/sequence.cpp" "src/sim/CMakeFiles/wbist_sim.dir/sequence.cpp.o" "gcc" "src/sim/CMakeFiles/wbist_sim.dir/sequence.cpp.o.d"
+  "/root/repo/src/sim/sequence_io.cpp" "src/sim/CMakeFiles/wbist_sim.dir/sequence_io.cpp.o" "gcc" "src/sim/CMakeFiles/wbist_sim.dir/sequence_io.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/wbist_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/wbist_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/wbist_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wbist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

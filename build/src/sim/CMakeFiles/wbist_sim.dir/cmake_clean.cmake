@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist_sim.dir/good_sim.cpp.o"
+  "CMakeFiles/wbist_sim.dir/good_sim.cpp.o.d"
+  "CMakeFiles/wbist_sim.dir/sequence.cpp.o"
+  "CMakeFiles/wbist_sim.dir/sequence.cpp.o.d"
+  "CMakeFiles/wbist_sim.dir/sequence_io.cpp.o"
+  "CMakeFiles/wbist_sim.dir/sequence_io.cpp.o.d"
+  "CMakeFiles/wbist_sim.dir/vcd.cpp.o"
+  "CMakeFiles/wbist_sim.dir/vcd.cpp.o.d"
+  "libwbist_sim.a"
+  "libwbist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgen/compaction.cpp" "src/tgen/CMakeFiles/wbist_tgen.dir/compaction.cpp.o" "gcc" "src/tgen/CMakeFiles/wbist_tgen.dir/compaction.cpp.o.d"
+  "/root/repo/src/tgen/random_tgen.cpp" "src/tgen/CMakeFiles/wbist_tgen.dir/random_tgen.cpp.o" "gcc" "src/tgen/CMakeFiles/wbist_tgen.dir/random_tgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/wbist_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wbist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/wbist_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist_tgen.dir/compaction.cpp.o"
+  "CMakeFiles/wbist_tgen.dir/compaction.cpp.o.d"
+  "CMakeFiles/wbist_tgen.dir/random_tgen.cpp.o"
+  "CMakeFiles/wbist_tgen.dir/random_tgen.cpp.o.d"
+  "libwbist_tgen.a"
+  "libwbist_tgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

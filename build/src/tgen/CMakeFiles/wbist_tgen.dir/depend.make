@@ -1,0 +1,2 @@
+# Empty dependencies file for wbist_tgen.
+# This may be replaced when dependencies are built.

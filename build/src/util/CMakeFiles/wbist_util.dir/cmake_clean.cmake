@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist_util.dir/strings.cpp.o"
+  "CMakeFiles/wbist_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wbist_util.dir/table.cpp.o"
+  "CMakeFiles/wbist_util.dir/table.cpp.o.d"
+  "libwbist_util.a"
+  "libwbist_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

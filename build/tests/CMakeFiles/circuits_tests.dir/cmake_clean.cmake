@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_tests.dir/circuits/iscas_test.cpp.o"
+  "CMakeFiles/circuits_tests.dir/circuits/iscas_test.cpp.o.d"
+  "CMakeFiles/circuits_tests.dir/circuits/synth_gen_test.cpp.o"
+  "CMakeFiles/circuits_tests.dir/circuits/synth_gen_test.cpp.o.d"
+  "circuits_tests"
+  "circuits_tests.pdb"
+  "circuits_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/assignment_test.cpp" "tests/CMakeFiles/core_tests.dir/core/assignment_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/assignment_test.cpp.o.d"
+  "/root/repo/tests/core/example_s27_test.cpp" "tests/CMakeFiles/core_tests.dir/core/example_s27_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/example_s27_test.cpp.o.d"
+  "/root/repo/tests/core/fsm_synth_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fsm_synth_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fsm_synth_test.cpp.o.d"
+  "/root/repo/tests/core/generator_fuzz_test.cpp" "tests/CMakeFiles/core_tests.dir/core/generator_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/generator_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/generator_hw_test.cpp" "tests/CMakeFiles/core_tests.dir/core/generator_hw_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/generator_hw_test.cpp.o.d"
+  "/root/repo/tests/core/lfsr_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lfsr_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lfsr_test.cpp.o.d"
+  "/root/repo/tests/core/misr_test.cpp" "tests/CMakeFiles/core_tests.dir/core/misr_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/misr_test.cpp.o.d"
+  "/root/repo/tests/core/obs_points_test.cpp" "tests/CMakeFiles/core_tests.dir/core/obs_points_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/obs_points_test.cpp.o.d"
+  "/root/repo/tests/core/procedure_test.cpp" "tests/CMakeFiles/core_tests.dir/core/procedure_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/procedure_test.cpp.o.d"
+  "/root/repo/tests/core/qm_test.cpp" "tests/CMakeFiles/core_tests.dir/core/qm_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/qm_test.cpp.o.d"
+  "/root/repo/tests/core/random_extension_test.cpp" "tests/CMakeFiles/core_tests.dir/core/random_extension_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/random_extension_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/reverse_sim_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reverse_sim_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reverse_sim_test.cpp.o.d"
+  "/root/repo/tests/core/selftest_test.cpp" "tests/CMakeFiles/core_tests.dir/core/selftest_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/selftest_test.cpp.o.d"
+  "/root/repo/tests/core/subsequence_test.cpp" "tests/CMakeFiles/core_tests.dir/core/subsequence_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/subsequence_test.cpp.o.d"
+  "/root/repo/tests/core/three_weight_baseline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/three_weight_baseline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/three_weight_baseline_test.cpp.o.d"
+  "/root/repo/tests/core/weight_set_test.cpp" "tests/CMakeFiles/core_tests.dir/core/weight_set_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/weight_set_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/wbist_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/wbist_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/wbist_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wbist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/wbist_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wbist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

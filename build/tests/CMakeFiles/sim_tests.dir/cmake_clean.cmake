@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/good_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/good_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/logic_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/logic_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sequence_io_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sequence_io_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sequence_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sequence_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/vcd_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/vcd_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

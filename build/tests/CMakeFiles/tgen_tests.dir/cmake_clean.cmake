@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgen_tests.dir/tgen/compaction_test.cpp.o"
+  "CMakeFiles/tgen_tests.dir/tgen/compaction_test.cpp.o.d"
+  "CMakeFiles/tgen_tests.dir/tgen/random_tgen_test.cpp.o"
+  "CMakeFiles/tgen_tests.dir/tgen/random_tgen_test.cpp.o.d"
+  "tgen_tests"
+  "tgen_tests.pdb"
+  "tgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbist.dir/wbist_cli.cpp.o"
+  "CMakeFiles/wbist.dir/wbist_cli.cpp.o.d"
+  "wbist"
+  "wbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
