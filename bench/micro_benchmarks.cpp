@@ -1,7 +1,19 @@
 // Microbenchmarks (google-benchmark) for the performance-critical layers:
 // good-machine simulation, parallel-fault simulation, weighted-sequence
 // expansion, candidate-set construction, and two-level minimization.
+//
+// Besides the google-benchmark suite, main() runs a fault-simulation
+// thread-scaling measurement (1/2/4/hardware threads) and writes it to
+// BENCH_faultsim.json in the working directory, so successive PRs can track
+// the perf trajectory mechanically.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
 
 #include "circuits/iscas.h"
 #include "circuits/registry.h"
@@ -60,6 +72,55 @@ void BM_FaultSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultSimulation)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
+void BM_FaultSimulationThreads(benchmark::State& state) {
+  const auto nl = circuits::circuit_by_name("s1423");
+  const auto faults = fault::FaultSet::collapsed(nl);
+  fault::FaultSimulator sim(nl, faults);
+  const auto seq = random_sequence(128, nl.primary_inputs().size(), 2);
+  const fault::GoodTrace trace = sim.make_trace(seq);
+  fault::FaultSimOptions opt;
+  opt.threads = static_cast<unsigned>(state.range(0));
+  const auto ids = faults.all_ids();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(trace, ids, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()) * 128);
+  state.SetLabel("s1423, threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FaultSimulationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)  // 0 = hardware_concurrency
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GoodTraceSharing(benchmark::State& state) {
+  // The procedure's two-phase candidate simulation: sample pass + full pass
+  // over one candidate sequence. range(0)==0 re-simulates the good machine
+  // per pass (the old behaviour); range(0)==1 shares one trace.
+  const auto nl = circuits::circuit_by_name("s641");
+  const auto faults = fault::FaultSet::collapsed(nl);
+  fault::FaultSimulator sim(nl, faults);
+  const auto seq = random_sequence(256, nl.primary_inputs().size(), 4);
+  const auto ids = faults.all_ids();
+  const std::vector<fault::FaultId> sample(ids.begin(),
+                                           ids.begin() + 32);
+  const bool share = state.range(0) != 0;
+  for (auto _ : state) {
+    if (share) {
+      const fault::GoodTrace trace = sim.make_trace(seq);
+      benchmark::DoNotOptimize(sim.run(trace, sample));
+      benchmark::DoNotOptimize(sim.run(trace, ids));
+    } else {
+      benchmark::DoNotOptimize(sim.run(seq, sample));
+      benchmark::DoNotOptimize(sim.run(seq, ids));
+    }
+  }
+  state.SetLabel(share ? "s641, shared trace" : "s641, good sim per run");
+}
+BENCHMARK(BM_GoodTraceSharing)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_WeightedExpansion(benchmark::State& state) {
   core::WeightAssignment w;
   for (int i = 0; i < 35; ++i)
@@ -107,4 +168,102 @@ void BM_FaultCollapsing(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultCollapsing)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Fault-sim thread-scaling measurement -> BENCH_faultsim.json
+// ---------------------------------------------------------------------------
+
+/// Best-of-N wall-clock of one full parallel-fault run at `threads`.
+double measure_faultsim_ms(const fault::FaultSimulator& sim,
+                           const fault::GoodTrace& trace,
+                           std::span<const fault::FaultId> ids,
+                           unsigned threads, int repetitions) {
+  fault::FaultSimOptions opt;
+  opt.threads = threads;
+  double best = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto det = sim.run(trace, ids, opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(det);
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+bool write_faultsim_scaling_json(const char* path) {
+  const char* circuit = "s1423";
+  const std::size_t time_units = 128;
+  const int repetitions = 3;
+
+  const auto nl = circuits::circuit_by_name(circuit);
+  const auto faults = fault::FaultSet::collapsed(nl);
+  fault::FaultSimulator sim(nl, faults);
+  const auto seq = random_sequence(time_units, nl.primary_inputs().size(), 2);
+  const fault::GoodTrace trace = sim.make_trace(seq);
+  const auto ids = faults.all_ids();
+
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end())
+    thread_counts.push_back(hw);
+
+  // Determinism cross-check rides along: every thread count must reproduce
+  // the serial detection times exactly.
+  fault::FaultSimOptions serial_opt;
+  serial_opt.threads = 1;
+  const auto baseline = sim.run(trace, ids, serial_opt);
+  bool deterministic = true;
+
+  struct Row {
+    unsigned threads;
+    double wall_ms;
+  };
+  std::vector<Row> rows;
+  for (const unsigned t : thread_counts) {
+    rows.push_back({t, measure_faultsim_ms(sim, trace, ids, t, repetitions)});
+    fault::FaultSimOptions opt;
+    opt.threads = t;
+    const auto det = sim.run(trace, ids, opt);
+    deterministic &= det.detection_time == baseline.detection_time &&
+                     det.detected_count == baseline.detected_count;
+  }
+  const double base_ms = rows.front().wall_ms;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"faultsim_thread_scaling\",\n"
+      << "  \"circuit\": \"" << circuit << "\",\n"
+      << "  \"faults\": " << faults.size() << ",\n"
+      << "  \"time_units\": " << time_units << ",\n"
+      << "  \"repetitions\": " << repetitions << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"threads\": " << rows[i].threads << ", \"wall_ms\": "
+        << rows[i].wall_ms << ", \"speedup_vs_1\": "
+        << (rows[i].wall_ms > 0 ? base_ms / rows[i].wall_ms : 0.0) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (hardware_concurrency=%u, deterministic=%s)\n", path,
+              hw, deterministic ? "true" : "false");
+  return deterministic;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_faultsim_scaling_json("BENCH_faultsim.json") ? 0 : 1;
+}

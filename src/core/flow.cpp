@@ -40,7 +40,8 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
     if (flow.detection_time[f] != DetectionResult::kUndetected)
       targets.push_back(f);
   flow.pruned = reverse_order_prune(sim, flow.procedure.omega, targets,
-                                    flow.procedure.sequence_length);
+                                    flow.procedure.sequence_length,
+                                    config.procedure.threads);
 
   // 5. FSM synthesis over the surviving subsequences.
   std::vector<Subsequence> subs;

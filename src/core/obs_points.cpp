@@ -67,14 +67,19 @@ ObsTradeoffResult observation_point_tradeoff(
   ObsTradeoffResult result;
   if (omega.empty() || targets.empty()) return result;
 
+  fault::FaultSimOptions sim_opts;
+  sim_opts.threads = config.threads;
+
   // Detected set of each assignment over `targets` (bit per target index).
+  // Each assignment's good-machine trace is captured once here and shared
+  // with every later observable_lines() replay over the same sequence.
   std::vector<std::vector<bool>> detects(omega.size(),
                                          std::vector<bool>(targets.size()));
-  std::vector<sim::TestSequence> sequences;
-  sequences.reserve(omega.size());
+  std::vector<fault::GoodTrace> traces;
+  traces.reserve(omega.size());
   for (std::size_t j = 0; j < omega.size(); ++j) {
-    sequences.push_back(omega[j].expand(config.sequence_length));
-    const DetectionResult det = sim.run(sequences.back(), targets);
+    traces.push_back(sim.make_trace(omega[j].expand(config.sequence_length)));
+    const DetectionResult det = sim.run(traces.back(), targets, sim_opts);
     for (std::size_t k = 0; k < targets.size(); ++k)
       detects[j][k] = det.detected(k);
   }
@@ -103,7 +108,7 @@ ObsTradeoffResult observation_point_tradeoff(
     for (FaultId f : faults)
       if (op_cache[j].count(f) == 0) missing.push_back(f);
     if (missing.empty()) return;
-    const auto lines = sim.observable_lines(sequences[j], missing);
+    const auto lines = sim.observable_lines(traces[j], missing, config.threads);
     for (std::size_t k = 0; k < missing.size(); ++k)
       op_cache[j].emplace(missing[k], lines[k]);
   };

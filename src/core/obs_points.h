@@ -33,6 +33,8 @@ struct ObsTradeoffConfig {
   /// Rows whose final fault efficiency is below this are dropped, matching
   /// the paper's "99% or higher" reporting rule (fraction, not percent).
   double min_final_fe = 0.99;
+  /// Fault-simulation worker threads (0 = hardware_concurrency, 1 = serial).
+  unsigned threads = 0;
 };
 
 struct ObsTradeoffResult {

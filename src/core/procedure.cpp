@@ -47,6 +47,10 @@ ProcedureResult select_weight_assignments(
   util::Rng rng(config.seed);
   std::unordered_set<WeightAssignment, WeightAssignmentHash> fully_simulated;
 
+  fault::FaultSimOptions sim_opts;
+  sim_opts.threads = config.threads;
+  const std::size_t good_sims_before = sim.good_sim_runs();
+
   const auto drop_detected = [&](std::span<const FaultId> ids,
                                  const DetectionResult& det,
                                  std::vector<FaultId>& from) {
@@ -99,6 +103,9 @@ ProcedureResult select_weight_assignments(
         ++result.stats.assignments_tried;
 
         const TestSequence tg = w.expand(result.sequence_length);
+        // One good-machine pass per candidate: the trace is shared between
+        // the sample pre-simulation and the full simulation below.
+        const fault::GoodTrace trace = sim.make_trace(tg);
 
         // Sample pre-simulation: the faults this assignment was built for,
         // plus a random sample of the remaining targets.
@@ -109,13 +116,13 @@ ProcedureResult select_weight_assignments(
                     targets.size(), std::max<std::size_t>(config.sample_size / 2, 4))));
         for (std::size_t k = 0; k < config.sample_size && k < F.size(); ++k)
           sample.push_back(F[rng.below(F.size())]);
-        const DetectionResult sample_det = sim.run(tg, sample);
+        const DetectionResult sample_det = sim.run(trace, sample, sim_opts);
         if (sample_det.detected_count == 0) {
           ++result.stats.sample_rejections;
           continue;
         }
 
-        const DetectionResult det = sim.run(tg, F);
+        const DetectionResult det = sim.run(trace, F, sim_opts);
         ++result.stats.full_simulations;
         fully_simulated.insert(w);
         if (det.detected_count > 0) {
@@ -139,6 +146,7 @@ ProcedureResult select_weight_assignments(
     }
   }
 
+  result.stats.good_machine_sims = sim.good_sim_runs() - good_sims_before;
   return result;
 }
 

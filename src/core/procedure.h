@@ -38,12 +38,18 @@ struct ProcedureConfig {
   bool exact_paper_schedule = false;
 
   std::uint64_t seed = 7;  ///< fault-sampling seed
+
+  /// Fault-simulation worker threads (0 = hardware_concurrency, 1 = serial).
+  unsigned threads = 0;
 };
 
 struct ProcedureStats {
   std::size_t assignments_tried = 0;    ///< distinct candidate assignments
   std::size_t sample_rejections = 0;    ///< skipped by the sample heuristic
   std::size_t full_simulations = 0;     ///< full fault simulations of a T_G
+  /// Good-machine simulations performed: exactly one per candidate T_G (the
+  /// trace is shared between the sample pass and the full pass).
+  std::size_t good_machine_sims = 0;
 };
 
 struct ProcedureResult {

@@ -10,14 +10,18 @@ using fault::FaultId;
 ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
                                      std::span<const WeightAssignment> omega,
                                      std::span<const FaultId> targets,
-                                     std::size_t sequence_length) {
+                                     std::size_t sequence_length,
+                                     unsigned threads) {
   ReverseSimResult result;
   std::vector<FaultId> remaining(targets.begin(), targets.end());
   std::vector<bool> keep(omega.size(), false);
 
+  fault::FaultSimOptions opts;
+  opts.threads = threads;
   for (std::size_t k = omega.size(); k-- > 0 && !remaining.empty();) {
     const sim::TestSequence tg = omega[k].expand(sequence_length);
-    const DetectionResult det = sim.run(tg, remaining);
+    const fault::GoodTrace trace = sim.make_trace(tg);
+    const DetectionResult det = sim.run(trace, remaining, opts);
     if (det.detected_count == 0) continue;
     keep[k] = true;
     std::vector<FaultId> still;

@@ -20,10 +20,13 @@ struct ReverseSimResult {
 /// Simulate the assignments of `omega` in reverse generation order against
 /// the target faults; an assignment is kept only if its sequence detects a
 /// fault not detected by any later (already kept) assignment. Coverage of
-/// `targets` is preserved exactly.
+/// `targets` is preserved exactly. `threads` is the fault-simulation worker
+/// count (0 = hardware_concurrency, 1 = serial); the result is identical for
+/// every value.
 ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
                                      std::span<const WeightAssignment> omega,
                                      std::span<const fault::FaultId> targets,
-                                     std::size_t sequence_length);
+                                     std::size_t sequence_length,
+                                     unsigned threads = 0);
 
 }  // namespace wbist::core

@@ -117,7 +117,9 @@ ThreeWeightResult run_three_weight_baseline(
 
       const TestSequence tg =
           w.expand(lfsr, session++, config.sequence_length);
-      const DetectionResult det = sim.run(tg, remaining);
+      fault::FaultSimOptions opts;
+      opts.threads = config.threads;
+      const DetectionResult det = sim.run(sim.make_trace(tg), remaining, opts);
       if (det.detected_count == 0) continue;
 
       result.assignments.push_back(w);

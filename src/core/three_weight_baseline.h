@@ -55,6 +55,8 @@ struct ThreeWeightConfig {
   unsigned lfsr_width = 16;
   /// Give up on a target fault after this many fruitless assignments.
   std::size_t attempts_per_fault = 3;
+  /// Fault-simulation worker threads (0 = hardware_concurrency, 1 = serial).
+  unsigned threads = 0;
 };
 
 struct ThreeWeightResult {

@@ -57,6 +57,13 @@ FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults)
   for (std::uint32_t i = 0; i < ffs.size(); ++i) ff_index_[ffs[i]] = i;
 }
 
+util::WorkerPool& FaultSimulator::pool(unsigned thread_count) const {
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (!pool_ || pool_->size() != thread_count)
+    pool_ = std::make_unique<util::WorkerPool>(thread_count);
+  return *pool_;
+}
+
 std::vector<FaultSimulator::Group> FaultSimulator::pack_groups(
     std::span<const FaultId> ids) const {
   std::vector<Group> groups;
@@ -128,129 +135,180 @@ Word3 fold(GateType type, std::span<const Word3> in) {
   return sim::eval_gate(type, in);
 }
 
+/// Per-thread scratch for one simulated group: node values, flip-flop state
+/// planes, fanin staging and the injection chain index. One instance per
+/// worker rank; reused across every group that rank simulates.
+struct GroupScratch {
+  std::vector<Word3> vals;
+  std::vector<Word3> state;
+  std::vector<Word3> next_state;
+  std::vector<Word3> fanin_buf;
+  InjectionIndex inj_index;
+
+  GroupScratch(std::size_t node_count, std::size_t ff_count)
+      : vals(node_count),
+        state(ff_count),
+        next_state(ff_count),
+        inj_index(node_count) {}
+};
+
+/// Evaluate the flattened combinational core once, in topological order,
+/// with the group's gate injections applied. The no-injection fast path
+/// folds fanin values in place; only injected gates stage a fanin copy.
+void eval_core(std::span<const GateRec> gates, const NodeId* flat_fanin,
+               const InjectionIndex& inj_index, std::vector<Word3>& vals,
+               std::vector<Word3>& fanin_buf) {
+  for (const GateRec& g : gates) {
+    const std::span<const NodeId> fanin{flat_fanin + g.fanin_begin,
+                                        g.fanin_count};
+    const std::int32_t head = inj_index.head(g.id);
+    Word3 out;
+    if (head < 0) [[likely]] {
+      switch (g.type) {
+        case GateType::kBuf:
+          out = vals[fanin[0]];
+          break;
+        case GateType::kNot:
+          out = sim::not3(vals[fanin[0]]);
+          break;
+        case GateType::kAnd:
+        case GateType::kNand: {
+          Word3 acc = vals[fanin[0]];
+          for (std::size_t k = 1; k < fanin.size(); ++k)
+            acc = sim::and3(acc, vals[fanin[k]]);
+          out = g.type == GateType::kNand ? sim::not3(acc) : acc;
+          break;
+        }
+        case GateType::kOr:
+        case GateType::kNor: {
+          Word3 acc = vals[fanin[0]];
+          for (std::size_t k = 1; k < fanin.size(); ++k)
+            acc = sim::or3(acc, vals[fanin[k]]);
+          out = g.type == GateType::kNor ? sim::not3(acc) : acc;
+          break;
+        }
+        default: {
+          Word3 acc = vals[fanin[0]];
+          for (std::size_t k = 1; k < fanin.size(); ++k)
+            acc = sim::xor3(acc, vals[fanin[k]]);
+          out = g.type == GateType::kXnor ? sim::not3(acc) : acc;
+          break;
+        }
+      }
+    } else {
+      // Slow path: apply pin injections on a copy of the fanin values,
+      // then stem injections on the gate output.
+      fanin_buf.assign(fanin.size(), Word3{});
+      for (std::size_t k = 0; k < fanin.size(); ++k)
+        fanin_buf[k] = vals[fanin[k]];
+      for (std::int32_t link = head; link >= 0; link = inj_index.next(link)) {
+        const Injection& inj = inj_index.injection(link);
+        if (inj.pin != kStemPin)
+          fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
+              fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask, inj.sa1);
+      }
+      out = fold(g.type, fanin_buf);
+      for (std::int32_t link = head; link >= 0; link = inj_index.next(link)) {
+        const Injection& inj = inj_index.injection(link);
+        if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
+      }
+    }
+    vals[g.id] = out;
+  }
+}
+
 }  // namespace
 
+GoodTrace FaultSimulator::make_trace(
+    const TestSequence& seq, std::span<const NodeId> observation_points,
+    std::size_t max_time_units) const {
+  const auto pis = nl_->primary_inputs();
+  GoodTrace trace;
+  trace.n_inputs = pis.size();
+  trace.n_observation_points = observation_points.size();
+  trace.observed.assign(nl_->primary_outputs().begin(),
+                        nl_->primary_outputs().end());
+  trace.observed.insert(trace.observed.end(), observation_points.begin(),
+                        observation_points.end());
+  if (seq.length() == 0) return trace;
+  if (seq.width() != pis.size())
+    throw std::invalid_argument("fault_sim: sequence width != #inputs");
+
+  trace.length = std::min(seq.length(), max_time_units);
+  trace.pi_words.resize(trace.length * pis.size());
+  trace.good_obs.resize(trace.length * trace.observed.size());
+  sim::GoodSimulator good(*nl_);
+  for (std::size_t u = 0; u < trace.length; ++u) {
+    good.step(seq.row(u));
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      trace.pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
+    const auto raw = good.raw_values();
+    for (std::size_t k = 0; k < trace.observed.size(); ++k)
+      trace.good_obs[u * trace.observed.size() + k] = raw[trace.observed[k]];
+  }
+  good_sim_runs_.fetch_add(1, std::memory_order_relaxed);
+  return trace;
+}
+
 DetectionResult FaultSimulator::run(const TestSequence& seq,
+                                    std::span<const FaultId> ids,
+                                    const FaultSimOptions& options) const {
+  if (ids.empty() || seq.length() == 0) {
+    DetectionResult result;
+    result.detection_time.assign(ids.size(), DetectionResult::kUndetected);
+    return result;
+  }
+  return run(make_trace(seq, options.observation_points,
+                        options.max_time_units),
+             ids, options);
+}
+
+DetectionResult FaultSimulator::run(const GoodTrace& trace,
                                     std::span<const FaultId> ids,
                                     const FaultSimOptions& options) const {
   const auto pis = nl_->primary_inputs();
   DetectionResult result;
   result.detection_time.assign(ids.size(), DetectionResult::kUndetected);
-  if (ids.empty() || seq.length() == 0) return result;
-  if (seq.width() != pis.size())
-    throw std::invalid_argument("fault_sim: sequence width != #inputs");
+  if (ids.empty() || trace.length == 0) return result;
+  if (trace.n_inputs != pis.size())
+    throw std::invalid_argument("fault_sim: trace width != #inputs");
+  if (trace.n_observation_points != options.observation_points.size() ||
+      !std::equal(options.observation_points.begin(),
+                  options.observation_points.end(),
+                  trace.observed.end() -
+                      static_cast<std::ptrdiff_t>(trace.n_observation_points)))
+    throw std::invalid_argument(
+        "fault_sim: trace observation points differ from options");
 
-  const std::size_t length = std::min(seq.length(), options.max_time_units);
-
-  // Observed lines: primary outputs plus caller-provided observation points.
-  std::vector<NodeId> observed(nl_->primary_outputs().begin(),
-                               nl_->primary_outputs().end());
-  observed.insert(observed.end(), options.observation_points.begin(),
-                  options.observation_points.end());
-
-  // One pass of the good machine; record input words and the good values of
-  // every observed line per time unit.
-  std::vector<Word3> pi_words(length * pis.size());
-  std::vector<Word3> good_obs(length * observed.size());
-  {
-    sim::GoodSimulator good(*nl_);
-    for (std::size_t u = 0; u < length; ++u) {
-      good.step(seq.row(u));
-      for (std::size_t i = 0; i < pis.size(); ++i)
-        pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
-      const auto raw = good.raw_values();
-      for (std::size_t k = 0; k < observed.size(); ++k)
-        good_obs[u * observed.size() + k] = raw[observed[k]];
-    }
-  }
+  const std::size_t length = std::min(trace.length, options.max_time_units);
+  const std::size_t n_obs = trace.observed.size();
+  const NodeId* observed = trace.observed.data();
 
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
+  std::vector<std::uint32_t> group_detected(groups.size(), 0);
 
-  std::vector<Word3> vals(nl_->node_count());
-  std::vector<Word3> state(ffs.size());
-  std::vector<Word3> next_state(ffs.size());
-  std::vector<Word3> fanin_buf;
-  InjectionIndex inj_index(nl_->node_count());
+  const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
+    Group& group = groups[gi];
+    std::vector<Word3>& vals = s.vals;
+    s.inj_index.attach(group.gate);
+    for (Word3& w : s.state) w = broadcast(Val3::kX);
 
-  for (Group& group : groups) {
-    inj_index.attach(group.gate);
-    for (Word3& w : state) w = broadcast(Val3::kX);
-
+    std::uint32_t local_detected = 0;
     for (std::size_t u = 0; u < length && group.active != 0; ++u) {
       // Load sources and apply source (PI / DFF output) stem faults.
       for (std::size_t i = 0; i < pis.size(); ++i)
-        vals[pis[i]] = pi_words[u * pis.size() + i];
-      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+        vals[pis[i]] = trace.pi_words[u * pis.size() + i];
+      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = s.state[i];
       for (const Injection& inj : group.source)
         vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
 
-      // Combinational core in topological order.
-      for (const GateRec& g : gates_) {
-        const std::span<const NodeId> fanin{flat_fanin_.data() + g.fanin_begin,
-                                            g.fanin_count};
-        const std::int32_t head = inj_index.head(g.id);
-        Word3 out;
-        if (head < 0) [[likely]] {
-          switch (g.type) {
-            case GateType::kBuf:
-              out = vals[fanin[0]];
-              break;
-            case GateType::kNot:
-              out = sim::not3(vals[fanin[0]]);
-              break;
-            case GateType::kAnd:
-            case GateType::kNand: {
-              Word3 acc = vals[fanin[0]];
-              for (std::size_t k = 1; k < fanin.size(); ++k)
-                acc = sim::and3(acc, vals[fanin[k]]);
-              out = g.type == GateType::kNand ? sim::not3(acc) : acc;
-              break;
-            }
-            case GateType::kOr:
-            case GateType::kNor: {
-              Word3 acc = vals[fanin[0]];
-              for (std::size_t k = 1; k < fanin.size(); ++k)
-                acc = sim::or3(acc, vals[fanin[k]]);
-              out = g.type == GateType::kNor ? sim::not3(acc) : acc;
-              break;
-            }
-            default: {
-              Word3 acc = vals[fanin[0]];
-              for (std::size_t k = 1; k < fanin.size(); ++k)
-                acc = sim::xor3(acc, vals[fanin[k]]);
-              out = g.type == GateType::kXnor ? sim::not3(acc) : acc;
-              break;
-            }
-          }
-        } else {
-          // Slow path: apply pin injections on a copy of the fanin values,
-          // then stem injections on the gate output.
-          fanin_buf.assign(fanin.size(), Word3{});
-          for (std::size_t k = 0; k < fanin.size(); ++k)
-            fanin_buf[k] = vals[fanin[k]];
-          for (std::int32_t link = head; link >= 0;
-               link = inj_index.next(link)) {
-            const Injection& inj = inj_index.injection(link);
-            if (inj.pin != kStemPin)
-              fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
-                  fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask,
-                  inj.sa1);
-          }
-          out = fold(g.type, fanin_buf);
-          for (std::int32_t link = head; link >= 0;
-               link = inj_index.next(link)) {
-            const Injection& inj = inj_index.injection(link);
-            if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
-          }
-        }
-        vals[g.id] = out;
-      }
+      eval_core(gates_, flat_fanin_.data(), s.inj_index, vals, s.fanin_buf);
 
       // Detection at observed lines.
       std::uint64_t detected = 0;
-      for (std::size_t k = 0; k < observed.size(); ++k) {
-        const Word3 g = good_obs[u * observed.size() + k];
+      for (std::size_t k = 0; k < n_obs; ++k) {
+        const Word3 g = trace.good_obs[u * n_obs + k];
         const Word3 f = vals[observed[k]];
         detected |= (f.one ^ f.zero) & (g.one ^ g.zero) & (f.one ^ g.one);
       }
@@ -261,21 +319,40 @@ DetectionResult FaultSimulator::run(const TestSequence& seq,
         group.active &= ~(std::uint64_t{1} << lane);
         result.detection_time[group.result_index[lane]] =
             static_cast<std::int32_t>(u);
-        ++result.detected_count;
+        ++local_detected;
       }
       if (group.active == 0) break;
 
       // Latch flip-flops, applying D-pin faults.
       for (std::size_t i = 0; i < ffs.size(); ++i)
-        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+        s.next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
       for (const Injection& inj : group.latch)
-        next_state[ff_index_[inj.node]] =
-            sim::force(next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
-      state.swap(next_state);
+        s.next_state[ff_index_[inj.node]] =
+            sim::force(s.next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+      s.state.swap(s.next_state);
     }
 
-    inj_index.detach();
+    group_detected[gi] = local_detected;
+    s.inj_index.detach();
+  };
+
+  const unsigned n_threads = static_cast<unsigned>(std::min<std::size_t>(
+      util::WorkerPool::resolve(options.threads), groups.size()));
+  if (n_threads <= 1) {
+    GroupScratch scratch(nl_->node_count(), ffs.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      simulate_group(gi, scratch);
+  } else {
+    std::vector<GroupScratch> scratch;
+    scratch.reserve(n_threads);
+    for (unsigned r = 0; r < n_threads; ++r)
+      scratch.emplace_back(nl_->node_count(), ffs.size());
+    pool(n_threads).parallel_for(
+        groups.size(),
+        [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
   }
+
+  for (const std::uint32_t d : group_detected) result.detected_count += d;
   return result;
 }
 
@@ -287,7 +364,7 @@ DetectionResult FaultSimulator::run_all(const TestSequence& seq,
 
 std::vector<std::vector<Val3>> FaultSimulator::observe_final(
     const TestSequence& seq, std::span<const FaultId> ids,
-    std::span<const NodeId> nodes) const {
+    std::span<const NodeId> nodes, unsigned threads) const {
   const auto pis = nl_->primary_inputs();
   std::vector<std::vector<Val3>> result(
       ids.size(), std::vector<Val3>(nodes.size(), Val3::kX));
@@ -303,50 +380,20 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
     for (std::size_t i = 0; i < pis.size(); ++i)
       pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
 
-  std::vector<Word3> vals(nl_->node_count());
-  std::vector<Word3> state(ffs.size());
-  std::vector<Word3> next_state(ffs.size());
-  std::vector<Word3> fanin_buf;
-  InjectionIndex inj_index(nl_->node_count());
-
-  for (Group& group : groups) {
-    inj_index.attach(group.gate);
-    for (Word3& w : state) w = broadcast(Val3::kX);
+  const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
+    Group& group = groups[gi];
+    std::vector<Word3>& vals = s.vals;
+    s.inj_index.attach(group.gate);
+    for (Word3& w : s.state) w = broadcast(Val3::kX);
 
     for (std::size_t u = 0; u < seq.length(); ++u) {
       for (std::size_t i = 0; i < pis.size(); ++i)
         vals[pis[i]] = pi_words[u * pis.size() + i];
-      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = s.state[i];
       for (const Injection& inj : group.source)
         vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
 
-      for (const GateRec& g : gates_) {
-        const std::span<const NodeId> fanin{flat_fanin_.data() + g.fanin_begin,
-                                            g.fanin_count};
-        const std::int32_t head = inj_index.head(g.id);
-        fanin_buf.resize(fanin.size());
-        for (std::size_t k = 0; k < fanin.size(); ++k)
-          fanin_buf[k] = vals[fanin[k]];
-        if (head >= 0) {
-          for (std::int32_t link = head; link >= 0;
-               link = inj_index.next(link)) {
-            const Injection& inj = inj_index.injection(link);
-            if (inj.pin != kStemPin)
-              fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
-                  fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask,
-                  inj.sa1);
-          }
-        }
-        Word3 out = fold(g.type, fanin_buf);
-        if (head >= 0) {
-          for (std::int32_t link = head; link >= 0;
-               link = inj_index.next(link)) {
-            const Injection& inj = inj_index.injection(link);
-            if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
-          }
-        }
-        vals[g.id] = out;
-      }
+      eval_core(gates_, flat_fanin_.data(), s.inj_index, vals, s.fanin_buf);
 
       if (u + 1 == seq.length()) {
         for (unsigned lane = 0; lane < group.count; ++lane)
@@ -357,124 +404,174 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
       }
 
       for (std::size_t i = 0; i < ffs.size(); ++i)
-        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+        s.next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
       for (const Injection& inj : group.latch)
-        next_state[ff_index_[inj.node]] =
-            sim::force(next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
-      state.swap(next_state);
+        s.next_state[ff_index_[inj.node]] =
+            sim::force(s.next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+      s.state.swap(s.next_state);
     }
 
-    inj_index.detach();
+    s.inj_index.detach();
+  };
+
+  const unsigned n_threads = static_cast<unsigned>(std::min<std::size_t>(
+      util::WorkerPool::resolve(threads), groups.size()));
+  if (n_threads <= 1) {
+    GroupScratch scratch(nl_->node_count(), ffs.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      simulate_group(gi, scratch);
+  } else {
+    std::vector<GroupScratch> scratch;
+    scratch.reserve(n_threads);
+    for (unsigned r = 0; r < n_threads; ++r)
+      scratch.emplace_back(nl_->node_count(), ffs.size());
+    pool(n_threads).parallel_for(
+        groups.size(),
+        [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
   }
   return result;
 }
 
 std::vector<std::vector<NodeId>> FaultSimulator::observable_lines(
-    const TestSequence& seq, std::span<const FaultId> ids) const {
+    const TestSequence& seq, std::span<const FaultId> ids,
+    unsigned threads) const {
   const auto pis = nl_->primary_inputs();
   if (seq.width() != pis.size())
     throw std::invalid_argument("fault_sim: sequence width != #inputs");
 
-  std::vector<std::vector<NodeId>> result(ids.size());
-  if (ids.empty() || seq.length() == 0) return result;
+  // A pi-words-only trace: observable_lines never looks at good_obs (it
+  // replays the full good-machine value vector internally).
+  GoodTrace trace;
+  trace.length = seq.length();
+  trace.n_inputs = pis.size();
+  trace.pi_words.resize(seq.length() * pis.size());
+  for (std::size_t u = 0; u < seq.length(); ++u)
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      trace.pi_words[u * pis.size() + i] = broadcast(seq.at(u, i));
+  return observable_lines_impl(trace, ids, threads);
+}
 
+std::vector<std::vector<NodeId>> FaultSimulator::observable_lines(
+    const GoodTrace& trace, std::span<const FaultId> ids,
+    unsigned threads) const {
+  if (trace.length != 0 && trace.n_inputs != nl_->primary_inputs().size())
+    throw std::invalid_argument("fault_sim: trace width != #inputs");
+  return observable_lines_impl(trace, ids, threads);
+}
+
+std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
+    const GoodTrace& trace, std::span<const FaultId> ids,
+    unsigned threads) const {
+  std::vector<std::vector<NodeId>> result(ids.size());
+  if (ids.empty() || trace.length == 0) return result;
+
+  const auto pis = nl_->primary_inputs();
   const std::size_t node_count = nl_->node_count();
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
 
-  // Per-group persistent faulty state (time is the outer loop here because
-  // the good machine's full value vector is needed each cycle).
+  // Per-group persistent faulty state: time is the outer loop here because
+  // the good machine's full value vector is needed each cycle.
   std::vector<std::vector<Word3>> group_state(
       groups.size(), std::vector<Word3>(ffs.size(), broadcast(Val3::kX)));
 
-  std::vector<std::uint8_t> seen(ids.size() * node_count, 0);
+  // Per-fault bitset of already-reported lines, one word-aligned stride per
+  // fault so concurrent groups never share a word (O(faults x nodes) *bits*,
+  // not bytes).
+  const std::size_t words_per_fault = (node_count + 63) / 64;
+  std::vector<std::uint64_t> seen(ids.size() * words_per_fault, 0);
+
+  // The time loop is chunked: the good machine advances one block at a time
+  // (recording its full value vector per cycle), then every group catches up
+  // over the block in parallel. Blocks amortize the per-dispatch pool cost
+  // while keeping the good-value buffer small (kBlock x node_count words).
+  constexpr std::size_t kBlock = 32;
+  std::vector<Word3> good_block(std::min(kBlock, trace.length) * node_count);
 
   sim::GoodSimulator good(*nl_);
-  std::vector<Word3> vals(node_count);
-  std::vector<Word3> next_state(ffs.size());
-  std::vector<Word3> fanin_buf;
-  InjectionIndex inj_index(node_count);
+  std::vector<Val3> row(pis.size());
 
-  for (std::size_t u = 0; u < seq.length(); ++u) {
-    good.step(seq.row(u));
-    const auto good_vals = good.raw_values();
+  const unsigned n_threads = static_cast<unsigned>(std::min<std::size_t>(
+      util::WorkerPool::resolve(threads), groups.size()));
+  std::vector<GroupScratch> scratch;
+  scratch.reserve(std::max(1u, n_threads));
+  for (unsigned r = 0; r < std::max(1u, n_threads); ++r)
+    scratch.emplace_back(node_count, ffs.size());
 
-    std::vector<Word3> pi_words(pis.size());
-    for (std::size_t i = 0; i < pis.size(); ++i)
-      pi_words[i] = broadcast(seq.at(u, i));
+  for (std::size_t u0 = 0; u0 < trace.length; u0 += kBlock) {
+    const std::size_t block_len = std::min(kBlock, trace.length - u0);
+    for (std::size_t b = 0; b < block_len; ++b) {
+      const std::size_t u = u0 + b;
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        row[i] = sim::lane(trace.pi_words[u * pis.size() + i], 0);
+      good.step(row);
+      const auto raw = good.raw_values();
+      std::copy(raw.begin(), raw.end(), good_block.begin() + b * node_count);
+    }
 
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
       Group& group = groups[gi];
       std::vector<Word3>& state = group_state[gi];
+      std::vector<Word3>& vals = s.vals;
+      s.inj_index.attach(group.gate);
 
-      inj_index.attach(group.gate);
-      for (std::size_t i = 0; i < pis.size(); ++i) vals[pis[i]] = pi_words[i];
-      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
-      for (const Injection& inj : group.source)
-        vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+      for (std::size_t b = 0; b < block_len; ++b) {
+        const std::size_t u = u0 + b;
+        for (std::size_t i = 0; i < pis.size(); ++i)
+          vals[pis[i]] = trace.pi_words[u * pis.size() + i];
+        for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
+        for (const Injection& inj : group.source)
+          vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
 
-      for (const GateRec& g : gates_) {
-        const std::span<const NodeId> fanin{flat_fanin_.data() + g.fanin_begin,
-                                            g.fanin_count};
-        const std::int32_t head = inj_index.head(g.id);
-        if (head < 0) {
-          fanin_buf.resize(fanin.size());
-          for (std::size_t k = 0; k < fanin.size(); ++k)
-            fanin_buf[k] = vals[fanin[k]];
-          vals[g.id] = fold(g.type, fanin_buf);
-        } else {
-          fanin_buf.resize(fanin.size());
-          for (std::size_t k = 0; k < fanin.size(); ++k)
-            fanin_buf[k] = vals[fanin[k]];
-          for (std::int32_t link = head; link >= 0;
-               link = inj_index.next(link)) {
-            const Injection& inj = inj_index.injection(link);
-            if (inj.pin != kStemPin)
-              fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
-                  fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask,
-                  inj.sa1);
-          }
-          Word3 out = fold(g.type, fanin_buf);
-          for (std::int32_t link = head; link >= 0;
-               link = inj_index.next(link)) {
-            const Injection& inj = inj_index.injection(link);
-            if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
-          }
-          vals[g.id] = out;
-        }
-      }
+        eval_core(gates_, flat_fanin_.data(), s.inj_index, vals, s.fanin_buf);
 
-      // Record every line where some lane's faulty value provably differs
-      // from the good value.
-      for (NodeId node = 0; node < node_count; ++node) {
-        const Word3 gv = good_vals[node];
-        const Word3 fv = vals[node];
-        std::uint64_t diff =
-            (fv.one ^ fv.zero) & (gv.one ^ gv.zero) & (fv.one ^ gv.one);
-        diff &= group.active;
-        while (diff != 0) {
-          const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
-          diff &= diff - 1;
-          const std::uint32_t ri = group.result_index[lane];
-          std::uint8_t& flag = seen[static_cast<std::size_t>(ri) * node_count +
-                                    node];
-          if (flag == 0) {
-            flag = 1;
-            result[ri].push_back(node);
+        // Record every line where some lane's faulty value provably differs
+        // from the good value.
+        const Word3* good_vals = good_block.data() + b * node_count;
+        for (NodeId node = 0; node < node_count; ++node) {
+          const Word3 gv = good_vals[node];
+          const Word3 fv = vals[node];
+          std::uint64_t diff =
+              (fv.one ^ fv.zero) & (gv.one ^ gv.zero) & (fv.one ^ gv.one);
+          diff &= group.active;
+          while (diff != 0) {
+            const unsigned lane =
+                static_cast<unsigned>(std::countr_zero(diff));
+            diff &= diff - 1;
+            const std::uint32_t ri = group.result_index[lane];
+            std::uint64_t& word =
+                seen[static_cast<std::size_t>(ri) * words_per_fault +
+                     node / 64];
+            const std::uint64_t bit = std::uint64_t{1} << (node % 64);
+            if ((word & bit) == 0) {
+              word |= bit;
+              result[ri].push_back(node);
+            }
           }
         }
+
+        for (std::size_t i = 0; i < ffs.size(); ++i)
+          s.next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
+        for (const Injection& inj : group.latch)
+          s.next_state[ff_index_[inj.node]] =
+              sim::force(s.next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+        state.swap(s.next_state);
       }
 
-      for (std::size_t i = 0; i < ffs.size(); ++i)
-        next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
-      for (const Injection& inj : group.latch)
-        next_state[ff_index_[inj.node]] =
-            sim::force(next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
-      state.swap(next_state);
+      s.inj_index.detach();
+    };
 
-      inj_index.detach();
+    if (n_threads <= 1) {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi)
+        simulate_group(gi, scratch[0]);
+    } else {
+      pool(n_threads).parallel_for(groups.size(),
+                                   [&](std::size_t gi, unsigned rank) {
+                                     simulate_group(gi, scratch[rank]);
+                                   });
     }
   }
+  good_sim_runs_.fetch_add(1, std::memory_order_relaxed);
 
   for (auto& lines : result) std::sort(lines.begin(), lines.end());
   return result;

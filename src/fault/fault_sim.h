@@ -8,10 +8,23 @@
 // binary value in both the good and the faulty machine and the values differ
 // — the standard pessimistic three-valued criterion for circuits that start
 // in the all-X state.
+//
+// Two orthogonal performance levers on top of the group packing:
+//
+//  * Fault groups are independent machines, so the group loop runs on a
+//    worker pool (`FaultSimOptions::threads`). Detection times land in
+//    per-fault result slots, which makes the output bit-identical for any
+//    thread count.
+//  * The good machine's response to a sequence can be captured once as a
+//    `GoodTrace` and shared across several run() calls over the same
+//    sequence (e.g. the procedure's sample pass followed by the full pass).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -20,6 +33,7 @@
 #include "netlist/netlist.h"
 #include "sim/logic.h"
 #include "sim/sequence.h"
+#include "util/worker_pool.h"
 
 namespace wbist::fault {
 
@@ -28,6 +42,28 @@ struct FaultSimOptions {
   std::span<const netlist::NodeId> observation_points = {};
   /// Simulate at most this many time units of the sequence.
   std::size_t max_time_units = std::numeric_limits<std::size_t>::max();
+  /// Worker threads for the fault-group loop: 0 = hardware_concurrency,
+  /// 1 = serial. Results are bit-identical for every value.
+  unsigned threads = 0;
+};
+
+/// Precomputed good-machine response to one test sequence: the broadcast
+/// input words per time unit plus the good values of every observed line
+/// (primary outputs, then observation points). Build once per candidate
+/// sequence via FaultSimulator::make_trace() and pass to run() /
+/// observable_lines() to avoid re-simulating the fault-free machine.
+struct GoodTrace {
+  std::size_t length = 0;    ///< time units captured
+  std::size_t n_inputs = 0;  ///< primary-input count of the source circuit
+  /// Observation points the trace was built with (count of extra observed
+  /// lines beyond the primary outputs; used to validate run() options).
+  std::size_t n_observation_points = 0;
+  /// Observed lines: primary outputs followed by the observation points.
+  std::vector<netlist::NodeId> observed;
+  /// length x n_inputs broadcast input words (row-major by time unit).
+  std::vector<sim::Word3> pi_words;
+  /// length x observed.size() good-machine values (row-major by time unit).
+  std::vector<sim::Word3> good_obs;
 };
 
 struct DetectionResult {
@@ -43,16 +79,44 @@ struct DetectionResult {
   }
 };
 
+/// One gate of the flattened combinational core in evaluation order
+/// (cache-friendly walk; exposed for the file-local evaluation kernel).
+struct GateRec {
+  netlist::NodeId id;
+  netlist::GateType type;
+  std::uint32_t fanin_begin;
+  std::uint32_t fanin_count;
+};
+
 class FaultSimulator {
  public:
   /// Both `nl` and `faults` must outlive the simulator.
   FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults);
+
+  FaultSimulator(const FaultSimulator&) = delete;
+  FaultSimulator& operator=(const FaultSimulator&) = delete;
+
+  /// Capture the good machine's response to `seq`: one fault-free simulation
+  /// recording the broadcast input words and the values of every observed
+  /// line (primary outputs + `observation_points`), over at most
+  /// `max_time_units` time units.
+  GoodTrace make_trace(
+      const sim::TestSequence& seq,
+      std::span<const netlist::NodeId> observation_points = {},
+      std::size_t max_time_units =
+          std::numeric_limits<std::size_t>::max()) const;
 
   /// Simulate `seq` from the all-X state against the faults in `ids`
   /// (indices into the FaultSet). Each group of faults stops as soon as all
   /// its faults are detected (fault dropping).
   DetectionResult run(const sim::TestSequence& seq,
                       std::span<const FaultId> ids,
+                      const FaultSimOptions& options = {}) const;
+
+  /// Same, against a precomputed good-machine trace. The trace must have
+  /// been built with the same observation points as `options` carries (the
+  /// call validates this and throws std::invalid_argument on mismatch).
+  DetectionResult run(const GoodTrace& trace, std::span<const FaultId> ids,
                       const FaultSimOptions& options = {}) const;
 
   /// Simulate against the entire fault set.
@@ -65,7 +129,15 @@ class FaultSimulator {
   /// an observation point on any returned line detects the fault under
   /// `seq`. Faults are not dropped: all time units are examined.
   std::vector<std::vector<netlist::NodeId>> observable_lines(
-      const sim::TestSequence& seq, std::span<const FaultId> ids) const;
+      const sim::TestSequence& seq, std::span<const FaultId> ids,
+      unsigned threads = 0) const;
+
+  /// Same, reusing a trace's precomputed input words (the full good-machine
+  /// value vector is replayed internally either way — the trace only stores
+  /// observed lines).
+  std::vector<std::vector<netlist::NodeId>> observable_lines(
+      const GoodTrace& trace, std::span<const FaultId> ids,
+      unsigned threads = 0) const;
 
   /// Faulty-machine values of `nodes` during the *last* time unit of `seq`,
   /// per fault in `ids` (result[k][n] is fault ids[k]'s value at nodes[n]).
@@ -73,7 +145,15 @@ class FaultSimulator {
   /// only the final state matters.
   std::vector<std::vector<sim::Val3>> observe_final(
       const sim::TestSequence& seq, std::span<const FaultId> ids,
-      std::span<const netlist::NodeId> nodes) const;
+      std::span<const netlist::NodeId> nodes, unsigned threads = 0) const;
+
+  /// Fault-free (good-machine) simulation passes performed so far, i.e.
+  /// make_trace() calls plus internal replays in observable_lines(). The
+  /// procedure layer uses this to assert it simulates the good machine
+  /// exactly once per candidate sequence.
+  std::size_t good_sim_runs() const {
+    return good_sim_runs_.load(std::memory_order_relaxed);
+  }
 
   const netlist::Netlist& circuit() const { return *nl_; }
   const FaultSet& fault_set() const { return *faults_; }
@@ -83,19 +163,23 @@ class FaultSimulator {
 
   std::vector<Group> pack_groups(std::span<const FaultId> ids) const;
 
+  /// Lazily created worker pool, recreated when the requested size changes.
+  util::WorkerPool& pool(unsigned thread_count) const;
+
+  std::vector<std::vector<netlist::NodeId>> observable_lines_impl(
+      const GoodTrace& trace, std::span<const FaultId> ids,
+      unsigned threads) const;
+
   const netlist::Netlist* nl_;
   const FaultSet* faults_;
 
-  // Flattened combinational core in evaluation order (cache-friendly walk).
-  struct GateRec {
-    netlist::NodeId id;
-    netlist::GateType type;
-    std::uint32_t fanin_begin;
-    std::uint32_t fanin_count;
-  };
-  std::vector<GateRec> gates_;
+  std::vector<GateRec> gates_;  // combinational core in evaluation order
   std::vector<netlist::NodeId> flat_fanin_;
   std::vector<std::uint32_t> ff_index_;  // NodeId -> index in flip_flops()
+
+  mutable std::atomic<std::size_t> good_sim_runs_{0};
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<util::WorkerPool> pool_;
 };
 
 }  // namespace wbist::fault

@@ -1,0 +1,96 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+
+namespace wbist::util {
+
+unsigned WorkerPool::resolve(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(unsigned thread_count) {
+  const unsigned extra = thread_count > 1 ? thread_count - 1 : 0;
+  threads_.reserve(extra);
+  for (unsigned rank = 1; rank <= extra; ++rank)
+    threads_.emplace_back([this, rank] { worker_main(rank); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::drain(const std::function<void(std::size_t, unsigned)>& fn,
+                       std::size_t n, unsigned rank) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      fn(i, rank);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      // Last index: wake the caller (it may already be waiting on done_cv_).
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_main(unsigned rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, unsigned)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      n = job_size_;
+    }
+    drain(*job, n, rank);
+  }
+}
+
+void WorkerPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(fn, n, 0);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return done_.load(std::memory_order_acquire) >= n; });
+  // All indices are done and no worker will touch `fn` again: any thread
+  // still in drain() sees next_ >= n and parks on start_cv_.
+  job_ = nullptr;
+  job_size_ = 0;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace wbist::util

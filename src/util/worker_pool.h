@@ -1,0 +1,71 @@
+// A fixed-size pool of worker threads for deterministic parallel-for loops.
+//
+// The pool exists because the fault simulator's group loop is embarrassingly
+// parallel: each 64-fault group owns disjoint result slots, so any schedule
+// that runs every index exactly once produces bit-identical output. The pool
+// therefore offers exactly one primitive — parallel_for over an index range
+// with dynamic (atomic-counter) scheduling — plus a `rank` argument so
+// callers can give each executing thread its own scratch buffers.
+//
+// The calling thread participates as rank 0; `thread_count - 1` background
+// threads are ranks 1..thread_count-1. Threads are created once and parked on
+// a condition variable between calls, so a parallel_for over a handful of
+// groups costs two lock/notify handshakes, not thread creation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wbist::util {
+
+class WorkerPool {
+ public:
+  /// Total worker count *including* the calling thread; clamped to >= 1.
+  explicit WorkerPool(unsigned thread_count);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total worker count including the calling thread.
+  unsigned size() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  /// Run fn(index, rank) for every index in [0, n), rank in [0, size()).
+  /// Blocks until all indices completed. The first exception thrown by `fn`
+  /// is rethrown on the calling thread (after all work has drained). Not
+  /// reentrant: do not call parallel_for from inside `fn`.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Map a user-facing thread knob to a concrete count:
+  /// 0 -> hardware_concurrency (at least 1), anything else -> itself.
+  static unsigned resolve(unsigned requested);
+
+ private:
+  void worker_main(unsigned rank);
+  void drain(const std::function<void(std::size_t, unsigned)>& fn,
+             std::size_t n, unsigned rank);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped per parallel_for; guarded by mu_
+  bool stop_ = false;
+  const std::function<void(std::size_t, unsigned)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::exception_ptr error_;  // guarded by mu_
+
+  std::atomic<std::size_t> next_{0};  // next index to claim
+  std::atomic<std::size_t> done_{0};  // indices fully executed
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace wbist::util

@@ -42,6 +42,46 @@ TEST(Procedure, CompleteFaultEfficiencyOnS27PaperSequence) {
   EXPECT_FALSE(res.omega.empty());
 }
 
+TEST(Procedure, OneGoodMachineSimulationPerCandidate) {
+  // The sample pass and the full pass of each candidate T_G share one
+  // good-machine trace, so good-machine simulations == candidates tried.
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+
+  ProcedureConfig cfg;
+  cfg.sequence_length = 100;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  EXPECT_EQ(res.stats.good_machine_sims, res.stats.assignments_tried);
+  // Without sharing, every sample pass and every full simulation would have
+  // re-run the good machine (tried + full > tried whenever anything passed
+  // the sample filter).
+  EXPECT_GT(res.stats.full_simulations, 0u);
+  EXPECT_LT(res.stats.good_machine_sims,
+            res.stats.assignments_tried + res.stats.full_simulations);
+}
+
+TEST(Procedure, ThreadedRunMatchesSerial) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+
+  ProcedureConfig serial;
+  serial.sequence_length = 100;
+  serial.threads = 1;
+  ProcedureConfig parallel = serial;
+  parallel.threads = 4;
+  const ProcedureResult a =
+      select_weight_assignments(f.sim, T, det.detection_time, serial);
+  const ProcedureResult b =
+      select_weight_assignments(f.sim, T, det.detection_time, parallel);
+  EXPECT_EQ(a.detected_count, b.detected_count);
+  EXPECT_EQ(a.omega.size(), b.omega.size());
+  for (std::size_t i = 0; i < a.omega.size(); ++i)
+    EXPECT_TRUE(a.omega[i] == b.omega[i]) << "omega diverged at " << i;
+}
+
 TEST(Procedure, OmegaSequencesCoverAllTargets) {
   // Re-simulate every Ω sequence: their union must equal the target set.
   Fixture f("s27");

@@ -1,0 +1,165 @@
+// Determinism of the multi-threaded fault-group loop: any thread count must
+// produce bit-identical results, because groups are independent machines and
+// every result lands in an index-keyed slot. These tests pin the guarantee
+// for run(), observable_lines() and observe_final(), on the real s27 and a
+// synthetic circuit, and are the suite to run under TSan (see README.md).
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.h"
+#include "circuits/synth_gen.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "testutil.h"
+
+namespace wbist::fault {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using sim::TestSequence;
+
+Netlist synthetic_circuit(std::uint64_t seed) {
+  circuits::SynthProfile profile;
+  profile.name = "determinism_synth";
+  profile.n_pi = 6;
+  profile.n_po = 4;
+  profile.n_ff = 8;
+  profile.n_gates = 120;
+  profile.seed = seed;
+  return circuits::generate_circuit(profile);
+}
+
+void expect_identical_runs(const Netlist& nl, const TestSequence& seq) {
+  const FaultSet set = FaultSet::uncollapsed(nl);
+  FaultSimulator sim(nl, set);
+  const auto ids = set.all_ids();
+
+  FaultSimOptions serial;
+  serial.threads = 1;
+  const DetectionResult baseline = sim.run(seq, ids, serial);
+
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    FaultSimOptions opt;
+    opt.threads = threads;
+    const DetectionResult parallel = sim.run(seq, ids, opt);
+    EXPECT_EQ(parallel.detection_time, baseline.detection_time)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.detected_count, baseline.detected_count)
+        << "threads=" << threads;
+  }
+}
+
+TEST(FaultSimDeterminism, RunIsThreadCountInvariantOnS27) {
+  expect_identical_runs(circuits::s27(), circuits::s27_paper_sequence());
+}
+
+TEST(FaultSimDeterminism, RunIsThreadCountInvariantOnSynthetic) {
+  const Netlist nl = synthetic_circuit(1234);
+  expect_identical_runs(nl, test::random_sequence(48, 6, 77));
+}
+
+TEST(FaultSimDeterminism, RunWithObservationPointsMatchesSerial) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TestSequence seq = test::random_sequence(16, 4, 5);
+  const std::vector<NodeId> obs{nl.find("G11"), nl.find("G8")};
+
+  FaultSimOptions serial;
+  serial.threads = 1;
+  serial.observation_points = obs;
+  const DetectionResult baseline = sim.run(seq, set.all_ids(), serial);
+
+  FaultSimOptions parallel = serial;
+  parallel.threads = 4;
+  const DetectionResult det = sim.run(seq, set.all_ids(), parallel);
+  EXPECT_EQ(det.detection_time, baseline.detection_time);
+  EXPECT_EQ(det.detected_count, baseline.detected_count);
+}
+
+TEST(FaultSimDeterminism, ObservableLinesAreThreadCountInvariant) {
+  for (const auto& [nl, seq] :
+       {std::pair{circuits::s27(), circuits::s27_paper_sequence()},
+        std::pair{synthetic_circuit(99), test::random_sequence(40, 6, 3)}}) {
+    const FaultSet set = FaultSet::uncollapsed(nl);
+    FaultSimulator sim(nl, set);
+    const auto ids = set.all_ids();
+    const auto baseline = sim.observable_lines(seq, ids, /*threads=*/1);
+    for (const unsigned threads : {2u, 4u}) {
+      const auto lines = sim.observable_lines(seq, ids, threads);
+      EXPECT_EQ(lines, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(FaultSimDeterminism, ObserveFinalIsThreadCountInvariant) {
+  const Netlist nl = synthetic_circuit(4321);
+  const FaultSet set = FaultSet::uncollapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TestSequence seq = test::random_sequence(24, 6, 11);
+  const std::vector<NodeId> nodes(nl.primary_outputs().begin(),
+                                  nl.primary_outputs().end());
+  const auto baseline = sim.observe_final(seq, set.all_ids(), nodes, 1);
+  const auto parallel = sim.observe_final(seq, set.all_ids(), nodes, 4);
+  EXPECT_EQ(parallel, baseline);
+}
+
+TEST(FaultSimDeterminism, TraceRunMatchesSequenceRun) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TestSequence seq = circuits::s27_paper_sequence();
+
+  const DetectionResult direct = sim.run(seq, set.all_ids());
+  const GoodTrace trace = sim.make_trace(seq);
+  const DetectionResult via_trace = sim.run(trace, set.all_ids());
+  EXPECT_EQ(via_trace.detection_time, direct.detection_time);
+  EXPECT_EQ(via_trace.detected_count, direct.detected_count);
+
+  // A shared trace must support repeated runs over fault subsets.
+  const std::vector<FaultId> subset{1, 5, 9};
+  const DetectionResult part = sim.run(trace, subset);
+  for (std::size_t k = 0; k < subset.size(); ++k)
+    EXPECT_EQ(part.detection_time[k], direct.detection_time[subset[k]]);
+}
+
+TEST(FaultSimDeterminism, TraceReuseCountsOneGoodSimulation) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TestSequence seq = circuits::s27_paper_sequence();
+
+  const std::size_t before = sim.good_sim_runs();
+  const GoodTrace trace = sim.make_trace(seq);
+  EXPECT_EQ(sim.good_sim_runs(), before + 1);
+  (void)sim.run(trace, set.all_ids());
+  (void)sim.run(trace, set.all_ids());
+  EXPECT_EQ(sim.good_sim_runs(), before + 1);  // runs reuse the trace
+
+  // The sequence-based entry point still simulates the good machine once
+  // per call.
+  (void)sim.run(seq, set.all_ids());
+  EXPECT_EQ(sim.good_sim_runs(), before + 2);
+}
+
+TEST(FaultSimDeterminism, TraceObservationPointMismatchThrows) {
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  const TestSequence seq = circuits::s27_paper_sequence();
+  const std::vector<NodeId> obs{nl.find("G11")};
+
+  const GoodTrace plain = sim.make_trace(seq);
+  FaultSimOptions with_obs;
+  with_obs.observation_points = obs;
+  EXPECT_THROW(sim.run(plain, set.all_ids(), with_obs), std::invalid_argument);
+
+  const GoodTrace traced = sim.make_trace(seq, obs);
+  EXPECT_THROW(sim.run(traced, set.all_ids()), std::invalid_argument);
+  const DetectionResult ok = sim.run(traced, set.all_ids(), with_obs);
+  const DetectionResult direct = sim.run(seq, set.all_ids(), with_obs);
+  EXPECT_EQ(ok.detection_time, direct.detection_time);
+}
+
+}  // namespace
+}  // namespace wbist::fault

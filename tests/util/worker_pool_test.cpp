@@ -1,0 +1,110 @@
+#include "util/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wbist::util {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i, unsigned) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, IndexKeyedResultsAreDeterministic) {
+  // The pool's contract: index-keyed output slots make the result schedule
+  // independent. Compare a 1-thread and an 8-thread run of the same loop.
+  const std::size_t n = 4096;
+  const auto compute = [](std::size_t i) {
+    return static_cast<std::uint64_t>(i) * 2654435761u + 17;
+  };
+  std::vector<std::uint64_t> serial(n), parallel(n);
+  WorkerPool one(1);
+  one.parallel_for(n, [&](std::size_t i, unsigned) { serial[i] = compute(i); });
+  WorkerPool eight(8);
+  eight.parallel_for(n,
+                     [&](std::size_t i, unsigned) { parallel[i] = compute(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(WorkerPool, RanksAreWithinBounds) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> rank_hits(3);
+  pool.parallel_for(512, [&](std::size_t, unsigned rank) {
+    ASSERT_LT(rank, 3u);
+    rank_hits[rank].fetch_add(1, std::memory_order_relaxed);
+  });
+  int total = 0;
+  for (const auto& h : rank_hits) total += h.load();
+  EXPECT_EQ(total, 512);
+}
+
+TEST(WorkerPool, ReusableAcrossCalls) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(round + 1, [&](std::size_t i, unsigned) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    const auto n = static_cast<std::size_t>(round) + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+TEST(WorkerPool, EmptyRangeIsANoop) {
+  WorkerPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](std::size_t, unsigned rank) {
+    EXPECT_EQ(rank, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(WorkerPool, PropagatesFirstException) {
+  WorkerPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i, unsigned) {
+                                   if (i == 13)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Pool must still be usable after a throwing job.
+  std::atomic<int> ok{0};
+  pool.parallel_for(8, [&](std::size_t, unsigned) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(WorkerPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_EQ(WorkerPool::resolve(3), 3u);
+  EXPECT_EQ(WorkerPool::resolve(1), 1u);
+  EXPECT_GE(WorkerPool::resolve(0), 1u);
+}
+
+TEST(WorkerPool, MoreThreadsThanWork) {
+  WorkerPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i, unsigned) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace wbist::util
