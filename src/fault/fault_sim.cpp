@@ -59,7 +59,10 @@ FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults)
 
 util::WorkerPool& FaultSimulator::pool(unsigned thread_count) const {
   std::lock_guard<std::mutex> lk(pool_mu_);
-  if (!pool_ || pool_->size() != thread_count)
+  // Grow-only: parallel_for handles jobs smaller than the pool, so a pool
+  // sized to the largest request ever seen serves every later call without
+  // respawning threads (alternating small/large fault lists stay cheap).
+  if (!pool_ || pool_->size() < thread_count)
     pool_ = std::make_unique<util::WorkerPool>(thread_count);
   return *pool_;
 }
@@ -272,6 +275,9 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
   if (ids.empty() || trace.length == 0) return result;
   if (trace.n_inputs != pis.size())
     throw std::invalid_argument("fault_sim: trace width != #inputs");
+  if (trace.n_observation_points > trace.observed.size())
+    throw std::invalid_argument(
+        "fault_sim: malformed trace (n_observation_points > observed lines)");
   if (trace.n_observation_points != options.observation_points.size() ||
       !std::equal(options.observation_points.begin(),
                   options.observation_points.end(),
@@ -343,11 +349,14 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
     for (std::size_t gi = 0; gi < groups.size(); ++gi)
       simulate_group(gi, scratch);
   } else {
+    util::WorkerPool& wp = pool(n_threads);
+    // The grow-only pool may be larger than n_threads; any rank in
+    // [0, wp.size()) can claim indices, so scratch is rank-indexed by it.
     std::vector<GroupScratch> scratch;
-    scratch.reserve(n_threads);
-    for (unsigned r = 0; r < n_threads; ++r)
+    scratch.reserve(wp.size());
+    for (unsigned r = 0; r < wp.size(); ++r)
       scratch.emplace_back(nl_->node_count(), ffs.size());
-    pool(n_threads).parallel_for(
+    wp.parallel_for(
         groups.size(),
         [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
   }
@@ -421,11 +430,12 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
     for (std::size_t gi = 0; gi < groups.size(); ++gi)
       simulate_group(gi, scratch);
   } else {
+    util::WorkerPool& wp = pool(n_threads);
     std::vector<GroupScratch> scratch;
-    scratch.reserve(n_threads);
-    for (unsigned r = 0; r < n_threads; ++r)
+    scratch.reserve(wp.size());
+    for (unsigned r = 0; r < wp.size(); ++r)
       scratch.emplace_back(nl_->node_count(), ffs.size());
-    pool(n_threads).parallel_for(
+    wp.parallel_for(
         groups.size(),
         [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
   }
@@ -493,9 +503,11 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
 
   const unsigned n_threads = static_cast<unsigned>(std::min<std::size_t>(
       util::WorkerPool::resolve(threads), groups.size()));
+  util::WorkerPool* wp = n_threads > 1 ? &pool(n_threads) : nullptr;
+  const unsigned scratch_count = wp ? wp->size() : 1u;
   std::vector<GroupScratch> scratch;
-  scratch.reserve(std::max(1u, n_threads));
-  for (unsigned r = 0; r < std::max(1u, n_threads); ++r)
+  scratch.reserve(scratch_count);
+  for (unsigned r = 0; r < scratch_count; ++r)
     scratch.emplace_back(node_count, ffs.size());
 
   for (std::size_t u0 = 0; u0 < trace.length; u0 += kBlock) {
@@ -561,14 +573,13 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
       s.inj_index.detach();
     };
 
-    if (n_threads <= 1) {
+    if (wp == nullptr) {
       for (std::size_t gi = 0; gi < groups.size(); ++gi)
         simulate_group(gi, scratch[0]);
     } else {
-      pool(n_threads).parallel_for(groups.size(),
-                                   [&](std::size_t gi, unsigned rank) {
-                                     simulate_group(gi, scratch[rank]);
-                                   });
+      wp->parallel_for(groups.size(), [&](std::size_t gi, unsigned rank) {
+        simulate_group(gi, scratch[rank]);
+      });
     }
   }
   good_sim_runs_.fetch_add(1, std::memory_order_relaxed);

@@ -91,6 +91,11 @@ struct GateRec {
 class FaultSimulator {
  public:
   /// Both `nl` and `faults` must outlive the simulator.
+  ///
+  /// Thread-safety: the simulator parallelizes *internally* (across fault
+  /// groups) but its methods must not be called concurrently on the same
+  /// instance — they share one lazily grown worker pool. Use one
+  /// FaultSimulator per calling thread instead.
   FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults);
 
   FaultSimulator(const FaultSimulator&) = delete;
@@ -163,7 +168,8 @@ class FaultSimulator {
 
   std::vector<Group> pack_groups(std::span<const FaultId> ids) const;
 
-  /// Lazily created worker pool, recreated when the requested size changes.
+  /// Lazily created worker pool, grown (never shrunk) to the largest size
+  /// requested so far; jobs smaller than the pool leave extra ranks idle.
   util::WorkerPool& pool(unsigned thread_count) const;
 
   std::vector<std::vector<netlist::NodeId>> observable_lines_impl(

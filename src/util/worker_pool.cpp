@@ -36,11 +36,6 @@ void WorkerPool::drain(const std::function<void(std::size_t, unsigned)>& fn,
       std::lock_guard<std::mutex> lk(mu_);
       if (!error_) error_ = std::current_exception();
     }
-    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-      // Last index: wake the caller (it may already be waiting on done_cv_).
-      std::lock_guard<std::mutex> lk(mu_);
-      done_cv_.notify_all();
-    }
   }
 }
 
@@ -56,8 +51,18 @@ void WorkerPool::worker_main(unsigned rank) {
       seen = generation_;
       job = job_;
       n = job_size_;
+      if (job == nullptr) continue;  // job already drained and retired
+      // Register under mu_ *before* any index claim is possible: while this
+      // thread is between the increment and the decrement below it may touch
+      // `fn` and the counters, and parallel_for's quiescence wait
+      // (active_ == 0) cannot complete during that window.
+      ++active_;
     }
     drain(*job, n, rank);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
   }
 }
 
@@ -73,16 +78,19 @@ void WorkerPool::parallel_for(
     job_ = &fn;
     job_size_ = n;
     next_.store(0, std::memory_order_relaxed);
-    done_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
     ++generation_;
   }
   start_cv_.notify_all();
   drain(fn, n, 0);
+  // Our own drain() returning means every index was claimed, and a worker
+  // only claims indices while registered in active_. So active_ == 0 proves
+  // both that every claimed index finished executing and that no worker can
+  // still touch `fn` or the counters — only then is it safe to retire the
+  // job (or for the caller to dispatch the next one, which resets next_).
+  // Workers that wake later find job_ == nullptr and go back to sleep.
   std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return done_.load(std::memory_order_acquire) >= n; });
-  // All indices are done and no worker will touch `fn` again: any thread
-  // still in drain() sees next_ >= n and parks on start_cv_.
+  done_cv_.wait(lk, [&] { return active_ == 0; });
   job_ = nullptr;
   job_size_ = 0;
   if (error_) {

@@ -61,9 +61,9 @@ class WorkerPool {
   const std::function<void(std::size_t, unsigned)>* job_ = nullptr;
   std::size_t job_size_ = 0;
   std::exception_ptr error_;  // guarded by mu_
+  unsigned active_ = 0;  // workers currently inside drain(); guarded by mu_
 
   std::atomic<std::size_t> next_{0};  // next index to claim
-  std::atomic<std::size_t> done_{0};  // indices fully executed
 
   std::vector<std::thread> threads_;
 };

@@ -113,6 +113,18 @@ TEST(FaultSim, WidthMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(FaultSim, MalformedTraceThrowsInsteadOfUB) {
+  // A hand-built trace claiming more observation points than it has observed
+  // lines must be rejected up front, not used to form an out-of-range
+  // iterator during validation.
+  const Netlist nl = circuits::s27();
+  const FaultSet set = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, set);
+  GoodTrace trace = sim.make_trace(circuits::s27_paper_sequence());
+  trace.n_observation_points = trace.observed.size() + 7;
+  EXPECT_THROW(sim.run(trace, set.all_ids()), std::invalid_argument);
+}
+
 TEST(FaultSim, ObservationPointExposesHiddenFault) {
   // Fault on n1 (the DFF's D cone): masked at the PO by vector choice, but
   // directly visible when n1 itself is observed.

@@ -97,6 +97,24 @@ TEST(WorkerPool, ResolveMapsZeroToHardwareConcurrency) {
   EXPECT_GE(WorkerPool::resolve(0), 1u);
 }
 
+TEST(WorkerPool, BackToBackJobsNeverRunAStaleFunction) {
+  // Regression: a worker parked between finishing its last index of job k
+  // and its next counter claim must not claim an index of job k+1 while
+  // still holding job k's function pointer. Tiny jobs on a wide pool
+  // maximize that window; a stale execution writes the previous round's
+  // value (or crashes under ASan, since each round's lambda is destroyed
+  // when parallel_for returns).
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> out(5);
+  for (auto& o : out) o.store(-1);
+  for (int round = 0; round < 3000; ++round) {
+    pool.parallel_for(out.size(), [&out, round](std::size_t i, unsigned) {
+      out[i].store(round, std::memory_order_relaxed);
+    });
+    for (auto& o : out) ASSERT_EQ(o.load(), round);
+  }
+}
+
 TEST(WorkerPool, MoreThreadsThanWork) {
   WorkerPool pool(16);
   std::vector<std::atomic<int>> hits(3);
