@@ -26,6 +26,31 @@ std::size_t next_length(std::size_t prev, std::size_t u,
 
 }  // namespace
 
+std::vector<FaultId> build_presim_sample(std::span<const FaultId> targets,
+                                         std::span<const FaultId> remaining,
+                                         std::size_t sample_size,
+                                         util::Rng& rng) {
+  std::vector<FaultId> sample;
+  if (sample_size == 0 || remaining.empty()) return sample;
+
+  std::unordered_set<FaultId> in_sample;
+  const std::size_t front =
+      std::min(targets.size(), std::max<std::size_t>(sample_size / 2, 1));
+  for (std::size_t k = 0; k < front; ++k)
+    if (in_sample.insert(targets[k]).second) sample.push_back(targets[k]);
+
+  // Top up with random draws from F. Draws that hit an already-sampled
+  // fault are discarded; the attempt bound keeps termination obvious when
+  // most of F is already in the sample.
+  const std::size_t want = std::min(sample_size, remaining.size());
+  for (std::size_t attempts = 4 * sample_size + 16;
+       sample.size() < want && attempts > 0; --attempts) {
+    const FaultId f = remaining[rng.below(remaining.size())];
+    if (in_sample.insert(f).second) sample.push_back(f);
+  }
+  return sample;
+}
+
 ProcedureResult select_weight_assignments(
     const fault::FaultSimulator& sim, const TestSequence& T,
     std::span<const std::int32_t> detection_time,
@@ -107,19 +132,18 @@ ProcedureResult select_weight_assignments(
         // the sample pre-simulation and the full simulation below.
         const fault::GoodTrace trace = sim.make_trace(tg);
 
-        // Sample pre-simulation: the faults this assignment was built for,
-        // plus a random sample of the remaining targets.
-        std::vector<FaultId> sample(
-            targets.begin(),
-            targets.begin() +
-                static_cast<std::ptrdiff_t>(std::min<std::size_t>(
-                    targets.size(), std::max<std::size_t>(config.sample_size / 2, 4))));
-        for (std::size_t k = 0; k < config.sample_size && k < F.size(); ++k)
-          sample.push_back(F[rng.below(F.size())]);
-        const DetectionResult sample_det = sim.run(trace, sample, sim_opts);
-        if (sample_det.detected_count == 0) {
-          ++result.stats.sample_rejections;
-          continue;
+        // Sample pre-simulation (skipped when sample_size == 0): a small
+        // distinct sample seeded with the faults this assignment was built
+        // for, topped up from the remaining targets. See
+        // ProcedureConfig::sample_size for the exact semantics.
+        if (config.sample_size != 0) {
+          const std::vector<FaultId> sample =
+              build_presim_sample(targets, F, config.sample_size, rng);
+          const DetectionResult sample_det = sim.run(trace, sample, sim_opts);
+          if (sample_det.detected_count == 0) {
+            ++result.stats.sample_rejections;
+            continue;
+          }
         }
 
         const DetectionResult det = sim.run(trace, F, sim_opts);

@@ -20,6 +20,7 @@
 #include "core/weight_set.h"
 #include "fault/fault_sim.h"
 #include "sim/sequence.h"
+#include "util/rng.h"
 
 namespace wbist::core {
 
@@ -28,7 +29,13 @@ struct ProcedureConfig {
   /// Raised to |T| automatically when shorter (reproduction needs it).
   std::size_t sequence_length = 2000;
 
-  /// Faults in the pre-simulation sample (in addition to the targets at u).
+  /// Pre-simulation fault-sample size. Each candidate sequence is first
+  /// simulated against a sample of at most `sample_size` *distinct* faults:
+  /// the first min(|targets at u|, max(1, sample_size/2)) target faults the
+  /// candidate was built for, topped up with random draws from the remaining
+  /// fault list (duplicates are never added). The full fault set is only
+  /// simulated when the sample detects something. 0 disables the sample
+  /// pass entirely: every candidate is fully simulated.
   std::size_t sample_size = 32;
 
   /// L_S grows by +1 up to this value, then geometrically (x1.5), with
@@ -86,5 +93,15 @@ ProcedureResult select_weight_assignments(
     const fault::FaultSimulator& sim, const sim::TestSequence& T,
     std::span<const std::int32_t> detection_time,
     const ProcedureConfig& config = {});
+
+/// Build one candidate's pre-simulation sample (exposed for tests; see
+/// ProcedureConfig::sample_size for the semantics). `targets` are the faults
+/// the candidate was generated for, `remaining` the full remaining fault
+/// list F (targets included). The result holds distinct fault ids only and
+/// is empty when `sample_size` is 0.
+std::vector<fault::FaultId> build_presim_sample(
+    std::span<const fault::FaultId> targets,
+    std::span<const fault::FaultId> remaining, std::size_t sample_size,
+    util::Rng& rng);
 
 }  // namespace wbist::core

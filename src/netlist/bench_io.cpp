@@ -48,6 +48,18 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
   std::vector<std::string> input_names;
   std::vector<std::string> output_names;
   std::vector<PendingDef> defs;
+  // Every signal has exactly one definition (an INPUT declaration or an
+  // assignment); OUTPUT declarations must also be unique. Tracked here so
+  // duplicates are rejected with the offending line, not deep inside the
+  // netlist builder.
+  std::unordered_map<std::string, std::size_t> defined_at;
+  std::unordered_map<std::string, std::size_t> output_at;
+  const auto define = [&](const std::string& name, std::size_t line) {
+    const auto [it, inserted] = defined_at.emplace(name, line);
+    if (!inserted)
+      fail(line, "duplicate definition of '" + name + "' (first defined at line " +
+                     std::to_string(it->second) + ")");
+  };
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
@@ -75,12 +87,19 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
       const std::string kw = to_upper(trim(line.substr(0, open)));
       const std::string sig{trim(line.substr(open + 1, close - open - 1))};
       if (sig.empty()) fail(line_no, "empty signal name");
-      if (kw == "INPUT")
+      if (kw == "INPUT") {
+        define(sig, line_no);
         input_names.push_back(sig);
-      else if (kw == "OUTPUT")
+      } else if (kw == "OUTPUT") {
+        const auto [it, inserted] = output_at.emplace(sig, line_no);
+        if (!inserted)
+          fail(line_no, "duplicate OUTPUT declaration of '" + sig +
+                            "' (first declared at line " +
+                            std::to_string(it->second) + ")");
         output_names.push_back(sig);
-      else
+      } else {
         fail(line_no, "unknown directive '" + kw + "'");
+      }
       continue;
     }
 
@@ -100,6 +119,14 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
       def.fanin.emplace_back(a);
     }
     if (def.fanin.empty()) fail(line_no, "gate with no fanin");
+    define(def.name, line_no);
+    // A combinational gate feeding itself is a length-1 cycle; report it
+    // directly instead of letting it surface as a generic no-progress error.
+    // (DFF self-loops are legal: the edge crosses a clock boundary.)
+    if (def.type != GateType::kDff)
+      for (const std::string& f : def.fanin)
+        if (f == def.name)
+          fail(line_no, "self-loop: '" + def.name + "' is its own fanin");
     defs.push_back(std::move(def));
   }
 
@@ -152,14 +179,23 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
       progress = true;
     }
     if (!progress) {
-      // Either an undefined signal or a combinational cycle.
-      const PendingDef* def = next.front();
-      for (const std::string& f : def->fanin)
-        if (nl.find(f) == kNoNode && def->name != f)
-          fail(def->line_no, "possible undefined signal '" + f +
-                                 "' or combinational cycle at '" + def->name +
-                                 "'");
-      fail(def->line_no, "combinational cycle at '" + def->name + "'");
+      // Every signal name was registered up front, so a fanin missing from
+      // `defined_at` can never resolve: that is an undefined signal. If all
+      // fanins are defined somewhere, the stall is a genuine combinational
+      // cycle among the remaining definitions.
+      for (const PendingDef* def : next)
+        for (const std::string& f : def->fanin)
+          if (defined_at.find(f) == defined_at.end())
+            fail(def->line_no, "undefined signal '" + f +
+                                   "' in definition of '" + def->name + "'");
+      std::string members;
+      for (std::size_t k = 0; k < next.size() && k < 5; ++k) {
+        if (k != 0) members += "', '";
+        members += next[k]->name;
+      }
+      if (next.size() > 5) members += "', ...";
+      fail(next.front()->line_no,
+           "combinational cycle involving '" + members + "'");
     }
     remaining = std::move(next);
   }
@@ -168,7 +204,8 @@ Netlist read_bench(std::string_view text, std::string circuit_name) {
     if (def.type != GateType::kDff) continue;
     const NodeId d = nl.find(def.fanin[0]);
     if (d == kNoNode)
-      fail(def.line_no, "undefined signal '" + def.fanin[0] + "'");
+      fail(def.line_no, "undefined signal '" + def.fanin[0] +
+                            "' in definition of '" + def.name + "'");
     nl.connect_dff(nl.find(def.name), d);
   }
 

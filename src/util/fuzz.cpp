@@ -1,0 +1,108 @@
+#include "util/fuzz.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace wbist::util {
+
+namespace fs = std::filesystem;
+
+void FuzzCase::stash(std::string name, std::string content) {
+  for (FuzzArtifact& a : artifacts_) {
+    if (a.name == name) {
+      a.content = std::move(content);
+      return;
+    }
+  }
+  artifacts_.push_back({std::move(name), std::move(content)});
+}
+
+std::uint64_t derive_case_seed(std::uint64_t campaign_seed,
+                               std::uint64_t run_index) {
+  if (run_index == 0) return campaign_seed;
+  std::uint64_t z = campaign_seed + run_index * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// Best-effort artifact dump; returns the directory path ("" on failure —
+/// a broken disk must not turn a recorded mismatch into a harness crash).
+std::string dump_artifacts(const std::string& campaign,
+                           const FuzzOptions& options, const FuzzCase& fc,
+                           std::size_t run_index, const std::string& message) {
+  try {
+    const fs::path dir = fs::path(options.artifact_dir) / campaign /
+                         ("seed-" + std::to_string(fc.seed()));
+    fs::create_directories(dir);
+    {
+      std::ofstream info(dir / "info.txt");
+      info << "campaign:  " << campaign << "\n"
+           << "case seed: " << fc.seed() << "\n"
+           << "run index: " << run_index << " (campaign seed "
+           << options.seed << ")\n"
+           << "failure:   " << message << "\n"
+           << "replay:    wbist_fuzz " << campaign << " --seed " << fc.seed()
+           << " --runs 1\n";
+    }
+    for (const FuzzArtifact& a : fc.artifacts()) {
+      std::ofstream out(dir / a.name);
+      out << a.content;
+    }
+    return dir.string();
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+}  // namespace
+
+FuzzReport run_campaign(const std::string& campaign, const FuzzOptions& options,
+                        const std::function<void(FuzzCase&)>& body) {
+  FuzzReport report;
+  report.campaign = campaign;
+
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    FuzzCase fc(derive_case_seed(options.seed, i));
+    if (options.verbose)
+      std::fprintf(stderr, "[%s] run %zu/%zu seed=%llu\n", campaign.c_str(),
+                   i + 1, options.runs,
+                   static_cast<unsigned long long>(fc.seed()));
+    std::string failure;
+    try {
+      body(fc);
+    } catch (const FuzzFailureError& e) {
+      failure = e.what();
+    } catch (const std::exception& e) {
+      failure = std::string("unhandled exception: ") + e.what();
+    }
+    ++report.runs_executed;
+
+    if (!failure.empty()) {
+      FuzzFailure f;
+      f.case_seed = fc.seed();
+      f.run_index = i;
+      f.message = failure;
+      f.artifact_path = dump_artifacts(campaign, options, fc, i, failure);
+      std::fprintf(stderr,
+                   "[%s] FAILURE seed=%llu: %s\n"
+                   "[%s]   artifacts: %s\n"
+                   "[%s]   replay: wbist_fuzz %s --seed %llu --runs 1\n",
+                   campaign.c_str(),
+                   static_cast<unsigned long long>(f.case_seed),
+                   f.message.c_str(), campaign.c_str(),
+                   f.artifact_path.empty() ? "(dump failed)"
+                                           : f.artifact_path.c_str(),
+                   campaign.c_str(), campaign.c_str(),
+                   static_cast<unsigned long long>(f.case_seed));
+      report.failures.push_back(std::move(f));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace wbist::util

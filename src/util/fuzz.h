@@ -1,0 +1,101 @@
+// Seed-driven fuzzing harness: deterministic campaign loops with replayable
+// per-case seeds and crash-artifact dumping.
+//
+// A *campaign* is a named loop over `runs` cases. Case i derives its own
+// seed from the campaign seed (case 0 uses the campaign seed verbatim), so
+// any failing case can be replayed in isolation with
+//     wbist_fuzz <campaign> --seed <case_seed> --runs 1
+// The campaign body receives a FuzzCase carrying the case Rng; it stashes
+// human-readable artifacts (netlist text, sequences, ...) as it builds the
+// test and calls fail() on an oracle mismatch. On failure — including any
+// uncaught exception — the harness dumps the stashed artifacts plus an
+// info.txt with the replay command to
+//     <artifact_dir>/<campaign>/seed-<case_seed>/
+// and keeps going until `max_failures` distinct failures were recorded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wbist::util {
+
+/// A named blob attached to a fuzz case, written to disk if the case fails.
+struct FuzzArtifact {
+  std::string name;  ///< file name inside the case's artifact directory
+  std::string content;
+};
+
+/// Thrown by FuzzCase::fail(); carries the oracle-mismatch description.
+class FuzzFailureError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Context handed to a campaign body for one case.
+class FuzzCase {
+ public:
+  explicit FuzzCase(std::uint64_t case_seed)
+      : seed_(case_seed), rng_(case_seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+  Rng& rng() { return rng_; }
+
+  /// Attach an artifact; later stashes with the same name overwrite.
+  void stash(std::string name, std::string content);
+
+  /// Abort the case with an oracle-mismatch message.
+  [[noreturn]] void fail(const std::string& message) const {
+    throw FuzzFailureError(message);
+  }
+
+  std::span<const FuzzArtifact> artifacts() const { return artifacts_; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<FuzzArtifact> artifacts_;
+};
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;    ///< campaign seed (case 0 replays it directly)
+  std::size_t runs = 100;    ///< cases to execute
+  std::string artifact_dir = "fuzz-artifacts";
+  std::size_t max_failures = 1;  ///< stop after this many failing cases
+  bool verbose = false;          ///< per-run progress on stderr
+};
+
+struct FuzzFailure {
+  std::uint64_t case_seed = 0;
+  std::size_t run_index = 0;
+  std::string message;
+  std::string artifact_path;  ///< directory the artifacts were written to
+};
+
+struct FuzzReport {
+  std::string campaign;
+  std::size_t runs_executed = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Case i's seed: the campaign seed itself for i == 0, otherwise a
+/// splitmix64-style mix of seed and index (so neighbouring campaign seeds
+/// do not share cases).
+std::uint64_t derive_case_seed(std::uint64_t campaign_seed,
+                               std::uint64_t run_index);
+
+/// Run `body` for every case of the campaign. Failures (FuzzCase::fail or
+/// any exception escaping the body) are recorded in the report and their
+/// artifacts dumped; the loop stops early once options.max_failures is
+/// reached. Never throws for case failures — only for harness-level errors.
+FuzzReport run_campaign(const std::string& campaign, const FuzzOptions& options,
+                        const std::function<void(FuzzCase&)>& body);
+
+}  // namespace wbist::util

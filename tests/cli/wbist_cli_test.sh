@@ -1,0 +1,64 @@
+#!/bin/sh
+# Integration test for the `wbist` CLI exit-code contract:
+#   0 = success, 1 = runtime failure (bad circuit, unwritable path, ...),
+#   2 = usage error (unknown command, missing argument).
+# Run by ctest as: wbist_cli_test.sh <path-to-wbist-binary>
+set -u
+
+WBIST=${1:?usage: wbist_cli_test.sh <wbist-binary>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# expect <wanted-exit-code> <label> <arg...>
+expect() {
+  wanted=$1; label=$2; shift 2
+  "$WBIST" "$@" > "$WORK/out.txt" 2> "$WORK/err.txt"
+  got=$?
+  if [ "$got" -ne "$wanted" ]; then
+    echo "FAIL: $label: exit $got, wanted $wanted (wbist $*)" >&2
+    sed 's/^/  stderr: /' "$WORK/err.txt" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# Usage errors -> exit 2.
+expect 2 "no arguments"
+expect 2 "unknown command" frobnicate
+expect 2 "info without circuit" info
+expect 2 "tgen without circuit" tgen
+
+# Runtime failures -> exit 1.
+expect 1 "unknown circuit name" info no-such-circuit
+expect 1 "missing bench path" info "$WORK/does-not-exist.bench"
+expect 1 "unwritable output path" emit s27 /nonexistent-dir/out.bench
+printf 'INPUT(a)\nb = FOO(a)\n' > "$WORK/bad.bench"
+expect 1 "malformed bench file" info "$WORK/bad.bench"
+
+# Every subcommand succeeds on a registry circuit -> exit 0.
+expect 0 "list" list
+expect 0 "info" info s27
+expect 0 "emit" emit s27 "$WORK/s27.bench"
+expect 0 "tgen" tgen s27 "$WORK/s27.seq"
+expect 0 "flow" flow s27
+expect 0 "synth" synth s27 "$WORK/s27_gen.bench"
+expect 0 "obs" obs s27
+
+# Emitted artifacts exist, are non-empty, and the netlists re-parse.
+for f in s27.bench s27.seq s27_gen.bench; do
+  if [ ! -s "$WORK/$f" ]; then
+    echo "FAIL: emitted $f is missing or empty" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+expect 0 "emitted netlist re-parses" info "$WORK/s27.bench"
+expect 0 "generator netlist re-parses" info "$WORK/s27_gen.bench"
+
+# A .bench path is accepted anywhere a registry name is.
+expect 0 "flow on a bench path" flow "$WORK/s27.bench"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI exit-code checks passed"

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "circuits/iscas.h"
 #include "circuits/registry.h"
 #include "fault/fault_list.h"
@@ -201,6 +203,76 @@ TEST(Procedure, StatsArepopulated) {
       select_weight_assignments(f.sim, T, det.detection_time, cfg);
   EXPECT_GE(res.stats.assignments_tried, res.omega.size());
   EXPECT_GE(res.stats.full_simulations, res.omega.size());
+}
+
+// build_presim_sample pins the sample semantics documented on
+// ProcedureConfig::sample_size: distinct faults only, sample_size honored
+// even below the old hard-coded front slice of 4, and 0 = no sample pass.
+
+TEST(PresimSample, ZeroSampleSizeYieldsEmptySample) {
+  util::Rng rng(1);
+  const std::vector<FaultId> targets{5, 6, 7};
+  const std::vector<FaultId> remaining{1, 2, 3, 5, 6, 7};
+  EXPECT_TRUE(build_presim_sample(targets, remaining, 0, rng).empty());
+  EXPECT_TRUE(build_presim_sample(targets, {}, 8, rng).empty());
+}
+
+TEST(PresimSample, HonorsSampleSizesBelowEight) {
+  util::Rng rng(2);
+  std::vector<FaultId> remaining;
+  for (FaultId f = 0; f < 100; ++f) remaining.push_back(f);
+  const std::vector<FaultId> targets{40, 41, 42, 43, 44, 45};
+  for (std::size_t size : {1u, 2u, 3u, 5u, 7u}) {
+    const auto sample = build_presim_sample(targets, remaining, size, rng);
+    EXPECT_LE(sample.size(), size) << "sample_size " << size;
+    EXPECT_FALSE(sample.empty());
+    // The front slice always seeds the sample with the first target(s).
+    EXPECT_EQ(sample[0], targets[0]);
+  }
+}
+
+TEST(PresimSample, NeverContainsDuplicates) {
+  util::Rng rng(3);
+  const std::vector<FaultId> remaining{1, 2, 3};
+  // Duplicated targets and a tiny fault list force the dedupe paths.
+  const std::vector<FaultId> targets{2, 2, 2, 3};
+  for (int round = 0; round < 50; ++round) {
+    const auto sample = build_presim_sample(targets, remaining, 32, rng);
+    std::unordered_set<FaultId> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), sample.size());
+    EXPECT_LE(sample.size(), remaining.size());
+  }
+}
+
+TEST(Procedure, SampleSizeZeroDisablesSamplePass) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  ProcedureConfig cfg;
+  cfg.sequence_length = 100;
+  cfg.sample_size = 0;
+  const ProcedureResult res =
+      select_weight_assignments(f.sim, T, det.detection_time, cfg);
+  // No sample pass: nothing can be rejected by it, and every candidate
+  // tried is fully simulated.
+  EXPECT_EQ(res.stats.sample_rejections, 0u);
+  EXPECT_EQ(res.stats.full_simulations, res.stats.assignments_tried);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
+}
+
+TEST(Procedure, SmallSampleSizeStillReachesFullEfficiency) {
+  Fixture f("s27");
+  const auto T = circuits::s27_paper_sequence();
+  const auto det = f.sim.run_all(T);
+  for (std::size_t size : {1u, 2u}) {
+    ProcedureConfig cfg;
+    cfg.sequence_length = 100;
+    cfg.sample_size = size;
+    const ProcedureResult res =
+        select_weight_assignments(f.sim, T, det.detection_time, cfg);
+    EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0) << "sample_size " << size;
+    EXPECT_EQ(res.abandoned_count, 0u);
+  }
 }
 
 class ProcedureOnCircuit : public testing::TestWithParam<const char*> {};

@@ -155,5 +155,102 @@ TEST(BenchIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+// The duplicate / self-loop diagnostics below pin the parse-level checks:
+// errors must carry the offending line number and, for duplicates, the line
+// of the first definition, instead of surfacing as netlist-level exceptions
+// (or, for duplicate OUTPUT, being silently accepted).
+
+TEST(BenchIo, DuplicateDefinitionReportsBothLines) {
+  try {
+    read_bench("INPUT(a)\nb = NOT(a)\nb = BUF(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate definition of 'b'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("first defined at line 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchIo, DuplicateInputThrows) {
+  try {
+    read_bench("INPUT(a)\nINPUT(a)\nb = NOT(a)\nOUTPUT(b)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate definition of 'a'"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(BenchIo, InputRedefinedAsGateThrows) {
+  EXPECT_THROW(read_bench("INPUT(a)\nINPUT(b)\na = NOT(b)\nOUTPUT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, DuplicateOutputDeclarationThrows) {
+  try {
+    read_bench("INPUT(a)\nOUTPUT(b)\nOUTPUT(b)\nb = NOT(a)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate OUTPUT declaration of 'b'"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("first declared at line 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchIo, SelfLoopDiagnosedAsSelfLoopNotCycle) {
+  try {
+    read_bench("INPUT(a)\nOUTPUT(b)\nb = AND(a, b)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("self-loop: 'b' is its own fanin"), std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find("cycle"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchIo, DffSelfLoopIsLegal) {
+  // A flip-flop feeding itself crosses a clock boundary — not a self-loop.
+  const Netlist nl = read_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(q)\n");
+  EXPECT_EQ(nl.flip_flops().size(), 1u);
+}
+
+TEST(BenchIo, GenuineCycleNamesItsMembers) {
+  try {
+    read_bench(
+        "INPUT(a)\nOUTPUT(g)\ng = AND(a, h)\nh = NOT(g)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("combinational cycle involving"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("'g'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'h'"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchIo, UndefinedFaninDiagnosedBeforeCycle) {
+  // An unresolvable fanin must be reported as an undefined signal, not
+  // folded into a bogus "combinational cycle" diagnostic.
+  try {
+    read_bench("INPUT(a)\nOUTPUT(c)\nb = NOT(zzz)\nc = AND(a, b)\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("undefined signal 'zzz' in definition of 'b'"),
+              std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find("cycle"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace wbist::netlist
