@@ -1,5 +1,7 @@
 #include "core/flow.h"
 
+#include "util/metrics.h"
+
 namespace wbist::core {
 
 using fault::DetectionResult;
@@ -8,15 +10,20 @@ using fault::FaultId;
 FlowResult run_flow(const fault::FaultSimulator& sim,
                     const std::string& circuit_name,
                     const FlowConfig& config) {
+  util::PhaseScope flow_phase("flow");
   FlowResult flow;
 
   // 1. Deterministic sequence T (substitute for STRATEGATE/SEQCOM).
-  tgen::TgenResult gen = tgen::generate_test_sequence(sim, config.tgen);
-  flow.sequence = std::move(gen.sequence);
-  flow.detection_time = std::move(gen.detection_time);
+  {
+    util::PhaseScope phase("flow.tgen");
+    tgen::TgenResult gen = tgen::generate_test_sequence(sim, config.tgen);
+    flow.sequence = std::move(gen.sequence);
+    flow.detection_time = std::move(gen.detection_time);
+  }
 
   // 2. Static compaction, preserving every detected fault.
   if (config.compact && flow.sequence.length() > 1) {
+    util::PhaseScope phase("flow.compaction");
     std::vector<FaultId> must;
     for (FaultId f = 0; f < flow.detection_time.size(); ++f)
       if (flow.detection_time[f] != DetectionResult::kUndetected)
@@ -29,12 +36,13 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
   for (const std::int32_t t : flow.detection_time)
     if (t != DetectionResult::kUndetected) ++flow.t_detected;
 
-  // 3. Weight-assignment selection (Section 4.2).
+  // 3. Weight-assignment selection (Section 4.2). select_weight_assignments
+  // times itself under "procedure".
   flow.procedure = select_weight_assignments(sim, flow.sequence,
                                              flow.detection_time,
                                              config.procedure);
 
-  // 4. Reverse-order simulation (Section 4.3).
+  // 4. Reverse-order simulation (Section 4.3); timed under "reverse_sim".
   std::vector<FaultId> targets;
   for (FaultId f = 0; f < flow.detection_time.size(); ++f)
     if (flow.detection_time[f] != DetectionResult::kUndetected)
@@ -44,10 +52,13 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
                                     config.procedure.threads);
 
   // 5. FSM synthesis over the surviving subsequences.
-  std::vector<Subsequence> subs;
-  for (const WeightAssignment& w : flow.pruned.omega)
-    subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());
-  flow.fsms = synthesize_weight_fsms(subs);
+  {
+    util::PhaseScope phase("flow.fsm_synth");
+    std::vector<Subsequence> subs;
+    for (const WeightAssignment& w : flow.pruned.omega)
+      subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());
+    flow.fsms = synthesize_weight_fsms(subs);
+  }
 
   flow.table6 = make_table6_row(circuit_name, flow.sequence.length(),
                                 flow.t_detected, flow.pruned.omega, flow.fsms);

@@ -1,5 +1,6 @@
 #include "core/lfsr.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wbist::core {
@@ -11,17 +12,51 @@ using netlist::NodeId;
 namespace {
 
 std::vector<unsigned> default_taps(unsigned width) {
+  // Maximal-length tap sets for every width in [2, 32] (period 2^w - 1).
+  // Tap numbers are 0-indexed state bits; the per-width sets follow the
+  // standard XNOR-LFSR polynomial table (Xilinx XAPP052), except widths 8
+  // and 16, which keep this repo's original — also maximal — polynomials so
+  // previously published streams stay bit-identical.
+  //
+  // The old fallback ({width-1, width/2, 1}) produced *duplicate* taps for
+  // widths 2 and 3 ({1,1} and {2,1,1}); a duplicated tap cancels itself in
+  // the XOR fold, which collapsed those registers to a trivial stream.
   switch (width) {
-    case 8:
-      return {7, 5, 4, 3};  // x^8 + x^6 + x^5 + x^4 + 1 (maximal)
-    case 16:
-      return {15, 13, 12, 10};  // x^16 + x^14 + x^13 + x^11 + 1 (maximal)
-    default: {
-      // Dense deterministic default; long period, not necessarily maximal.
-      std::vector<unsigned> taps{width - 1, width / 2};
-      if (width > 2) taps.push_back(1);
-      return taps;
-    }
+    case 2:  return {1, 0};
+    case 3:  return {2, 1};
+    case 4:  return {3, 2};
+    case 5:  return {4, 2};
+    case 6:  return {5, 4};
+    case 7:  return {6, 5};
+    case 8:  return {7, 5, 4, 3};  // x^8 + x^6 + x^5 + x^4 + 1
+    case 9:  return {8, 4};
+    case 10: return {9, 6};
+    case 11: return {10, 8};
+    case 12: return {11, 5, 3, 0};
+    case 13: return {12, 3, 2, 0};
+    case 14: return {13, 4, 2, 0};
+    case 15: return {14, 13};
+    case 16: return {15, 13, 12, 10};  // x^16 + x^14 + x^13 + x^11 + 1
+    case 17: return {16, 13};
+    case 18: return {17, 10};
+    case 19: return {18, 5, 1, 0};
+    case 20: return {19, 16};
+    case 21: return {20, 18};
+    case 22: return {21, 20};
+    case 23: return {22, 17};
+    case 24: return {23, 22, 21, 16};
+    case 25: return {24, 21};
+    case 26: return {25, 5, 1, 0};
+    case 27: return {26, 4, 1, 0};
+    case 28: return {27, 24};
+    case 29: return {28, 26};
+    case 30: return {29, 5, 3, 0};
+    case 31: return {30, 27};
+    case 32: return {31, 21, 1, 0};
+    default:
+      // Out-of-range widths: hand the constructor something non-empty so its
+      // own width validation produces the error.
+      return {0};
   }
 }
 
@@ -36,6 +71,15 @@ Lfsr::Lfsr(unsigned width, std::vector<unsigned> taps)
   if (taps_.empty()) throw std::invalid_argument("lfsr: no feedback taps");
   for (const unsigned t : taps_)
     if (t >= width_) throw std::invalid_argument("lfsr: tap out of range");
+  // Taps form a *set*: a tap listed twice cancels itself in the XOR fold
+  // (and would instantiate a dead XNOR input pair in emit_lfsr), so
+  // duplicates are dropped, first occurrence kept.
+  std::vector<unsigned> unique;
+  unique.reserve(taps_.size());
+  for (const unsigned t : taps_)
+    if (std::find(unique.begin(), unique.end(), t) == unique.end())
+      unique.push_back(t);
+  taps_ = std::move(unique);
 }
 
 std::uint32_t Lfsr::step() {

@@ -22,9 +22,9 @@ namespace wbist::core {
 /// other bits shift from their lower neighbour.
 class Lfsr {
  public:
-  /// Width 2..32. Feedback taps default to a maximal-length polynomial for
-  /// widths 16 and 8; other widths use a dense default (not necessarily
-  /// maximal, but deterministic and long-period).
+  /// Width 2..32. Feedback taps default to a maximal-length polynomial
+  /// (period 2^width - 1) for every width. Explicit taps are treated as a
+  /// set: duplicates (which would cancel in the XNOR fold) are removed.
   explicit Lfsr(unsigned width = 16);
   Lfsr(unsigned width, std::vector<unsigned> taps);
 

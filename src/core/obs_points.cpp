@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/metrics.h"
+
 namespace wbist::core {
 
 using fault::DetectionResult;
@@ -64,6 +66,7 @@ ObsTradeoffResult observation_point_tradeoff(
     const fault::FaultSimulator& sim, std::span<const WeightAssignment> omega,
     std::span<const fault::FaultId> targets,
     const ObsTradeoffConfig& config) {
+  util::PhaseScope phase("obs_points");
   ObsTradeoffResult result;
   if (omega.empty() || targets.empty()) return result;
 

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace wbist::core {
 
@@ -58,6 +60,10 @@ ProcedureResult select_weight_assignments(
   if (detection_time.size() != sim.fault_set().size())
     throw std::invalid_argument(
         "procedure: detection_time not aligned with fault set");
+
+  util::PhaseScope phase("procedure");
+  const util::Timer wall;
+  util::Series& coverage = util::metrics().series("procedure.coverage");
 
   ProcedureResult result;
   result.sequence_length = std::max(config.sequence_length, T.length());
@@ -152,6 +158,10 @@ ProcedureResult select_weight_assignments(
         if (det.detected_count > 0) {
           result.detected_count += drop_detected(F, det, F);
           result.omega.push_back(std::move(w));
+          // Coverage-over-time curve: cumulative detected targets against
+          // elapsed seconds, one point per kept assignment.
+          coverage.push(wall.seconds(),
+                        static_cast<double>(result.detected_count));
         }
       }
 
@@ -171,6 +181,15 @@ ProcedureResult select_weight_assignments(
   }
 
   result.stats.good_machine_sims = sim.good_sim_runs() - good_sims_before;
+
+  util::MetricsRegistry& reg = util::metrics();
+  reg.counter("procedure.assignments_tried").add(result.stats.assignments_tried);
+  reg.counter("procedure.sample_rejections").add(result.stats.sample_rejections);
+  reg.counter("procedure.full_simulations").add(result.stats.full_simulations);
+  reg.counter("procedure.good_machine_sims").add(result.stats.good_machine_sims);
+  reg.counter("procedure.targets").add(result.target_count);
+  reg.counter("procedure.detected").add(result.detected_count);
+  reg.counter("procedure.abandoned").add(result.abandoned_count);
   return result;
 }
 

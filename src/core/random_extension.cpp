@@ -4,12 +4,27 @@
 #include <bit>
 #include <stdexcept>
 
+#include "util/metrics.h"
+
 namespace wbist::core {
 
 using fault::DetectionResult;
 using fault::FaultId;
 using sim::TestSequence;
 using sim::Val3;
+
+TestSequence expand_random_session(Lfsr& runner, std::size_t session_length,
+                                   std::size_t n_inputs) {
+  TestSequence seq(session_length, n_inputs);
+  for (std::size_t u = 0; u < session_length; ++u) {
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      seq.set(u, i,
+              runner.bit(lfsr_tap_for_input(runner, i)) ? Val3::kOne
+                                                        : Val3::kZero);
+    runner.step();
+  }
+  return seq;
+}
 
 TestSequence expand_random_session(const Lfsr& lfsr, std::size_t session,
                                    std::size_t session_length,
@@ -18,16 +33,7 @@ TestSequence expand_random_session(const Lfsr& lfsr, std::size_t session,
   Lfsr runner = lfsr;
   runner.reset();
   for (std::size_t t = 0; t < session * session_length; ++t) runner.step();
-
-  TestSequence seq(session_length, n_inputs);
-  for (std::size_t u = 0; u < session_length; ++u) {
-    for (std::size_t i = 0; i < n_inputs; ++i)
-      seq.set(u, i,
-              runner.bit(lfsr_tap_for_input(lfsr, i)) ? Val3::kOne
-                                                      : Val3::kZero);
-    runner.step();
-  }
-  return seq;
+  return expand_random_session(runner, session_length, n_inputs);
 }
 
 ExtendedSchemeResult run_extended_scheme(
@@ -51,25 +57,43 @@ ExtendedSchemeResult run_extended_scheme(
       remaining.push_back(f);
   result.target_count = remaining.size();
 
-  // Phase 1: pure-random sessions with fault dropping.
-  for (std::size_t r = 0;
-       r < config.max_random_sessions && !remaining.empty(); ++r) {
-    const TestSequence tg =
-        expand_random_session(result.lfsr, r, result.session_length, n_inputs);
-    const DetectionResult det = sim.run(tg, remaining);
-    if (det.detected_count == 0) {
-      if (config.stop_on_fruitless_session) break;
-      // Keep the session count anyway? A fruitless session adds hardware
-      // sessions without payoff; never keep it.
-      break;
+  // Phase 1: pure-random sessions with fault dropping. One running register
+  // expands the continuous stream session by session (the from-reset
+  // overload would re-fast-forward O(r * P) steps per session r).
+  {
+    util::PhaseScope phase("extended.random_sessions");
+    Lfsr runner = result.lfsr;
+    runner.reset();
+    for (std::size_t r = 0;
+         r < config.max_random_sessions && !remaining.empty(); ++r) {
+      const TestSequence tg =
+          expand_random_session(runner, result.session_length, n_inputs);
+      ++result.sessions_simulated;
+      const DetectionResult det = sim.run(tg, remaining);
+      if (det.detected_count == 0) {
+        // A fruitless session adds hardware time without payoff: either stop
+        // the random phase here (the default), or skip it — uncounted — and
+        // keep probing the later sessions of the same stream.
+        if (config.stop_on_fruitless_session) break;
+        continue;
+      }
+      // The on-chip stream is continuous, so keeping session r means the
+      // hardware also runs sessions 0..r-1 (any skipped fruitless ones among
+      // them included): the kept count is r + 1, not a fruitful-only tally.
+      result.random_sessions = r + 1;
+      result.detected_by_random += det.detected_count;
+      std::vector<FaultId> still;
+      still.reserve(remaining.size() - det.detected_count);
+      for (std::size_t k = 0; k < remaining.size(); ++k)
+        if (!det.detected(k)) still.push_back(remaining[k]);
+      remaining = std::move(still);
     }
-    ++result.random_sessions;
-    result.detected_by_random += det.detected_count;
-    std::vector<FaultId> still;
-    still.reserve(remaining.size() - det.detected_count);
-    for (std::size_t k = 0; k < remaining.size(); ++k)
-      if (!det.detected(k)) still.push_back(remaining[k]);
-    remaining = std::move(still);
+    util::metrics().counter("extended.sessions_simulated")
+        .add(result.sessions_simulated);
+    util::metrics().counter("extended.sessions_kept")
+        .add(result.random_sessions);
+    util::metrics().counter("extended.detected_by_random")
+        .add(result.detected_by_random);
   }
 
   // Phase 2: the Section 4.2 procedure on the residual faults only.
@@ -83,7 +107,10 @@ ExtendedSchemeResult run_extended_scheme(
   }
   ProcedureConfig pc = config.procedure;
   pc.sequence_length = result.session_length;
-  result.procedure = select_weight_assignments(sim, T, residual, pc);
+  {
+    util::PhaseScope phase("extended.residual_procedure");
+    result.procedure = select_weight_assignments(sim, T, residual, pc);
+  }
 
   result.detected_count =
       result.detected_by_random + result.procedure.detected_count;

@@ -29,14 +29,26 @@ struct ExtendedSchemeConfig {
   /// Maximum pure-random sessions to try; sessions detecting no new fault
   /// beyond this point are trimmed.
   std::size_t max_random_sessions = 8;
-  /// Stop prepending random sessions once one detects no new fault.
+  /// Stop probing random sessions once one detects no new fault (the
+  /// default). When false, a fruitless session is skipped — it is not
+  /// counted as payoff — and the later sessions of the same stream are
+  /// still simulated, up to `max_random_sessions` in total.
   bool stop_on_fruitless_session = true;
   ProcedureConfig procedure;
 };
 
 struct ExtendedSchemeResult {
   Lfsr lfsr{16};
-  std::size_t random_sessions = 0;   ///< sessions actually kept
+  /// Hardware sessions kept: index of the last *fruitful* session + 1.
+  /// The on-chip LFSR free-runs across session boundaries, so keeping
+  /// session r implies running sessions 0..r-1 too — fruitless sessions
+  /// before the last fruitful one stay inside this count; trailing
+  /// fruitless sessions are trimmed.
+  std::size_t random_sessions = 0;
+  /// Random sessions actually fault-simulated (>= random_sessions; larger
+  /// when stop_on_fruitless_session is false and trailing sessions were
+  /// fruitless).
+  std::size_t sessions_simulated = 0;
   std::size_t session_length = 0;    ///< hardware session length (2^k)
   std::size_t detected_by_random = 0;
   ProcedureResult procedure;         ///< subsequence part, residual faults
@@ -58,8 +70,20 @@ struct ExtendedSchemeResult {
 
 /// The input sequence applied during pure-random session `session`
 /// (sessions share one continuous LFSR stream; the hardware LFSR free-runs
-/// across session boundaries).
+/// across session boundaries). Fast-forwards a fresh register from reset —
+/// O(session * session_length) steps; campaign loops should use the
+/// incremental overload below instead.
 sim::TestSequence expand_random_session(const Lfsr& lfsr, std::size_t session,
+                                        std::size_t session_length,
+                                        std::size_t n_inputs);
+
+/// Incremental form: `runner` carries the stream state at the start of the
+/// session (i.e. a copy of the spec register advanced session *
+/// session_length steps from reset) and is advanced `session_length` steps,
+/// leaving it positioned at the start of the next session. Bit-identical to
+/// the from-reset overload; turns the per-campaign cost from quadratic in
+/// the session count into linear.
+sim::TestSequence expand_random_session(Lfsr& runner,
                                         std::size_t session_length,
                                         std::size_t n_inputs);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace wbist::core {
 
 using fault::DetectionResult;
@@ -12,6 +14,7 @@ ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
                                      std::span<const FaultId> targets,
                                      std::size_t sequence_length,
                                      unsigned threads) {
+  util::PhaseScope phase("reverse_sim");
   ReverseSimResult result;
   std::vector<FaultId> remaining(targets.begin(), targets.end());
   std::vector<bool> keep(omega.size(), false);
@@ -38,6 +41,11 @@ ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
   for (std::size_t k = 0; k < omega.size(); ++k)
     if (keep[k]) result.omega.push_back(omega[k]);
   std::sort(result.detected.begin(), result.detected.end());
+
+  util::MetricsRegistry& reg = util::metrics();
+  reg.counter("reverse_sim.assignments_in").add(omega.size());
+  reg.counter("reverse_sim.assignments_kept").add(result.omega.size());
+  reg.counter("reverse_sim.faults_covered").add(result.detected.size());
   return result;
 }
 

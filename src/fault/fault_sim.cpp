@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "sim/good_sim.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace wbist::fault {
 
@@ -250,6 +252,8 @@ GoodTrace FaultSimulator::make_trace(
       trace.good_obs[u * trace.observed.size() + k] = raw[trace.observed[k]];
   }
   good_sim_runs_.fetch_add(1, std::memory_order_relaxed);
+  util::metrics().counter("fault_sim.traces").add(1);
+  util::metrics().counter("fault_sim.trace_cycles").add(trace.length);
   return trace;
 }
 
@@ -293,6 +297,12 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
   std::vector<std::uint32_t> group_detected(groups.size(), 0);
+  // Kernel-cycle accounting, flushed to util::metrics once per call:
+  // kernel cycles = eval_core invocations, fault cycles = active lanes
+  // summed over those invocations (the word-packed work actually done).
+  std::vector<std::uint64_t> group_cycles(groups.size(), 0);
+  std::vector<std::uint64_t> group_fault_cycles(groups.size(), 0);
+  const util::Timer run_wall;
 
   const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
     Group& group = groups[gi];
@@ -301,7 +311,12 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
     for (Word3& w : s.state) w = broadcast(Val3::kX);
 
     std::uint32_t local_detected = 0;
+    std::uint64_t local_cycles = 0;
+    std::uint64_t local_fault_cycles = 0;
     for (std::size_t u = 0; u < length && group.active != 0; ++u) {
+      ++local_cycles;
+      local_fault_cycles +=
+          static_cast<std::uint64_t>(std::popcount(group.active));
       // Load sources and apply source (PI / DFF output) stem faults.
       for (std::size_t i = 0; i < pis.size(); ++i)
         vals[pis[i]] = trace.pi_words[u * pis.size() + i];
@@ -339,6 +354,8 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
     }
 
     group_detected[gi] = local_detected;
+    group_cycles[gi] = local_cycles;
+    group_fault_cycles[gi] = local_fault_cycles;
     s.inj_index.detach();
   };
 
@@ -356,12 +373,44 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
     scratch.reserve(wp.size());
     for (unsigned r = 0; r < wp.size(); ++r)
       scratch.emplace_back(nl_->node_count(), ffs.size());
-    wp.parallel_for(
-        groups.size(),
-        [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
+    // Per-rank busy time, timed at group granularity (one clock pair per
+    // 64-fault group, invisible next to the group's simulation cost).
+    std::vector<std::uint64_t> busy_ns(wp.size(), 0);
+    const util::Timer parallel_wall;
+    wp.parallel_for(groups.size(), [&](std::size_t gi, unsigned rank) {
+      const util::Timer t;
+      simulate_group(gi, scratch[rank]);
+      busy_ns[rank] += static_cast<std::uint64_t>(t.seconds() * 1e9);
+    });
+    const double wall = parallel_wall.seconds();
+    util::MetricsRegistry& reg = util::metrics();
+    reg.timer("fault_sim.parallel").add_seconds(wall);
+    for (unsigned r = 0; r < wp.size(); ++r) {
+      if (busy_ns[r] == 0) continue;
+      reg.timer("fault_sim.worker_busy")
+          .add_seconds(static_cast<double>(busy_ns[r]) * 1e-9);
+      if (wall > 0.0)
+        reg.histogram("fault_sim.rank_busy_pct")
+            .record(static_cast<std::uint64_t>(
+                100.0 * static_cast<double>(busy_ns[r]) * 1e-9 / wall));
+    }
   }
 
   for (const std::uint32_t d : group_detected) result.detected_count += d;
+
+  util::MetricsRegistry& reg = util::metrics();
+  reg.timer("fault_sim.run").add_seconds(run_wall.seconds());
+  reg.counter("fault_sim.runs").add(1);
+  reg.counter("fault_sim.groups").add(groups.size());
+  reg.counter("fault_sim.faults_simulated").add(ids.size());
+  reg.counter("fault_sim.faults_detected").add(result.detected_count);
+  std::uint64_t kernel_cycles = 0, fault_cycles = 0;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    kernel_cycles += group_cycles[gi];
+    fault_cycles += group_fault_cycles[gi];
+  }
+  reg.counter("fault_sim.kernel_cycles").add(kernel_cycles);
+  reg.counter("fault_sim.fault_cycles").add(fault_cycles);
   return result;
 }
 
@@ -439,6 +488,9 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
         groups.size(),
         [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
   }
+  util::metrics().counter("fault_sim.final_obs_runs").add(1);
+  util::metrics().counter("fault_sim.kernel_cycles")
+      .add(static_cast<std::uint64_t>(groups.size()) * seq.length());
   return result;
 }
 
@@ -583,6 +635,13 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
     }
   }
   good_sim_runs_.fetch_add(1, std::memory_order_relaxed);
+
+  util::MetricsRegistry& reg = util::metrics();
+  reg.counter("fault_sim.obs_runs").add(1);
+  reg.counter("fault_sim.obs_faults").add(ids.size());
+  reg.counter("fault_sim.trace_cycles").add(trace.length);
+  reg.counter("fault_sim.kernel_cycles")
+      .add(static_cast<std::uint64_t>(groups.size()) * trace.length);
 
   for (auto& lines : result) std::sort(lines.begin(), lines.end());
   return result;

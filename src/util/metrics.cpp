@@ -1,0 +1,196 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wbist::util {
+
+void Histogram::record(std::uint64_t v) {
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(v));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < v &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t k = 0; k < kBuckets; ++k)
+    out[k] = buckets_[k].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Series::push(double x, double y) {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.emplace_back(x, y);
+}
+
+std::vector<std::pair<double, double>> Series::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return points_;
+}
+
+void Series::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry;  // never destroyed
+  return *instance;
+}
+
+namespace {
+
+template <class Map>
+auto& find_or_create(Map& map, std::string_view name, std::mutex& mu) {
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  return *it->second;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(counters_, name, mu_);
+}
+
+TimerStat& MetricsRegistry::timer(std::string_view name) {
+  return find_or_create(timers_, name, mu_);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name, mu_);
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  return find_or_create(series_, name, mu_);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : series_) s->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\n  \"schema\": \"wbist.metrics/1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"seconds\": ";
+    append_double(out, t->seconds());
+    out += ", \"count\": " + std::to_string(t->count()) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + std::to_string(h->sum()) +
+           ", \"max\": " + std::to_string(h->max()) + ", \"buckets\": {";
+    const auto buckets = h->buckets();
+    bool bfirst = true;
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+      if (buckets[k] == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "\"" + std::to_string(k) + "\": " + std::to_string(buckets[k]);
+    }
+    out += "}}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"series\": {";
+  first = true;
+  for (const auto& [name, s] : series_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": [";
+    const auto points = s->snapshot();
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      if (k != 0) out += ", ";
+      out += "[";
+      append_double(out, points[k].first);
+      out += ", ";
+      append_double(out, points[k].second);
+      out += "]";
+    }
+    out += "]";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("metrics: cannot write " + path);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace wbist::util

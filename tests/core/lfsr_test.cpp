@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "netlist/netlist.h"
@@ -88,6 +89,53 @@ TEST(Lfsr, HardwareMatchesSoftware) {
     }
     sw.step();
   }
+}
+
+TEST(Lfsr, DefaultPeriodExceedsWidthForEveryWidth) {
+  // Regression: the old small-width defaults carried duplicate taps
+  // ({1,1} at width 2, {2,1,1} at width 3) whose XNOR contributions cancel,
+  // collapsing the stream to a constant. Every default register must cycle
+  // with a period strictly greater than its width.
+  for (unsigned w = 2; w <= 32; ++w) {
+    Lfsr lfsr(w);
+    lfsr.reset();
+    std::map<std::uint32_t, std::size_t> first_seen{{lfsr.state(), 0}};
+    const std::size_t budget = 4 * w + 8;
+    for (std::size_t t = 1; t <= budget; ++t) {
+      lfsr.step();
+      const auto [it, fresh] = first_seen.emplace(lfsr.state(), t);
+      if (!fresh) {
+        EXPECT_GT(t - it->second, w) << "width " << w << " has period "
+                                     << (t - it->second);
+        break;
+      }
+    }
+    // No repeat inside the budget means the period exceeds budget > w.
+  }
+}
+
+TEST(Lfsr, SmallWidthDefaultsAreMaximal) {
+  // Widths 2..6 are cheap to check exhaustively: the XNOR form must visit
+  // all 2^w - 1 states (everything except the all-ones lock-up state).
+  for (unsigned w = 2; w <= 6; ++w) {
+    Lfsr lfsr(w);
+    lfsr.reset();
+    std::set<std::uint32_t> seen;
+    const std::size_t period = (std::size_t{1} << w) - 1;
+    for (std::size_t t = 0; t < period; ++t) {
+      EXPECT_TRUE(seen.insert(lfsr.state()).second)
+          << "width " << w << " repeated a state early";
+      lfsr.step();
+    }
+    EXPECT_EQ(lfsr.state(), 0u) << "width " << w;
+    EXPECT_EQ(seen.count((std::uint32_t{1} << w) - 1), 0u)
+        << "width " << w << " visited the lock-up state";
+  }
+}
+
+TEST(Lfsr, DuplicateTapsAreDeduplicated) {
+  const Lfsr lfsr(8, {7, 7, 3, 3, 7});
+  EXPECT_EQ(lfsr.taps(), (std::vector<unsigned>{7, 3}));
 }
 
 TEST(Lfsr, StreamLooksBalanced) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "circuits/iscas.h"
 #include "circuits/registry.h"
 #include "core/generator_hw.h"
@@ -74,6 +76,101 @@ TEST(RandomExtension, SessionsAreBinary) {
   for (std::size_t u = 0; u < seq.length(); ++u)
     for (std::size_t i = 0; i < seq.width(); ++i)
       EXPECT_NE(seq.at(u, i), Val3::kX);
+}
+
+TEST(RandomExtension, IncrementalExpansionMatchesFromReset) {
+  // The running-register overload must be bit-identical to fast-forwarding
+  // a fresh register from reset for every session of the stream.
+  const Lfsr lfsr(16);
+  Lfsr runner = lfsr;
+  runner.reset();
+  for (std::size_t r = 0; r < 6; ++r) {
+    const auto incremental = expand_random_session(runner, 32, 4);
+    const auto from_reset = expand_random_session(lfsr, r, 32, 4);
+    EXPECT_EQ(incremental, from_reset) << "session " << r;
+  }
+}
+
+/// A circuit with a provably undetectable fault: z = a AND (NOT a) is
+/// constant 0, so "z s-a-0" never changes any machine's behaviour. Marking
+/// it as the only target makes every pure-random session fruitless.
+struct RedundantFixture {
+  RedundantFixture() : nl("redundant") {
+    using netlist::GateType;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto na = nl.add_gate(GateType::kNot, "na", {a});
+    z = nl.add_gate(GateType::kAnd, "z", {a, na});
+    const auto o = nl.add_gate(GateType::kOr, "o", {z, b});
+    nl.mark_output(o);
+    nl.finalize();
+    faults = FaultSet::uncollapsed(nl);
+    sim = std::make_unique<FaultSimulator>(nl, faults);
+
+    detection_time.assign(faults.size(), DetectionResult::kUndetected);
+    for (FaultId f = 0; f < faults.size(); ++f)
+      if (faults[f].node == z && faults[f].pin == fault::kStemPin &&
+          !faults[f].stuck_at_one)
+        detection_time[f] = 0;  // fabricated: pretend T detects it at u=0
+    T = sim::TestSequence(2, 2);
+    for (std::size_t u = 0; u < 2; ++u)
+      for (std::size_t i = 0; i < 2; ++i)
+        T.set(u, i, (u + i) % 2 == 0 ? Val3::kZero : Val3::kOne);
+  }
+
+  netlist::Netlist nl;
+  netlist::NodeId z = netlist::kNoNode;
+  FaultSet faults;
+  std::unique_ptr<FaultSimulator> sim;
+  sim::TestSequence T;
+  std::vector<std::int32_t> detection_time;
+};
+
+TEST(RandomExtension, FruitlessSessionStopsPhaseByDefault) {
+  RedundantFixture f;
+  ExtendedSchemeConfig cfg;
+  cfg.lfsr_width = 8;
+  cfg.max_random_sessions = 4;
+  cfg.procedure.sequence_length = 4;
+  ASSERT_TRUE(cfg.stop_on_fruitless_session);
+  const ExtendedSchemeResult res =
+      run_extended_scheme(*f.sim, f.T, f.detection_time, cfg);
+  EXPECT_EQ(res.sessions_simulated, 1u);  // first fruitless session stops
+  EXPECT_EQ(res.random_sessions, 0u);
+  EXPECT_EQ(res.detected_by_random, 0u);
+}
+
+TEST(RandomExtension, FlagFalseRunsAllMaxRandomSessions) {
+  // Regression: both arms of the fruitless branch used to `break`, making
+  // stop_on_fruitless_session dead config. With the flag off, fruitless
+  // sessions are skipped (not counted) and probing continues to the cap.
+  RedundantFixture f;
+  ExtendedSchemeConfig cfg;
+  cfg.lfsr_width = 8;
+  cfg.max_random_sessions = 4;
+  cfg.stop_on_fruitless_session = false;
+  cfg.procedure.sequence_length = 4;
+  const ExtendedSchemeResult res =
+      run_extended_scheme(*f.sim, f.T, f.detection_time, cfg);
+  EXPECT_EQ(res.sessions_simulated, cfg.max_random_sessions);
+  EXPECT_EQ(res.random_sessions, 0u);  // none was fruitful
+  EXPECT_EQ(res.detected_by_random, 0u);
+}
+
+TEST(RandomExtension, FlagFalsePreservesFullEfficiency) {
+  // On a real circuit the flag must not change the coverage guarantee: the
+  // scheme still ends at 100% fault efficiency and never simulates more
+  // than max_random_sessions random sessions.
+  ExtFixture f("s27");
+  ExtendedSchemeConfig cfg;
+  cfg.stop_on_fruitless_session = false;
+  cfg.procedure.sequence_length = 100;
+  const ExtendedSchemeResult res =
+      run_extended_scheme(f.sim, f.T, f.detection_time, cfg);
+  EXPECT_LE(res.sessions_simulated, cfg.max_random_sessions);
+  EXPECT_LE(res.random_sessions, res.sessions_simulated);
+  EXPECT_EQ(res.detected_count, res.target_count);
+  EXPECT_DOUBLE_EQ(res.fault_efficiency(), 1.0);
 }
 
 TEST(RandomExtension, CompleteFaultEfficiencyPreserved) {

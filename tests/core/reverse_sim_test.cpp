@@ -100,6 +100,21 @@ TEST(ReverseSim, NoSurvivorIsRedundant) {
   }
 }
 
+TEST(ReverseSim, ThreadCountDoesNotChangeResult) {
+  // Pruning is a deterministic reduction over fault-simulation results; the
+  // worker count used for the underlying simulations must not leak into the
+  // kept set or the covered faults.
+  S27Flow f;
+  const ReverseSimResult serial = reverse_order_prune(
+      f.sim, f.proc.omega, f.targets, f.proc.sequence_length, 1);
+  const ReverseSimResult parallel = reverse_order_prune(
+      f.sim, f.proc.omega, f.targets, f.proc.sequence_length, 4);
+  EXPECT_EQ(serial.detected, parallel.detected);
+  ASSERT_EQ(serial.omega.size(), parallel.omega.size());
+  for (std::size_t i = 0; i < serial.omega.size(); ++i)
+    EXPECT_TRUE(serial.omega[i] == parallel.omega[i]) << "assignment " << i;
+}
+
 TEST(ReverseSim, EmptyOmega) {
   S27Flow f;
   const ReverseSimResult pruned =

@@ -1,0 +1,127 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wbist::util {
+namespace {
+
+TEST(Metrics, CounterFindOrCreateReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add();
+  EXPECT_EQ(reg.counter("x").value(), 4u);
+  EXPECT_EQ(reg.counter("y").value(), 0u);
+}
+
+TEST(Metrics, ResetZeroesInPlaceAndKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  TimerStat& t = reg.timer("t");
+  Histogram& h = reg.histogram("h");
+  Series& s = reg.series("s");
+  c.add(7);
+  t.add_seconds(0.5);
+  h.record(9);
+  s.push(1.0, 2.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.seconds(), 0.0);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(s.snapshot().empty());
+  // The same references keep working after the reset.
+  c.add(2);
+  EXPECT_EQ(reg.counter("c").value(), 2u);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&c] {
+      for (int k = 0; k < kPerThread; ++k) c.add();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  h.record(0);   // bucket 0
+  h.record(1);   // bucket 1
+  h.record(2);   // bucket 2
+  h.record(3);   // bucket 2
+  h.record(64);  // bucket 7
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[7], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 70u);
+  EXPECT_EQ(h.max(), 64u);
+}
+
+TEST(Metrics, PhaseScopeAccumulatesWallTime) {
+  MetricsRegistry reg;
+  {
+    PhaseScope scope("phase", reg);
+  }
+  {
+    PhaseScope scope("phase", reg);
+  }
+  EXPECT_EQ(reg.timer("phase").count(), 2u);
+  EXPECT_GE(reg.timer("phase").seconds(), 0.0);
+}
+
+TEST(Metrics, SeriesKeepsInsertionOrder) {
+  MetricsRegistry reg;
+  Series& s = reg.series("coverage");
+  s.push(0.1, 10);
+  s.push(0.2, 25);
+  const auto points = s.snapshot();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].first, 0.1);
+  EXPECT_DOUBLE_EQ(points[1].second, 25.0);
+}
+
+TEST(Metrics, JsonHasStableShapeAndSortedKeys) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.timer("t").add_seconds(0.25);
+  reg.histogram("h").record(5);
+  reg.series("s").push(1, 2);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema\": \"wbist.metrics/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_LT(json.find("\"a.count\": 1"), json.find("\"b.count\": 2"));
+  EXPECT_NE(json.find("[1, 2]"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryStillEmitsAllSections) {
+  MetricsRegistry reg;
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"series\": {}"), std::string::npos);
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &metrics());
+}
+
+}  // namespace
+}  // namespace wbist::util

@@ -8,6 +8,12 @@
 //   wbist synth <circuit> [out.bench]   flow + Figure-1 generator emission
 //   wbist obs <circuit>                 observation-point tradeoff table
 //
+// Every subcommand accepts `--metrics-json <path>`: after the command runs,
+// the process-wide util::metrics registry (per-phase wall times, fault-sim
+// kernel/trace cycle counts, coverage-over-time series, ...) is dumped as
+// JSON to <path>. Metrics are observation-only: the command's results are
+// bit-identical with and without the flag.
+//
 // Circuits may also be arbitrary `.bench` files: any argument containing
 // '/' or ending in ".bench" is loaded from disk instead of the registry.
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include "sim/sequence_io.h"
 #include "tgen/compaction.h"
 #include "tgen/random_tgen.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -165,7 +172,7 @@ int cmd_obs(const std::string& name) {
 
 int usage() {
   std::fputs(
-      "usage: wbist <command> [args]\n"
+      "usage: wbist <command> [args] [--metrics-json <path>]\n"
       "  list                         known circuits\n"
       "  info  <circuit>              structure and fault counts\n"
       "  emit  <circuit> [out.bench]  write the netlist\n"
@@ -173,33 +180,63 @@ int usage() {
       "  flow  <circuit>              full weighted-BIST flow (Table-6 row)\n"
       "  synth <circuit> [out.bench]  emit the Figure-1 generator netlist\n"
       "  obs   <circuit>              observation-point tradeoff\n"
-      "a circuit is a registry name (see `list`) or a .bench file path\n",
+      "a circuit is a registry name (see `list`) or a .bench file path;\n"
+      "--metrics-json dumps the run-metrics registry (see EXPERIMENTS.md)\n",
       stderr);
   return 2;
+}
+
+int dispatch(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  if (cmd == "list") return cmd_list();
+  if (args.size() < 2) return usage();
+  const std::string& name = args[1];
+  const std::string arg3 = args.size() > 2 ? args[2] : "";
+  if (cmd == "info") return cmd_info(name);
+  if (cmd == "emit")
+    return cmd_emit(name, arg3.empty() ? name + ".bench" : arg3);
+  if (cmd == "tgen")
+    return cmd_tgen(name, arg3.empty() ? name + ".seq" : arg3);
+  if (cmd == "flow") return cmd_flow(name);
+  if (cmd == "synth")
+    return cmd_synth(name, arg3.empty() ? name + "_bist.bench" : arg3);
+  if (cmd == "obs") return cmd_obs(name);
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Strip the position-independent --metrics-json option before dispatch.
+  std::vector<std::string> args;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wbist: --metrics-json needs a path\n");
+        return 2;
+      }
+      metrics_path = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+
+  int rc;
   try {
-    if (cmd == "list") return cmd_list();
-    if (argc < 3) return usage();
-    const std::string name = argv[2];
-    const std::string arg3 = argc > 3 ? argv[3] : "";
-    if (cmd == "info") return cmd_info(name);
-    if (cmd == "emit")
-      return cmd_emit(name, arg3.empty() ? name + ".bench" : arg3);
-    if (cmd == "tgen")
-      return cmd_tgen(name, arg3.empty() ? name + ".seq" : arg3);
-    if (cmd == "flow") return cmd_flow(name);
-    if (cmd == "synth")
-      return cmd_synth(name, arg3.empty() ? name + "_bist.bench" : arg3);
-    if (cmd == "obs") return cmd_obs(name);
+    rc = dispatch(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wbist: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (!metrics_path.empty() && rc != 2) {
+    try {
+      wbist::util::metrics().write_json(metrics_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wbist: %s\n", e.what());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
