@@ -11,6 +11,7 @@
 #include "core/generator_hw.h"
 #include "netlist/bench_io.h"
 #include "sim/good_sim.h"
+#include "util/out_dir.h"
 #include "util/table.h"
 
 using namespace wbist;
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
               mismatches == 0 ? "PASS" : "FAIL");
 
   // Emit the netlist for inspection.
-  const std::string path = "generator_" + name + ".bench";
+  const std::string path = util::out_path("generator_" + name + ".bench");
   netlist::write_bench_file(hw.netlist, path);
   std::printf("generator netlist written to %s\n", path.c_str());
   return mismatches == 0 ? 0 : 1;

@@ -22,6 +22,7 @@
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
 #include "sim/good_sim.h"
+#include "util/out_dir.h"
 
 int main(int argc, char** argv) {
   using namespace wbist;
@@ -47,14 +48,14 @@ int main(int argc, char** argv) {
               "%zu cycles\n",
               hw.fsms.fsm_count(), hw.fsms.output_count(), hw.session_length);
 
-  netlist::write_bench_file(circuit, name + "_cut.bench");
-  netlist::write_bench_file(hw.netlist, name + "_bist.bench");
-  std::printf("wrote %s_cut.bench and %s_bist.bench\n", name.c_str(),
-              name.c_str());
+  const std::string cut_path = util::out_path(name + "_cut.bench");
+  const std::string bist_path = util::out_path(name + "_bist.bench");
+  netlist::write_bench_file(circuit, cut_path);
+  netlist::write_bench_file(hw.netlist, bist_path);
+  std::printf("wrote %s and %s\n", cut_path.c_str(), bist_path.c_str());
 
   // Cycle-accurate sign-off check on the emitted netlist.
-  const netlist::Netlist reloaded =
-      netlist::read_bench_file(name + "_bist.bench");
+  const netlist::Netlist reloaded = netlist::read_bench_file(bist_path);
   sim::GoodSimulator gen(reloaded);
   gen.step(std::vector<sim::Val3>{sim::Val3::kOne});  // reset pulse
   std::size_t mismatches = 0;

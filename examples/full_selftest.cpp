@@ -16,6 +16,7 @@
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
 #include "sim/good_sim.h"
+#include "util/out_dir.h"
 
 int main(int argc, char** argv) {
   using namespace wbist;
@@ -55,9 +56,9 @@ int main(int argc, char** argv) {
   std::printf("  healthy run: signature 0x%08x -> %s\n", sig,
               binary && sig == st.expected_signature ? "PASS" : "FAIL");
 
-  netlist::write_bench_file(st.netlist, name + "_selftest.bench");
-  std::printf("  wrote %s_selftest.bench (%zu gates, %zu flip-flops)\n",
-              name.c_str(), st.netlist.stats().logic_gates,
-              st.netlist.stats().flip_flops);
+  const std::string path = util::out_path(name + "_selftest.bench");
+  netlist::write_bench_file(st.netlist, path);
+  std::printf("  wrote %s (%zu gates, %zu flip-flops)\n", path.c_str(),
+              st.netlist.stats().logic_gates, st.netlist.stats().flip_flops);
   return binary && sig == st.expected_signature ? 0 : 1;
 }

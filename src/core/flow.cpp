@@ -33,8 +33,13 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
     flow.sequence = std::move(comp.sequence);
     flow.detection_time = std::move(comp.detection_time);
   }
-  for (const std::int32_t t : flow.detection_time)
-    if (t != DetectionResult::kUndetected) ++flow.t_detected;
+  const fault::FaultSet& fault_set = sim.fault_set();
+  flow.uncollapsed_total = fault_set.uncollapsed_size();
+  for (FaultId f = 0; f < flow.detection_time.size(); ++f) {
+    if (flow.detection_time[f] == DetectionResult::kUndetected) continue;
+    ++flow.t_detected;
+    flow.uncollapsed_detected += fault_set.represented_size(f);
+  }
 
   // 3. Weight-assignment selection (Section 4.2). select_weight_assignments
   // times itself under "procedure".

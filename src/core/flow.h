@@ -32,6 +32,21 @@ struct FlowResult {
   std::vector<std::int32_t> detection_time;
   std::size_t t_detected = 0;
 
+  /// T's detection expanded over the uncollapsed fault universe: every
+  /// detected fault counts its whole equivalence class plus any absorbed
+  /// dominator classes (FaultSet::represented_size). A collapsed-list run
+  /// thereby reports coverage over the full list; under dominance
+  /// collapsing the expansion is a sound lower bound.
+  std::size_t uncollapsed_detected = 0;
+  std::size_t uncollapsed_total = 0;
+
+  double uncollapsed_coverage() const {
+    return uncollapsed_total == 0
+               ? 1.0
+               : static_cast<double>(uncollapsed_detected) /
+                     static_cast<double>(uncollapsed_total);
+  }
+
   ProcedureResult procedure;   ///< Ω before pruning, S, statistics
   ReverseSimResult pruned;     ///< Ω after reverse-order simulation
   FsmSynthesisResult fsms;     ///< FSMs for the pruned Ω

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cstring>
 #include <stdexcept>
 
 #include "sim/good_sim.h"
+#include "sim/word_block.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -20,31 +22,37 @@ using sim::TestSequence;
 using sim::Val3;
 using sim::Word3;
 
-namespace {
-
-struct Injection {
-  NodeId node;
-  std::int16_t pin;  // kStemPin for output-stem injection
-  bool sa1;
-  std::uint64_t mask;
-};
-
-}  // namespace
-
-/// One word of up to 64 faulty machines simulated together.
+/// One block of up to 64 * kernel.words faulty machines simulated together.
+/// Lane l lives at bit (l % 64) of plane word (l / 64).
 struct FaultSimulator::Group {
-  std::array<FaultId, 64> ids{};
-  std::array<std::uint32_t, 64> result_index{};  // lane -> position in `ids` span
+  std::vector<FaultId> ids;
+  std::vector<std::uint32_t> result_index;  // lane -> position in `ids` span
   unsigned count = 0;
-  std::uint64_t active = 0;
+  std::array<std::uint64_t, sim::kMaxBlockWords> active{};
 
-  std::vector<Injection> source;  // PI / DFF-output stem faults
-  std::vector<Injection> latch;   // DFF D-pin faults
-  std::vector<Injection> gate;    // logic-gate stem and pin faults
+  std::vector<sim::Injection> source;  // PI / DFF-output stem faults
+  std::vector<sim::Injection> latch;   // DFF D-pin faults
+  std::vector<sim::Injection> gate;    // logic-gate stem and pin faults
+
+  bool any_active(unsigned words) const {
+    for (unsigned w = 0; w < words; ++w)
+      if (active[w] != 0) return true;
+    return false;
+  }
+
+  std::uint64_t active_lanes(unsigned words) const {
+    std::uint64_t n = 0;
+    for (unsigned w = 0; w < words; ++w)
+      n += static_cast<std::uint64_t>(std::popcount(active[w]));
+    return n;
+  }
 };
 
-FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults)
-    : nl_(&nl), faults_(&faults) {
+FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults,
+                               const sim::Kernel* kernel)
+    : nl_(&nl),
+      faults_(&faults),
+      kernel_(kernel != nullptr ? kernel : &sim::active_kernel()) {
   if (!nl.finalized())
     throw std::invalid_argument("fault_sim: netlist not finalized");
   gates_.reserve(nl.eval_order().size());
@@ -53,6 +61,7 @@ FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults)
     gates_.push_back({id, n.type, static_cast<std::uint32_t>(flat_fanin_.size()),
                       static_cast<std::uint32_t>(n.fanin.size())});
     flat_fanin_.insert(flat_fanin_.end(), n.fanin.begin(), n.fanin.end());
+    max_fanin_ = std::max(max_fanin_, n.fanin.size());
   }
   ff_index_.assign(nl.node_count(), 0);
   const auto ffs = nl.flip_flops();
@@ -71,19 +80,26 @@ util::WorkerPool& FaultSimulator::pool(unsigned thread_count) const {
 
 std::vector<FaultSimulator::Group> FaultSimulator::pack_groups(
     std::span<const FaultId> ids) const {
+  const unsigned lanes_per_group = 64 * kernel_->words;
   std::vector<Group> groups;
-  groups.reserve((ids.size() + 63) / 64);
+  groups.reserve((ids.size() + lanes_per_group - 1) / lanes_per_group);
   for (std::size_t pos = 0; pos < ids.size(); ++pos) {
-    if (pos % 64 == 0) groups.emplace_back();
+    if (pos % lanes_per_group == 0) {
+      groups.emplace_back();
+      groups.back().ids.reserve(lanes_per_group);
+      groups.back().result_index.reserve(lanes_per_group);
+    }
     Group& g = groups.back();
     const unsigned lane = g.count++;
-    g.ids[lane] = ids[pos];
-    g.result_index[lane] = static_cast<std::uint32_t>(pos);
-    g.active |= std::uint64_t{1} << lane;
+    const std::uint16_t word = static_cast<std::uint16_t>(lane / 64);
+    const std::uint64_t mask = std::uint64_t{1} << (lane % 64);
+    g.ids.push_back(ids[pos]);
+    g.result_index.push_back(static_cast<std::uint32_t>(pos));
+    g.active[word] |= mask;
 
     const Fault& f = (*faults_)[ids[pos]];
     const Node& n = nl_->node(f.node);
-    const Injection inj{f.node, f.pin, f.stuck_at_one, std::uint64_t{1} << lane};
+    const sim::Injection inj{f.node, f.pin, f.stuck_at_one, word, mask};
     if (f.pin == kStemPin) {
       if (n.type == GateType::kInput || n.type == GateType::kDff)
         g.source.push_back(inj);
@@ -101,126 +117,55 @@ std::vector<FaultSimulator::Group> FaultSimulator::pack_groups(
 
 namespace {
 
-/// Scratch per-node chain of gate injections for the group being simulated.
-/// head_[node] is an index into links_, or -1. Building and tearing down
-/// touches only the injected nodes, so reuse across groups is O(#injections).
-class InjectionIndex {
- public:
-  explicit InjectionIndex(std::size_t node_count) : head_(node_count, -1) {}
-
-  void attach(const std::vector<Injection>& injections) {
-    for (const Injection& inj : injections) {
-      links_.push_back({inj, head_[inj.node]});
-      head_[inj.node] = static_cast<std::int32_t>(links_.size()) - 1;
-      touched_.push_back(inj.node);
-    }
+/// Widen one broadcast Word3 into a slot of `words` plane words.
+inline void splat(std::uint64_t* slot, unsigned words, Word3 w) {
+  for (unsigned k = 0; k < words; ++k) {
+    slot[k] = w.one;
+    slot[words + k] = w.zero;
   }
-
-  void detach() {
-    for (NodeId n : touched_) head_[n] = -1;
-    touched_.clear();
-    links_.clear();
-  }
-
-  std::int32_t head(NodeId node) const { return head_[node]; }
-  const Injection& injection(std::int32_t link) const {
-    return links_[static_cast<std::size_t>(link)].first;
-  }
-  std::int32_t next(std::int32_t link) const {
-    return links_[static_cast<std::size_t>(link)].second;
-  }
-
- private:
-  std::vector<std::int32_t> head_;
-  std::vector<std::pair<Injection, std::int32_t>> links_;
-  std::vector<NodeId> touched_;
-};
-
-Word3 fold(GateType type, std::span<const Word3> in) {
-  return sim::eval_gate(type, in);
 }
 
-/// Per-thread scratch for one simulated group: node values, flip-flop state
-/// planes, fanin staging and the injection chain index. One instance per
-/// worker rank; reused across every group that rank simulates.
+/// Stuck-at injection on one plane word of a slot.
+inline void force_slot(std::uint64_t* slot, unsigned words, unsigned word,
+                       std::uint64_t mask, bool sa1) {
+  if (sa1) {
+    slot[word] |= mask;
+    slot[words + word] &= ~mask;
+  } else {
+    slot[word] &= ~mask;
+    slot[words + word] |= mask;
+  }
+}
+
+/// Extract machine `lane` of a slot as a scalar value.
+inline Val3 lane_val(const std::uint64_t* slot, unsigned words,
+                     unsigned lane) {
+  const Word3 w{slot[lane / 64], slot[words + lane / 64]};
+  return sim::lane(w, lane % 64);
+}
+
+/// Per-thread scratch for one simulated group: node value planes, flip-flop
+/// state planes, fanin staging and the injection chain index. One instance
+/// per worker rank; reused across every group that rank simulates. All
+/// buffers are flat plane arrays with `stride` words per value slot.
 struct GroupScratch {
-  std::vector<Word3> vals;
-  std::vector<Word3> state;
-  std::vector<Word3> next_state;
-  std::vector<Word3> fanin_buf;
-  InjectionIndex inj_index;
+  std::vector<std::uint64_t> vals;
+  std::vector<std::uint64_t> state;
+  std::vector<std::uint64_t> next_state;
+  std::vector<std::uint64_t> fanin_buf;
+  sim::InjectionIndex inj_index;
 
-  GroupScratch(std::size_t node_count, std::size_t ff_count)
-      : vals(node_count),
-        state(ff_count),
-        next_state(ff_count),
+  GroupScratch(std::size_t node_count, std::size_t ff_count,
+               std::size_t stride, std::size_t max_fanin)
+      : vals(node_count * stride),
+        state(ff_count * stride),
+        next_state(ff_count * stride),
+        fanin_buf(max_fanin * stride),
         inj_index(node_count) {}
-};
 
-/// Evaluate the flattened combinational core once, in topological order,
-/// with the group's gate injections applied. The no-injection fast path
-/// folds fanin values in place; only injected gates stage a fanin copy.
-void eval_core(std::span<const GateRec> gates, const NodeId* flat_fanin,
-               const InjectionIndex& inj_index, std::vector<Word3>& vals,
-               std::vector<Word3>& fanin_buf) {
-  for (const GateRec& g : gates) {
-    const std::span<const NodeId> fanin{flat_fanin + g.fanin_begin,
-                                        g.fanin_count};
-    const std::int32_t head = inj_index.head(g.id);
-    Word3 out;
-    if (head < 0) [[likely]] {
-      switch (g.type) {
-        case GateType::kBuf:
-          out = vals[fanin[0]];
-          break;
-        case GateType::kNot:
-          out = sim::not3(vals[fanin[0]]);
-          break;
-        case GateType::kAnd:
-        case GateType::kNand: {
-          Word3 acc = vals[fanin[0]];
-          for (std::size_t k = 1; k < fanin.size(); ++k)
-            acc = sim::and3(acc, vals[fanin[k]]);
-          out = g.type == GateType::kNand ? sim::not3(acc) : acc;
-          break;
-        }
-        case GateType::kOr:
-        case GateType::kNor: {
-          Word3 acc = vals[fanin[0]];
-          for (std::size_t k = 1; k < fanin.size(); ++k)
-            acc = sim::or3(acc, vals[fanin[k]]);
-          out = g.type == GateType::kNor ? sim::not3(acc) : acc;
-          break;
-        }
-        default: {
-          Word3 acc = vals[fanin[0]];
-          for (std::size_t k = 1; k < fanin.size(); ++k)
-            acc = sim::xor3(acc, vals[fanin[k]]);
-          out = g.type == GateType::kXnor ? sim::not3(acc) : acc;
-          break;
-        }
-      }
-    } else {
-      // Slow path: apply pin injections on a copy of the fanin values,
-      // then stem injections on the gate output.
-      fanin_buf.assign(fanin.size(), Word3{});
-      for (std::size_t k = 0; k < fanin.size(); ++k)
-        fanin_buf[k] = vals[fanin[k]];
-      for (std::int32_t link = head; link >= 0; link = inj_index.next(link)) {
-        const Injection& inj = inj_index.injection(link);
-        if (inj.pin != kStemPin)
-          fanin_buf[static_cast<std::size_t>(inj.pin)] = sim::force(
-              fanin_buf[static_cast<std::size_t>(inj.pin)], inj.mask, inj.sa1);
-      }
-      out = fold(g.type, fanin_buf);
-      for (std::int32_t link = head; link >= 0; link = inj_index.next(link)) {
-        const Injection& inj = inj_index.injection(link);
-        if (inj.pin == kStemPin) out = sim::force(out, inj.mask, inj.sa1);
-      }
-    }
-    vals[g.id] = out;
-  }
-}
+  /// All-X state: both planes all-ones.
+  void reset_state() { std::fill(state.begin(), state.end(), ~std::uint64_t{0}); }
+};
 
 }  // namespace
 
@@ -293,6 +238,8 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
   const std::size_t length = std::min(trace.length, options.max_time_units);
   const std::size_t n_obs = trace.observed.size();
   const NodeId* observed = trace.observed.data();
+  const unsigned words = kernel_->words;
+  const std::size_t stride = sim::block_stride(words);
 
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
@@ -306,50 +253,60 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
 
   const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
     Group& group = groups[gi];
-    std::vector<Word3>& vals = s.vals;
+    std::uint64_t* vals = s.vals.data();
     s.inj_index.attach(group.gate);
-    for (Word3& w : s.state) w = broadcast(Val3::kX);
+    s.reset_state();
 
     std::uint32_t local_detected = 0;
     std::uint64_t local_cycles = 0;
     std::uint64_t local_fault_cycles = 0;
-    for (std::size_t u = 0; u < length && group.active != 0; ++u) {
+    for (std::size_t u = 0; u < length && group.any_active(words); ++u) {
       ++local_cycles;
-      local_fault_cycles +=
-          static_cast<std::uint64_t>(std::popcount(group.active));
+      local_fault_cycles += group.active_lanes(words);
       // Load sources and apply source (PI / DFF output) stem faults.
       for (std::size_t i = 0; i < pis.size(); ++i)
-        vals[pis[i]] = trace.pi_words[u * pis.size() + i];
-      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = s.state[i];
-      for (const Injection& inj : group.source)
-        vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+        splat(vals + pis[i] * stride, words, trace.pi_words[u * pis.size() + i]);
+      for (std::size_t i = 0; i < ffs.size(); ++i)
+        std::memcpy(vals + ffs[i] * stride, s.state.data() + i * stride,
+                    stride * sizeof(std::uint64_t));
+      for (const sim::Injection& inj : group.source)
+        force_slot(vals + inj.node * stride, words, inj.word, inj.mask,
+                   inj.sa1);
 
-      eval_core(gates_, flat_fanin_.data(), s.inj_index, vals, s.fanin_buf);
+      kernel_->eval_core(gates_, flat_fanin_.data(), s.inj_index, vals,
+                         s.fanin_buf.data());
 
       // Detection at observed lines.
-      std::uint64_t detected = 0;
+      std::array<std::uint64_t, sim::kMaxBlockWords> detected{};
       for (std::size_t k = 0; k < n_obs; ++k) {
         const Word3 g = trace.good_obs[u * n_obs + k];
-        const Word3 f = vals[observed[k]];
-        detected |= (f.one ^ f.zero) & (g.one ^ g.zero) & (f.one ^ g.one);
+        const std::uint64_t g_binary = g.one ^ g.zero;
+        const std::uint64_t* f = vals + observed[k] * stride;
+        for (unsigned w = 0; w < words; ++w)
+          detected[w] |=
+              (f[w] ^ f[words + w]) & g_binary & (f[w] ^ g.one);
       }
-      detected &= group.active;
-      while (detected != 0) {
-        const unsigned lane = static_cast<unsigned>(std::countr_zero(detected));
-        detected &= detected - 1;
-        group.active &= ~(std::uint64_t{1} << lane);
-        result.detection_time[group.result_index[lane]] =
-            static_cast<std::int32_t>(u);
-        ++local_detected;
+      for (unsigned w = 0; w < words; ++w) {
+        std::uint64_t d = detected[w] & group.active[w];
+        while (d != 0) {
+          const unsigned bit = static_cast<unsigned>(std::countr_zero(d));
+          d &= d - 1;
+          group.active[w] &= ~(std::uint64_t{1} << bit);
+          result.detection_time[group.result_index[w * 64 + bit]] =
+              static_cast<std::int32_t>(u);
+          ++local_detected;
+        }
       }
-      if (group.active == 0) break;
+      if (!group.any_active(words)) break;
 
       // Latch flip-flops, applying D-pin faults.
       for (std::size_t i = 0; i < ffs.size(); ++i)
-        s.next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
-      for (const Injection& inj : group.latch)
-        s.next_state[ff_index_[inj.node]] =
-            sim::force(s.next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+        std::memcpy(s.next_state.data() + i * stride,
+                    vals + nl_->node(ffs[i]).fanin[0] * stride,
+                    stride * sizeof(std::uint64_t));
+      for (const sim::Injection& inj : group.latch)
+        force_slot(s.next_state.data() + ff_index_[inj.node] * stride, words,
+                   inj.word, inj.mask, inj.sa1);
       s.state.swap(s.next_state);
     }
 
@@ -362,7 +319,7 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
   const unsigned n_threads = static_cast<unsigned>(std::min<std::size_t>(
       util::WorkerPool::resolve(options.threads), groups.size()));
   if (n_threads <= 1) {
-    GroupScratch scratch(nl_->node_count(), ffs.size());
+    GroupScratch scratch(nl_->node_count(), ffs.size(), stride, max_fanin_);
     for (std::size_t gi = 0; gi < groups.size(); ++gi)
       simulate_group(gi, scratch);
   } else {
@@ -372,9 +329,9 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
     std::vector<GroupScratch> scratch;
     scratch.reserve(wp.size());
     for (unsigned r = 0; r < wp.size(); ++r)
-      scratch.emplace_back(nl_->node_count(), ffs.size());
+      scratch.emplace_back(nl_->node_count(), ffs.size(), stride, max_fanin_);
     // Per-rank busy time, timed at group granularity (one clock pair per
-    // 64-fault group, invisible next to the group's simulation cost).
+    // fault group, invisible next to the group's simulation cost).
     std::vector<std::uint64_t> busy_ns(wp.size(), 0);
     const util::Timer parallel_wall;
     wp.parallel_for(groups.size(), [&](std::size_t gi, unsigned rank) {
@@ -430,6 +387,8 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
   if (seq.width() != pis.size())
     throw std::invalid_argument("fault_sim: sequence width != #inputs");
 
+  const unsigned words = kernel_->words;
+  const std::size_t stride = sim::block_stride(words);
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
 
@@ -440,32 +399,38 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
 
   const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
     Group& group = groups[gi];
-    std::vector<Word3>& vals = s.vals;
+    std::uint64_t* vals = s.vals.data();
     s.inj_index.attach(group.gate);
-    for (Word3& w : s.state) w = broadcast(Val3::kX);
+    s.reset_state();
 
     for (std::size_t u = 0; u < seq.length(); ++u) {
       for (std::size_t i = 0; i < pis.size(); ++i)
-        vals[pis[i]] = pi_words[u * pis.size() + i];
-      for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = s.state[i];
-      for (const Injection& inj : group.source)
-        vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+        splat(vals + pis[i] * stride, words, pi_words[u * pis.size() + i]);
+      for (std::size_t i = 0; i < ffs.size(); ++i)
+        std::memcpy(vals + ffs[i] * stride, s.state.data() + i * stride,
+                    stride * sizeof(std::uint64_t));
+      for (const sim::Injection& inj : group.source)
+        force_slot(vals + inj.node * stride, words, inj.word, inj.mask,
+                   inj.sa1);
 
-      eval_core(gates_, flat_fanin_.data(), s.inj_index, vals, s.fanin_buf);
+      kernel_->eval_core(gates_, flat_fanin_.data(), s.inj_index, vals,
+                         s.fanin_buf.data());
 
       if (u + 1 == seq.length()) {
         for (unsigned lane = 0; lane < group.count; ++lane)
           for (std::size_t n = 0; n < nodes.size(); ++n)
             result[group.result_index[lane]][n] =
-                sim::lane(vals[nodes[n]], lane);
+                lane_val(vals + nodes[n] * stride, words, lane);
         break;
       }
 
       for (std::size_t i = 0; i < ffs.size(); ++i)
-        s.next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
-      for (const Injection& inj : group.latch)
-        s.next_state[ff_index_[inj.node]] =
-            sim::force(s.next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+        std::memcpy(s.next_state.data() + i * stride,
+                    vals + nl_->node(ffs[i]).fanin[0] * stride,
+                    stride * sizeof(std::uint64_t));
+      for (const sim::Injection& inj : group.latch)
+        force_slot(s.next_state.data() + ff_index_[inj.node] * stride, words,
+                   inj.word, inj.mask, inj.sa1);
       s.state.swap(s.next_state);
     }
 
@@ -475,7 +440,7 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
   const unsigned n_threads = static_cast<unsigned>(std::min<std::size_t>(
       util::WorkerPool::resolve(threads), groups.size()));
   if (n_threads <= 1) {
-    GroupScratch scratch(nl_->node_count(), ffs.size());
+    GroupScratch scratch(nl_->node_count(), ffs.size(), stride, max_fanin_);
     for (std::size_t gi = 0; gi < groups.size(); ++gi)
       simulate_group(gi, scratch);
   } else {
@@ -483,7 +448,7 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
     std::vector<GroupScratch> scratch;
     scratch.reserve(wp.size());
     for (unsigned r = 0; r < wp.size(); ++r)
-      scratch.emplace_back(nl_->node_count(), ffs.size());
+      scratch.emplace_back(nl_->node_count(), ffs.size(), stride, max_fanin_);
     wp.parallel_for(
         groups.size(),
         [&](std::size_t gi, unsigned rank) { simulate_group(gi, scratch[rank]); });
@@ -529,13 +494,16 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
 
   const auto pis = nl_->primary_inputs();
   const std::size_t node_count = nl_->node_count();
+  const unsigned words = kernel_->words;
+  const std::size_t stride = sim::block_stride(words);
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
 
   // Per-group persistent faulty state: time is the outer loop here because
   // the good machine's full value vector is needed each cycle.
-  std::vector<std::vector<Word3>> group_state(
-      groups.size(), std::vector<Word3>(ffs.size(), broadcast(Val3::kX)));
+  std::vector<std::vector<std::uint64_t>> group_state(
+      groups.size(),
+      std::vector<std::uint64_t>(ffs.size() * stride, ~std::uint64_t{0}));
 
   // Per-fault bitset of already-reported lines, one word-aligned stride per
   // fault so concurrent groups never share a word (O(faults x nodes) *bits*,
@@ -560,7 +528,7 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
   std::vector<GroupScratch> scratch;
   scratch.reserve(scratch_count);
   for (unsigned r = 0; r < scratch_count; ++r)
-    scratch.emplace_back(node_count, ffs.size());
+    scratch.emplace_back(node_count, ffs.size(), stride, max_fanin_);
 
   for (std::size_t u0 = 0; u0 < trace.length; u0 += kBlock) {
     const std::size_t block_len = std::min(kBlock, trace.length - u0);
@@ -575,50 +543,60 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
 
     const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
       Group& group = groups[gi];
-      std::vector<Word3>& state = group_state[gi];
-      std::vector<Word3>& vals = s.vals;
+      std::vector<std::uint64_t>& state = group_state[gi];
+      std::uint64_t* vals = s.vals.data();
       s.inj_index.attach(group.gate);
 
       for (std::size_t b = 0; b < block_len; ++b) {
         const std::size_t u = u0 + b;
         for (std::size_t i = 0; i < pis.size(); ++i)
-          vals[pis[i]] = trace.pi_words[u * pis.size() + i];
-        for (std::size_t i = 0; i < ffs.size(); ++i) vals[ffs[i]] = state[i];
-        for (const Injection& inj : group.source)
-          vals[inj.node] = sim::force(vals[inj.node], inj.mask, inj.sa1);
+          splat(vals + pis[i] * stride, words,
+                trace.pi_words[u * pis.size() + i]);
+        for (std::size_t i = 0; i < ffs.size(); ++i)
+          std::memcpy(vals + ffs[i] * stride, state.data() + i * stride,
+                      stride * sizeof(std::uint64_t));
+        for (const sim::Injection& inj : group.source)
+          force_slot(vals + inj.node * stride, words, inj.word, inj.mask,
+                     inj.sa1);
 
-        eval_core(gates_, flat_fanin_.data(), s.inj_index, vals, s.fanin_buf);
+        kernel_->eval_core(gates_, flat_fanin_.data(), s.inj_index, vals,
+                           s.fanin_buf.data());
 
         // Record every line where some lane's faulty value provably differs
         // from the good value.
         const Word3* good_vals = good_block.data() + b * node_count;
         for (NodeId node = 0; node < node_count; ++node) {
           const Word3 gv = good_vals[node];
-          const Word3 fv = vals[node];
-          std::uint64_t diff =
-              (fv.one ^ fv.zero) & (gv.one ^ gv.zero) & (fv.one ^ gv.one);
-          diff &= group.active;
-          while (diff != 0) {
-            const unsigned lane =
-                static_cast<unsigned>(std::countr_zero(diff));
-            diff &= diff - 1;
-            const std::uint32_t ri = group.result_index[lane];
-            std::uint64_t& word =
-                seen[static_cast<std::size_t>(ri) * words_per_fault +
-                     node / 64];
-            const std::uint64_t bit = std::uint64_t{1} << (node % 64);
-            if ((word & bit) == 0) {
-              word |= bit;
-              result[ri].push_back(node);
+          const std::uint64_t g_binary = gv.one ^ gv.zero;
+          const std::uint64_t* fv = vals + node * stride;
+          for (unsigned w = 0; w < words; ++w) {
+            std::uint64_t diff = (fv[w] ^ fv[words + w]) & g_binary &
+                                 (fv[w] ^ gv.one);
+            diff &= group.active[w];
+            while (diff != 0) {
+              const unsigned bit =
+                  static_cast<unsigned>(std::countr_zero(diff));
+              diff &= diff - 1;
+              const std::uint32_t ri = group.result_index[w * 64 + bit];
+              std::uint64_t& word =
+                  seen[static_cast<std::size_t>(ri) * words_per_fault +
+                       node / 64];
+              const std::uint64_t line_bit = std::uint64_t{1} << (node % 64);
+              if ((word & line_bit) == 0) {
+                word |= line_bit;
+                result[ri].push_back(node);
+              }
             }
           }
         }
 
         for (std::size_t i = 0; i < ffs.size(); ++i)
-          s.next_state[i] = vals[nl_->node(ffs[i]).fanin[0]];
-        for (const Injection& inj : group.latch)
-          s.next_state[ff_index_[inj.node]] =
-              sim::force(s.next_state[ff_index_[inj.node]], inj.mask, inj.sa1);
+          std::memcpy(s.next_state.data() + i * stride,
+                      vals + nl_->node(ffs[i]).fanin[0] * stride,
+                      stride * sizeof(std::uint64_t));
+        for (const sim::Injection& inj : group.latch)
+          force_slot(s.next_state.data() + ff_index_[inj.node] * stride,
+                     words, inj.word, inj.mask, inj.sa1);
         state.swap(s.next_state);
       }
 

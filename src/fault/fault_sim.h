@@ -9,8 +9,12 @@
 // — the standard pessimistic three-valued criterion for circuits that start
 // in the all-X state.
 //
-// Two orthogonal performance levers on top of the group packing:
+// Three orthogonal performance levers on top of the group packing:
 //
+//  * The combinational-core walk runs through a runtime-dispatched block
+//    kernel (sim/kernel.h): groups carry 64 * kernel.words faulty machines
+//    (256 with the default 4-word block), and the per-gate plane math runs
+//    through the widest backend the CPU supports (AVX2 on x86 hosts).
 //  * Fault groups are independent machines, so the group loop runs on a
 //    worker pool (`FaultSimOptions::threads`). Detection times land in
 //    per-fault result slots, which makes the output bit-identical for any
@@ -31,6 +35,7 @@
 #include "fault/fault.h"
 #include "fault/fault_list.h"
 #include "netlist/netlist.h"
+#include "sim/kernel.h"
 #include "sim/logic.h"
 #include "sim/sequence.h"
 #include "util/worker_pool.h"
@@ -79,24 +84,18 @@ struct DetectionResult {
   }
 };
 
-/// One gate of the flattened combinational core in evaluation order
-/// (cache-friendly walk; exposed for the file-local evaluation kernel).
-struct GateRec {
-  netlist::NodeId id;
-  netlist::GateType type;
-  std::uint32_t fanin_begin;
-  std::uint32_t fanin_count;
-};
-
 class FaultSimulator {
  public:
-  /// Both `nl` and `faults` must outlive the simulator.
+  /// Both `nl` and `faults` must outlive the simulator. `kernel` selects the
+  /// evaluation backend (nullptr = sim::active_kernel(); see sim/kernel.h
+  /// for the environment overrides). All backends are bit-identical.
   ///
   /// Thread-safety: the simulator parallelizes *internally* (across fault
   /// groups) but its methods must not be called concurrently on the same
   /// instance — they share one lazily grown worker pool. Use one
   /// FaultSimulator per calling thread instead.
-  FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults);
+  FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults,
+                 const sim::Kernel* kernel = nullptr);
 
   FaultSimulator(const FaultSimulator&) = delete;
   FaultSimulator& operator=(const FaultSimulator&) = delete;
@@ -163,6 +162,10 @@ class FaultSimulator {
   const netlist::Netlist& circuit() const { return *nl_; }
   const FaultSet& fault_set() const { return *faults_; }
 
+  /// The evaluation backend this simulator dispatches to. Groups carry
+  /// 64 * kernel().words faulty machines each.
+  const sim::Kernel& kernel() const { return *kernel_; }
+
  private:
   struct Group;
 
@@ -178,10 +181,12 @@ class FaultSimulator {
 
   const netlist::Netlist* nl_;
   const FaultSet* faults_;
+  const sim::Kernel* kernel_;
 
-  std::vector<GateRec> gates_;  // combinational core in evaluation order
+  std::vector<sim::GateRec> gates_;  // combinational core in evaluation order
   std::vector<netlist::NodeId> flat_fanin_;
   std::vector<std::uint32_t> ff_index_;  // NodeId -> index in flip_flops()
+  std::size_t max_fanin_ = 1;  // fanin-staging width for injected gates
 
   mutable std::atomic<std::size_t> good_sim_runs_{0};
   mutable std::mutex pool_mu_;

@@ -1,6 +1,8 @@
 #include "sim/good_sim.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 
 namespace wbist::sim {
 
@@ -8,9 +10,27 @@ using netlist::Netlist;
 using netlist::Node;
 using netlist::NodeId;
 
-GoodSimulator::GoodSimulator(const Netlist& nl) : nl_(&nl) {
+// values_ doubles as the width-1 kernel's flat plane buffer: a Word3 is two
+// contiguous 64-bit planes, exactly one value slot at block width 1.
+static_assert(std::is_standard_layout_v<Word3> &&
+              sizeof(Word3) == 2 * sizeof(std::uint64_t));
+
+GoodSimulator::GoodSimulator(const Netlist& nl)
+    : nl_(&nl),
+      kernel_(find_kernel("generic-w1")),
+      inj_index_(nl.node_count()) {
   if (!nl.finalized())
     throw std::invalid_argument("good_sim: netlist not finalized");
+  gates_.reserve(nl.eval_order().size());
+  std::size_t max_fanin = 1;
+  for (NodeId id : nl.eval_order()) {
+    const Node& n = nl.node(id);
+    gates_.push_back({id, n.type, static_cast<std::uint32_t>(flat_fanin_.size()),
+                      static_cast<std::uint32_t>(n.fanin.size())});
+    flat_fanin_.insert(flat_fanin_.end(), n.fanin.begin(), n.fanin.end());
+    max_fanin = std::max(max_fanin, n.fanin.size());
+  }
+  fanin_buf_.resize(max_fanin);
   values_.resize(nl.node_count());
   next_state_.resize(nl.flip_flops().size());
   reset();
@@ -31,13 +51,9 @@ void GoodSimulator::step(std::span<const Val3> pi_values) {
   const auto ffs = nl_->flip_flops();
   for (std::size_t i = 0; i < ffs.size(); ++i) values_[ffs[i]] = next_state_[i];
 
-  std::vector<Word3> fanin_buf;
-  for (NodeId id : nl_->eval_order()) {
-    const Node& n = nl_->node(id);
-    fanin_buf.clear();
-    for (NodeId f : n.fanin) fanin_buf.push_back(values_[f]);
-    values_[id] = eval_gate(n.type, fanin_buf);
-  }
+  kernel_->eval_core(gates_, flat_fanin_.data(), inj_index_,
+                     reinterpret_cast<std::uint64_t*>(values_.data()),
+                     reinterpret_cast<std::uint64_t*>(fanin_buf_.data()));
 
   for (std::size_t i = 0; i < ffs.size(); ++i)
     next_state_[i] = values_[nl_->node(ffs[i]).fanin[0]];

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "sim/kernel.h"
 #include "sim/logic.h"
 #include "sim/sequence.h"
 
@@ -50,6 +51,14 @@ class GoodSimulator {
 
  private:
   const netlist::Netlist* nl_;
+  // The combinational core is walked through the shared width-1 evaluation
+  // kernel (sim/kernel.h): a Word3 is exactly a 1-word block, so values_
+  // doubles as the kernel's flat plane buffer.
+  const Kernel* kernel_;
+  std::vector<GateRec> gates_;  // combinational core in evaluation order
+  std::vector<netlist::NodeId> flat_fanin_;
+  InjectionIndex inj_index_;       // always empty: the good machine
+  std::vector<Word3> fanin_buf_;   // staging (unused while inj_index_ empty)
   std::vector<Word3> values_;      // per node, lane 0 meaningful
   std::vector<Word3> next_state_;  // per flip-flop, latched at end of step
 };

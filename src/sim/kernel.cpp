@@ -1,0 +1,82 @@
+#include "sim/kernel.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/kernel_impl.h"
+
+namespace wbist::sim {
+
+namespace {
+
+bool cpu_supports_avx2() {
+#if defined(WBIST_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Generic-backend block width from WBIST_KERNEL_WORDS (1, 2 or 4);
+/// anything absent or invalid resolves to the full width 4.
+unsigned generic_words_from_env() {
+  const char* v = std::getenv("WBIST_KERNEL_WORDS");
+  if (v == nullptr) return 4;
+  if (std::strcmp(v, "1") == 0) return 1;
+  if (std::strcmp(v, "2") == 0) return 2;
+  return 4;
+}
+
+bool force_generic_from_env() {
+  const char* v = std::getenv("WBIST_FORCE_GENERIC_KERNEL");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::vector<Kernel> build_kernels() {
+  std::vector<Kernel> ks;
+  if (cpu_supports_avx2())
+    ks.push_back({"avx2", 4,
+#if defined(WBIST_HAVE_AVX2)
+                  &detail::eval_core_avx2
+#else
+                  nullptr  // unreachable: cpu_supports_avx2() is false
+#endif
+    });
+  ks.push_back({"generic-w4", 4, &detail::eval_core_block<4>});
+  ks.push_back({"generic-w2", 2, &detail::eval_core_block<2>});
+  ks.push_back({"generic-w1", 1, &detail::eval_core_block<1>});
+  return ks;
+}
+
+const std::vector<Kernel>& kernel_table() {
+  static const std::vector<Kernel> table = build_kernels();
+  return table;
+}
+
+const Kernel& resolve_active() {
+  const std::vector<Kernel>& table = kernel_table();
+  if (force_generic_from_env()) {
+    const unsigned words = generic_words_from_env();
+    for (const Kernel& k : table)
+      if (k.words == words && std::strncmp(k.name, "generic", 7) == 0)
+        return k;
+  }
+  return table.front();  // widest ISA backend first, else generic-w4
+}
+
+}  // namespace
+
+std::span<const Kernel> kernels() { return kernel_table(); }
+
+const Kernel& active_kernel() {
+  static const Kernel& active = resolve_active();
+  return active;
+}
+
+const Kernel* find_kernel(std::string_view name) {
+  for (const Kernel& k : kernel_table())
+    if (name == k.name) return &k;
+  return nullptr;
+}
+
+}  // namespace wbist::sim

@@ -1,0 +1,128 @@
+// Runtime-dispatched combinational-core evaluation kernels.
+//
+// Every simulation path in the system (good machine, parallel-fault groups,
+// reverse-order pruning, observation-point selection) bottoms out in the
+// same inner loop: walk the flattened combinational core in topological
+// order and evaluate each gate over three-valued plane words. This header
+// type-erases that loop behind a small function-pointer table so the width
+// of the SIMD block (N x 64 lanes) and the instruction set used to process
+// it are a *runtime* choice:
+//
+//   - "generic" backends evaluate Word3Block<N> with plain 64-bit ops for
+//     N in {1, 2, 4}; the compiler is free to autovectorize them at the
+//     build's baseline ISA. N = 1 is the original scalar Word3 path.
+//   - the "avx2" backend (x86-64 builds with -mavx2 support) processes the
+//     4-word block as one 256-bit vector per plane and is selected by CPUID
+//     at startup.
+//
+// Selection: kernels() lists every backend compiled in; active_kernel()
+// picks the widest ISA-specific backend the CPU supports, unless the
+// environment overrides it:
+//
+//   WBIST_FORCE_GENERIC_KERNEL=1   force the generic backend (CI uses this
+//                                  to fuzz both code paths on AVX2 hosts)
+//   WBIST_KERNEL_WORDS=N           block width for the generic backend
+//                                  (1, 2 or 4; default 4)
+//
+// All backends are bit-identical by construction (lanes never interact);
+// the sim-diff fuzz campaign enforces this against the scalar oracle for
+// every backend in kernels().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/word_block.h"
+
+namespace wbist::sim {
+
+/// One gate of the flattened combinational core in evaluation order
+/// (cache-friendly walk shared by every backend).
+struct GateRec {
+  netlist::NodeId id;
+  netlist::GateType type;
+  std::uint32_t fanin_begin;
+  std::uint32_t fanin_count;
+};
+
+/// Stem/branch stuck-at injection applied inside the kernel walk. `pin` is
+/// kInjectStem for a fault on the node's output, otherwise the fanin pin
+/// index; `word`/`mask` select the faulty lanes within the block.
+inline constexpr std::int16_t kInjectStem = -1;
+
+struct Injection {
+  netlist::NodeId node;
+  std::int16_t pin;
+  bool sa1;
+  std::uint16_t word;  ///< plane word within the block (lane / 64)
+  std::uint64_t mask;  ///< lanes within that word
+};
+
+/// Scratch per-group chain of gate injections. head(node) is an index into
+/// the link list, or -1. attach()/detach() touch only the injected nodes,
+/// so reuse across groups costs O(#injections), not O(#nodes).
+class InjectionIndex {
+ public:
+  explicit InjectionIndex(std::size_t node_count) : head_(node_count, -1) {}
+
+  void attach(const std::vector<Injection>& injections) {
+    for (const Injection& inj : injections) {
+      links_.push_back({inj, head_[inj.node]});
+      head_[inj.node] = static_cast<std::int32_t>(links_.size()) - 1;
+      touched_.push_back(inj.node);
+    }
+  }
+
+  void detach() {
+    for (netlist::NodeId n : touched_) head_[n] = -1;
+    touched_.clear();
+    links_.clear();
+  }
+
+  std::int32_t head(netlist::NodeId node) const { return head_[node]; }
+  const Injection& injection(std::int32_t link) const {
+    return links_[static_cast<std::size_t>(link)].first;
+  }
+  std::int32_t next(std::int32_t link) const {
+    return links_[static_cast<std::size_t>(link)].second;
+  }
+
+ private:
+  std::vector<std::int32_t> head_;
+  std::vector<std::pair<Injection, std::int32_t>> links_;
+  std::vector<netlist::NodeId> touched_;
+};
+
+/// Evaluate the flattened combinational core once over plane buffers.
+/// `vals` holds node_count slots of 2*words plane words each (layout of
+/// Word3Block: 'one' words then 'zero' words, see word_block.h);
+/// `fanin_buf` must hold max_fanin * 2*words words of staging space for
+/// injected gates.
+using EvalCoreFn = void (*)(std::span<const GateRec> gates,
+                            const netlist::NodeId* flat_fanin,
+                            const InjectionIndex& inj_index,
+                            std::uint64_t* vals, std::uint64_t* fanin_buf);
+
+struct Kernel {
+  const char* name;  ///< "generic-w1" | "generic-w2" | "generic-w4" | "avx2"
+  unsigned words;    ///< N: 64-lane plane words per block (lanes = 64 * N)
+  EvalCoreFn eval_core;
+};
+
+/// Every backend compiled into this binary and runnable on this CPU, widest
+/// first. Always contains at least the generic widths.
+std::span<const Kernel> kernels();
+
+/// The backend FaultSimulator and GoodSimulator use by default: environment
+/// override if present, else the widest ISA-specific backend the CPU
+/// supports, else generic width 4. Resolved once per process.
+const Kernel& active_kernel();
+
+/// Lookup by name ("avx2", "generic-w2", ...); nullptr when absent.
+const Kernel* find_kernel(std::string_view name);
+
+}  // namespace wbist::sim

@@ -1,0 +1,100 @@
+// AVX2 kernel backend: the 4-word (256-lane) block is processed as one
+// 256-bit vector per plane. This translation unit is the only one compiled
+// with -mavx2; it must stay free of global initializers that execute AVX2
+// instructions, and eval_core_avx2 must only be called after the CPUID
+// check in kernel.cpp.
+//
+// Injected gates (a handful per 256-fault group) drop to the portable
+// per-word slow path — correctness-critical and cold, so they share
+// eval_injected_gate<4> with the generic backend byte for byte.
+#if defined(WBIST_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "sim/kernel_impl.h"
+
+namespace wbist::sim::detail {
+
+namespace {
+
+inline __m256i load(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+}  // namespace
+
+void eval_core_avx2(std::span<const GateRec> gates,
+                    const netlist::NodeId* flat_fanin,
+                    const InjectionIndex& inj_index, std::uint64_t* vals,
+                    std::uint64_t* fanin_buf) {
+  using netlist::GateType;
+  constexpr std::size_t kStride = 2 * 4;  // 4 'one' + 4 'zero' words
+  for (const GateRec& g : gates) {
+    const netlist::NodeId* fanin = flat_fanin + g.fanin_begin;
+    std::uint64_t* out = vals + g.id * kStride;
+    const std::int32_t head = inj_index.head(g.id);
+    if (head >= 0) [[unlikely]] {
+      eval_injected_gate<4>(g, fanin, inj_index, head, vals, out, fanin_buf);
+      continue;
+    }
+
+    const std::uint64_t* a = vals + fanin[0] * kStride;
+    __m256i one = load(a);
+    __m256i zero = load(a + 4);
+    bool negate = false;
+    switch (g.type) {
+      case GateType::kBuf:
+        break;
+      case GateType::kNot:
+        negate = true;
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+        for (std::uint32_t k = 1; k < g.fanin_count; ++k) {
+          const std::uint64_t* b = vals + fanin[k] * kStride;
+          one = _mm256_and_si256(one, load(b));
+          zero = _mm256_or_si256(zero, load(b + 4));
+        }
+        negate = g.type == GateType::kNand;
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        for (std::uint32_t k = 1; k < g.fanin_count; ++k) {
+          const std::uint64_t* b = vals + fanin[k] * kStride;
+          one = _mm256_or_si256(one, load(b));
+          zero = _mm256_and_si256(zero, load(b + 4));
+        }
+        negate = g.type == GateType::kNor;
+        break;
+      default:  // kXor / kXnor
+        for (std::uint32_t k = 1; k < g.fanin_count; ++k) {
+          const std::uint64_t* b = vals + fanin[k] * kStride;
+          const __m256i b1 = load(b);
+          const __m256i b0 = load(b + 4);
+          const __m256i next_one = _mm256_or_si256(
+              _mm256_and_si256(one, b0), _mm256_and_si256(zero, b1));
+          const __m256i next_zero = _mm256_or_si256(
+              _mm256_and_si256(one, b1), _mm256_and_si256(zero, b0));
+          one = next_one;
+          zero = next_zero;
+        }
+        negate = g.type == GateType::kXnor;
+        break;
+    }
+    if (negate) {
+      store(out, zero);
+      store(out + 4, one);
+    } else {
+      store(out, one);
+      store(out + 4, zero);
+    }
+  }
+}
+
+}  // namespace wbist::sim::detail
+
+#endif  // WBIST_HAVE_AVX2

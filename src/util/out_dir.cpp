@@ -1,0 +1,16 @@
+#include "util/out_dir.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace wbist::util {
+
+std::string out_path(const std::string& filename) {
+  const char* dir = std::getenv("WBIST_OUT_DIR");
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return (std::filesystem::path(dir) / filename).string();
+}
+
+}  // namespace wbist::util

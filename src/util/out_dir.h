@@ -1,0 +1,18 @@
+// Artifact output-directory resolution for the example and experiment
+// binaries. Tools that emit files for inspection (generator netlists,
+// synthesized BIST circuits) historically wrote into the current working
+// directory, which litters the source tree when run from a checkout. They
+// now route every artifact path through out_path().
+#pragma once
+
+#include <string>
+
+namespace wbist::util {
+
+/// Resolve an artifact filename against the WBIST_OUT_DIR environment
+/// variable. When WBIST_OUT_DIR is set and non-empty the directory is
+/// created if needed and "<dir>/<filename>" is returned; otherwise the
+/// filename is returned unchanged (current working directory).
+std::string out_path(const std::string& filename);
+
+}  // namespace wbist::util

@@ -1,0 +1,144 @@
+// Collapsing invariance of the weight-assignment procedure.
+//
+// Equivalence collapsing is exact: collapsed faults behave identically to
+// every member of their class, so for a fixed test sequence T the set of
+// detection times — and therefore the candidate stream the procedure
+// explores — is identical with or without collapsing, and the selected Ω
+// must match exactly. (This holds only with the pre-simulation sample
+// disabled: sampling draws from the remaining-fault list, whose *size*
+// differs between the universes.)
+//
+// Dominance collapsing changes the fault list but not the achievable
+// efficiency on these circuits; its coverage expansion must be a sound
+// lower bound on true uncollapsed coverage.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuits/registry.h"
+#include "circuits/synth_gen.h"
+#include "core/procedure.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "testutil.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::CollapseMode;
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+using netlist::Netlist;
+using sim::TestSequence;
+
+struct ModeRun {
+  FaultSet faults;
+  std::vector<std::int32_t> detection_time;
+  std::size_t detected = 0;
+  std::size_t expanded = 0;  // detection expanded over represented classes
+  ProcedureResult procedure;
+};
+
+ModeRun run_mode(const Netlist& nl, const TestSequence& T, CollapseMode mode,
+                 bool run_procedure) {
+  ModeRun r{FaultSet::collapsed(nl, mode), {}, 0, 0, {}};
+  const FaultSimulator sim(nl, r.faults);
+  const auto det = sim.run_all(T);
+  r.detection_time = det.detection_time;
+  r.detected = det.detected_count;
+  for (FaultId f = 0; f < r.faults.size(); ++f)
+    if (det.detection_time[f] != DetectionResult::kUndetected)
+      r.expanded += r.faults.represented_size(f);
+  if (run_procedure) {
+    ProcedureConfig cfg;
+    cfg.sequence_length = 200;
+    cfg.sample_size = 0;  // sampling depends on |remaining|; disable
+    cfg.threads = 1;
+    r.procedure = select_weight_assignments(sim, T, r.detection_time, cfg);
+  }
+  return r;
+}
+
+class CollapseInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CollapseInvariance, EquivalenceMatchesUncollapsedExactly) {
+  const Netlist nl = circuits::circuit_by_name(GetParam());
+  const TestSequence T =
+      test::random_sequence(64, nl.primary_inputs().size(), 2026);
+
+  const ModeRun none = run_mode(nl, T, CollapseMode::kNone, true);
+  const ModeRun equiv = run_mode(nl, T, CollapseMode::kEquivalence, true);
+
+  // Same universe, exact expansion: every uncollapsed fault detected by T
+  // is accounted for by exactly one detected class representative.
+  EXPECT_EQ(none.faults.uncollapsed_size(), equiv.faults.uncollapsed_size());
+  EXPECT_EQ(equiv.expanded, none.detected);
+
+  // The procedure explores the same candidate stream and must select the
+  // same weight assignments with the same fault efficiency.
+  EXPECT_DOUBLE_EQ(equiv.procedure.fault_efficiency(),
+                   none.procedure.fault_efficiency());
+  EXPECT_EQ(equiv.procedure.omega, none.procedure.omega);
+  EXPECT_EQ(equiv.procedure.sequence_length, none.procedure.sequence_length);
+}
+
+TEST_P(CollapseInvariance, DominanceKeepsFaultEfficiency) {
+  const Netlist nl = circuits::circuit_by_name(GetParam());
+  const TestSequence T =
+      test::random_sequence(64, nl.primary_inputs().size(), 2026);
+
+  const ModeRun none = run_mode(nl, T, CollapseMode::kNone, true);
+  const ModeRun dom = run_mode(nl, T, CollapseMode::kDominance, true);
+
+  EXPECT_LE(dom.faults.size(), none.faults.size());
+  EXPECT_EQ(dom.faults.uncollapsed_size(), none.faults.uncollapsed_size());
+  // Sound lower bound: expanding the collapsed detection set never claims
+  // more coverage than the uncollapsed run actually achieved.
+  EXPECT_LE(dom.expanded, none.detected);
+  EXPECT_DOUBLE_EQ(dom.procedure.fault_efficiency(),
+                   none.procedure.fault_efficiency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, CollapseInvariance,
+                         ::testing::Values("s27", "s298", "s344"));
+
+TEST(CollapseSoundness, ExpansionBoundsOnRandomCircuits) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    circuits::SynthProfile profile;
+    profile.name = "synth";
+    profile.n_pi = 6;
+    profile.n_po = 3;
+    profile.n_ff = 4;
+    profile.n_gates = 40;
+    profile.seed = seed;
+    const Netlist nl = circuits::generate_circuit(profile);
+    const TestSequence T =
+        test::random_sequence(48, nl.primary_inputs().size(), seed * 31 + 7);
+
+    const ModeRun none = run_mode(nl, T, CollapseMode::kNone, false);
+    const ModeRun equiv = run_mode(nl, T, CollapseMode::kEquivalence, false);
+    const ModeRun dom = run_mode(nl, T, CollapseMode::kDominance, false);
+
+    // Every mode partitions / absorbs the same universe completely.
+    std::size_t equiv_total = 0, dom_total = 0;
+    for (FaultId f = 0; f < equiv.faults.size(); ++f)
+      equiv_total += equiv.faults.represented_size(f);
+    for (FaultId f = 0; f < dom.faults.size(); ++f)
+      dom_total += dom.faults.represented_size(f);
+    EXPECT_EQ(equiv_total, none.faults.uncollapsed_size()) << "seed " << seed;
+    EXPECT_EQ(dom_total, none.faults.uncollapsed_size()) << "seed " << seed;
+
+    // Equivalence expansion is exact; dominance is a sound lower bound.
+    EXPECT_EQ(equiv.expanded, none.detected) << "seed " << seed;
+    EXPECT_LE(dom.expanded, none.detected) << "seed " << seed;
+
+    // class_size never exceeds represented_size.
+    for (FaultId f = 0; f < dom.faults.size(); ++f)
+      ASSERT_LE(dom.faults.class_size(f), dom.faults.represented_size(f));
+  }
+}
+
+}  // namespace
+}  // namespace wbist::core

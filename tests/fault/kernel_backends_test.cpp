@@ -1,0 +1,97 @@
+// Cross-backend bit-identity: every evaluation kernel (generic widths and
+// any ISA-specific backend compiled in) must produce exactly the same
+// detection times, observable lines and final observations. The scalar
+// width-1 generic backend is the baseline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuits/registry.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "sim/kernel.h"
+#include "testutil.h"
+
+namespace wbist::fault {
+namespace {
+
+using netlist::Netlist;
+using sim::TestSequence;
+
+TEST(KernelRegistry, GenericWidthsAlwaysPresent) {
+  ASSERT_FALSE(sim::kernels().empty());
+  for (const char* name : {"generic-w1", "generic-w2", "generic-w4"}) {
+    const sim::Kernel* k = sim::find_kernel(name);
+    ASSERT_NE(k, nullptr) << name;
+    EXPECT_STREQ(k->name, name);
+  }
+  EXPECT_EQ(sim::find_kernel("generic-w1")->words, 1u);
+  EXPECT_EQ(sim::find_kernel("generic-w2")->words, 2u);
+  EXPECT_EQ(sim::find_kernel("generic-w4")->words, 4u);
+  EXPECT_EQ(sim::find_kernel("no-such-backend"), nullptr);
+  // The active kernel is one of the listed backends.
+  const sim::Kernel& active = sim::active_kernel();
+  EXPECT_NE(sim::find_kernel(active.name), nullptr);
+}
+
+TEST(KernelBackends, IdenticalDetectionTimes) {
+  const Netlist nl = circuits::circuit_by_name("s298");
+  const FaultSet faults = FaultSet::collapsed(nl);
+  const TestSequence seq =
+      test::random_sequence(48, nl.primary_inputs().size(), 21);
+
+  const sim::Kernel* baseline = sim::find_kernel("generic-w1");
+  ASSERT_NE(baseline, nullptr);
+  const FaultSimulator ref(nl, faults, baseline);
+  const auto want = ref.run_all(seq);
+
+  for (const sim::Kernel& k : sim::kernels()) {
+    const FaultSimulator fs(nl, faults, &k);
+    EXPECT_EQ(fs.kernel().words, k.words);
+    for (const unsigned threads : {1u, 3u}) {
+      FaultSimOptions opt;
+      opt.threads = threads;
+      const auto got = fs.run(seq, faults.all_ids(), opt);
+      EXPECT_EQ(got.detection_time, want.detection_time)
+          << k.name << " threads=" << threads;
+      EXPECT_EQ(got.detected_count, want.detected_count) << k.name;
+    }
+  }
+}
+
+TEST(KernelBackends, IdenticalObservableLinesAndFinalObservation) {
+  const Netlist nl = circuits::circuit_by_name("s27");
+  const FaultSet faults = FaultSet::collapsed(nl);
+  const TestSequence seq =
+      test::random_sequence(24, nl.primary_inputs().size(), 7);
+  const std::vector<FaultId> ids = faults.all_ids();
+  std::vector<netlist::NodeId> nodes(nl.primary_outputs().begin(),
+                                     nl.primary_outputs().end());
+  nodes.insert(nodes.end(), nl.flip_flops().begin(), nl.flip_flops().end());
+
+  const FaultSimulator ref(nl, faults, sim::find_kernel("generic-w1"));
+  const auto want_lines = ref.observable_lines(seq, ids, 1);
+  const auto want_final = ref.observe_final(seq, ids, nodes, 1);
+
+  for (const sim::Kernel& k : sim::kernels()) {
+    const FaultSimulator fs(nl, faults, &k);
+    EXPECT_EQ(fs.observable_lines(seq, ids, 1), want_lines) << k.name;
+    EXPECT_EQ(fs.observe_final(seq, ids, nodes, 1), want_final) << k.name;
+  }
+}
+
+TEST(KernelBackends, WideBlocksPackMoreFaultsPerGroup) {
+  // A 4-word backend packs up to 256 faults per group: s298's collapsed
+  // list must need ceil(n/256) groups, visible through the metrics-free
+  // invariant that results still match (packing itself is covered above);
+  // here we only check the width plumbing.
+  const Netlist nl = circuits::circuit_by_name("s298");
+  const FaultSet faults = FaultSet::collapsed(nl);
+  const FaultSimulator w4(nl, faults, sim::find_kernel("generic-w4"));
+  const FaultSimulator w1(nl, faults, sim::find_kernel("generic-w1"));
+  EXPECT_EQ(w4.kernel().words, 4u);
+  EXPECT_EQ(w1.kernel().words, 1u);
+}
+
+}  // namespace
+}  // namespace wbist::fault

@@ -23,6 +23,7 @@
 #include "core/flow.h"
 #include "fault/fault_list.h"
 #include "fault/fault_sim.h"
+#include "sim/kernel.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -71,16 +72,33 @@ struct CircuitRecord {
   std::uint64_t kernel_cycles = 0;
   std::uint64_t fault_cycles = 0;
   std::uint64_t trace_cycles = 0;
+  std::size_t fault_list_size = 0;        // faults actually simulated
+  std::size_t uncollapsed_faults = 0;     // full-universe size
+  std::size_t uncollapsed_detected = 0;   // T's detection, expanded
+  double uncollapsed_coverage = 0;
   double tgen_s = 0, compaction_s = 0, procedure_s = 0, reverse_sim_s = 0,
          fsm_synth_s = 0;
 };
 
-CircuitRecord run_circuit(const std::string& name, unsigned threads) {
+const char* collapse_name(fault::CollapseMode mode) {
+  switch (mode) {
+    case fault::CollapseMode::kNone:
+      return "none";
+    case fault::CollapseMode::kEquivalence:
+      return "equivalence";
+    case fault::CollapseMode::kDominance:
+      return "dominance";
+  }
+  return "?";
+}
+
+CircuitRecord run_circuit(const std::string& name, unsigned threads,
+                          fault::CollapseMode collapse) {
   util::MetricsRegistry& reg = util::metrics();
   reg.reset();  // per-circuit metrics window
 
   const netlist::Netlist nl = circuits::circuit_by_name(name);
-  const fault::FaultSet faults = fault::FaultSet::collapsed(nl);
+  const fault::FaultSet faults = fault::FaultSet::collapsed(nl, collapse);
   const fault::FaultSimulator sim(nl, faults);
 
   core::FlowConfig config;
@@ -100,6 +118,10 @@ CircuitRecord run_circuit(const std::string& name, unsigned threads) {
   rec.kernel_cycles = reg.counter("fault_sim.kernel_cycles").value();
   rec.fault_cycles = reg.counter("fault_sim.fault_cycles").value();
   rec.trace_cycles = reg.counter("fault_sim.trace_cycles").value();
+  rec.fault_list_size = faults.size();
+  rec.uncollapsed_faults = flow.uncollapsed_total;
+  rec.uncollapsed_detected = flow.uncollapsed_detected;
+  rec.uncollapsed_coverage = flow.uncollapsed_coverage();
   rec.tgen_s = reg.timer("flow.tgen").seconds();
   rec.compaction_s = reg.timer("flow.compaction").seconds();
   rec.procedure_s = reg.timer("procedure").seconds();
@@ -109,11 +131,19 @@ CircuitRecord run_circuit(const std::string& name, unsigned threads) {
 }
 
 std::string render_json(const std::vector<CircuitRecord>& records,
-                        unsigned threads, const std::string& label) {
+                        unsigned threads, const std::string& label,
+                        fault::CollapseMode collapse) {
   std::string out = "{\n  \"schema\": \"wbist.bench.procedure/1\",\n";
   out += "  \"label\": ";
   append_json_string(out, label);
   out += ",\n  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"kernel\": ";
+  append_json_string(out, sim::active_kernel().name);
+  out += ",\n  \"kernel_words\": " +
+         std::to_string(sim::active_kernel().words);
+  out += ",\n  \"collapse\": ";
+  append_json_string(out, collapse_name(collapse));
+  out += ",\n";
   out += "  \"circuits\": [";
   char buf[64];
   for (std::size_t k = 0; k < records.size(); ++k) {
@@ -147,6 +177,15 @@ std::string render_json(const std::vector<CircuitRecord>& records,
     out += ",\n     \"kernel_cycles\": " + std::to_string(r.kernel_cycles);
     out += ", \"fault_cycles\": " + std::to_string(r.fault_cycles);
     out += ", \"trace_cycles\": " + std::to_string(r.trace_cycles);
+    out += ",\n     \"fault_list_size\": " +
+           std::to_string(r.fault_list_size);
+    out += ", \"uncollapsed_faults\": " +
+           std::to_string(r.uncollapsed_faults);
+    out += ", \"uncollapsed_detected\": " +
+           std::to_string(r.uncollapsed_detected);
+    std::snprintf(buf, sizeof buf, ", \"uncollapsed_coverage\": %.6f",
+                  r.uncollapsed_coverage);
+    out += buf;
     std::snprintf(buf, sizeof buf, ",\n     \"tgen_s\": %.6f", r.tgen_s);
     out += buf;
     std::snprintf(buf, sizeof buf, ", \"compaction_s\": %.6f",
@@ -168,7 +207,8 @@ std::string render_json(const std::vector<CircuitRecord>& records,
 int usage() {
   std::fputs(
       "usage: wbist_bench [--out <path>] [--circuits a,b,c] [--threads N]\n"
-      "                   [--label <string>]\n"
+      "                   [--label <string>] [--collapse none|equivalence|"
+      "dominance]\n"
       "runs the full flow per circuit and writes BENCH_procedure.json\n"
       "(schema wbist.bench.procedure/1); default circuits are the fast\n"
       "Table-6 subset, default out is BENCH_procedure.json\n",
@@ -186,6 +226,7 @@ int main(int argc, char** argv) {
   // s1423, s5378, ...) are opt-in via --circuits.
   std::string circuits_arg = "s27,s208,s298,s344,s382,s386,s400,s444,s526";
   unsigned threads = 0;
+  fault::CollapseMode collapse = fault::CollapseMode::kEquivalence;
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -211,6 +252,18 @@ int main(int argc, char** argv) {
       const char* v = need_value("--label");
       if (v == nullptr) return 2;
       label = v;
+    } else if (std::strcmp(argv[i], "--collapse") == 0) {
+      const char* v = need_value("--collapse");
+      if (v == nullptr) return 2;
+      if (std::strcmp(v, "none") == 0) {
+        collapse = fault::CollapseMode::kNone;
+      } else if (std::strcmp(v, "equivalence") == 0) {
+        collapse = fault::CollapseMode::kEquivalence;
+      } else if (std::strcmp(v, "dominance") == 0) {
+        collapse = fault::CollapseMode::kDominance;
+      } else {
+        return usage();
+      }
     } else {
       return usage();
     }
@@ -226,7 +279,7 @@ int main(int argc, char** argv) {
     for (const std::string& name : names) {
       std::printf("%s ...\n", name.c_str());
       std::fflush(stdout);
-      records.push_back(run_circuit(name, threads));
+      records.push_back(run_circuit(name, threads, collapse));
       const CircuitRecord& r = records.back();
       std::printf(
           "%s: f.e. %.1f%%, %zu sessions, %.2fs "
@@ -239,7 +292,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string json = render_json(records, threads, label);
+  const std::string json = render_json(records, threads, label, collapse);
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "wbist_bench: cannot write %s\n", out_path.c_str());

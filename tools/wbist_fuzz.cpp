@@ -7,7 +7,9 @@
 //   sim-diff   random synthetic circuits x random 0/1/X sequences: the
 //              word-parallel FaultSimulator (run / run(GoodTrace) /
 //              observe_final / observable_lines, serial and threaded) must
-//              agree exactly with the naive scalar RefSimulator oracle.
+//              agree exactly with the naive scalar RefSimulator oracle, for
+//              every compiled-in evaluation kernel backend (generic widths
+//              and AVX2 when available).
 //   parser     mutated `.bench` text must parse-or-throw (never crash), and
 //              parsed text must reach a write/read fixpoint.
 //   pipeline   the full flow on random small circuits must reach 100% fault
@@ -32,6 +34,7 @@
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
 #include "sim/good_sim.h"
+#include "sim/kernel.h"
 #include "sim/ref_sim.h"
 #include "sim/sequence_io.h"
 #include "util/fuzz.h"
@@ -119,7 +122,6 @@ void campaign_sim_diff(FuzzCase& fc) {
   const fault::FaultSet faults = collapsed
                                      ? fault::FaultSet::collapsed(nl)
                                      : fault::FaultSet::uncollapsed(nl);
-  const fault::FaultSimulator fsim(nl, faults);
   const std::vector<fault::FaultId> ids = faults.all_ids();
 
   const std::size_t length = 1 + rng.below(24);
@@ -168,50 +170,63 @@ void campaign_sim_diff(FuzzCase& fc) {
     for (const NodeId n : probes) want_final[k].push_back(faulty.back()[n]);
   }
 
-  // Detection: serial, threaded, and trace-based runs against the oracle.
-  fault::FaultSimOptions opts;
-  opts.observation_points = obs;
-  opts.max_time_units = max_time;
-  opts.threads = 1;
-  check_detection(fc, nl, faults, ids, want_det, fsim.run(seq, ids, opts),
-                  "run[threads=1]");
+  // Draw all random decisions before the backend loop so a replayed seed
+  // behaves identically regardless of which kernels this build compiled in.
   const unsigned n_threads = 2 + static_cast<unsigned>(rng.below(6));
-  opts.threads = n_threads;
-  check_detection(fc, nl, faults, ids, want_det, fsim.run(seq, ids, opts),
-                  "run[threads=" + std::to_string(n_threads) + "]");
-  const fault::GoodTrace trace = fsim.make_trace(seq, obs, max_time);
-  check_detection(fc, nl, faults, ids, want_det, fsim.run(trace, ids, opts),
-                  "run[GoodTrace]");
 
-  // observable_lines and observe_final only see the full window; skip them
-  // when this case exercises max_time_units truncation.
-  if (max_time != length) return;
+  // Every compiled-in evaluation kernel must agree with the scalar oracle:
+  // serial, threaded, and trace-based runs, plus line/final observation.
+  for (const sim::Kernel& kernel : sim::kernels()) {
+    const std::string tag = std::string("[") + kernel.name + "]";
+    const fault::FaultSimulator fsim(nl, faults, &kernel);
 
-  const auto check_lines = [&](const std::vector<std::vector<NodeId>>& got,
-                               const std::string& label) {
-    for (std::size_t k = 0; k < ids.size(); ++k)
-      if (got[k] != want_lines[k])
-        fc.fail(label + ": fault " + fault_name(nl, faults[ids[k]]) +
-                " observable lines {" + nodes_to_string(nl, got[k]) +
-                "}, oracle says {" + nodes_to_string(nl, want_lines[k]) + "}");
-  };
-  check_lines(fsim.observable_lines(seq, ids, 1), "observable_lines[1]");
-  check_lines(fsim.observable_lines(fsim.make_trace(seq), ids, n_threads),
-              "observable_lines[trace," + std::to_string(n_threads) + "]");
+    fault::FaultSimOptions opts;
+    opts.observation_points = obs;
+    opts.max_time_units = max_time;
+    opts.threads = 1;
+    check_detection(fc, nl, faults, ids, want_det, fsim.run(seq, ids, opts),
+                    tag + "run[threads=1]");
+    opts.threads = n_threads;
+    check_detection(fc, nl, faults, ids, want_det, fsim.run(seq, ids, opts),
+                    tag + "run[threads=" + std::to_string(n_threads) + "]");
+    const fault::GoodTrace trace = fsim.make_trace(seq, obs, max_time);
+    check_detection(fc, nl, faults, ids, want_det, fsim.run(trace, ids, opts),
+                    tag + "run[GoodTrace]");
 
-  const auto check_final = [&](const std::vector<std::vector<Val3>>& got,
-                               const std::string& label) {
-    for (std::size_t k = 0; k < ids.size(); ++k)
-      for (std::size_t n = 0; n < probes.size(); ++n)
-        if (got[k][n] != want_final[k][n])
+    // observable_lines and observe_final only see the full window; skip them
+    // when this case exercises max_time_units truncation.
+    if (max_time != length) continue;
+
+    const auto check_lines = [&](const std::vector<std::vector<NodeId>>& got,
+                                 const std::string& label) {
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        if (got[k] != want_lines[k])
           fc.fail(label + ": fault " + fault_name(nl, faults[ids[k]]) +
-                  " final value at " + nl.node(probes[n]).name + " is '" +
-                  sim::to_char(got[k][n]) + "', oracle says '" +
-                  sim::to_char(want_final[k][n]) + "'");
-  };
-  check_final(fsim.observe_final(seq, ids, probes, 1), "observe_final[1]");
-  check_final(fsim.observe_final(seq, ids, probes, n_threads),
-              "observe_final[" + std::to_string(n_threads) + "]");
+                  " observable lines {" + nodes_to_string(nl, got[k]) +
+                  "}, oracle says {" + nodes_to_string(nl, want_lines[k]) +
+                  "}");
+    };
+    check_lines(fsim.observable_lines(seq, ids, 1),
+                tag + "observable_lines[1]");
+    check_lines(fsim.observable_lines(fsim.make_trace(seq), ids, n_threads),
+                tag + "observable_lines[trace," + std::to_string(n_threads) +
+                    "]");
+
+    const auto check_final = [&](const std::vector<std::vector<Val3>>& got,
+                                 const std::string& label) {
+      for (std::size_t k = 0; k < ids.size(); ++k)
+        for (std::size_t n = 0; n < probes.size(); ++n)
+          if (got[k][n] != want_final[k][n])
+            fc.fail(label + ": fault " + fault_name(nl, faults[ids[k]]) +
+                    " final value at " + nl.node(probes[n]).name + " is '" +
+                    sim::to_char(got[k][n]) + "', oracle says '" +
+                    sim::to_char(want_final[k][n]) + "'");
+    };
+    check_final(fsim.observe_final(seq, ids, probes, 1),
+                tag + "observe_final[1]");
+    check_final(fsim.observe_final(seq, ids, probes, n_threads),
+                tag + "observe_final[" + std::to_string(n_threads) + "]");
+  }
 }
 
 // ---------------------------------------------------------------------------
