@@ -8,10 +8,13 @@ regresses:
   * HARD FAIL  fault_efficiency drops below the baseline for any circuit
   * HARD FAIL  kernel_cycles grows by more than --cycles-tolerance
                (default 10%) for any circuit
+  * HARD FAIL  the uncollapsed fault universe changes size, or
+               uncollapsed_detected / uncollapsed_coverage drop below the
+               baseline (collapsed-class expansion must never lose faults)
   * WARN       deterministic row metrics drift (t_length, t_detected,
-               sessions, fault_list_size, uncollapsed coverage, fault/trace
-               cycles) — visible in the log but not fatal, since procedure
-               tuning legitimately moves them
+               sessions, fault_list_size, fault/trace cycles) — visible in
+               the log but not fatal, since procedure tuning legitimately
+               moves them
 
 Wall-clock and RSS fields are machine-dependent and always ignored.
 Baselines must be produced with WBIST_FORCE_GENERIC_KERNEL=1 so that
@@ -40,8 +43,6 @@ WARN_FIELDS = (
     "subsequences",
     "fsms",
     "fault_list_size",
-    "uncollapsed_faults",
-    "uncollapsed_detected",
     "fault_cycles",
     "trace_cycles",
     "full_simulations",
@@ -131,6 +132,32 @@ def main() -> int:
                     f"{name}: kernel_cycles regressed {b_kc} -> {c_kc} "
                     f"(+{growth:.1%}, tolerance {args.cycles_tolerance:.0%})"
                 )
+
+        b_uf, c_uf = b.get("uncollapsed_faults"), c.get("uncollapsed_faults")
+        if b_uf is not None and c_uf is not None and b_uf != c_uf:
+            failures.append(
+                f"{name}: uncollapsed fault universe changed "
+                f"{b_uf} -> {c_uf} (fault enumeration / collapsing bug?)"
+            )
+
+        b_ud, c_ud = b.get("uncollapsed_detected"), c.get("uncollapsed_detected")
+        if b_ud is not None and c_ud is not None:
+            if c_ud < b_ud:
+                failures.append(
+                    f"{name}: uncollapsed_detected dropped {b_ud} -> {c_ud}"
+                )
+            elif c_ud > b_ud:
+                warnings.append(
+                    f"{name}: uncollapsed_detected drifted {b_ud} -> {c_ud}"
+                )
+
+        b_cov = b.get("uncollapsed_coverage")
+        c_cov = c.get("uncollapsed_coverage")
+        if b_cov is not None and c_cov is not None and c_cov < b_cov - 1e-9:
+            failures.append(
+                f"{name}: uncollapsed_coverage dropped "
+                f"{b_cov:.6f} -> {c_cov:.6f}"
+            )
 
         for field in WARN_FIELDS:
             if field in b and field in c and b[field] != c[field]:

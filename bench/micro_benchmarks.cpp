@@ -28,6 +28,7 @@
 #include "sim/good_sim.h"
 #include "sim/kernel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 using namespace wbist;
 
@@ -162,6 +163,47 @@ void BM_QuineMcCluskey(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuineMcCluskey)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceSpan(benchmark::State& state) {
+  // Cost of one instrumentation site. Disabled must be within noise of a
+  // single branch; enabled is the ring-buffer push + two clock reads.
+  const bool enabled = state.range(0) != 0;
+  if (enabled) util::TraceRegistry::global().start(1 << 12);
+  for (auto _ : state) {
+    util::TraceSpan span("bench_span", util::TraceArg("k", std::int64_t{1}));
+    benchmark::DoNotOptimize(&span);
+  }
+  if (enabled) util::TraceRegistry::global().stop();
+  state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1);
+
+void BM_FaultSimulationTraced(benchmark::State& state) {
+  // End-to-end span overhead on the hot path: a full serial s5378 fault-sim
+  // run with tracing off vs on (spans are per group, not per cycle, so the
+  // enabled delta must stay small).
+  const bool traced = state.range(0) != 0;
+  const auto nl = circuits::circuit_by_name("s5378");
+  const auto faults = fault::FaultSet::collapsed(nl);
+  fault::FaultSimulator sim(nl, faults);
+  const auto seq = random_sequence(128, nl.primary_inputs().size(), 2);
+  const fault::GoodTrace trace = sim.make_trace(seq);
+  const auto ids = faults.all_ids();
+  fault::FaultSimOptions opt;
+  opt.threads = 1;
+  if (traced) util::TraceRegistry::global().start(1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(trace, ids, opt));
+  }
+  if (traced) util::TraceRegistry::global().stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()) * 128);
+  state.SetLabel(traced ? "s5378, tracing on" : "s5378, tracing off");
+}
+BENCHMARK(BM_FaultSimulationTraced)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FaultCollapsing(benchmark::State& state) {
   const auto nl = circuits::circuit_by_name("s5378");

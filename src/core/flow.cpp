@@ -1,6 +1,9 @@
 #include "core/flow.h"
 
+#include "fault/fault.h"
 #include "util/metrics.h"
+#include "util/provenance.h"
+#include "util/trace.h"
 
 namespace wbist::core {
 
@@ -11,11 +14,14 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
                     const std::string& circuit_name,
                     const FlowConfig& config) {
   util::PhaseScope flow_phase("flow");
+  util::TraceSpan flow_span("flow",
+                            util::TraceArg::copy("circuit", circuit_name));
   FlowResult flow;
 
   // 1. Deterministic sequence T (substitute for STRATEGATE/SEQCOM).
   {
     util::PhaseScope phase("flow.tgen");
+    util::TraceSpan span("flow.tgen");
     tgen::TgenResult gen = tgen::generate_test_sequence(sim, config.tgen);
     flow.sequence = std::move(gen.sequence);
     flow.detection_time = std::move(gen.detection_time);
@@ -24,6 +30,8 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
   // 2. Static compaction, preserving every detected fault.
   if (config.compact && flow.sequence.length() > 1) {
     util::PhaseScope phase("flow.compaction");
+    util::TraceSpan span("flow.compaction",
+                         util::TraceArg("length", flow.sequence.length()));
     std::vector<FaultId> must;
     for (FaultId f = 0; f < flow.detection_time.size(); ++f)
       if (flow.detection_time[f] != DetectionResult::kUndetected)
@@ -39,6 +47,38 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
     if (flow.detection_time[f] == DetectionResult::kUndetected) continue;
     ++flow.t_detected;
     flow.uncollapsed_detected += fault_set.represented_size(f);
+  }
+
+  // Provenance for faults detected by the deterministic sequence T itself:
+  // one observation-only re-simulation over the detected faults recovers the
+  // detecting line for each. Detection times are reproduced exactly — both
+  // tgen and compaction derive detection_time from a fresh simulation of the
+  // sequence they return.
+  if (util::provenance().enabled() && flow.t_detected > 0) {
+    std::vector<FaultId> detected;
+    for (FaultId f = 0; f < flow.detection_time.size(); ++f)
+      if (flow.detection_time[f] != DetectionResult::kUndetected)
+        detected.push_back(f);
+    fault::FaultSimOptions opts;
+    opts.threads = config.procedure.threads;
+    const DetectionResult det = sim.run(flow.sequence, detected, opts);
+    const netlist::Netlist& nl = sim.circuit();
+    for (std::size_t k = 0; k < detected.size(); ++k) {
+      const FaultId f = detected[k];
+      const std::string site = fault::fault_name(nl, fault_set[f]);
+      std::string obs;
+      if (det.detected(k) && det.detecting_line[k] != netlist::kNoNode)
+        obs = nl.node(det.detecting_line[k]).name;
+      util::provenance().record(
+          {.phase = "tgen",
+           .fault = f,
+           .site = site,
+           .class_size = fault_set.class_size(f),
+           .represented_size = fault_set.represented_size(f),
+           .u = det.detected(k) ? det.detection_time[k]
+                                : flow.detection_time[f],
+           .obs = obs});
+    }
   }
 
   // 3. Weight-assignment selection (Section 4.2). select_weight_assignments
@@ -59,6 +99,7 @@ FlowResult run_flow(const fault::FaultSimulator& sim,
   // 5. FSM synthesis over the surviving subsequences.
   {
     util::PhaseScope phase("flow.fsm_synth");
+    util::TraceSpan span("flow.fsm_synth");
     std::vector<Subsequence> subs;
     for (const WeightAssignment& w : flow.pruned.omega)
       subs.insert(subs.end(), w.per_input.begin(), w.per_input.end());

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace wbist::core {
 
@@ -67,6 +68,9 @@ ObsTradeoffResult observation_point_tradeoff(
     std::span<const fault::FaultId> targets,
     const ObsTradeoffConfig& config) {
   util::PhaseScope phase("obs_points");
+  util::TraceSpan op_span("obs_points",
+                          util::TraceArg("assignments", omega.size()),
+                          util::TraceArg("targets", targets.size()));
   ObsTradeoffResult result;
   if (omega.empty() || targets.empty()) return result;
 

@@ -5,8 +5,10 @@
 #include <unordered_set>
 
 #include "util/metrics.h"
+#include "util/provenance.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace wbist::core {
 
@@ -75,6 +77,8 @@ ProcedureResult select_weight_assignments(
     if (detection_time[f] != DetectionResult::kUndetected) F.push_back(f);
   result.target_count = F.size();
 
+  util::TraceSpan proc_span("procedure", util::TraceArg("targets", F.size()));
+
   util::Rng rng(config.seed);
   std::unordered_set<WeightAssignment, WeightAssignmentHash> fully_simulated;
 
@@ -102,6 +106,8 @@ ProcedureResult select_weight_assignments(
     std::int32_t u_max = -1;
     for (FaultId f : F) u_max = std::max(u_max, detection_time[f]);
     const auto u = static_cast<std::size_t>(u_max);
+    util::TraceSpan u_span("procedure.weight_set", util::TraceArg("u", u),
+                           util::TraceArg("remaining", F.size()));
 
     auto faults_at_u = [&]() {
       std::vector<FaultId> ids;
@@ -132,6 +138,10 @@ ProcedureResult select_weight_assignments(
         if (!has_len) continue;
         if (fully_simulated.count(w) != 0) continue;
         ++result.stats.assignments_tried;
+        util::TraceSpan cand_span("procedure.candidate",
+                                  util::TraceArg("rank", j),
+                                  util::TraceArg("len", len),
+                                  util::TraceArg("targets", targets.size()));
 
         const TestSequence tg = w.expand(result.sequence_length);
         // One good-machine pass per candidate: the trace is shared between
@@ -156,6 +166,33 @@ ProcedureResult select_weight_assignments(
         ++result.stats.full_simulations;
         fully_simulated.insert(w);
         if (det.detected_count > 0) {
+          // The kept assignment becomes weighted session Ω[session].
+          const auto session = static_cast<std::int64_t>(result.omega.size());
+          if (util::provenance().enabled()) {
+            const fault::FaultSet& fs = sim.fault_set();
+            for (std::size_t k = 0; k < F.size(); ++k) {
+              if (!det.detected(k)) continue;
+              const FaultId f = F[k];
+              const std::string site =
+                  fault::fault_name(sim.circuit(), fs[f]);
+              std::string obs;
+              if (det.detecting_line[k] != netlist::kNoNode)
+                obs = sim.circuit().node(det.detecting_line[k]).name;
+              util::provenance().record(
+                  {.phase = "procedure",
+                   .fault = f,
+                   .site = site,
+                   .class_size = fs.class_size(f),
+                   .represented_size = fs.represented_size(f),
+                   .session = session,
+                   .assignment_rank = static_cast<std::int64_t>(j),
+                   .u = det.detection_time[k],
+                   .obs = obs});
+            }
+          }
+          util::trace_instant("procedure.session",
+                              util::TraceArg("session", session),
+                              util::TraceArg("detected", det.detected_count));
           result.detected_count += drop_detected(F, det, F);
           result.omega.push_back(std::move(w));
           // Coverage-over-time curve: cumulative detected targets against

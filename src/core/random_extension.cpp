@@ -4,7 +4,10 @@
 #include <bit>
 #include <stdexcept>
 
+#include "fault/fault.h"
 #include "util/metrics.h"
+#include "util/provenance.h"
+#include "util/trace.h"
 
 namespace wbist::core {
 
@@ -62,10 +65,14 @@ ExtendedSchemeResult run_extended_scheme(
   // overload would re-fast-forward O(r * P) steps per session r).
   {
     util::PhaseScope phase("extended.random_sessions");
+    util::TraceSpan phase_span("extended.random_sessions",
+                               util::TraceArg("targets", remaining.size()));
     Lfsr runner = result.lfsr;
     runner.reset();
     for (std::size_t r = 0;
          r < config.max_random_sessions && !remaining.empty(); ++r) {
+      util::TraceSpan span("extended.session", util::TraceArg("session", r),
+                           util::TraceArg("remaining", remaining.size()));
       const TestSequence tg =
           expand_random_session(runner, result.session_length, n_inputs);
       ++result.sessions_simulated;
@@ -82,6 +89,27 @@ ExtendedSchemeResult run_extended_scheme(
       // them included): the kept count is r + 1, not a fruitful-only tally.
       result.random_sessions = r + 1;
       result.detected_by_random += det.detected_count;
+      if (util::provenance().enabled()) {
+        const fault::FaultSet& fs = sim.fault_set();
+        const netlist::Netlist& nl = sim.circuit();
+        for (std::size_t k = 0; k < remaining.size(); ++k) {
+          if (!det.detected(k)) continue;
+          const FaultId f = remaining[k];
+          const std::string site = fault::fault_name(nl, fs[f]);
+          std::string obs;
+          if (det.detecting_line[k] != netlist::kNoNode)
+            obs = nl.node(det.detecting_line[k]).name;
+          util::provenance().record(
+              {.phase = "extended.random",
+               .fault = f,
+               .site = site,
+               .class_size = fs.class_size(f),
+               .represented_size = fs.represented_size(f),
+               .session = static_cast<std::int64_t>(r),
+               .u = det.detection_time[k],
+               .obs = obs});
+        }
+      }
       std::vector<FaultId> still;
       still.reserve(remaining.size() - det.detected_count);
       for (std::size_t k = 0; k < remaining.size(); ++k)
@@ -109,6 +137,7 @@ ExtendedSchemeResult run_extended_scheme(
   pc.sequence_length = result.session_length;
   {
     util::PhaseScope phase("extended.residual_procedure");
+    util::TraceSpan span("extended.residual_procedure");
     result.procedure = select_weight_assignments(sim, T, residual, pc);
   }
 

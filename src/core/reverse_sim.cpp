@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "util/metrics.h"
+#include "util/provenance.h"
+#include "util/trace.h"
 
 namespace wbist::core {
 
@@ -15,6 +18,9 @@ ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
                                      std::size_t sequence_length,
                                      unsigned threads) {
   util::PhaseScope phase("reverse_sim");
+  util::TraceSpan rs_span("reverse_sim",
+                          util::TraceArg("assignments", omega.size()),
+                          util::TraceArg("targets", targets.size()));
   ReverseSimResult result;
   std::vector<FaultId> remaining(targets.begin(), targets.end());
   std::vector<bool> keep(omega.size(), false);
@@ -22,11 +28,34 @@ ReverseSimResult reverse_order_prune(const fault::FaultSimulator& sim,
   fault::FaultSimOptions opts;
   opts.threads = threads;
   for (std::size_t k = omega.size(); k-- > 0 && !remaining.empty();) {
+    util::TraceSpan span("reverse_sim.assignment", util::TraceArg("session", k),
+                         util::TraceArg("remaining", remaining.size()));
     const sim::TestSequence tg = omega[k].expand(sequence_length);
     const fault::GoodTrace trace = sim.make_trace(tg);
     const DetectionResult det = sim.run(trace, remaining, opts);
     if (det.detected_count == 0) continue;
     keep[k] = true;
+    if (util::provenance().enabled()) {
+      const fault::FaultSet& fs = sim.fault_set();
+      const netlist::Netlist& nl = sim.circuit();
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (!det.detected(i)) continue;
+        const FaultId f = remaining[i];
+        const std::string site = fault::fault_name(nl, fs[f]);
+        std::string obs;
+        if (det.detecting_line[i] != netlist::kNoNode)
+          obs = nl.node(det.detecting_line[i]).name;
+        util::provenance().record(
+            {.phase = "reverse_sim",
+             .fault = f,
+             .site = site,
+             .class_size = fs.class_size(f),
+             .represented_size = fs.represented_size(f),
+             .session = static_cast<std::int64_t>(k),
+             .u = det.detection_time[i],
+             .obs = obs});
+      }
+    }
     std::vector<FaultId> still;
     still.reserve(remaining.size() - det.detected_count);
     for (std::size_t i = 0; i < remaining.size(); ++i) {

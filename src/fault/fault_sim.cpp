@@ -10,6 +10,7 @@
 #include "sim/word_block.h"
 #include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace wbist::fault {
 
@@ -185,6 +186,8 @@ GoodTrace FaultSimulator::make_trace(
     throw std::invalid_argument("fault_sim: sequence width != #inputs");
 
   trace.length = std::min(seq.length(), max_time_units);
+  util::TraceSpan span("fault_sim.make_trace",
+                       util::TraceArg("cycles", trace.length));
   trace.pi_words.resize(trace.length * pis.size());
   trace.good_obs.resize(trace.length * trace.observed.size());
   sim::GoodSimulator good(*nl_);
@@ -208,6 +211,7 @@ DetectionResult FaultSimulator::run(const TestSequence& seq,
   if (ids.empty() || seq.length() == 0) {
     DetectionResult result;
     result.detection_time.assign(ids.size(), DetectionResult::kUndetected);
+    result.detecting_line.assign(ids.size(), netlist::kNoNode);
     return result;
   }
   return run(make_trace(seq, options.observation_points,
@@ -221,6 +225,7 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
   const auto pis = nl_->primary_inputs();
   DetectionResult result;
   result.detection_time.assign(ids.size(), DetectionResult::kUndetected);
+  result.detecting_line.assign(ids.size(), netlist::kNoNode);
   if (ids.empty() || trace.length == 0) return result;
   if (trace.n_inputs != pis.size())
     throw std::invalid_argument("fault_sim: trace width != #inputs");
@@ -250,9 +255,14 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
   std::vector<std::uint64_t> group_cycles(groups.size(), 0);
   std::vector<std::uint64_t> group_fault_cycles(groups.size(), 0);
   const util::Timer run_wall;
+  util::TraceSpan run_span("fault_sim.run", util::TraceArg("faults", ids.size()),
+                           util::TraceArg("groups", groups.size()),
+                           util::TraceArg("cycles", length));
 
   const auto simulate_group = [&](std::size_t gi, GroupScratch& s) {
     Group& group = groups[gi];
+    util::TraceSpan group_span("fault_sim.group", util::TraceArg("group", gi),
+                               util::TraceArg("lanes", group.count));
     std::uint64_t* vals = s.vals.data();
     s.inj_index.attach(group.gate);
     s.reset_state();
@@ -292,8 +302,21 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
           const unsigned bit = static_cast<unsigned>(std::countr_zero(d));
           d &= d - 1;
           group.active[w] &= ~(std::uint64_t{1} << bit);
-          result.detection_time[group.result_index[w * 64 + bit]] =
-              static_cast<std::int32_t>(u);
+          const std::uint32_t ri = group.result_index[w * 64 + bit];
+          result.detection_time[ri] = static_cast<std::int32_t>(u);
+          // Provenance metadata: the first observed line that exposes this
+          // lane this cycle. Recomputed only on detection (at most once per
+          // fault), so the steady-state cycle loop is untouched.
+          for (std::size_t k = 0; k < n_obs; ++k) {
+            const Word3 g = trace.good_obs[u * n_obs + k];
+            const std::uint64_t g_binary = g.one ^ g.zero;
+            const std::uint64_t* f = vals + observed[k] * stride;
+            if ((((f[w] ^ f[words + w]) & g_binary & (f[w] ^ g.one)) >> bit) &
+                1) {
+              result.detecting_line[ri] = observed[k];
+              break;
+            }
+          }
           ++local_detected;
         }
       }
@@ -391,6 +414,9 @@ std::vector<std::vector<Val3>> FaultSimulator::observe_final(
   const std::size_t stride = sim::block_stride(words);
   std::vector<Group> groups = pack_groups(ids);
   const auto ffs = nl_->flip_flops();
+  util::TraceSpan span("fault_sim.observe_final",
+                       util::TraceArg("faults", ids.size()),
+                       util::TraceArg("cycles", seq.length()));
 
   std::vector<Word3> pi_words(seq.length() * pis.size());
   for (std::size_t u = 0; u < seq.length(); ++u)
@@ -491,6 +517,9 @@ std::vector<std::vector<NodeId>> FaultSimulator::observable_lines_impl(
     unsigned threads) const {
   std::vector<std::vector<NodeId>> result(ids.size());
   if (ids.empty() || trace.length == 0) return result;
+  util::TraceSpan span("fault_sim.observable_lines",
+                       util::TraceArg("faults", ids.size()),
+                       util::TraceArg("cycles", trace.length));
 
   const auto pis = nl_->primary_inputs();
   const std::size_t node_count = nl_->node_count();

@@ -75,6 +75,12 @@ struct DetectionResult {
   /// Aligned with the `ids` span passed to run(): the first time unit at
   /// which each fault is detected, or kUndetected.
   std::vector<std::int32_t> detection_time;
+  /// The first observed line (primary output or observation point, lowest
+  /// observed index) at which each fault was detected at its detection time,
+  /// or netlist::kNoNode where undetected. Provenance metadata only — it is
+  /// derived from the same cycle's values that set detection_time and never
+  /// feeds back into simulation.
+  std::vector<netlist::NodeId> detecting_line;
   std::size_t detected_count = 0;
 
   static constexpr std::int32_t kUndetected = -1;

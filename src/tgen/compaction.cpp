@@ -24,8 +24,9 @@ TestSequence without_block(const TestSequence& seq, std::size_t begin,
 }
 
 bool detects_all(const fault::FaultSimulator& sim, const TestSequence& seq,
-                 std::span<const FaultId> must_detect) {
-  const DetectionResult det = sim.run(seq, must_detect);
+                 std::span<const FaultId> must_detect,
+                 const fault::FaultSimOptions& opts) {
+  const DetectionResult det = sim.run(seq, must_detect, opts);
   return det.detected_count == must_detect.size();
 }
 
@@ -37,6 +38,8 @@ CompactionResult compact_sequence(const fault::FaultSimulator& sim,
                                   const CompactionConfig& config) {
   CompactionResult result;
   result.sequence = seq;
+  fault::FaultSimOptions sim_opts;
+  sim_opts.threads = config.threads;
 
   std::size_t block = std::max<std::size_t>(1, seq.length() / 4);
   while (block >= std::max<std::size_t>(1, config.min_block) &&
@@ -52,7 +55,8 @@ CompactionResult compact_sequence(const fault::FaultSimulator& sim,
       const TestSequence candidate =
           without_block(result.sequence, begin, count);
       ++result.simulations_used;
-      if (!candidate.empty() && detects_all(sim, candidate, must_detect)) {
+      if (!candidate.empty() &&
+          detects_all(sim, candidate, must_detect, sim_opts)) {
         result.sequence = candidate;
         result.removed_vectors += count;
         removed_any = true;
@@ -66,7 +70,7 @@ CompactionResult compact_sequence(const fault::FaultSimulator& sim,
   // Recompute detection times for the whole fault set on the final sequence.
   const fault::FaultSet& faults = sim.fault_set();
   const std::vector<FaultId> all = faults.all_ids();
-  const DetectionResult det = sim.run(result.sequence, all);
+  const DetectionResult det = sim.run(result.sequence, all, sim_opts);
   result.detection_time = det.detection_time;
   return result;
 }

@@ -22,6 +22,9 @@ struct CompactionConfig {
   std::size_t min_block = 1;
   /// Upper bound on fault simulations spent (guards the largest circuits).
   std::size_t max_simulations = 2000;
+  /// Worker threads for the inner fault simulations
+  /// (fault::FaultSimOptions::threads semantics: 0 = hardware concurrency).
+  unsigned threads = 0;
 };
 
 struct CompactionResult {

@@ -59,6 +59,9 @@ TgenResult generate_test_sequence(const fault::FaultSimulator& sim,
   result.detection_time.assign(faults.size(),
                                DetectionResult::kUndetected);
 
+  fault::FaultSimOptions sim_opts;
+  sim_opts.threads = config.threads;
+
   util::Rng rng(config.seed);
   std::vector<FaultId> undetected = faults.all_ids();
   std::size_t stalls = 0;
@@ -75,7 +78,7 @@ TgenResult generate_test_sequence(const fault::FaultSimulator& sim,
     // Simulating the extended sequence from scratch keeps earlier detection
     // times valid: T only grows by appending, so any fault detected at time
     // u under a prefix is detected at the same u under the full sequence.
-    const DetectionResult det = sim.run(candidate, undetected);
+    const DetectionResult det = sim.run(candidate, undetected, sim_opts);
 
     if (det.detected_count == 0) {
       ++stalls;

@@ -29,6 +29,9 @@ struct TgenConfig {
   std::size_t chunk = 128;          ///< vectors proposed per attempt
   std::size_t max_stalls = 24;      ///< fruitless attempts before giving up
   std::uint64_t seed = 1;
+  /// Worker threads for the inner fault simulations
+  /// (fault::FaultSimOptions::threads semantics: 0 = hardware concurrency).
+  unsigned threads = 0;
 };
 
 struct TgenResult {

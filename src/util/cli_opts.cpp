@@ -1,0 +1,28 @@
+#include "util/cli_opts.h"
+
+namespace wbist::util {
+
+ExtractResult extract_option(std::vector<std::string>& args,
+                             std::string_view flag, std::string& value) {
+  ExtractResult result = ExtractResult::kAbsent;
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == flag) {
+      if (i + 1 >= args.size()) return ExtractResult::kMissingValue;
+      value = args[++i];
+      result = ExtractResult::kFound;
+    } else if (arg.size() > flag.size() && arg.compare(0, flag.size(), flag) == 0 &&
+               arg[flag.size()] == '=') {
+      value = arg.substr(flag.size() + 1);
+      result = ExtractResult::kFound;
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  args = std::move(kept);
+  return result;
+}
+
+}  // namespace wbist::util

@@ -1,0 +1,29 @@
+// Position-independent CLI option extraction, shared by the tool front ends
+// (`wbist`, `wbist_bench`). Flags like `--metrics-json`, `--trace-json` and
+// `--provenance-jsonl` are accepted anywhere on the command line, in both
+// the `--flag path` and `--flag=path` forms, and are *stripped* from the
+// argument vector before subcommand dispatch so positional parsing never
+// sees them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wbist::util {
+
+enum class ExtractResult {
+  kAbsent,        ///< flag not present; `value` untouched
+  kFound,         ///< flag present; `value` holds the last occurrence's value
+  kMissingValue,  ///< trailing `--flag` with no value (usage error)
+};
+
+/// Remove every `--flag <value>` / `--flag=<value>` occurrence of `flag`
+/// (pass it with the leading dashes) from `args`. When the flag appears more
+/// than once the last value wins. A present-but-empty value (`--flag=`)
+/// reports kFound with an empty string — callers that require a path should
+/// treat that as a usage error.
+ExtractResult extract_option(std::vector<std::string>& args,
+                             std::string_view flag, std::string& value);
+
+}  // namespace wbist::util

@@ -33,6 +33,15 @@ void Histogram::reset() {
 
 void Series::push(double x, double y) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (points_.size() >= kMaxPoints) {
+    // Decimate by 2 in place: keep the even indices (index 0 — the first
+    // point — included) plus the current last point, so the retained curve
+    // always spans the full [first, latest] range.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < points_.size(); r += 2) points_[w++] = points_[r];
+    if ((points_.size() - 1) % 2 != 0) points_[w++] = points_.back();
+    points_.resize(w);
+  }
   points_.emplace_back(x, y);
 }
 

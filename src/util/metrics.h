@@ -90,8 +90,16 @@ class Histogram {
 
 /// Append-only (x, y) series — e.g. coverage over elapsed seconds. Points
 /// are appended rarely (once per kept weight assignment), so a mutex is fine.
+///
+/// Growth is bounded: a series holds at most kMaxPoints points. When a push
+/// would exceed the bound the series is decimated by 2 (every second point
+/// is dropped) before the new point is appended, so long campaigns keep a
+/// progressively coarser but bounded curve. The first point ever pushed and
+/// the most recent push always survive decimation.
 class Series {
  public:
+  static constexpr std::size_t kMaxPoints = 4096;
+
   void push(double x, double y);
   std::vector<std::pair<double, double>> snapshot() const;
   void reset();

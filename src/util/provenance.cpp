@@ -1,0 +1,70 @@
+#include "util/provenance.h"
+
+#include <stdexcept>
+
+namespace wbist::util {
+
+ProvenanceLog& ProvenanceLog::global() {
+  static ProvenanceLog* instance = new ProvenanceLog;  // never destroyed
+  return *instance;
+}
+
+void ProvenanceLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr)
+    throw std::runtime_error("provenance: cannot write " + path);
+  std::fputs("{\"schema\":\"wbist.provenance/1\",\"event\":\"header\"}\n",
+             file_);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void ProvenanceLog::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  enabled_.store(false, std::memory_order_release);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void ProvenanceLog::record(const Detection& d) {
+  if (!enabled()) return;
+  std::string line = "{\"event\":\"detect\",\"phase\":";
+  append_escaped(line, d.phase);
+  line += ",\"fault\":" + std::to_string(d.fault);
+  line += ",\"site\":";
+  append_escaped(line, d.site);
+  line += ",\"class_size\":" + std::to_string(d.class_size);
+  line += ",\"represented_size\":" + std::to_string(d.represented_size);
+  line += ",\"session\":" + std::to_string(d.session);
+  line += ",\"assignment_rank\":" + std::to_string(d.assignment_rank);
+  line += ",\"u\":" + std::to_string(d.u);
+  line += ",\"obs\":";
+  append_escaped(line, d.obs);
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (file_ == nullptr) return;  // closed between the guard and the lock
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+}  // namespace wbist::util

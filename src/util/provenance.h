@@ -1,0 +1,76 @@
+// Fault-detection provenance: an opt-in JSONL stream that records *why* each
+// fault counts as detected — which pipeline phase detected it, under which
+// weighted session / assignment, at which time unit, and at which observed
+// line — turning an aggregate "fault efficiency = 99.2%" into an auditable
+// per-fault artifact.
+//
+// Schema "wbist.provenance/1": the first line is a header record
+//   {"schema":"wbist.provenance/1","event":"header"}
+// and every following line is one detection event
+//   {"event":"detect","phase":"tgen|procedure|reverse_sim|obs_points|
+//     extended.random","fault":<representative id>,"site":"G11 s-a-1",
+//     "class_size":N,"represented_size":N,"session":K,"assignment_rank":J,
+//     "u":U,"obs":"G17"}
+// where `fault` is the representative's id in the (possibly collapsed)
+// simulated fault list, `class_size`/`represented_size` expand it over the
+// uncollapsed universe (see fault::FaultSet), `session` and
+// `assignment_rank` are -1 where not applicable, `u` is the detection time
+// unit and `obs` the first detecting observed line ("" when not tracked).
+//
+// Like util::metrics and util::trace, the log is observation-only: the run's
+// results are bit-identical with the log enabled or disabled. Emission sites
+// guard on enabled() (one relaxed load) before building any record, and
+// writes happen on the result-processing paths (after a fault simulation
+// returns), never inside simulation kernels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wbist::util {
+
+class ProvenanceLog {
+ public:
+  /// One detection event; see the schema comment above.
+  struct Detection {
+    std::string_view phase;            ///< pipeline phase that detected it
+    std::uint32_t fault = 0;           ///< representative fault id
+    std::string_view site;             ///< fault::fault_name() of the rep.
+    std::uint64_t class_size = 1;      ///< equivalence-class size
+    std::uint64_t represented_size = 1;///< class + absorbed dominator classes
+    std::int64_t session = -1;         ///< weighted-session / Ω index
+    std::int64_t assignment_rank = -1; ///< candidate rank within the session
+    std::int64_t u = -1;               ///< detection time unit
+    std::string_view obs;              ///< first detecting observed line
+  };
+
+  /// The process-wide log the library instrumentation writes to.
+  static ProvenanceLog& global();
+
+  /// Open `path` for writing and start logging (emits the header line).
+  /// Throws std::runtime_error if the file cannot be opened.
+  void open(const std::string& path);
+
+  /// Flush and stop logging. Safe to call when not open.
+  void close();
+
+  /// Fast guard for emission sites: one relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Append one detection line (no-op when not enabled).
+  void record(const Detection& d);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;  // guarded by mu_
+};
+
+/// Shorthand for ProvenanceLog::global().
+inline ProvenanceLog& provenance() { return ProvenanceLog::global(); }
+
+}  // namespace wbist::util

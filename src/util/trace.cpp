@@ -1,0 +1,265 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wbist::util {
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  const std::uint64_t h = pushed();
+  const std::uint64_t kept = std::min<std::uint64_t>(h, capacity_);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest retained event first: with no wrap that is index 0, after a wrap
+  // it is the slot the next push would overwrite.
+  const std::uint64_t first = h - kept;
+  for (std::uint64_t k = 0; k < kept; ++k)
+    out.push_back(events_[static_cast<std::size_t>((first + k) % capacity_)]);
+  return out;
+}
+
+TraceRegistry& TraceRegistry::global() {
+  static TraceRegistry* instance = new TraceRegistry;  // never destroyed
+  return *instance;
+}
+
+void TraceRegistry::start(std::size_t capacity_per_thread) {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_.clear();
+  next_tid_ = 0;
+  capacity_ = std::max<std::size_t>(capacity_per_thread, 16);
+  t0_ = std::chrono::steady_clock::now();
+  session_.fetch_add(1, std::memory_order_release);
+  trace_internal::g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRegistry::stop() {
+  trace_internal::g_enabled.store(false, std::memory_order_release);
+}
+
+TraceBuffer& TraceRegistry::thread_buffer() {
+  thread_local TraceBuffer* cached = nullptr;
+  thread_local std::uint64_t cached_session = 0;
+  const std::uint64_t session = session_.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_session != session) {
+    std::lock_guard<std::mutex> lk(mu_);
+    buffers_.push_back(std::make_unique<TraceBuffer>(next_tid_++, capacity_));
+    cached = buffers_.back().get();
+    cached_session = session;
+  }
+  return *cached;
+}
+
+std::uint64_t TraceRegistry::dropped_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& b : buffers_) dropped += b->dropped();
+  return dropped;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_args(std::string& out, const TraceEvent& e) {
+  out += "\"args\":{";
+  for (std::uint8_t a = 0; a < e.n_args; ++a) {
+    const TraceArg& arg = e.args[a];
+    if (a != 0) out += ",";
+    append_escaped(out, arg.key != nullptr ? arg.key : "?");
+    out += ":";
+    char buf[32];
+    switch (arg.kind) {
+      case TraceArg::Kind::kI64:
+        out += std::to_string(arg.value.i64);
+        break;
+      case TraceArg::Kind::kU64:
+        out += std::to_string(arg.value.u64);
+        break;
+      case TraceArg::Kind::kF64:
+        std::snprintf(buf, sizeof buf, "%.9g", arg.value.f64);
+        out += buf;
+        break;
+      case TraceArg::Kind::kStr:
+        append_escaped(out, arg.value.str != nullptr ? arg.value.str : "");
+        break;
+      case TraceArg::Kind::kStrCopy:
+        append_escaped(out, arg.copy_buf);
+        break;
+      case TraceArg::Kind::kNone:
+        out += "null";
+        break;
+    }
+  }
+  out += "}";
+}
+
+/// Microseconds with nanosecond resolution, as Chrome's "ts"/"dur" expect.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\n\"schema\": \"wbist.trace/1\",\n";
+  out += "\"displayTimeUnit\": \"ms\",\n";
+
+  std::uint64_t dropped = 0, total = 0;
+  for (const auto& b : buffers_) {
+    dropped += b->dropped();
+    total += b->pushed();
+  }
+  out += "\"otherData\": {\"threads\": " + std::to_string(buffers_.size()) +
+         ", \"events\": " + std::to_string(total) +
+         ", \"dropped_events\": " + std::to_string(dropped) + "},\n";
+
+  out += "\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&]() -> std::string& {
+    out += first ? "\n" : ",\n";
+    first = false;
+    return out;
+  };
+  for (const auto& b : buffers_) {
+    const std::string tid = std::to_string(b->tid());
+    sep() += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+             ",\"args\":{\"name\":\"" +
+             (b->tid() == 0 ? std::string("thread-0 (first tracer)")
+                            : "thread-" + tid) +
+             "\"}}";
+    if (b->dropped() != 0)
+      sep() += "{\"name\":\"trace.dropped_events\",\"ph\":\"C\",\"ts\":0,"
+               "\"pid\":1,\"tid\":" + tid + ",\"args\":{\"value\":" +
+               std::to_string(b->dropped()) + "}}";
+    for (const TraceEvent& e : b->snapshot()) {
+      sep() += "{\"name\":";
+      append_escaped(out, e.name != nullptr ? e.name : "?");
+      switch (e.type) {
+        case TraceEvent::Type::kSpan:
+          out += ",\"ph\":\"X\",\"ts\":";
+          append_us(out, e.ts_ns);
+          out += ",\"dur\":";
+          append_us(out, e.dur_ns);
+          break;
+        case TraceEvent::Type::kInstant:
+          out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+          append_us(out, e.ts_ns);
+          break;
+        case TraceEvent::Type::kCounter:
+          out += ",\"ph\":\"C\",\"ts\":";
+          append_us(out, e.ts_ns);
+          break;
+      }
+      out += ",\"pid\":1,\"tid\":" + tid + ",";
+      append_args(out, e);
+      out += "}";
+    }
+  }
+  out += first ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+void TraceRegistry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("trace: cannot write " + path);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+void TraceSpan::begin(const char* name) {
+  name_ = name;
+  start_ns_ = TraceRegistry::global().now_ns();
+  live_ = true;
+}
+
+void TraceSpan::end() {
+  live_ = false;
+  if (!trace_enabled()) return;  // session stopped mid-span: drop the record
+  TraceRegistry& reg = TraceRegistry::global();
+  TraceEvent e;
+  e.name = name_;
+  e.ts_ns = start_ns_;
+  e.dur_ns = reg.now_ns() - start_ns_;
+  e.type = TraceEvent::Type::kSpan;
+  e.n_args = n_args_;
+  for (std::uint8_t a = 0; a < n_args_; ++a) e.args[a] = args_[a];
+  reg.emit(e);
+}
+
+namespace {
+
+void emit_instant(const char* name, const TraceArg* args, std::uint8_t n) {
+  TraceRegistry& reg = TraceRegistry::global();
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = reg.now_ns();
+  e.type = TraceEvent::Type::kInstant;
+  e.n_args = n;
+  for (std::uint8_t a = 0; a < n; ++a) e.args[a] = args[a];
+  reg.emit(e);
+}
+
+}  // namespace
+
+void trace_instant(const char* name) {
+  if (trace_enabled()) emit_instant(name, nullptr, 0);
+}
+
+void trace_instant(const char* name, TraceArg a0) {
+  if (!trace_enabled()) return;
+  const TraceArg args[] = {a0};
+  emit_instant(name, args, 1);
+}
+
+void trace_instant(const char* name, TraceArg a0, TraceArg a1) {
+  if (!trace_enabled()) return;
+  const TraceArg args[] = {a0, a1};
+  emit_instant(name, args, 2);
+}
+
+void trace_instant(const char* name, TraceArg a0, TraceArg a1, TraceArg a2) {
+  if (!trace_enabled()) return;
+  const TraceArg args[] = {a0, a1, a2};
+  emit_instant(name, args, 3);
+}
+
+void trace_counter(const char* name, double value) {
+  if (!trace_enabled()) return;
+  TraceRegistry& reg = TraceRegistry::global();
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = reg.now_ns();
+  e.type = TraceEvent::Type::kCounter;
+  e.n_args = 1;
+  e.args[0] = TraceArg("value", value);
+  reg.emit(e);
+}
+
+}  // namespace wbist::util

@@ -1,0 +1,275 @@
+// Structured trace spans: a thread-aware tracing layer exported as
+// Chrome/Perfetto `trace_event` JSON (open the file directly in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// The library instrumentation consists of hierarchical RAII spans
+// (`TraceSpan`, nestable, with up to four typed key/value args), instant
+// events and counters. Events land in **per-thread ring buffers**: each
+// thread appends to its own fixed-capacity buffer with no locking, the
+// oldest events are overwritten when a buffer fills (drop-oldest, counted —
+// a hot path never blocks on tracing), and the exporter folds every buffer
+// into one JSON document after the traced run completes.
+//
+// Design constraints, mirroring util::metrics:
+//   1. Observation only. Nothing read back from the trace layer feeds any
+//      computation: an instrumented run is bit-identical to an
+//      uninstrumented one, with tracing enabled, disabled, or absent.
+//   2. Disabled tracing costs ~one branch. Every emission site first checks
+//      `trace_enabled()` — a single relaxed atomic load — and does nothing
+//      else when tracing is off (the default).
+//   3. Enabled tracing never blocks. The per-event cost is two steady_clock
+//      reads (span begin/end) plus one fixed-size record write into the
+//      calling thread's own buffer. The registry mutex is taken only when a
+//      thread traces its first event of a session.
+//
+// Lifecycle contract: TraceRegistry::start() begins a session (clearing any
+// previous one) and stop()/write_json() end it. Sessions must not overlap
+// with concurrently *emitting* threads — in practice every caller starts
+// tracing before launching work and exports after joining/quiescing it, as
+// the CLI and bench drivers do. Span names, arg keys and `const char*` arg
+// values must be string literals (or outlive the export); dynamic strings go
+// through TraceArg::copy, which truncates into a small inline buffer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wbist::util {
+
+namespace trace_internal {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace trace_internal
+
+/// True while a trace session is recording. One relaxed load: this is the
+/// entire hot-path cost of disabled tracing.
+inline bool trace_enabled() {
+  return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One typed key/value argument attached to a span, instant or counter.
+struct TraceArg {
+  enum class Kind : std::uint8_t { kNone, kI64, kU64, kF64, kStr, kStrCopy };
+  static constexpr std::size_t kCopyCap = 23;  // inline copy, NUL-terminated
+
+  constexpr TraceArg() = default;
+  constexpr TraceArg(const char* k, std::int64_t v) : key(k), kind(Kind::kI64) {
+    value.i64 = v;
+  }
+  constexpr TraceArg(const char* k, std::uint64_t v)
+      : key(k), kind(Kind::kU64) {
+    value.u64 = v;
+  }
+  constexpr TraceArg(const char* k, std::int32_t v)
+      : TraceArg(k, static_cast<std::int64_t>(v)) {}
+  constexpr TraceArg(const char* k, std::uint32_t v)
+      : TraceArg(k, static_cast<std::uint64_t>(v)) {}
+  constexpr TraceArg(const char* k, double v) : key(k), kind(Kind::kF64) {
+    value.f64 = v;
+  }
+  /// `v` must be a string literal (or outlive the export).
+  constexpr TraceArg(const char* k, const char* v) : key(k), kind(Kind::kStr) {
+    value.str = v;
+  }
+
+  /// Copy a dynamic string into the record (truncated to kCopyCap bytes).
+  static TraceArg copy(const char* k, std::string_view v) {
+    TraceArg a;
+    a.key = k;
+    a.kind = Kind::kStrCopy;
+    const std::size_t n = v.size() < kCopyCap ? v.size() : kCopyCap;
+    std::memcpy(a.copy_buf, v.data(), n);
+    a.copy_buf[n] = '\0';
+    return a;
+  }
+
+  const char* key = nullptr;
+  Kind kind = Kind::kNone;
+  union Value {
+    std::int64_t i64;
+    std::uint64_t u64;
+    double f64;
+    const char* str;
+  } value{0};
+  char copy_buf[kCopyCap + 1] = {};
+};
+
+/// One fixed-size trace record (span, instant event or counter sample).
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 4;
+  enum class Type : std::uint8_t { kSpan, kInstant, kCounter };
+
+  const char* name = nullptr;  // string literal
+  std::uint64_t ts_ns = 0;     // session-relative start time
+  std::uint64_t dur_ns = 0;    // spans only
+  Type type = Type::kInstant;
+  std::uint8_t n_args = 0;
+  TraceArg args[kMaxArgs];
+};
+
+/// A single thread's event ring. Only the owning thread writes; the exporter
+/// reads after the traced work has quiesced. `head` is the count of events
+/// ever pushed — when it exceeds the capacity the oldest records have been
+/// overwritten (the difference is the dropped-events count).
+class TraceBuffer {
+ public:
+  TraceBuffer(std::uint32_t tid, std::size_t capacity)
+      : tid_(tid), capacity_(capacity), events_(capacity) {}
+
+  void push(const TraceEvent& e) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    events_[static_cast<std::size_t>(h % capacity_)] = e;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  std::uint32_t tid() const { return tid_; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t pushed() const { return head_.load(std::memory_order_acquire); }
+  std::uint64_t dropped() const {
+    const std::uint64_t h = pushed();
+    return h > capacity_ ? h - capacity_ : 0;
+  }
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::uint32_t tid_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+class TraceRegistry {
+ public:
+  /// Default per-thread ring capacity (events). ~64Ki records of ~190 bytes
+  /// each, i.e. roughly 12 MiB per traced thread at the default.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  /// The process-wide registry the library instrumentation writes to.
+  static TraceRegistry& global();
+
+  /// Begin a session: drop any previous session's buffers, re-zero the
+  /// session clock and set trace_enabled(). `capacity_per_thread` is clamped
+  /// to >= 16.
+  void start(std::size_t capacity_per_thread = kDefaultCapacity);
+
+  /// Stop recording. Buffers are kept for export until the next start().
+  void stop();
+
+  /// Calling thread's buffer for the current session (registered on first
+  /// use). Only meaningful while a session is active.
+  TraceBuffer& thread_buffer();
+
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  void emit(const TraceEvent& e) { thread_buffer().push(e); }
+
+  /// Sum of dropped events over every thread buffer of the session.
+  std::uint64_t dropped_events() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of "X"/"i"/"C" events plus
+  /// thread_name metadata; extra top-level keys: "schema": "wbist.trace/1",
+  /// "otherData" with drop counters). Loadable directly in chrome://tracing
+  /// and Perfetto.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint32_t next_tid_ = 0;
+  std::atomic<std::uint64_t> session_{0};
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+/// RAII hierarchical span: records [construction, destruction) as one
+/// complete ("ph":"X") event on the calling thread's timeline. Nest freely;
+/// spans on the same thread close in LIFO order by construction, which is
+/// exactly what the Chrome renderer expects. All constructors are no-ops
+/// when tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  TraceSpan(const char* name, TraceArg a0) {
+    if (trace_enabled()) {
+      begin(name);
+      add(a0);
+    }
+  }
+  TraceSpan(const char* name, TraceArg a0, TraceArg a1) {
+    if (trace_enabled()) {
+      begin(name);
+      add(a0);
+      add(a1);
+    }
+  }
+  TraceSpan(const char* name, TraceArg a0, TraceArg a1, TraceArg a2) {
+    if (trace_enabled()) {
+      begin(name);
+      add(a0);
+      add(a1);
+      add(a2);
+    }
+  }
+  TraceSpan(const char* name, TraceArg a0, TraceArg a1, TraceArg a2,
+            TraceArg a3) {
+    if (trace_enabled()) {
+      begin(name);
+      add(a0);
+      add(a1);
+      add(a2);
+      add(a3);
+    }
+  }
+  ~TraceSpan() {
+    if (live_) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach an argument whose value is only known at span end (e.g. a
+  /// detected-fault count). Ignored when the span is not recording or the
+  /// argument slots are exhausted.
+  void arg(TraceArg a) {
+    if (live_) add(a);
+  }
+
+ private:
+  void begin(const char* name);
+  void end();
+  void add(TraceArg a) {
+    if (n_args_ < TraceEvent::kMaxArgs) args_[n_args_++] = a;
+  }
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  TraceArg args_[TraceEvent::kMaxArgs];
+  std::uint8_t n_args_ = 0;
+  bool live_ = false;
+};
+
+/// Zero-duration marker on the calling thread's timeline.
+void trace_instant(const char* name);
+void trace_instant(const char* name, TraceArg a0);
+void trace_instant(const char* name, TraceArg a0, TraceArg a1);
+void trace_instant(const char* name, TraceArg a0, TraceArg a1, TraceArg a2);
+
+/// Counter-track sample ("ph":"C"): one named series over session time.
+void trace_counter(const char* name, double value);
+
+}  // namespace wbist::util

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace wbist::util {
 
 unsigned WorkerPool::resolve(unsigned requested) {
@@ -27,6 +29,8 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::drain(const std::function<void(std::size_t, unsigned)>& fn,
                        std::size_t n, unsigned rank) {
+  TraceSpan span("worker_pool.drain", TraceArg("rank", rank),
+                 TraceArg("n", n));
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;

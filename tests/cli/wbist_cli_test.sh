@@ -57,6 +57,44 @@ expect 0 "generator netlist re-parses" info "$WORK/s27_gen.bench"
 # A .bench path is accepted anywhere a registry name is.
 expect 0 "flow on a bench path" flow "$WORK/s27.bench"
 
+# Observability flags: position-independent, both --flag path and --flag=path
+# forms, missing value is a usage error.
+expect 2 "trace flag without value" flow s27 --trace-json
+expect 2 "provenance flag without value" flow s27 --provenance-jsonl
+expect 2 "empty trace path" flow s27 --trace-json=
+expect 0 "trace flag after args" flow s27 --trace-json "$WORK/t1.json"
+expect 0 "trace flag before subcommand" --trace-json "$WORK/t2.json" flow s27
+expect 0 "trace equals form" flow s27 --trace-json="$WORK/t3.json"
+expect 0 "provenance flag" flow s27 --provenance-jsonl "$WORK/p1.jsonl"
+for f in t1.json t2.json t3.json p1.jsonl; do
+  if [ ! -s "$WORK/$f" ]; then
+    echo "FAIL: observability artifact $f is missing or empty" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+if ! head -1 "$WORK/p1.jsonl" | grep -q '"event":"header"'; then
+  echo "FAIL: provenance file does not start with a header record" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+if ! grep -q '"schema": "wbist.trace/1"' "$WORK/t1.json"; then
+  echo "FAIL: trace file missing schema marker" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# tgen --vcd writes a good-machine waveform; WBIST_OUT_DIR redirects it.
+expect 0 "tgen with vcd" tgen s27 "$WORK/s27b.seq" --vcd "$WORK/s27.vcd"
+if ! head -c 512 "$WORK/s27.vcd" | grep -q '\$enddefinitions'; then
+  echo "FAIL: tgen --vcd did not write a VCD header" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+mkdir -p "$WORK/outdir"
+WBIST_OUT_DIR="$WORK/outdir" "$WBIST" tgen s27 "$WORK/s27c.seq" \
+  --vcd rel.vcd > "$WORK/out.txt" 2> "$WORK/err.txt"
+if [ $? -ne 0 ] || [ ! -s "$WORK/outdir/rel.vcd" ]; then
+  echo "FAIL: WBIST_OUT_DIR did not redirect the --vcd artifact" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES CLI check(s) failed" >&2
   exit 1

@@ -1,0 +1,265 @@
+// Integration: the observability layer against the real pipeline.
+//  - Tracing and provenance are observation-only: a traced flow run is
+//    bit-identical to an untraced one.
+//  - A multi-threaded s298 flow produces a trace with spans on at least two
+//    tids, and child spans nest inside their parents' time windows.
+//  - The provenance JSONL for s27 accounts for every fault the deterministic
+//    sequence detects, including collapsed-class expansion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "core/flow.h"
+#include "fault/fault_list.h"
+#include "fault/fault_sim.h"
+#include "util/provenance.h"
+#include "util/trace.h"
+
+namespace wbist::core {
+namespace {
+
+using fault::DetectionResult;
+using fault::FaultId;
+using fault::FaultSet;
+using fault::FaultSimulator;
+
+FlowConfig small_config(unsigned threads = 1) {
+  FlowConfig config;
+  config.tgen.max_length = 512;
+  config.tgen.threads = threads;
+  config.compaction.threads = threads;
+  config.procedure.sequence_length = 200;
+  config.procedure.threads = threads;
+  return config;
+}
+
+FlowResult run_on(const char* name, const FlowConfig& config) {
+  const auto nl = circuits::circuit_by_name(name);
+  const FaultSet faults = FaultSet::collapsed(nl);
+  FaultSimulator sim(nl, faults);
+  return run_flow(sim, name, config);
+}
+
+void expect_identical(const FlowResult& a, const FlowResult& b) {
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.detection_time, b.detection_time);
+  EXPECT_EQ(a.t_detected, b.t_detected);
+  EXPECT_EQ(a.uncollapsed_detected, b.uncollapsed_detected);
+  EXPECT_EQ(a.uncollapsed_total, b.uncollapsed_total);
+  EXPECT_EQ(a.procedure.omega, b.procedure.omega);
+  EXPECT_EQ(a.pruned.omega, b.pruned.omega);
+  EXPECT_EQ(a.table6.t_length, b.table6.t_length);
+  EXPECT_EQ(a.table6.t_detected, b.table6.t_detected);
+  EXPECT_EQ(a.table6.n_seq, b.table6.n_seq);
+  EXPECT_EQ(a.table6.n_subs, b.table6.n_subs);
+  EXPECT_EQ(a.table6.n_fsm_outputs, b.table6.n_fsm_outputs);
+  EXPECT_EQ(a.table6.n_fsms, b.table6.n_fsms);
+  EXPECT_EQ(a.table6.max_len, b.table6.max_len);
+}
+
+/// RAII guard: whatever happens inside a test, later tests start with
+/// tracing and provenance disabled again.
+struct ObservabilityOff {
+  ~ObservabilityOff() {
+    util::TraceRegistry::global().stop();
+    util::provenance().close();
+  }
+};
+
+TEST(TraceFlow, FlowIsBitIdenticalWithTracingOnAndOff) {
+  ObservabilityOff guard;
+  const FlowResult plain = run_on("s27", small_config());
+
+  util::TraceRegistry::global().start(1 << 16);
+  util::provenance().open(testing::TempDir() + "/wbist_identity.jsonl");
+  const FlowResult traced = run_on("s27", small_config());
+  util::provenance().close();
+  util::TraceRegistry::global().stop();
+
+  expect_identical(plain, traced);
+
+  // And the other direction: a run after tracing stopped matches too.
+  const FlowResult after = run_on("s27", small_config());
+  expect_identical(plain, after);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-JSON structure. to_json() emits one event object per line, so the
+// tests below parse it line-by-line with plain substring extraction.
+
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  int tid = -1;
+  double ts = -1;
+  double dur = -1;
+};
+
+std::string str_field(const std::string& line, const std::string& key) {
+  const auto pos = line.find("\"" + key + "\":\"");
+  if (pos == std::string::npos) return {};
+  const auto start = pos + key.size() + 4;
+  return line.substr(start, line.find('"', start) - start);
+}
+
+double num_field(const std::string& line, const std::string& key) {
+  const auto pos = line.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::stod(line.substr(pos + key.size() + 3));
+}
+
+std::vector<ParsedEvent> parse_trace(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("{\"name\":") == std::string::npos) continue;
+    ParsedEvent e;
+    e.name = str_field(line, "name");
+    e.ph = str_field(line, "ph");
+    e.tid = static_cast<int>(num_field(line, "tid"));
+    e.ts = num_field(line, "ts");
+    e.dur = num_field(line, "dur");
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+TEST(TraceFlow, S298TraceHasNestedSpansOnMultipleThreads) {
+  ObservabilityOff guard;
+  util::TraceRegistry::global().start(1 << 16);
+  run_on("s298", small_config(/*threads=*/2));
+  util::TraceRegistry::global().stop();
+  ASSERT_EQ(util::TraceRegistry::global().dropped_events(), 0u)
+      << "test buffer too small for a full s298 trace";
+
+  const auto events = parse_trace(util::TraceRegistry::global().to_json());
+  ASSERT_FALSE(events.empty());
+
+  std::set<int> tids;
+  std::map<std::string, std::size_t> count;
+  for (const ParsedEvent& e : events) {
+    tids.insert(e.tid);
+    ++count[e.name];
+  }
+  EXPECT_GE(tids.size(), 2u) << "procedure ran with 2 threads";
+  for (const char* required :
+       {"flow", "flow.tgen", "procedure", "procedure.weight_set",
+        "procedure.candidate", "fault_sim.run", "fault_sim.group",
+        "worker_pool.drain", "reverse_sim", "flow.fsm_synth"})
+    EXPECT_GT(count[required], 0u) << required;
+
+  // The worker pool puts drain spans (and usually fault-group spans) on the
+  // background worker's tid, distinct from the main thread's.
+  std::set<int> drain_tids;
+  for (const ParsedEvent& e : events)
+    if (e.name == "worker_pool.drain") drain_tids.insert(e.tid);
+  EXPECT_GE(drain_tids.size(), 2u);
+
+  // Nesting: on the main thread, candidate spans sit inside the enclosing
+  // procedure span, which sits inside the flow span. Complete events carry
+  // ts/dur in microseconds, so containment is a window check.
+  const auto window = [&](const char* name) {
+    for (const ParsedEvent& e : events)
+      if (e.name == name && e.ph == "X") return e;
+    ADD_FAILURE() << "missing span " << name;
+    return ParsedEvent{};
+  };
+  const ParsedEvent flow = window("flow");
+  const ParsedEvent proc = window("procedure");
+  EXPECT_GE(proc.ts, flow.ts);
+  EXPECT_LE(proc.ts + proc.dur, flow.ts + flow.dur);
+  std::size_t candidates = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.name != "procedure.candidate") continue;
+    ++candidates;
+    EXPECT_GE(e.ts, proc.ts);
+    EXPECT_LE(e.ts + e.dur, proc.ts + proc.dur);
+    EXPECT_EQ(e.tid, proc.tid);
+  }
+  EXPECT_GT(candidates, 0u);
+
+  // Every fault-group span belongs to an enclosing span on its own tid: a
+  // worker_pool.drain on pooled runs, or the fault_sim.run itself when the
+  // run stayed single-threaded and simulated groups inline.
+  for (const ParsedEvent& e : events) {
+    if (e.name != "fault_sim.group") continue;
+    bool contained = false;
+    for (const ParsedEvent& d : events) {
+      if (d.tid != e.tid ||
+          (d.name != "worker_pool.drain" && d.name != "fault_sim.run"))
+        continue;
+      if (e.ts >= d.ts && e.ts + e.dur <= d.ts + d.dur) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "orphan fault_sim.group at ts " << e.ts;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Provenance JSONL. provenance.cpp writes fixed key order, one record per
+// line; the same substring helpers apply.
+
+TEST(TraceFlow, S27ProvenanceAccountsForEveryFlowDetectedFault) {
+  ObservabilityOff guard;
+  const std::string path = testing::TempDir() + "/wbist_prov.jsonl";
+  util::provenance().open(path);
+  const FlowResult flow = run_on("s27", small_config());
+  util::provenance().close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"schema\":\"wbist.provenance/1\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"header\""), std::string::npos);
+
+  std::map<std::uint32_t, std::int64_t> tgen_u;          // fault -> u
+  std::map<std::uint32_t, std::uint64_t> tgen_rep_size;  // fault -> expansion
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ASSERT_NE(line.find("\"event\":\"detect\""), std::string::npos) << line;
+    EXPECT_FALSE(str_field(line, "site").empty()) << line;
+    if (str_field(line, "phase") != "tgen") continue;
+    const auto fault = static_cast<std::uint32_t>(num_field(line, "fault"));
+    EXPECT_EQ(tgen_u.count(fault), 0u) << "duplicate tgen record " << fault;
+    tgen_u[fault] = static_cast<std::int64_t>(num_field(line, "u"));
+    tgen_rep_size[fault] =
+        static_cast<std::uint64_t>(num_field(line, "represented_size"));
+    // Faults detected by the deterministic sequence predate any session.
+    EXPECT_EQ(num_field(line, "session"), -1) << line;
+    EXPECT_EQ(num_field(line, "assignment_rank"), -1) << line;
+    EXPECT_FALSE(str_field(line, "obs").empty()) << line;
+  }
+
+  // The tgen records cover exactly the flow-detected set, with matching
+  // detection times, and their collapsed-class expansion reproduces the
+  // uncollapsed detection count reported by the flow.
+  std::uint64_t expanded = 0;
+  std::size_t detected = 0;
+  for (FaultId f = 0; f < flow.detection_time.size(); ++f) {
+    if (flow.detection_time[f] == DetectionResult::kUndetected) {
+      EXPECT_EQ(tgen_u.count(f), 0u) << "undetected fault " << f << " logged";
+      continue;
+    }
+    ++detected;
+    ASSERT_EQ(tgen_u.count(f), 1u) << "detected fault " << f << " missing";
+    EXPECT_EQ(tgen_u[f], flow.detection_time[f]) << "fault " << f;
+    expanded += tgen_rep_size[f];
+  }
+  EXPECT_EQ(detected, flow.t_detected);
+  EXPECT_EQ(tgen_u.size(), flow.t_detected);
+  EXPECT_EQ(expanded, flow.uncollapsed_detected);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -58,6 +59,30 @@ TEST(Vcd, OnlyChangesAfterFirstSample) {
     ++count;
   EXPECT_EQ(count, 1u);
 }
+
+#ifdef WBIST_TEST_DATA_DIR
+// Byte-exact golden dump of the s27 good machine under the paper's 10-vector
+// sequence. VcdWriter output is fully deterministic (no timestamps in the
+// header), so any diff is a real format or simulation change. Re-bless with:
+//   WBIST_BLESS_GOLDEN=1 ./sim_tests --gtest_filter=Vcd.GoldenS27GoodMachine
+TEST(Vcd, GoldenS27GoodMachine) {
+  const auto nl = circuits::s27();
+  const std::string vcd = run_and_read(nl, circuits::s27_paper_sequence());
+  const std::string golden_path =
+      std::string(WBIST_TEST_DATA_DIR) + "/s27_good.vcd";
+  if (std::getenv("WBIST_BLESS_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    out << vcd;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    GTEST_SKIP() << "blessed " << golden_path;
+  }
+  std::ifstream golden(golden_path);
+  ASSERT_TRUE(golden.good()) << "golden file missing: " << golden_path;
+  std::ostringstream ss;
+  ss << golden.rdbuf();
+  EXPECT_EQ(vcd, ss.str());
+}
+#endif
 
 TEST(Vcd, SampleCountTracksTime) {
   const auto nl = circuits::s27();

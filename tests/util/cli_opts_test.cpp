@@ -1,0 +1,92 @@
+#include "util/cli_opts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wbist::util {
+namespace {
+
+using Args = std::vector<std::string>;
+
+TEST(CliOpts, AbsentLeavesArgsAndValueUntouched) {
+  Args args{"flow", "s27"};
+  std::string value = "sentinel";
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kAbsent);
+  EXPECT_EQ(args, (Args{"flow", "s27"}));
+  EXPECT_EQ(value, "sentinel");
+}
+
+TEST(CliOpts, SeparateValueFormIsStrippedAnywhere) {
+  Args args{"--trace-json", "t.json", "flow", "s27"};
+  std::string value;
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kFound);
+  EXPECT_EQ(value, "t.json");
+  EXPECT_EQ(args, (Args{"flow", "s27"}));
+
+  args = {"flow", "--trace-json", "mid.json", "s27"};
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kFound);
+  EXPECT_EQ(value, "mid.json");
+  EXPECT_EQ(args, (Args{"flow", "s27"}));
+}
+
+TEST(CliOpts, EqualsFormIsStripped) {
+  Args args{"flow", "s27", "--trace-json=eq.json"};
+  std::string value;
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kFound);
+  EXPECT_EQ(value, "eq.json");
+  EXPECT_EQ(args, (Args{"flow", "s27"}));
+}
+
+TEST(CliOpts, LastOccurrenceWinsAndAllAreStripped) {
+  Args args{"--x=first", "flow", "--x", "second", "s27", "--x=third"};
+  std::string value;
+  EXPECT_EQ(extract_option(args, "--x", value), ExtractResult::kFound);
+  EXPECT_EQ(value, "third");
+  EXPECT_EQ(args, (Args{"flow", "s27"}));
+}
+
+TEST(CliOpts, TrailingFlagWithoutValueLeavesArgsUnchanged) {
+  Args args{"flow", "s27", "--trace-json"};
+  std::string value = "sentinel";
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kMissingValue);
+  EXPECT_EQ(args, (Args{"flow", "s27", "--trace-json"}));
+  EXPECT_EQ(value, "sentinel");
+}
+
+TEST(CliOpts, EmptyEqualsValueReportsFoundWithEmptyString) {
+  Args args{"flow", "--trace-json=", "s27"};
+  std::string value = "sentinel";
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kFound);
+  EXPECT_TRUE(value.empty());
+  EXPECT_EQ(args, (Args{"flow", "s27"}));
+}
+
+TEST(CliOpts, PrefixFlagsDoNotMatch) {
+  // "--trace-json-extra" must not be mistaken for "--trace-json".
+  Args args{"--trace-json-extra", "v"};
+  std::string value = "sentinel";
+  EXPECT_EQ(extract_option(args, "--trace-json", value),
+            ExtractResult::kAbsent);
+  EXPECT_EQ(args, (Args{"--trace-json-extra", "v"}));
+  EXPECT_EQ(value, "sentinel");
+}
+
+TEST(CliOpts, ValueMayLookLikeAnotherFlag) {
+  // The token after a separate-form flag is always consumed as its value.
+  Args args{"--a", "--b", "rest"};
+  std::string value;
+  EXPECT_EQ(extract_option(args, "--a", value), ExtractResult::kFound);
+  EXPECT_EQ(value, "--b");
+  EXPECT_EQ(args, (Args{"rest"}));
+}
+
+}  // namespace
+}  // namespace wbist::util

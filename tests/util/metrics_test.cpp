@@ -119,6 +119,25 @@ TEST(Metrics, EmptyRegistryStillEmitsAllSections) {
   EXPECT_NE(json.find("\"series\": {}"), std::string::npos);
 }
 
+TEST(Metrics, SeriesDecimatesBeyondMaxPoints) {
+  MetricsRegistry reg;
+  Series& s = reg.series("long_campaign");
+  const std::size_t n = Series::kMaxPoints * 3 + 7;
+  for (std::size_t k = 0; k < n; ++k)
+    s.push(static_cast<double>(k), static_cast<double>(k) * 2.0);
+  const auto points = s.snapshot();
+  // Bounded: never more than kMaxPoints retained (+1 transiently impossible:
+  // decimation runs before the append that would overflow).
+  EXPECT_LE(points.size(), Series::kMaxPoints);
+  EXPECT_GE(points.size(), Series::kMaxPoints / 2);
+  // The first point ever pushed and the most recent push always survive.
+  EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().first, static_cast<double>(n - 1));
+  // Monotone x order is preserved by in-place decimation.
+  for (std::size_t k = 1; k < points.size(); ++k)
+    EXPECT_LT(points[k - 1].first, points[k].first);
+}
+
 TEST(Metrics, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &metrics());
 }

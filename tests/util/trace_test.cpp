@@ -1,0 +1,172 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wbist::util {
+namespace {
+
+/// Every test runs against the process-global registry (that is what the
+/// library instrumentation uses), so each one stops tracing on exit to keep
+/// later tests starting from the disabled state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TraceRegistry::global().stop(); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndSpansAreNoOps) {
+  EXPECT_FALSE(trace_enabled());
+  {
+    TraceSpan span("never_recorded", TraceArg("x", 1));
+    trace_instant("also_never");
+    trace_counter("nor_this", 1.0);
+  }
+  // A session started afterwards must not contain the pre-session events.
+  TraceRegistry::global().start(64);
+  TraceRegistry::global().stop();
+  const std::string json = TraceRegistry::global().to_json();
+  EXPECT_EQ(json.find("never_recorded"), std::string::npos);
+  EXPECT_EQ(json.find("also_never"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEventWithArgs) {
+  TraceRegistry::global().start(64);
+  {
+    TraceSpan span("unit_span", TraceArg("i", std::int64_t{-3}),
+                   TraceArg("u", std::uint64_t{7}), TraceArg("f", 1.5),
+                   TraceArg("s", "lit"));
+  }
+  TraceRegistry::global().stop();
+  const std::string json = TraceRegistry::global().to_json();
+  EXPECT_NE(json.find("\"name\":\"unit_span\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"i\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"u\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"f\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"lit\""), std::string::npos);
+}
+
+TEST_F(TraceTest, CopiedStringArgsSurviveTheSource) {
+  TraceRegistry::global().start(64);
+  {
+    std::string dynamic = "transient-value";
+    TraceSpan span("copy_span", TraceArg::copy("k", dynamic));
+    dynamic.assign(dynamic.size(), 'X');  // clobber before export
+  }
+  TraceRegistry::global().stop();
+  EXPECT_NE(TraceRegistry::global().to_json().find("transient-value"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, EndTimeArgsAttach) {
+  TraceRegistry::global().start(64);
+  {
+    TraceSpan span("late_arg_span");
+    span.arg(TraceArg("result", std::uint64_t{42}));
+  }
+  TraceRegistry::global().stop();
+  EXPECT_NE(TraceRegistry::global().to_json().find("\"result\":42"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInLifoOrderWithinParent) {
+  TraceRegistry::global().start(64);
+  {
+    TraceSpan outer("outer_span");
+    {
+      TraceSpan inner("inner_span");
+    }
+  }
+  TraceRegistry::global().stop();
+  const std::string json = TraceRegistry::global().to_json();
+  // Both recorded; the inner span closes first and so is serialized first.
+  const auto inner_pos = json.find("inner_span");
+  const auto outer_pos = json.find("outer_span");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST_F(TraceTest, InstantAndCounterEvents) {
+  TraceRegistry::global().start(64);
+  trace_instant("marker", TraceArg("n", std::uint64_t{2}));
+  trace_counter("queue_depth", 5.0);
+  TraceRegistry::global().stop();
+  const std::string json = TraceRegistry::global().to_json();
+  EXPECT_NE(json.find("\"name\":\"marker\",\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_depth\",\"ph\":\"C\""),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, RingDropsOldestAndCountsDrops) {
+  TraceRegistry::global().start(16);  // minimum capacity
+  for (int k = 0; k < 100; ++k)
+    trace_counter("tick", static_cast<double>(k));
+  TraceRegistry::global().stop();
+  EXPECT_EQ(TraceRegistry::global().dropped_events(), 100u - 16u);
+  const std::string json = TraceRegistry::global().to_json();
+  // The newest sample survives, the oldest was overwritten (counter samples
+  // serialize as args {"value": N}).
+  EXPECT_NE(json.find("\"value\":99"), std::string::npos);
+  EXPECT_EQ(json.find("\"value\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 84"), std::string::npos);
+}
+
+TEST_F(TraceTest, PerThreadBuffersGetDistinctTids) {
+  TraceRegistry::global().start(64);
+  trace_instant("main_thread_event");
+  std::thread worker([] { trace_instant("worker_thread_event"); });
+  worker.join();
+  TraceRegistry::global().stop();
+  const std::string json = TraceRegistry::global().to_json();
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("main_thread_event"), std::string::npos);
+  EXPECT_NE(json.find("worker_thread_event"), std::string::npos);
+}
+
+TEST_F(TraceTest, StartClearsThePreviousSession) {
+  TraceRegistry::global().start(64);
+  trace_instant("first_session_event");
+  TraceRegistry::global().stop();
+  TraceRegistry::global().start(64);
+  trace_instant("second_session_event");
+  TraceRegistry::global().stop();
+  const std::string json = TraceRegistry::global().to_json();
+  EXPECT_EQ(json.find("first_session_event"), std::string::npos);
+  EXPECT_NE(json.find("second_session_event"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossStopIsDiscarded) {
+  TraceRegistry::global().start(64);
+  {
+    TraceSpan span("stopped_mid_span");
+    TraceRegistry::global().stop();
+  }
+  EXPECT_EQ(TraceRegistry::global().to_json().find("stopped_mid_span"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, TimestampsAreMicrosecondsAndMonotone) {
+  TraceRegistry::global().start(64);
+  {
+    TraceSpan outer("outer_ts");
+    {
+      TraceSpan inner("inner_ts");
+    }
+  }
+  TraceRegistry::global().stop();
+  // Just structural sanity here: the exporter emits "ts" and "dur" fields
+  // for spans; numeric ordering is covered by the integration test which
+  // checks child spans sit inside their parents' [ts, ts+dur] windows.
+  const std::string json = TraceRegistry::global().to_json();
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wbist::util

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Minimal JSON-schema validator for the repo's committed schemas.
+
+Usage:
+  tools/check_schema.py docs/schemas/wbist.trace.schema.json trace.json
+  tools/check_schema.py --jsonl docs/schemas/wbist.provenance.schema.json p.jsonl
+
+Supports the subset of JSON Schema the wbist schemas use — type, required,
+properties, items, enum, const, minimum — so CI can validate artifacts
+without a third-party jsonschema dependency. With --jsonl the instance file
+is validated line by line (each line one JSON document); the schema may give
+per-event subschemas in "oneOf" keyed by matching "properties"/"const".
+"""
+
+import argparse
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def check(instance, schema, path="$"):
+    """Return a list of error strings (empty when valid)."""
+    errors = []
+    t = schema.get("type")
+    if t is not None:
+        types = t if isinstance(t, list) else [t]
+        ok = False
+        for name in types:
+            py = TYPES[name]
+            if isinstance(instance, py) and not (
+                    name in ("integer", "number")
+                    and isinstance(instance, bool)):
+                ok = True
+                break
+        if not ok:
+            return [f"{path}: expected type {t}, got "
+                    f"{type(instance).__name__}"]
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) \
+            and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                errors.extend(check(instance[key], sub, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(check(item, schema["items"], f"{path}[{i}]"))
+    if "oneOf" in schema:
+        branches = [check(instance, sub, path) for sub in schema["oneOf"]]
+        if not any(not b for b in branches):
+            flat = "; ".join(e for b in branches for e in b[:1])
+            errors.append(f"{path}: matches no oneOf branch ({flat})")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("schema")
+    ap.add_argument("instance")
+    ap.add_argument("--jsonl", action="store_true",
+                    help="validate each line of the instance file separately")
+    args = ap.parse_args()
+
+    with open(args.schema, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    if args.jsonl:
+        with open(args.instance, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as e:
+                    errors.append(f"line {lineno}: invalid JSON: {e}")
+                    continue
+                errors.extend(f"line {lineno}: {e}"
+                              for e in check(doc, schema))
+    else:
+        with open(args.instance, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        errors = check(doc, schema)
+
+    for e in errors[:50]:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_schema: {args.instance} FAILED "
+              f"({len(errors)} errors)", file=sys.stderr)
+        return 1
+    print(f"check_schema: {args.instance} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

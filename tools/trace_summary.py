@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fold a wbist --trace-json file into per-phase / per-thread tables.
+
+Usage:
+  tools/trace_summary.py trace.json            # per-span-name summary
+  tools/trace_summary.py trace.json --by-tid   # add a per-thread breakdown
+
+Reads the Chrome/Perfetto trace_event JSON written by `wbist --trace-json`
+or `wbist_bench --trace-json` (schema wbist.trace/1) and prints, per span
+name: event count, total wall time, mean and max duration. With --by-tid,
+"worker" spans (fault_sim.group, worker_pool.drain) are additionally broken
+down per thread id, which makes rank imbalance visible at a glance.
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") not in (None, "wbist.trace/1"):
+        sys.exit(f"trace_summary: unexpected schema {doc.get('schema')!r}")
+    return doc, doc.get("traceEvents", [])
+
+
+def fmt_ms(us):
+    return f"{us / 1000.0:10.3f}"
+
+
+class Agg:
+    __slots__ = ("count", "total_us", "max_us")
+
+    def __init__(self):
+        self.count = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+
+    def add(self, dur_us):
+        self.count += 1
+        self.total_us += dur_us
+        self.max_us = max(self.max_us, dur_us)
+
+
+def render(rows, header):
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    def line(r):
+        return "  ".join(str(v).rjust(w) if i else str(v).ljust(w)
+                         for i, (v, w) in enumerate(zip(r, widths)))
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSON written by --trace-json")
+    ap.add_argument("--by-tid", action="store_true",
+                    help="break span names down per thread id")
+    args = ap.parse_args()
+
+    doc, events = load_events(args.trace)
+
+    spans = defaultdict(Agg)          # name -> Agg
+    per_tid = defaultdict(Agg)        # (name, tid) -> Agg
+    instants = defaultdict(int)       # name -> count
+    tids = set()
+    for e in events:
+        ph = e.get("ph")
+        if ph == "X":
+            name, tid = e.get("name", "?"), e.get("tid", 0)
+            dur = float(e.get("dur", 0.0))
+            spans[name].add(dur)
+            per_tid[(name, tid)].add(dur)
+            tids.add(tid)
+        elif ph == "i":
+            instants[e.get("name", "?")] += 1
+
+    rows = [[name, a.count, fmt_ms(a.total_us),
+             fmt_ms(a.total_us / a.count), fmt_ms(a.max_us)]
+            for name, a in sorted(spans.items(),
+                                  key=lambda kv: -kv[1].total_us)]
+    print(render(rows, ["span", "count", "total_ms", "mean_ms", "max_ms"]))
+
+    if instants:
+        print()
+        print(render([[n, c] for n, c in sorted(instants.items())],
+                     ["instant", "count"]))
+
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped_events", 0)
+    print(f"\nthreads: {len(tids)}  span events: "
+          f"{sum(a.count for a in spans.values())}  dropped: {dropped}")
+    if dropped:
+        print("warning: ring buffers wrapped; earliest events were dropped "
+              "(raise the capacity or trace a shorter run)", file=sys.stderr)
+
+    if args.by_tid:
+        print()
+        rows = [[f"{name} @tid{tid}", a.count, fmt_ms(a.total_us),
+                 fmt_ms(a.total_us / a.count), fmt_ms(a.max_us)]
+                for (name, tid), a in sorted(per_tid.items())]
+        print(render(rows, ["span@tid", "count", "total_ms", "mean_ms",
+                            "max_ms"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 // record BENCH_procedure.json.
 //
 //   wbist_bench [--out <path>] [--circuits a,b,c] [--threads N] [--label S]
+//               [--trace-json <path>] [--provenance-jsonl <path>]
 //
 // Runs the full weighted-BIST flow (tgen -> compaction -> procedure ->
 // reverse-order pruning -> FSM synthesis) on each circuit and writes one
@@ -24,9 +25,12 @@
 #include "fault/fault_list.h"
 #include "fault/fault_sim.h"
 #include "sim/kernel.h"
+#include "util/cli_opts.h"
 #include "util/metrics.h"
+#include "util/provenance.h"
 #include "util/strings.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -209,9 +213,12 @@ int usage() {
       "usage: wbist_bench [--out <path>] [--circuits a,b,c] [--threads N]\n"
       "                   [--label <string>] [--collapse none|equivalence|"
       "dominance]\n"
+      "                   [--trace-json <path>] [--provenance-jsonl <path>]\n"
       "runs the full flow per circuit and writes BENCH_procedure.json\n"
       "(schema wbist.bench.procedure/1); default circuits are the fast\n"
-      "Table-6 subset, default out is BENCH_procedure.json\n",
+      "Table-6 subset, default out is BENCH_procedure.json;\n"
+      "--trace-json records a Chrome/Perfetto trace of the whole run,\n"
+      "--provenance-jsonl streams per-fault detection provenance\n",
       stderr);
   return 2;
 }
@@ -228,31 +235,46 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   fault::CollapseMode collapse = fault::CollapseMode::kEquivalence;
 
-  for (int i = 1; i < argc; ++i) {
+  // Position-independent observability options, stripped before the
+  // flag loop below (shared helper with the wbist front end).
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string trace_path;
+  std::string provenance_path;
+  if (util::extract_option(args, "--trace-json", trace_path) ==
+          util::ExtractResult::kMissingValue ||
+      util::extract_option(args, "--provenance-jsonl", provenance_path) ==
+          util::ExtractResult::kMissingValue) {
+    std::fprintf(stderr,
+                 "wbist_bench: --trace-json / --provenance-jsonl need a "
+                 "path\n");
+    return 2;
+  }
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "wbist_bench: %s needs a value\n", flag);
         return nullptr;
       }
-      return argv[++i];
+      return args[++i].c_str();
     };
-    if (std::strcmp(argv[i], "--out") == 0) {
+    if (args[i] == "--out") {
       const char* v = need_value("--out");
       if (v == nullptr) return 2;
       out_path = v;
-    } else if (std::strcmp(argv[i], "--circuits") == 0) {
+    } else if (args[i] == "--circuits") {
       const char* v = need_value("--circuits");
       if (v == nullptr) return 2;
       circuits_arg = v;
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
+    } else if (args[i] == "--threads") {
       const char* v = need_value("--threads");
       if (v == nullptr) return 2;
       threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (std::strcmp(argv[i], "--label") == 0) {
+    } else if (args[i] == "--label") {
       const char* v = need_value("--label");
       if (v == nullptr) return 2;
       label = v;
-    } else if (std::strcmp(argv[i], "--collapse") == 0) {
+    } else if (args[i] == "--collapse") {
       const char* v = need_value("--collapse");
       if (v == nullptr) return 2;
       if (std::strcmp(v, "none") == 0) {
@@ -266,6 +288,16 @@ int main(int argc, char** argv) {
       }
     } else {
       return usage();
+    }
+  }
+
+  if (!trace_path.empty()) util::TraceRegistry::global().start();
+  if (!provenance_path.empty()) {
+    try {
+      util::provenance().open(provenance_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wbist_bench: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -301,5 +333,16 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s (%zu circuits)\n", out_path.c_str(), records.size());
+
+  util::provenance().close();
+  if (!trace_path.empty()) {
+    util::TraceRegistry::global().stop();
+    try {
+      util::TraceRegistry::global().write_json(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wbist_bench: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -8,11 +8,17 @@
 //   wbist synth <circuit> [out.bench]   flow + Figure-1 generator emission
 //   wbist obs <circuit>                 observation-point tradeoff table
 //
-// Every subcommand accepts `--metrics-json <path>`: after the command runs,
-// the process-wide util::metrics registry (per-phase wall times, fault-sim
-// kernel/trace cycle counts, coverage-over-time series, ...) is dumped as
-// JSON to <path>. Metrics are observation-only: the command's results are
-// bit-identical with and without the flag.
+// Every subcommand accepts these position-independent options (both
+// `--flag path` and `--flag=path` forms, anywhere on the line):
+//   --metrics-json <path>     dump the util::metrics registry (per-phase wall
+//                             times, kernel/trace cycle counts, series) as JSON
+//   --trace-json <path>       record a Chrome/Perfetto trace of the run
+//                             (util::trace spans; load at ui.perfetto.dev)
+//   --provenance-jsonl <path> stream per-fault detection provenance records
+//   --vcd <path>              (tgen only) good-machine waveform of the final
+//                             sequence, resolved against WBIST_OUT_DIR
+// All four are observation-only: the command's results are bit-identical
+// with and without them.
 //
 // Circuits may also be arbitrary `.bench` files: any argument containing
 // '/' or ending in ".bench" is loaded from disk instead of the registry.
@@ -28,17 +34,27 @@
 #include "fault/fault_list.h"
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
+#include "sim/good_sim.h"
 #include "sim/sequence_io.h"
+#include "sim/vcd.h"
 #include "tgen/compaction.h"
 #include "tgen/random_tgen.h"
+#include "util/cli_opts.h"
 #include "util/metrics.h"
+#include "util/out_dir.h"
+#include "util/provenance.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace {
 
 using namespace wbist;
+
+/// Optional --vcd destination for `tgen`, stripped in main() like the other
+/// position-independent options.
+std::string g_vcd_path;
 
 netlist::Netlist load_circuit(const std::string& name) {
   if (name.find('/') != std::string::npos ||
@@ -105,6 +121,16 @@ int cmd_tgen(const std::string& name, const std::string& out) {
   sim::write_sequence_file(comp.sequence, out,
                            nl.name() + " deterministic test sequence");
   std::printf("wrote %s\n", out.c_str());
+  if (!g_vcd_path.empty()) {
+    const std::string vcd_path = util::out_path(g_vcd_path);
+    sim::GoodSimulator good(nl);
+    sim::VcdWriter vcd(vcd_path, nl);
+    for (std::size_t u = 0; u < comp.sequence.length(); ++u) {
+      good.step(comp.sequence.row(u));
+      vcd.sample(good);
+    }
+    std::printf("wrote %s\n", vcd_path.c_str());
+  }
   return 0;
 }
 
@@ -173,15 +199,19 @@ int cmd_obs(const std::string& name) {
 int usage() {
   std::fputs(
       "usage: wbist <command> [args] [--metrics-json <path>]\n"
+      "             [--trace-json <path>] [--provenance-jsonl <path>]\n"
       "  list                         known circuits\n"
       "  info  <circuit>              structure and fault counts\n"
       "  emit  <circuit> [out.bench]  write the netlist\n"
       "  tgen  <circuit> [out.seq]    deterministic sequence + compaction\n"
+      "                               (--vcd <path>: good-machine waveform)\n"
       "  flow  <circuit>              full weighted-BIST flow (Table-6 row)\n"
       "  synth <circuit> [out.bench]  emit the Figure-1 generator netlist\n"
       "  obs   <circuit>              observation-point tradeoff\n"
       "a circuit is a registry name (see `list`) or a .bench file path;\n"
-      "--metrics-json dumps the run-metrics registry (see EXPERIMENTS.md)\n",
+      "--metrics-json dumps the run-metrics registry, --trace-json records a\n"
+      "Chrome/Perfetto trace, --provenance-jsonl streams per-fault detection\n"
+      "provenance (see EXPERIMENTS.md)\n",
       stderr);
   return 2;
 }
@@ -205,21 +235,44 @@ int dispatch(const std::vector<std::string>& args) {
   return usage();
 }
 
+/// Strip one path-valued option via util::extract_option. Returns false
+/// (after printing a usage error) when the flag is present without a value.
+bool take_path_option(std::vector<std::string>& args, std::string_view flag,
+                      std::string& value) {
+  const util::ExtractResult r = util::extract_option(args, flag, value);
+  if (r == util::ExtractResult::kMissingValue ||
+      (r == util::ExtractResult::kFound && value.empty())) {
+    std::fprintf(stderr, "wbist: %.*s needs a path\n",
+                 static_cast<int>(flag.size()), flag.data());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the position-independent --metrics-json option before dispatch.
-  std::vector<std::string> args;
+  // Strip the position-independent options before dispatch so positional
+  // parsing never sees them.
+  std::vector<std::string> args(argv + 1, argv + argc);
   std::string metrics_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "wbist: --metrics-json needs a path\n");
-        return 2;
-      }
-      metrics_path = argv[++i];
-    } else {
-      args.emplace_back(argv[i]);
+  std::string trace_path;
+  std::string provenance_path;
+  if (!take_path_option(args, "--metrics-json", metrics_path) ||
+      !take_path_option(args, "--trace-json", trace_path) ||
+      !take_path_option(args, "--provenance-jsonl", provenance_path) ||
+      !take_path_option(args, "--vcd", g_vcd_path))
+    return 2;
+
+  // Tracing and provenance start before any work so every span/detection of
+  // the run is captured; both are observation-only (see util/trace.h).
+  if (!trace_path.empty()) wbist::util::TraceRegistry::global().start();
+  if (!provenance_path.empty()) {
+    try {
+      wbist::util::provenance().open(provenance_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wbist: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -229,6 +282,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wbist: %s\n", e.what());
     rc = 1;
+  }
+  wbist::util::provenance().close();
+  if (!trace_path.empty() && rc != 2) {
+    wbist::util::TraceRegistry::global().stop();
+    try {
+      wbist::util::TraceRegistry::global().write_json(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wbist: %s\n", e.what());
+      if (rc == 0) rc = 1;
+    }
   }
   if (!metrics_path.empty() && rc != 2) {
     try {
