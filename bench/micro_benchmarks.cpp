@@ -27,6 +27,7 @@
 #include "fault/fault_sim.h"
 #include "sim/good_sim.h"
 #include "sim/kernel.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/trace.h"
 
@@ -218,6 +219,18 @@ BENCHMARK(BM_FaultCollapsing)->Unit(benchmark::kMillisecond);
 // Fault-sim thread-scaling measurement -> BENCH_faultsim.json
 // ---------------------------------------------------------------------------
 
+/// Wall-clock of one full parallel-fault run under `opt`.
+double one_faultsim_ms(const fault::FaultSimulator& sim,
+                       const fault::GoodTrace& trace,
+                       std::span<const fault::FaultId> ids,
+                       const fault::FaultSimOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto det = sim.run(trace, ids, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(det);
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
 /// Best-of-N wall-clock of one full parallel-fault run at `threads`.
 double measure_faultsim_ms(const fault::FaultSimulator& sim,
                            const fault::GoodTrace& trace,
@@ -227,12 +240,7 @@ double measure_faultsim_ms(const fault::FaultSimulator& sim,
   opt.threads = threads;
   double best = 0;
   for (int rep = 0; rep < repetitions; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto det = sim.run(trace, ids, opt);
-    const auto t1 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(det);
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double ms = one_faultsim_ms(sim, trace, ids, opt);
     if (rep == 0 || ms < best) best = ms;
   }
   return best;
@@ -317,6 +325,49 @@ bool write_faultsim_scaling_json(const char* path) {
   for (const KernelRow& k : kernel_rows)
     if (std::string_view(k.name) == "generic-w1") scalar_ms = k.wall_ms;
 
+  // Lever comparison on s5378's full collapsed list over a BIST-length
+  // window: every performance lever on vs every lever off, serial, with the
+  // gates_evaluated counter showing where the wall-clock reduction comes
+  // from. Runs are interleaved so host-load drift hits both configs alike;
+  // bit-identity of times AND detecting lines rides along.
+  const std::size_t lever_time_units = 256;
+  const auto lseq =
+      random_sequence(lever_time_units, knl.primary_inputs().size(), 7);
+  const fault::FaultSimulator lsim(knl, kfaults);
+  const fault::GoodTrace ltrace = lsim.make_trace(lseq);
+
+  fault::FaultSimOptions all_off;
+  all_off.threads = 1;
+  all_off.cone_restriction = false;
+  all_off.activity_gating = false;
+  all_off.fault_dropping = false;
+  all_off.locality_packing = false;
+  fault::FaultSimOptions all_on;
+  all_on.threads = 1;
+
+  double lever_off_ms = 0, lever_on_ms = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const double off = one_faultsim_ms(lsim, ltrace, kids, all_off);
+    const double on = one_faultsim_ms(lsim, ltrace, kids, all_on);
+    if (rep == 0 || off < lever_off_ms) lever_off_ms = off;
+    if (rep == 0 || on < lever_on_ms) lever_on_ms = on;
+  }
+  util::MetricsRegistry& reg = util::metrics();
+  const std::uint64_t gates_mark0 =
+      reg.counter("fault_sim.gates_evaluated").value();
+  const auto ldet_off = lsim.run(ltrace, kids, all_off);
+  const std::uint64_t gates_mark1 =
+      reg.counter("fault_sim.gates_evaluated").value();
+  const auto ldet_on = lsim.run(ltrace, kids, all_on);
+  const std::uint64_t gates_mark2 =
+      reg.counter("fault_sim.gates_evaluated").value();
+  const std::uint64_t lever_gates_off = gates_mark1 - gates_mark0;
+  const std::uint64_t lever_gates_on = gates_mark2 - gates_mark1;
+  const bool levers_bit_identical =
+      ldet_on.detection_time == ldet_off.detection_time &&
+      ldet_on.detecting_line == ldet_off.detecting_line &&
+      ldet_on.detected_count == ldet_off.detected_count;
+
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -358,13 +409,32 @@ bool write_faultsim_scaling_json(const char* path) {
         << (k.wall_ms > 0 ? scalar_ms / k.wall_ms : 0.0) << "}"
         << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"levers\": {\"circuit\": \"" << kernel_circuit
+      << "\", \"faults\": " << kfaults.size()
+      << ", \"time_units\": " << lever_time_units << ",\n"
+      << "    \"all_off_wall_ms\": " << lever_off_ms
+      << ", \"all_on_wall_ms\": " << lever_on_ms << ", \"speedup\": "
+      << (lever_on_ms > 0 ? lever_off_ms / lever_on_ms : 0.0) << ",\n"
+      << "    \"gates_evaluated_off\": " << lever_gates_off
+      << ", \"gates_evaluated_on\": " << lever_gates_on
+      << ", \"gates_ratio\": "
+      << (lever_gates_on > 0
+              ? static_cast<double>(lever_gates_off) /
+                    static_cast<double>(lever_gates_on)
+              : 0.0)
+      << ",\n    \"bit_identical\": "
+      << (levers_bit_identical ? "true" : "false") << "}\n"
+      << "}\n";
   std::printf(
       "wrote %s (hardware_concurrency=%u, deterministic=%s, "
-      "active_kernel=%s, kernels_bit_identical=%s)\n",
+      "active_kernel=%s, kernels_bit_identical=%s, lever_speedup=%.2fx, "
+      "levers_bit_identical=%s)\n",
       path, hw, deterministic ? "true" : "false", sim::active_kernel().name,
-      kernels_bit_identical ? "true" : "false");
-  return deterministic && kernels_bit_identical;
+      kernels_bit_identical ? "true" : "false",
+      lever_on_ms > 0 ? lever_off_ms / lever_on_ms : 0.0,
+      levers_bit_identical ? "true" : "false");
+  return deterministic && kernels_bit_identical && levers_bit_identical;
 }
 
 }  // namespace

@@ -34,7 +34,9 @@
 
 #include "fault/fault.h"
 #include "fault/fault_list.h"
+#include "netlist/cones.h"
 #include "netlist/netlist.h"
+#include "sim/good_sim.h"
 #include "sim/kernel.h"
 #include "sim/logic.h"
 #include "sim/sequence.h"
@@ -50,6 +52,34 @@ struct FaultSimOptions {
   /// Worker threads for the fault-group loop: 0 = hardware_concurrency,
   /// 1 = serial. Results are bit-identical for every value.
   unsigned threads = 0;
+
+  // Performance levers for run(). Each is bit-identical to the plain walk
+  // (same detection times and detecting lines for every input) and can be
+  // disabled independently; see DESIGN.md "Simulation cost model" for the
+  // invariants. Metrics: fault_sim.gates_evaluated, fault_sim.cycles_skipped,
+  // fault_sim.groups_retired_early, fault_sim.repacks,
+  // fault_sim.full_trace_fallbacks.
+
+  /// Evaluate only the union of the group members' fanout cones, reading
+  /// everything outside the union from the trace's good-machine recording.
+  /// Falls back to the full walk when the trace carries no full recording
+  /// (counted in fault_sim.full_trace_fallbacks).
+  bool cone_restriction = true;
+  /// Skip a group's kernel walk for cycles where its faulty state equals the
+  /// good machine's and no injection is activated. Needs the full recording,
+  /// like cone_restriction.
+  bool activity_gating = true;
+  /// Stop simulating a group once every live lane is detected, and shrink
+  /// the group's cone union as lanes retire. Long runs are additionally cut
+  /// into 64-cycle segments: whenever the surviving-fault count has halved
+  /// since the last packing, survivors are repacked into fewer, denser
+  /// groups (carrying their flip-flop state across the boundary), so the
+  /// per-cycle kernel work tracks the live fault count instead of the
+  /// original list size.
+  bool fault_dropping = true;
+  /// Pack faults into groups by cone locality (earliest cone gate first)
+  /// instead of first-come, keeping cone unions small.
+  bool locality_packing = true;
 };
 
 /// Precomputed good-machine response to one test sequence: the broadcast
@@ -69,6 +99,11 @@ struct GoodTrace {
   std::vector<sim::Word3> pi_words;
   /// length x observed.size() good-machine values (row-major by time unit).
   std::vector<sim::Word3> good_obs;
+  /// Good values of *every* node per time unit, 2 bits per node per cycle.
+  /// make_trace() always records it; the cone-restriction and activity-gating
+  /// levers need it and fall back to the plain full walk on traces built by
+  /// hand without one (full.empty()).
+  sim::FullTrace full;
 };
 
 struct DetectionResult {
@@ -172,10 +207,15 @@ class FaultSimulator {
   /// 64 * kernel().words faulty machines each.
   const sim::Kernel& kernel() const { return *kernel_; }
 
+  /// Sequential transitive-fanout cones of the circuit (computed once at
+  /// construction; drives cone restriction and locality packing).
+  const netlist::FanoutCones& cones() const { return cones_; }
+
  private:
   struct Group;
 
-  std::vector<Group> pack_groups(std::span<const FaultId> ids) const;
+  std::vector<Group> pack_groups(std::span<const FaultId> ids,
+                                 bool locality) const;
 
   /// Lazily created worker pool, grown (never shrunk) to the largest size
   /// requested so far; jobs smaller than the pool leave extra ranks idle.
@@ -189,9 +229,12 @@ class FaultSimulator {
   const FaultSet* faults_;
   const sim::Kernel* kernel_;
 
+  netlist::FanoutCones cones_;
+
   std::vector<sim::GateRec> gates_;  // combinational core in evaluation order
   std::vector<netlist::NodeId> flat_fanin_;
   std::vector<std::uint32_t> ff_index_;  // NodeId -> index in flip_flops()
+  std::vector<netlist::NodeId> ff_dnet_;  // flip-flop index -> D signal
   std::size_t max_fanin_ = 1;  // fanin-staging width for injected gates
 
   mutable std::atomic<std::size_t> good_sim_runs_{0};

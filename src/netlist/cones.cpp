@@ -1,0 +1,75 @@
+#include "netlist/cones.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace wbist::netlist {
+
+FanoutCones::FanoutCones(const Netlist& nl) {
+  if (!nl.finalized())
+    throw std::invalid_argument("cones: netlist not finalized");
+  n_ = nl.node_count();
+  words_ = (n_ + 63) / 64;
+  bits_.assign(n_ * words_, 0);
+  for (NodeId id = 0; id < n_; ++id)
+    bits_[id * words_ + id / 64] |= std::uint64_t{1} << (id % 64);
+
+  // Sweep order: combinational gates consumer-first (reverse eval order),
+  // then flip-flops, then primary inputs. Within one sweep every gate pulls
+  // the already-complete cones of its combinational consumers, so only the
+  // feedback through flip-flops needs further sweeps.
+  std::vector<NodeId> sweep;
+  sweep.reserve(n_);
+  const auto order = nl.eval_order();
+  sweep.insert(sweep.end(), order.rbegin(), order.rend());
+  sweep.insert(sweep.end(), nl.flip_flops().begin(), nl.flip_flops().end());
+  sweep.insert(sweep.end(), nl.primary_inputs().begin(),
+               nl.primary_inputs().end());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++passes_;
+    for (const NodeId id : sweep) {
+      std::uint64_t* dst = bits_.data() + static_cast<std::size_t>(id) * words_;
+      for (const NodeId c : nl.node(id).fanout) {
+        const std::uint64_t* src =
+            bits_.data() + static_cast<std::size_t>(c) * words_;
+        for (std::size_t w = 0; w < words_; ++w) {
+          const std::uint64_t merged = dst[w] | src[w];
+          if (merged != dst[w]) {
+            dst[w] = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Locality keys: eval position of each gate, then per cone the earliest
+  // gate position and the member count.
+  std::vector<std::uint32_t> eval_pos(n_, kNoGate);
+  for (std::uint32_t i = 0; i < order.size(); ++i) eval_pos[order[i]] = i;
+  pop_.assign(n_, 0);
+  first_gate_.assign(n_, kNoGate);
+  for (NodeId id = 0; id < n_; ++id) {
+    const std::uint64_t* row =
+        bits_.data() + static_cast<std::size_t>(id) * words_;
+    std::uint32_t count = 0;
+    std::uint32_t first = kNoGate;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bitsw = row[w];
+      count += static_cast<std::uint32_t>(std::popcount(bitsw));
+      while (bitsw != 0) {
+        const NodeId member = static_cast<NodeId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bitsw)));
+        bitsw &= bitsw - 1;
+        if (eval_pos[member] < first) first = eval_pos[member];
+      }
+    }
+    pop_[id] = count;
+    first_gate_[id] = first;
+  }
+}
+
+}  // namespace wbist::netlist

@@ -1,0 +1,73 @@
+// Sequential transitive-fanout cones of every node of a finalized netlist.
+//
+// The cone of node n is the set of nodes whose value can ever depend on n's
+// value — the closure of the structural fanout relation *through* flip-flops
+// (a DFF is a consumer of its D signal, and the DFF's own fanout continues
+// the cone one cycle later). A stuck-at fault rooted at n can only ever make
+// a faulty machine differ from the good machine inside cone(n); everything
+// outside is bit-identical to the fault-free circuit at every cycle. The
+// fault simulator uses this to restrict its per-group combinational walk to
+// the union of its members' cones (see fault/fault_sim.h).
+//
+// Cones are represented as fixed-width bitsets over NodeIds (words() 64-bit
+// words per node) and computed once per netlist by an iterative fixed-point:
+// sweep nodes in reverse evaluation order OR-ing every fanout's cone into
+// the node's own until no bit changes. Reverse topological order makes the
+// combinational part converge in one sweep; each extra sweep extends the
+// closure across one more rank of sequential feedback, so the pass count is
+// bounded by the depth of the circuit's flip-flop dependency structure
+// (single digits on the ISCAS-89 benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace wbist::netlist {
+
+class FanoutCones {
+ public:
+  /// No eval position: the cone contains no combinational gate.
+  static constexpr std::uint32_t kNoGate = 0xffffffffu;
+
+  /// `nl` must be finalized and outlive nothing here — all data is copied.
+  explicit FanoutCones(const Netlist& nl);
+
+  /// 64-bit words per cone bitset (= ceil(node_count / 64)).
+  std::size_t words() const { return words_; }
+
+  std::size_t node_count() const { return n_; }
+
+  /// Bitset of cone(node), node itself included; bit k = NodeId k.
+  std::span<const std::uint64_t> cone(NodeId node) const {
+    return {bits_.data() + static_cast<std::size_t>(node) * words_, words_};
+  }
+
+  bool contains(NodeId node, NodeId member) const {
+    return (cone(node)[member / 64] >> (member % 64)) & 1;
+  }
+
+  /// Number of nodes in cone(node).
+  std::uint32_t popcount(NodeId node) const { return pop_[node]; }
+
+  /// Evaluation-order position (index into Netlist::eval_order()) of the
+  /// earliest combinational gate in cone(node), or kNoGate when the cone
+  /// holds no gate. This is the locality key the fault simulator packs
+  /// groups by: faults whose cones start at nearby gates overlap heavily.
+  std::uint32_t first_gate_pos(NodeId node) const { return first_gate_[node]; }
+
+  /// Fixed-point sweeps the construction took (exposed for tests/metrics).
+  std::size_t passes() const { return passes_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::size_t passes_ = 0;
+  std::vector<std::uint64_t> bits_;  // n_ x words_, row per node
+  std::vector<std::uint32_t> pop_;
+  std::vector<std::uint32_t> first_gate_;
+};
+
+}  // namespace wbist::netlist

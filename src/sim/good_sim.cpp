@@ -15,6 +15,19 @@ using netlist::NodeId;
 static_assert(std::is_standard_layout_v<Word3> &&
               sizeof(Word3) == 2 * sizeof(std::uint64_t));
 
+void FullTrace::append(std::span<const Word3> raw) {
+  if (raw.size() != node_count_)
+    throw std::invalid_argument("full_trace: value vector width mismatch");
+  bits_.resize(bits_.size() + 2 * words_, 0);
+  std::uint64_t* one = bits_.data() + length_ * 2 * words_;
+  std::uint64_t* zero = one + words_;
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    one[n / 64] |= (raw[n].one & 1) << (n % 64);
+    zero[n / 64] |= (raw[n].zero & 1) << (n % 64);
+  }
+  ++length_;
+}
+
 GoodSimulator::GoodSimulator(const Netlist& nl)
     : nl_(&nl),
       kernel_(find_kernel("generic-w1")),

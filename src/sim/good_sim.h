@@ -17,6 +17,53 @@
 
 namespace wbist::sim {
 
+/// Packed recording of the good machine's *entire* value vector over a
+/// sequence: two bits per node per cycle (the one/zero planes of the
+/// broadcast lane). ~node_count/4 bytes per cycle, so whole traces of the
+/// larger ISCAS circuits stay well under a megabyte. The fault simulator
+/// reads it to splat fault-free values at a cone frontier and to test
+/// whether an injection is activated, instead of re-walking the circuit.
+class FullTrace {
+ public:
+  FullTrace() = default;
+  explicit FullTrace(std::size_t node_count)
+      : node_count_(node_count), words_((node_count + 63) / 64) {}
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t length() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  /// 64-bit words per plane row (node_count bits, rounded up).
+  std::size_t words() const { return words_; }
+
+  /// Cycle u's packed plane rows: words() one-plane words followed by
+  /// words() zero-plane words (bit n = node n's plane bit). Lets callers
+  /// diff whole cycles (e.g. the fault simulator's changed-node masks)
+  /// without going through per-node value() lookups.
+  std::span<const std::uint64_t> planes(std::size_t u) const {
+    return {bits_.data() + u * 2 * words_, 2 * words_};
+  }
+
+  /// Record one cycle from a simulator's post-step raw values (lane 0 of
+  /// each Word3 is the recorded value; raw values are broadcast).
+  void append(std::span<const Word3> raw);
+
+  /// Broadcast good value of `node` during cycle `u` (all 64 lanes equal).
+  Word3 value(std::size_t u, netlist::NodeId node) const {
+    const std::uint64_t* one = bits_.data() + u * 2 * words_;
+    const std::uint64_t* zero = one + words_;
+    const std::uint64_t one_bit = (one[node / 64] >> (node % 64)) & 1;
+    const std::uint64_t zero_bit = (zero[node / 64] >> (node % 64)) & 1;
+    return Word3{one_bit ? ~std::uint64_t{0} : 0,
+                 zero_bit ? ~std::uint64_t{0} : 0};
+  }
+
+ private:
+  std::size_t node_count_ = 0;
+  std::size_t words_ = 0;
+  std::size_t length_ = 0;
+  std::vector<std::uint64_t> bits_;  // per cycle: one-plane row, zero-plane row
+};
+
 class GoodSimulator {
  public:
   explicit GoodSimulator(const netlist::Netlist& nl);

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "sim/kernel_impl.h"
 
@@ -64,13 +66,38 @@ const Kernel& resolve_active() {
   return table.front();  // widest ISA backend first, else generic-w4
 }
 
+/// select_kernel() override; null = environment/CPU selection.
+const Kernel* g_selected = nullptr;
+
 }  // namespace
 
 std::span<const Kernel> kernels() { return kernel_table(); }
 
 const Kernel& active_kernel() {
+  if (g_selected != nullptr) return *g_selected;
   static const Kernel& active = resolve_active();
   return active;
+}
+
+const Kernel& select_kernel(std::string_view spec) {
+  if (spec == "auto") {
+    g_selected = nullptr;
+    return active_kernel();
+  }
+  const Kernel* k = nullptr;
+  if (spec == "generic") {
+    for (const Kernel& cand : kernel_table())
+      if (std::strncmp(cand.name, "generic", 7) == 0 &&
+          (k == nullptr || cand.words > k->words))
+        k = &cand;
+  } else {
+    k = find_kernel(spec);  // exact names, including "avx2"
+  }
+  if (k == nullptr)
+    throw std::invalid_argument("unknown or unavailable kernel backend: " +
+                                std::string(spec));
+  g_selected = k;
+  return *k;
 }
 
 const Kernel* find_kernel(std::string_view name) {

@@ -125,4 +125,13 @@ const Kernel& active_kernel();
 /// Lookup by name ("avx2", "generic-w2", ...); nullptr when absent.
 const Kernel* find_kernel(std::string_view name);
 
+/// Process-wide backend override, set once at startup from the tools'
+/// `--kernel` option and consulted by every later active_kernel() call.
+/// `spec` is "auto" (clear the override: environment/CPU selection applies),
+/// "generic" (widest generic backend), "avx2", or an exact kernel name.
+/// Returns the kernel active_kernel() will now report; throws
+/// std::invalid_argument on an unknown spec or a backend this CPU lacks.
+/// Not thread-safe: call before simulators are constructed.
+const Kernel& select_kernel(std::string_view spec);
+
 }  // namespace wbist::sim

@@ -118,12 +118,22 @@ Series& MetricsRegistry::series(std::string_view name) {
   return find_or_create(series_, name, mu_);
 }
 
+void MetricsRegistry::set_label(std::string_view name, std::string_view value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = labels_.find(name);
+  if (it == labels_.end())
+    labels_.emplace(std::string(name), std::string(value));
+  else
+    it->second = value;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, t] : timers_) t->reset();
   for (auto& [name, h] : histograms_) h->reset();
   for (auto& [name, s] : series_) s->reset();
+  labels_.clear();
 }
 
 std::string MetricsRegistry::to_json() const {
@@ -188,6 +198,17 @@ std::string MetricsRegistry::to_json() const {
       out += "]";
     }
     out += "]";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"labels\": {";
+  first = true;
+  for (const auto& [name, value] : labels_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_escaped(out, value);
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;

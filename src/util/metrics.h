@@ -121,12 +121,16 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name);
   Series& series(std::string_view name);
 
+  /// Set a string-valued annotation (e.g. the resolved kernel backend).
+  /// Last write wins; labels are cleared by reset().
+  void set_label(std::string_view name, std::string_view value);
+
   /// Zero every metric in place (entries and references survive).
   void reset();
 
   /// Stable JSON snapshot: keys sorted, fixed shape
   /// {"schema":"wbist.metrics/1","counters":{...},"timers":{...},
-  ///  "histograms":{...},"series":{...}}.
+  ///  "histograms":{...},"series":{...},"labels":{...}}.
   std::string to_json() const;
   void write_json(const std::string& path) const;
 
@@ -136,6 +140,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+  std::map<std::string, std::string, std::less<>> labels_;
 };
 
 /// Shorthand for MetricsRegistry::global().

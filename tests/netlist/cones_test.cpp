@@ -1,0 +1,137 @@
+// FanoutCones (iterative fixed-point over bitsets) against an obviously
+// correct oracle: breadth-first closure of the structural fanout relation,
+// flowing *through* flip-flops (a DFF consumes its D signal and the DFF's
+// own fanout continues the cone one cycle later). Every bit of every cone,
+// plus the popcount and first-gate-position summaries the fault simulator
+// packs groups by, must match exactly.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "circuits/registry.h"
+#include "circuits/synth_gen.h"
+#include "netlist/cones.h"
+#include "netlist/netlist.h"
+#include "testutil.h"
+
+namespace wbist::netlist {
+namespace {
+
+/// consumers[x] = every node with x among its fanins (DFFs included: their
+/// single fanin is the D signal).
+std::vector<std::vector<NodeId>> consumer_lists(const Netlist& nl) {
+  std::vector<std::vector<NodeId>> consumers(nl.node_count());
+  for (NodeId id = 0; id < nl.node_count(); ++id)
+    for (const NodeId f : nl.node(id).fanin) consumers[f].push_back(id);
+  return consumers;
+}
+
+/// Oracle cone: BFS closure of the consumer relation from `root`, root
+/// included.
+std::vector<bool> bfs_cone(const Netlist& nl,
+                           const std::vector<std::vector<NodeId>>& consumers,
+                           NodeId root) {
+  std::vector<bool> in(nl.node_count(), false);
+  std::queue<NodeId> work;
+  in[root] = true;
+  work.push(root);
+  while (!work.empty()) {
+    const NodeId n = work.front();
+    work.pop();
+    for (const NodeId c : consumers[n])
+      if (!in[c]) {
+        in[c] = true;
+        work.push(c);
+      }
+  }
+  return in;
+}
+
+void expect_cones_match_bfs(const Netlist& nl) {
+  const FanoutCones cones(nl);
+  ASSERT_EQ(cones.node_count(), nl.node_count());
+  ASSERT_EQ(cones.words(), (nl.node_count() + 63) / 64);
+  const auto consumers = consumer_lists(nl);
+  const auto order = nl.eval_order();
+
+  for (NodeId root = 0; root < nl.node_count(); ++root) {
+    const std::vector<bool> want = bfs_cone(nl, consumers, root);
+    std::uint32_t want_pop = 0;
+    for (NodeId n = 0; n < nl.node_count(); ++n) {
+      EXPECT_EQ(cones.contains(root, n), want[n])
+          << nl.name() << ": cone(" << nl.node(root).name << ") vs "
+          << nl.node(n).name;
+      want_pop += want[n];
+    }
+    EXPECT_EQ(cones.popcount(root), want_pop) << nl.node(root).name;
+
+    std::uint32_t want_first = FanoutCones::kNoGate;
+    for (std::uint32_t pos = 0; pos < order.size(); ++pos)
+      if (want[order[pos]]) {
+        want_first = pos;
+        break;
+      }
+    EXPECT_EQ(cones.first_gate_pos(root), want_first) << nl.node(root).name;
+  }
+}
+
+TEST(FanoutCones, MatchesBfsOnTinyCircuit) {
+  expect_cones_match_bfs(test::tiny_circuit());
+}
+
+TEST(FanoutCones, MatchesBfsOnS27) {
+  expect_cones_match_bfs(circuits::circuit_by_name("s27"));
+}
+
+TEST(FanoutCones, FixedPointConvergesInFewPasses) {
+  // Pass count is bounded by the flip-flop dependency depth — single
+  // digits on the real benchmarks, never the node count.
+  const Netlist nl = circuits::circuit_by_name("s298");
+  const FanoutCones cones(nl);
+  EXPECT_GE(cones.passes(), 1u);
+  EXPECT_LE(cones.passes(), 12u);
+}
+
+TEST(FanoutCones, MatchesBfsOnS298) {
+  expect_cones_match_bfs(circuits::circuit_by_name("s298"));
+}
+
+TEST(FanoutCones, MatchesBfsOnSyntheticCircuits) {
+  for (const std::uint64_t seed : {7u, 19u, 83u}) {
+    circuits::SynthProfile profile;
+    profile.name = "cones_synth";
+    profile.n_pi = 5;
+    profile.n_po = 3;
+    profile.n_ff = 6;
+    profile.n_gates = 60;
+    profile.seed = seed;
+    expect_cones_match_bfs(circuits::generate_circuit(profile));
+  }
+}
+
+TEST(FanoutCones, ConeOfAnOutputGateIsItself) {
+  // A PO gate nothing reads has the singleton cone {itself}, and its
+  // first gate is its own eval position.
+  const Netlist nl = test::tiny_circuit();
+  const NodeId out = nl.find("out");
+  const FanoutCones cones(nl);
+  EXPECT_EQ(cones.popcount(out), 1u);
+  EXPECT_TRUE(cones.contains(out, out));
+  const auto order = nl.eval_order();
+  ASSERT_NE(cones.first_gate_pos(out), FanoutCones::kNoGate);
+  EXPECT_EQ(order[cones.first_gate_pos(out)], out);
+}
+
+TEST(FanoutCones, SequentialFeedbackClosesAcrossCycles) {
+  // ff feeds n2 which feeds out; n1 feeds ff. The cone of n1 must reach
+  // out *through* the flip-flop even though no combinational path exists.
+  const Netlist nl = test::tiny_circuit();
+  const FanoutCones cones(nl);
+  EXPECT_TRUE(cones.contains(nl.find("n1"), nl.find("out")));
+  EXPECT_TRUE(cones.contains(nl.find("n1"), nl.find("ff")));
+  EXPECT_FALSE(cones.contains(nl.find("out"), nl.find("n1")));
+}
+
+}  // namespace
+}  // namespace wbist::netlist

@@ -35,6 +35,7 @@
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
 #include "sim/good_sim.h"
+#include "sim/kernel.h"
 #include "sim/sequence_io.h"
 #include "sim/vcd.h"
 #include "tgen/compaction.h"
@@ -200,6 +201,7 @@ int usage() {
   std::fputs(
       "usage: wbist <command> [args] [--metrics-json <path>]\n"
       "             [--trace-json <path>] [--provenance-jsonl <path>]\n"
+      "             [--kernel auto|generic|avx2]\n"
       "  list                         known circuits\n"
       "  info  <circuit>              structure and fault counts\n"
       "  emit  <circuit> [out.bench]  write the netlist\n"
@@ -211,7 +213,8 @@ int usage() {
       "a circuit is a registry name (see `list`) or a .bench file path;\n"
       "--metrics-json dumps the run-metrics registry, --trace-json records a\n"
       "Chrome/Perfetto trace, --provenance-jsonl streams per-fault detection\n"
-      "provenance (see EXPERIMENTS.md)\n",
+      "provenance (see EXPERIMENTS.md); --kernel pins the simulation\n"
+      "backend (auto = widest this CPU supports; all are bit-identical)\n",
       stderr);
   return 2;
 }
@@ -263,6 +266,22 @@ int main(int argc, char** argv) {
       !take_path_option(args, "--provenance-jsonl", provenance_path) ||
       !take_path_option(args, "--vcd", g_vcd_path))
     return 2;
+
+  // Backend override before any simulator is constructed. The resolved
+  // backend (overridden or not) lands in the metrics labels so a
+  // --metrics-json dump always records which kernel produced the run.
+  std::string kernel_spec;
+  if (!take_path_option(args, "--kernel", kernel_spec)) return 2;
+  if (!kernel_spec.empty()) {
+    try {
+      wbist::sim::select_kernel(kernel_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wbist: %s\n", e.what());
+      return 2;
+    }
+  }
+  wbist::util::metrics().set_label("kernel.backend",
+                                   wbist::sim::active_kernel().name);
 
   // Tracing and provenance start before any work so every span/detection of
   // the run is captured; both are observation-only (see util/trace.h).

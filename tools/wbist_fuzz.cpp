@@ -124,10 +124,22 @@ void campaign_sim_diff(FuzzCase& fc) {
                                      : fault::FaultSet::uncollapsed(nl);
   const std::vector<fault::FaultId> ids = faults.all_ids();
 
-  const std::size_t length = 1 + rng.below(24);
+  // Mostly short sequences; roughly one case in six runs long enough to
+  // cross the fault simulator's segment boundary (64 cycles), so mid-run
+  // repacking of surviving fault groups is exercised against the oracle.
+  const std::size_t length =
+      rng.below(6) == 0 ? 65 + rng.below(96) : 1 + rng.below(24);
   const sim::TestSequence seq =
       random_sequence(rng, nl.primary_inputs().size(), length);
   fc.stash("sequence.seq", sim::write_sequence(seq, "sim-diff input"));
+
+  // Randomize the four performance levers: every combination must stay
+  // bit-identical to the scalar oracle (the all-on default is one of the
+  // 16 combinations and other suites pin it explicitly).
+  const bool lever_cones = rng.next_bit();
+  const bool lever_gating = rng.next_bit();
+  const bool lever_dropping = rng.next_bit();
+  const bool lever_packing = rng.next_bit();
 
   // Occasionally observe extra lines and/or truncate the simulated window.
   std::vector<NodeId> obs;
@@ -141,7 +153,11 @@ void campaign_sim_diff(FuzzCase& fc) {
            "faults: " + std::to_string(ids.size()) +
                (collapsed ? " (collapsed)\n" : " (uncollapsed)\n") +
                "observation points: " + nodes_to_string(nl, obs) + "\n" +
-               "max_time_units: " + std::to_string(max_time) + "\n");
+               "max_time_units: " + std::to_string(max_time) + "\n" +
+               "levers: cones=" + std::to_string(lever_cones) +
+               " gating=" + std::to_string(lever_gating) +
+               " dropping=" + std::to_string(lever_dropping) +
+               " packing=" + std::to_string(lever_packing) + "\n");
 
   // Oracle: one scalar single-fault simulation per fault over the effective
   // window.
@@ -183,6 +199,10 @@ void campaign_sim_diff(FuzzCase& fc) {
     fault::FaultSimOptions opts;
     opts.observation_points = obs;
     opts.max_time_units = max_time;
+    opts.cone_restriction = lever_cones;
+    opts.activity_gating = lever_gating;
+    opts.fault_dropping = lever_dropping;
+    opts.locality_packing = lever_packing;
     opts.threads = 1;
     check_detection(fc, nl, faults, ids, want_det, fsim.run(seq, ids, opts),
                     tag + "run[threads=1]");
