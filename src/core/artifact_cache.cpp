@@ -1,0 +1,192 @@
+#include "core/artifact_cache.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "circuits/registry.h"
+#include "netlist/bench_io.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace wbist::core {
+
+namespace {
+
+constexpr std::size_t kDefaultByteBudget = 256u << 20;  // 256 MiB
+
+std::string_view collapse_name(fault::CollapseMode mode) {
+  switch (mode) {
+    case fault::CollapseMode::kNone: return "none";
+    case fault::CollapseMode::kEquivalence: return "equivalence";
+    case fault::CollapseMode::kDominance: return "dominance";
+  }
+  return "?";
+}
+
+void validate_spec(const CircuitSpec& spec) {
+  if (spec.registry_name.empty() == spec.bench_text.empty())
+    throw std::invalid_argument(
+        "artifact_cache: a CircuitSpec needs exactly one of registry_name "
+        "and bench_text");
+}
+
+/// Rough per-element footprint of the variable-size structures. This is a
+/// budget unit, not an allocator audit: it only has to scale with circuit
+/// size so the LRU bound tracks reality.
+std::size_t estimate_bytes(const netlist::Netlist& nl,
+                           const fault::FaultSet& faults,
+                           const netlist::FanoutCones& cones) {
+  std::size_t fanin_edges = 0;
+  std::size_t name_bytes = 0;
+  for (netlist::NodeId id = 0; id < nl.node_count(); ++id) {
+    const auto& n = nl.node(id);
+    fanin_edges += n.fanin.size() + n.fanout.size();
+    name_bytes += n.name.capacity();
+  }
+  const std::size_t netlist_bytes =
+      nl.node_count() * (sizeof(netlist::Node) + sizeof(netlist::NodeId) +
+                         sizeof(std::uint32_t)) +
+      fanin_edges * sizeof(netlist::NodeId) + name_bytes;
+  const std::size_t fault_bytes =
+      faults.size() * (sizeof(fault::Fault) + 2 * sizeof(std::size_t));
+  const std::size_t cone_bytes =
+      cones.node_count() * cones.words() * sizeof(std::uint64_t) +
+      cones.node_count() * 2 * sizeof(std::uint32_t);
+  return netlist_bytes + fault_bytes + cone_bytes;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string CompiledCircuit::key_for(const CircuitSpec& spec,
+                                     const CompileOptions& options) {
+  validate_spec(spec);
+  std::string key;
+  if (!spec.registry_name.empty()) {
+    key = "registry:" + spec.registry_name;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "bench:%016llx",
+                  static_cast<unsigned long long>(fnv1a64(spec.bench_text)));
+    key = buf;
+  }
+  key += '/';
+  key += collapse_name(options.collapse);
+  return key;
+}
+
+std::shared_ptr<const CompiledCircuit> CompiledCircuit::compile(
+    const CircuitSpec& spec, const CompileOptions& options) {
+  validate_spec(spec);
+  util::TraceSpan span(
+      "compile_circuit",
+      util::TraceArg::copy("circuit", spec.registry_name.empty()
+                                          ? spec.display_name
+                                          : spec.registry_name));
+
+  auto cc = std::shared_ptr<CompiledCircuit>(new CompiledCircuit);
+  cc->key_ = key_for(spec, options);
+  cc->options_ = options;
+  if (!spec.registry_name.empty()) {
+    cc->netlist_ = circuits::circuit_by_name(spec.registry_name);
+  } else {
+    cc->netlist_ = netlist::read_bench(spec.bench_text, spec.display_name);
+  }
+  cc->faults_ = fault::FaultSet::collapsed(cc->netlist_, options.collapse);
+  cc->uncollapsed_faults_ = cc->faults_.uncollapsed_size();
+  cc->cones_ = std::make_unique<netlist::FanoutCones>(cc->netlist_);
+  cc->approx_bytes_ = estimate_bytes(cc->netlist_, cc->faults_, *cc->cones_);
+  // Counted only on success so the counter answers "how many artifacts were
+  // actually derived" — failed requests (bad circuit name, parse error)
+  // never show up as compiles.
+  util::metrics().counter("artifact_cache.compiles").add(1);
+  return cc;
+}
+
+ArtifactCache::ArtifactCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget == 0 ? kDefaultByteBudget : byte_budget) {}
+
+std::shared_ptr<const CompiledCircuit> ArtifactCache::get_or_compile(
+    const CircuitSpec& spec, const CompileOptions& options, bool* was_hit) {
+  const std::string key = CompiledCircuit::key_for(spec, options);
+  auto& m = util::metrics();
+  if (was_hit != nullptr) *was_hit = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      const auto it = by_key_.find(key);
+      if (it != by_key_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch
+        ++hits_;
+        m.counter("artifact_cache.hits").add(1);
+        if (was_hit != nullptr) *was_hit = true;
+        return it->second->artifact;
+      }
+      if (inflight_.count(key) == 0) break;  // we compile
+      // Another thread is compiling this key: share its result. Counted as
+      // a hit — this request performs no compile work of its own.
+      inflight_cv_.wait(lk);
+    }
+    inflight_.emplace(key, true);
+    ++misses_;
+    m.counter("artifact_cache.misses").add(1);
+  }
+
+  std::shared_ptr<const CompiledCircuit> artifact;
+  try {
+    artifact = CompiledCircuit::compile(spec, options);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.erase(key);
+    inflight_cv_.notify_all();
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.erase(key);
+    ++compiles_;
+    lru_.push_front(Entry{key, artifact});
+    by_key_[key] = lru_.begin();
+    bytes_ += artifact->approx_bytes();
+    m.counter("artifact_cache.bytes_compiled").add(artifact->approx_bytes());
+    evict_to_budget_locked();
+    inflight_cv_.notify_all();
+  }
+  return artifact;
+}
+
+void ArtifactCache::evict_to_budget_locked() {
+  while (bytes_ > byte_budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.artifact->approx_bytes();
+    by_key_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    util::metrics().counter("artifact_cache.evictions").add(1);
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.compiles = compiles_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,164 @@
+// Content-addressed cache of compiled circuit artifacts.
+//
+// Compiling a circuit — parsing the `.bench` text (or building a registry
+// circuit), levelizing, collapsing the fault universe, and closing the
+// sequential fanout cones — is by far the most expensive fixed cost of
+// every wbist job. A one-shot CLI pays it once per process; a long-running
+// `wbist serve` daemon would pay it once per *request* unless the results
+// are kept. This module makes the compiled form an immutable, shareable
+// artifact:
+//
+//   * `CompiledCircuit` bundles the finalized netlist, the collapsed fault
+//     set, the uncollapsed fault count, and the `FanoutCones` closure. It is
+//     immutable after construction, so any number of concurrent jobs can
+//     hold a `std::shared_ptr<const CompiledCircuit>` and build their own
+//     short-lived `fault::FaultSimulator`s on top of it (the simulator
+//     borrows the cones instead of recomputing them; see fault/fault_sim.h).
+//
+//   * `ArtifactCache` maps a content key — FNV-1a hash of the exact `.bench`
+//     text, or the registry name, plus every option that changes the
+//     compiled form (today: the collapse mode) — to the artifact, with an
+//     LRU byte budget. Lookups of in-flight compilations share the result
+//     instead of compiling twice, so N concurrent requests for the same
+//     circuit perform exactly one compile.
+//
+// Observability: the cache bumps the global wbist.metrics/1 counters
+//   artifact_cache.hits / .misses / .evictions / .compiles
+// and each compile runs under a "compile_circuit" trace span, so a metrics
+// dump proves whether a request re-derived anything.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "fault/fault_list.h"
+#include "netlist/cones.h"
+#include "netlist/netlist.h"
+
+namespace wbist::core {
+
+/// Options that change the compiled form (and therefore the cache key).
+struct CompileOptions {
+  fault::CollapseMode collapse = fault::CollapseMode::kEquivalence;
+};
+
+/// What to compile: exactly one of `registry_name` (a circuits::registry
+/// name, built deterministically) or `bench_text` (verbatim `.bench`
+/// source) must be non-empty.
+struct CircuitSpec {
+  std::string registry_name;
+  std::string bench_text;
+  /// Display name for bench text (defaults to the netlist's own name).
+  std::string display_name;
+};
+
+/// An immutable compiled circuit. Everything a flow/tgen/fault-sim job
+/// needs that depends only on the circuit and the compile options.
+class CompiledCircuit {
+ public:
+  /// Compile from a spec. Throws whatever the parser/registry throws on
+  /// invalid input. This is the only way work is (re)derived; everything
+  /// downstream takes `const CompiledCircuit&`.
+  static std::shared_ptr<const CompiledCircuit> compile(
+      const CircuitSpec& spec, const CompileOptions& options = {});
+
+  /// The cache key `spec` + `options` map to (stable across processes:
+  /// registry names key by name, bench text by FNV-1a content hash).
+  static std::string key_for(const CircuitSpec& spec,
+                             const CompileOptions& options);
+
+  const std::string& key() const { return key_; }
+  const std::string& name() const { return netlist_.name(); }
+  const netlist::Netlist& netlist() const { return netlist_; }
+  const fault::FaultSet& faults() const { return faults_; }
+  const netlist::FanoutCones& cones() const { return *cones_; }
+  std::size_t uncollapsed_fault_count() const { return uncollapsed_faults_; }
+  const CompileOptions& options() const { return options_; }
+
+  /// Approximate resident size, the unit of the cache's byte budget. The
+  /// cone bitsets dominate (node_count^2 bits); netlist and fault-list
+  /// contributions are estimated per element.
+  std::size_t approx_bytes() const { return approx_bytes_; }
+
+ private:
+  CompiledCircuit() = default;
+
+  std::string key_;
+  netlist::Netlist netlist_;
+  fault::FaultSet faults_;
+  std::size_t uncollapsed_faults_ = 0;
+  std::unique_ptr<const netlist::FanoutCones> cones_;
+  CompileOptions options_;
+  std::size_t approx_bytes_ = 0;
+};
+
+/// 64-bit FNV-1a, the content hash behind bench-text keys.
+std::uint64_t fnv1a64(std::string_view data);
+
+class ArtifactCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;       ///< served from the cache (or an in-flight
+                                  ///  compile another request started)
+    std::uint64_t misses = 0;     ///< had to start a compile
+    std::uint64_t evictions = 0;  ///< artifacts dropped by the byte budget
+    std::uint64_t compiles = 0;   ///< compiles that produced an artifact
+                                  ///  (== misses unless a compile failed)
+    std::size_t entries = 0;      ///< resident artifacts
+    std::size_t bytes = 0;        ///< resident approx_bytes sum
+  };
+
+  /// `byte_budget` bounds the resident set (approx_bytes sum). At least one
+  /// artifact is always retained, so a single circuit larger than the
+  /// budget still caches. 0 keeps the default (256 MiB).
+  explicit ArtifactCache(std::size_t byte_budget = 0);
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// The artifact for `spec` + `options`, compiling at most once per key
+  /// process-wide no matter how many threads ask concurrently. Thread-safe.
+  /// Compile failures propagate to every waiter and are not cached (a
+  /// later request retries). `was_hit`, when non-null, reports whether this
+  /// request was served without starting a compile (resident entry or an
+  /// in-flight compile another request started).
+  std::shared_ptr<const CompiledCircuit> get_or_compile(
+      const CircuitSpec& spec, const CompileOptions& options = {},
+      bool* was_hit = nullptr);
+
+  Stats stats() const;
+  std::size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CompiledCircuit> artifact;
+  };
+  using LruList = std::list<Entry>;
+
+  void evict_to_budget_locked();
+
+  const std::size_t byte_budget_;
+
+  mutable std::mutex mu_;
+  std::condition_variable inflight_cv_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_key_;
+  /// Keys currently compiling; waiters block on inflight_cv_ until the
+  /// compiling thread publishes (or fails and erases the marker).
+  std::unordered_map<std::string, bool> inflight_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t compiles_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace wbist::core

@@ -1,0 +1,121 @@
+#include "core/service.h"
+
+#include <cstdio>
+
+#include "core/artifact_cache.h"
+#include "fault/fault_sim.h"
+#include "sim/sequence_io.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/trace.h"
+
+namespace wbist::core {
+
+namespace {
+
+fault::FaultSimulator make_simulator(const CompiledCircuit& cc) {
+  return fault::FaultSimulator(cc.netlist(), cc.faults(), cc.cones());
+}
+
+}  // namespace
+
+std::string info_report(const CompiledCircuit& cc) {
+  util::TraceSpan span("job.info");
+  const auto& nl = cc.netlist();
+  const auto stats = nl.stats();
+  std::string out = nl.name() + "\n";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "  inputs:        %zu\n",
+                stats.primary_inputs);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  outputs:       %zu\n",
+                stats.primary_outputs);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  flip-flops:    %zu\n", stats.flip_flops);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  logic gates:   %zu\n", stats.logic_gates);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  lines:         %zu\n", stats.lines);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  logic depth:   %zu\n", stats.max_level);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  stuck-at faults: %zu uncollapsed, %zu collapsed\n",
+                cc.uncollapsed_fault_count(), cc.faults().size());
+  out += buf;
+  return out;
+}
+
+FlowJobResult run_flow_job(const CompiledCircuit& cc,
+                           const FlowConfig& config) {
+  util::TraceSpan span("job.flow", util::TraceArg::copy("circuit", cc.name()));
+  const auto sim = make_simulator(cc);
+  FlowJobResult result{.output = {}, .flow = run_flow(sim, cc.name(), config)};
+  const auto& r = result.flow.table6;
+  util::Table t;
+  t.header({"circuit", "len", "det", "seq", "subs", "len", "num", "out",
+            "f.e."});
+  t.row({r.circuit, std::to_string(r.t_length), std::to_string(r.t_detected),
+         std::to_string(r.n_seq), std::to_string(r.n_subs),
+         std::to_string(r.max_len), std::to_string(r.n_fsms),
+         std::to_string(r.n_fsm_outputs),
+         util::fixed(100.0 * result.flow.procedure.fault_efficiency(), 1)});
+  result.output = t.render();
+  return result;
+}
+
+TgenJobResult run_tgen_job(const CompiledCircuit& cc,
+                           const tgen::TgenConfig& config,
+                           const tgen::CompactionConfig& compaction) {
+  util::TraceSpan span("job.tgen", util::TraceArg::copy("circuit", cc.name()));
+  const auto sim = make_simulator(cc);
+  const auto gen = tgen::generate_test_sequence(sim, config);
+  std::vector<fault::FaultId> must;
+  for (fault::FaultId f = 0; f < cc.faults().size(); ++f)
+    if (gen.detection_time[f] != fault::DetectionResult::kUndetected)
+      must.push_back(f);
+  const auto comp = tgen::compact_sequence(sim, gen.sequence, must, compaction);
+
+  TgenJobResult result;
+  result.detected = must.size();
+  result.total = cc.faults().size();
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s: %zu -> %zu vectors, %zu/%zu faults (%.1f%%)",
+                cc.name().c_str(), gen.sequence.length(),
+                comp.sequence.length(), must.size(), cc.faults().size(),
+                100.0 * static_cast<double>(must.size()) /
+                    static_cast<double>(cc.faults().size()));
+  result.summary = buf;
+  result.sequence = comp.sequence;
+  result.sequence_text = sim::write_sequence(
+      comp.sequence, cc.name() + " deterministic test sequence");
+  return result;
+}
+
+FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
+                                    const sim::TestSequence& seq,
+                                    unsigned threads) {
+  util::TraceSpan span("job.fault_sim",
+                       util::TraceArg::copy("circuit", cc.name()));
+  const auto sim = make_simulator(cc);
+  fault::FaultSimOptions options;
+  options.threads = threads;
+  const auto det = sim.run_all(seq, options);
+
+  FaultSimJobResult result;
+  result.detected = det.detected_count;
+  result.total = cc.faults().size();
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf, "%s: %zu/%zu faults detected (%.1f%%), %zu vectors\n",
+      cc.name().c_str(), result.detected, result.total,
+      result.total == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(result.detected) /
+                static_cast<double>(result.total),
+      seq.length());
+  result.output = buf;
+  return result;
+}
+
+}  // namespace wbist::core

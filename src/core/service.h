@@ -1,0 +1,71 @@
+// Re-entrant job entry points over immutable compiled circuits.
+//
+// These are the library calls behind both the one-shot CLI subcommands and
+// the `wbist serve` daemon: each takes a `const CompiledCircuit&` (see
+// core/artifact_cache.h) plus job parameters, derives nothing that the
+// artifact already holds, and returns the subcommand's *deterministic*
+// output text (the CLI adds its wall-clock suffixes itself — timing never
+// appears here, so daemon and CLI output can be diffed byte for byte).
+//
+// Thread-safety: every function is re-entrant; concurrent calls against the
+// same CompiledCircuit are safe because the artifact is immutable and each
+// call builds its own short-lived FaultSimulator on top of it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/flow.h"
+#include "sim/sequence.h"
+#include "tgen/compaction.h"
+#include "tgen/random_tgen.h"
+
+namespace wbist::core {
+
+class CompiledCircuit;
+
+/// `wbist info`: structure + fault counts. Byte-identical to the CLI.
+std::string info_report(const CompiledCircuit& cc);
+
+struct FlowJobResult {
+  /// The Table-6 style row exactly as `wbist flow` prints it (without the
+  /// trailing "(N.Ns)" timing line).
+  std::string output;
+  FlowResult flow;
+};
+
+/// `wbist flow`: the complete weighted-BIST flow.
+FlowJobResult run_flow_job(const CompiledCircuit& cc,
+                           const FlowConfig& config = {});
+
+struct TgenJobResult {
+  /// "s27: 104 -> 31 vectors, 32/32 faults (100.0%)" — the CLI appends
+  /// ", N.Ns" to this line.
+  std::string summary;
+  /// The compacted deterministic sequence, plus its `.seq` file rendering.
+  sim::TestSequence sequence;
+  std::string sequence_text;
+  std::size_t detected = 0;
+  std::size_t total = 0;
+};
+
+/// `wbist tgen`: deterministic sequence generation + static compaction.
+TgenJobResult run_tgen_job(const CompiledCircuit& cc,
+                           const tgen::TgenConfig& config = {},
+                           const tgen::CompactionConfig& compaction = {});
+
+struct FaultSimJobResult {
+  /// "s27: 31/32 faults detected (96.9%), 14 vectors" — deterministic.
+  std::string output;
+  std::size_t detected = 0;
+  std::size_t total = 0;
+};
+
+/// `wbist fsim`: fault-simulate one sequence against the compiled fault
+/// list. Throws std::invalid_argument when the sequence width does not
+/// match the circuit's primary-input count.
+FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
+                                    const sim::TestSequence& seq,
+                                    unsigned threads = 0);
+
+}  // namespace wbist::core

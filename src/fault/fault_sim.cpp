@@ -81,10 +81,24 @@ struct FaultSimulator::Group {
 
 FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults,
                                const sim::Kernel* kernel)
+    : FaultSimulator(nl, faults, std::make_unique<netlist::FanoutCones>(nl),
+                     kernel) {}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults,
+                               const netlist::FanoutCones& cones,
+                               const sim::Kernel* kernel)
+    : FaultSimulator(nl, faults, nullptr, kernel) {
+  cones_ = &cones;
+}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const FaultSet& faults,
+                               std::unique_ptr<netlist::FanoutCones> cones,
+                               const sim::Kernel* kernel)
     : nl_(&nl),
       faults_(&faults),
       kernel_(kernel != nullptr ? kernel : &sim::active_kernel()),
-      cones_(nl) {
+      owned_cones_(std::move(cones)),
+      cones_(owned_cones_.get()) {
   if (!nl.finalized())
     throw std::invalid_argument("fault_sim: netlist not finalized");
   gates_.reserve(nl.eval_order().size());
@@ -131,12 +145,12 @@ std::vector<FaultSimulator::Group> FaultSimulator::pack_groups(
                        const Fault& fa = (*faults_)[ids[a]];
                        const Fault& fb = (*faults_)[ids[b]];
                        const auto ka = std::make_tuple(
-                           cones_.first_gate_pos(fa.node),
-                           cones_.popcount(fa.node), fa.node, fa.pin,
+                           cones_->first_gate_pos(fa.node),
+                           cones_->popcount(fa.node), fa.node, fa.pin,
                            fa.stuck_at_one);
                        const auto kb = std::make_tuple(
-                           cones_.first_gate_pos(fb.node),
-                           cones_.popcount(fb.node), fb.node, fb.pin,
+                           cones_->first_gate_pos(fb.node),
+                           cones_->popcount(fb.node), fb.node, fb.pin,
                            fb.stuck_at_one);
                        return ka < kb;
                      });
@@ -335,7 +349,7 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
 
   std::vector<Group> groups = pack_groups(ids, options.locality_packing);
   const auto ffs = nl_->flip_flops();
-  const std::size_t cwords = cones_.words();
+  const std::size_t cwords = cones_->words();
 
   // Identity index lists for the unrestricted walk, so the cycle loop below
   // iterates the same spans whether a cone union or the whole circuit is in
@@ -356,7 +370,7 @@ DetectionResult FaultSimulator::run(const GoodTrace& trace,
     g.cone.assign(cwords, 0);
     for (unsigned lane = 0; lane < g.count; ++lane) {
       if (((g.active[lane / 64] >> (lane % 64)) & 1) == 0) continue;
-      const auto root = cones_.cone(g.roots[lane]);
+      const auto root = cones_->cone(g.roots[lane]);
       for (std::size_t w = 0; w < cwords; ++w) g.cone[w] |= root[w];
     }
     const auto in_cone = [&](NodeId n) {

@@ -138,6 +138,17 @@ class FaultSimulator {
   FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults,
                  const sim::Kernel* kernel = nullptr);
 
+  /// Same, but *borrowing* precomputed fanout cones instead of deriving
+  /// them (the single most expensive part of construction). `cones` must
+  /// have been built from `nl` and must outlive the simulator. This is the
+  /// re-entrancy hook used by the compiled-circuit artifact cache
+  /// (core/artifact_cache.h): many short-lived simulators over one
+  /// immutable compiled circuit, none of them re-levelizing or re-walking
+  /// the fanout closure.
+  FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults,
+                 const netlist::FanoutCones& cones,
+                 const sim::Kernel* kernel = nullptr);
+
   FaultSimulator(const FaultSimulator&) = delete;
   FaultSimulator& operator=(const FaultSimulator&) = delete;
 
@@ -208,11 +219,18 @@ class FaultSimulator {
   const sim::Kernel& kernel() const { return *kernel_; }
 
   /// Sequential transitive-fanout cones of the circuit (computed once at
-  /// construction; drives cone restriction and locality packing).
-  const netlist::FanoutCones& cones() const { return cones_; }
+  /// construction, or borrowed from a compiled-circuit artifact; drives
+  /// cone restriction and locality packing).
+  const netlist::FanoutCones& cones() const { return *cones_; }
 
  private:
   struct Group;
+
+  /// Delegation target: `cones` owned when non-null (the public borrowing
+  /// constructor patches `cones_` afterwards).
+  FaultSimulator(const netlist::Netlist& nl, const FaultSet& faults,
+                 std::unique_ptr<netlist::FanoutCones> cones,
+                 const sim::Kernel* kernel);
 
   std::vector<Group> pack_groups(std::span<const FaultId> ids,
                                  bool locality) const;
@@ -229,7 +247,9 @@ class FaultSimulator {
   const FaultSet* faults_;
   const sim::Kernel* kernel_;
 
-  netlist::FanoutCones cones_;
+  /// Borrowed when constructed against precomputed cones, owned otherwise.
+  std::unique_ptr<netlist::FanoutCones> owned_cones_;
+  const netlist::FanoutCones* cones_;
 
   std::vector<sim::GateRec> gates_;  // combinational core in evaluation order
   std::vector<netlist::NodeId> flat_fanin_;

@@ -1,0 +1,82 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace wbist::serve {
+
+Client::Client(const Endpoint& endpoint) {
+  if (endpoint.unix_path.empty() == (endpoint.tcp_port < 0))
+    throw std::invalid_argument(
+        "serve: endpoint needs exactly one of unix_path and tcp_port");
+  if (!endpoint.unix_path.empty()) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw std::runtime_error(std::string("serve: socket: ") +
+                               std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof addr.sun_path) {
+      ::close(fd_);
+      throw std::runtime_error("serve: unix socket path too long: " +
+                               endpoint.unix_path);
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      throw std::runtime_error("serve: cannot connect to " +
+                               endpoint.unix_path + ": " +
+                               std::strerror(err));
+    }
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw std::runtime_error(std::string("serve: socket: ") +
+                               std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.tcp_port));
+    if (::inet_pton(AF_INET, endpoint.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd_);
+      throw std::runtime_error("serve: bad host '" + endpoint.tcp_host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      throw std::runtime_error("serve: cannot connect to " +
+                               endpoint.tcp_host + ":" +
+                               std::to_string(endpoint.tcp_port) + ": " +
+                               std::strerror(err));
+    }
+  }
+}
+
+Client::~Client() {
+  if (fd_ != -1) ::close(fd_);
+}
+
+std::string Client::round_trip(std::string_view request) {
+  write_frame(fd_, request);
+  std::string response;
+  if (!read_frame(fd_, response))
+    throw std::runtime_error("serve: daemon closed the connection");
+  return response;
+}
+
+std::string submit(const Endpoint& endpoint, std::string_view request) {
+  Client client(endpoint);
+  return client.round_trip(request);
+}
+
+}  // namespace wbist::serve

@@ -1,0 +1,43 @@
+// Client side of the `wbist serve` protocol: connect, frame a request,
+// read the framed response. Used by `wbist submit`, the serve tests, and
+// any embedding that wants to talk to a running daemon in-process.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wbist::serve {
+
+/// Where a daemon listens. Exactly one of `unix_path` / `tcp_port >= 0`.
+struct Endpoint {
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+};
+
+/// A connection to a daemon. One Client = one socket; requests on the same
+/// Client are served in order by one handler thread on the server side.
+/// Not thread-safe — use one Client per thread.
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error when the daemon is
+  /// not reachable.
+  explicit Client(const Endpoint& endpoint);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip. `request` must be a wbist.serve/1
+  /// JSON document; the raw response payload is returned. Throws on
+  /// transport errors (including the daemon closing mid-request).
+  std::string round_trip(std::string_view request);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Convenience: one-shot connect + round_trip + close.
+std::string submit(const Endpoint& endpoint, std::string_view request);
+
+}  // namespace wbist::serve

@@ -1,0 +1,83 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace wbist::serve {
+
+namespace {
+
+[[noreturn]] void io_error(const char* what) {
+  throw std::runtime_error(std::string("serve: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+/// Read exactly `n` bytes. Returns bytes read before EOF (== n normally).
+std::size_t read_exact(int fd, void* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, static_cast<char*>(buf) + done, n - done);
+    if (r == 0) break;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_error("read");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return done;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE instead of killing
+    // the daemon with SIGPIPE.
+    const ssize_t w = ::send(fd, static_cast<const char*>(buf) + done,
+                             n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_error("write");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char hdr[4];
+  const std::size_t got = read_exact(fd, hdr, sizeof hdr);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got != sizeof hdr)
+    throw std::runtime_error("serve: truncated frame header");
+  const std::uint32_t len = (std::uint32_t{hdr[0]} << 24) |
+                            (std::uint32_t{hdr[1]} << 16) |
+                            (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
+  if (len > kMaxFrameBytes)
+    throw std::runtime_error("serve: frame exceeds " +
+                             std::to_string(kMaxFrameBytes) + " bytes");
+  payload.resize(len);
+  if (len != 0 && read_exact(fd, payload.data(), len) != len)
+    throw std::runtime_error("serve: truncated frame payload");
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw std::runtime_error("serve: frame exceeds " +
+                             std::to_string(kMaxFrameBytes) + " bytes");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char hdr[4] = {static_cast<unsigned char>(len >> 24),
+                                static_cast<unsigned char>(len >> 16),
+                                static_cast<unsigned char>(len >> 8),
+                                static_cast<unsigned char>(len)};
+  write_all(fd, hdr, sizeof hdr);
+  write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace wbist::serve

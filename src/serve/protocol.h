@@ -1,0 +1,37 @@
+// Wire framing for the `wbist serve` protocol (schema wbist.serve/1).
+//
+// Every message — request or response — is one frame:
+//
+//   +----------------------+-------------------------+
+//   | length: u32, big-end | payload: `length` bytes |
+//   +----------------------+-------------------------+
+//
+// The payload is a single UTF-8 JSON document (docs/schemas/
+// wbist.serve-v1.md describes the request/response objects). Length-prefix
+// framing keeps the parser trivial for any client language: read 4 bytes,
+// read N bytes, parse. Frames above kMaxFrameBytes are rejected before any
+// allocation so a malicious length cannot balloon the server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wbist::serve {
+
+inline constexpr std::string_view kSchema = "wbist.serve/1";
+
+/// Upper bound on one frame's payload (64 MiB — a s38417-sized `.bench`
+/// inlined in a request is ~1 MiB, so this is generous).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Read one frame from `fd` into `payload`. Returns false on clean EOF at a
+/// frame boundary (the peer closed); throws std::runtime_error on short
+/// reads inside a frame, I/O errors, or an oversized length prefix.
+bool read_frame(int fd, std::string& payload);
+
+/// Write one frame. Throws std::runtime_error on I/O errors (including a
+/// peer that disappeared mid-write; SIGPIPE is suppressed).
+void write_frame(int fd, std::string_view payload);
+
+}  // namespace wbist::serve

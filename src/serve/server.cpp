@@ -1,0 +1,354 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/service.h"
+#include "serve/protocol.h"
+#include "sim/sequence_io.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace wbist::serve {
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+fault::CollapseMode parse_collapse(const std::string& s) {
+  if (s == "none") return fault::CollapseMode::kNone;
+  if (s == "equivalence") return fault::CollapseMode::kEquivalence;
+  if (s == "dominance") return fault::CollapseMode::kDominance;
+  throw std::invalid_argument("unknown collapse mode '" + s + "'");
+}
+
+/// A request error that maps to the CLI's usage exit code (2) instead of
+/// the runtime one (1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ResponseBuilder {
+  std::string json = "{";
+  bool first = true;
+
+  void sep() {
+    if (!first) json += ',';
+    first = false;
+  }
+  void field(std::string_view key, std::string_view str_value) {
+    sep();
+    util::append_json_string(json, key);
+    json += ':';
+    util::append_json_string(json, str_value);
+  }
+  void field_bool(std::string_view key, bool v) {
+    sep();
+    util::append_json_string(json, key);
+    json += v ? ":true" : ":false";
+  }
+  void field_int(std::string_view key, long long v) {
+    sep();
+    util::append_json_string(json, key);
+    json += ':' + std::to_string(v);
+  }
+  /// `raw` must already be valid JSON (nested object, number, ...).
+  void field_raw(std::string_view key, std::string_view raw) {
+    sep();
+    util::append_json_string(json, key);
+    json += ':';
+    json += raw;
+  }
+  std::string finish() {
+    json += '}';
+    return std::move(json);
+  }
+};
+
+std::string error_response(int exit_code, std::string_view message) {
+  ResponseBuilder rb;
+  rb.field("schema", kSchema);
+  rb.field_bool("ok", false);
+  rb.field_int("exit", exit_code);
+  rb.field("error", message);
+  return rb.finish();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_bytes) {
+  if (config_.unix_path.empty() == (config_.tcp_port < 0))
+    throw std::invalid_argument(
+        "serve: configure exactly one of unix_path and tcp_port");
+  if (config_.handler_threads == 0) config_.handler_threads = 1;
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+  if (wake_pipe_[0] != -1) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] != -1) ::close(wake_pipe_[1]);
+}
+
+void Server::start() {
+  if (started_) throw std::logic_error("serve: already started");
+  if (::pipe(wake_pipe_) != 0) sys_error("pipe");
+
+  if (!config_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) sys_error("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof addr.sun_path)
+      throw std::runtime_error("serve: unix socket path too long: " +
+                               config_.unix_path);
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(config_.unix_path.c_str());  // drop a stale socket file
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      sys_error("bind " + config_.unix_path);
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) sys_error("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      sys_error("bind 127.0.0.1:" + std::to_string(config_.tcp_port));
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+      sys_error("getsockname");
+    resolved_port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (::listen(listen_fd_, 64) != 0) sys_error("listen");
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_main(); });
+  handlers_.reserve(config_.handler_threads);
+  for (unsigned k = 0; k < config_.handler_threads; ++k)
+    handlers_.emplace_back([this] { handler_main(); });
+}
+
+void Server::request_stop() {
+  // Async-signal-safe: one atomic store plus one write(2).
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] != -1) {
+    const char b = 's';
+    [[maybe_unused]] const ssize_t w = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+}
+
+void Server::accept_main() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        stop_requested_.load(std::memory_order_acquire))
+      break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    util::metrics().counter("serve.connections").add(1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+  orderly_stop();
+}
+
+void Server::orderly_stop() {
+  stopping_.store(true, std::memory_order_release);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Drop connections that were accepted but never picked up, and
+    // half-close in-flight ones so their handler's blocking read returns.
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::handler_main() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+      active_fds_.insert(fd);
+    }
+    serve_connection(fd);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string payload;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    try {
+      if (!read_frame(fd, payload)) return;  // peer closed
+    } catch (const std::exception&) {
+      return;  // torn frame / reset: nothing sane to answer
+    }
+    bool shutdown = false;
+    std::string response = handle_request(payload, shutdown);
+    try {
+      write_frame(fd, response);
+    } catch (const std::exception&) {
+      util::metrics().counter("serve.write_errors").add(1);
+      return;
+    }
+    if (shutdown) {
+      request_stop();
+      return;
+    }
+  }
+}
+
+std::string Server::handle_request(const std::string& payload,
+                                   bool& shutdown) {
+  util::metrics().counter("serve.requests").add(1);
+  std::string job;
+  try {
+    const util::JsonValue req = [&] {
+      try {
+        return util::json_parse(payload);
+      } catch (const std::exception& e) {
+        throw UsageError(e.what());
+      }
+    }();
+    job = req.get_string("job");
+    if (job.empty()) throw UsageError("request is missing \"job\"");
+    util::TraceSpan span("serve.request", util::TraceArg::copy("job", job));
+    util::metrics().counter("serve.jobs." + job).add(1);
+
+    ResponseBuilder rb;
+    rb.field("schema", kSchema);
+
+    if (job == "ping") {
+      rb.field_bool("ok", true);
+      rb.field_int("exit", 0);
+      rb.field("output", "pong\n");
+      return rb.finish();
+    }
+    if (job == "shutdown") {
+      shutdown = true;
+      rb.field_bool("ok", true);
+      rb.field_int("exit", 0);
+      rb.field("output", "shutting down\n");
+      return rb.finish();
+    }
+    if (job == "metrics") {
+      rb.field_bool("ok", true);
+      rb.field_int("exit", 0);
+      // The registry dump is itself a JSON document; embed it as one.
+      rb.field_raw("metrics", util::metrics().to_json());
+      return rb.finish();
+    }
+
+    if (job != "info" && job != "flow" && job != "tgen" && job != "fault-sim")
+      throw UsageError("unknown job '" + job + "'");
+
+    core::CircuitSpec spec;
+    spec.registry_name = req.get_string("circuit");
+    spec.bench_text = req.get_string("bench");
+    spec.display_name = req.get_string("name");
+    if (spec.registry_name.empty() && spec.bench_text.empty())
+      throw UsageError("request needs \"circuit\" or \"bench\"");
+    if (!spec.registry_name.empty() && !spec.bench_text.empty())
+      throw UsageError("request has both \"circuit\" and \"bench\"");
+
+    core::CompileOptions copts;
+    if (const std::string c = req.get_string("collapse"); !c.empty()) {
+      try {
+        copts.collapse = parse_collapse(c);
+      } catch (const std::exception& e) {
+        throw UsageError(e.what());
+      }
+    }
+
+    bool cache_hit = false;
+    const auto cc = cache_.get_or_compile(spec, copts, &cache_hit);
+
+    std::string output;
+    if (job == "info") {
+      output = core::info_report(*cc);
+    } else if (job == "flow") {
+      output = core::run_flow_job(*cc).output;
+    } else if (job == "tgen") {
+      const auto r = core::run_tgen_job(*cc);
+      output = r.summary + "\n";
+      rb.field("sequence", r.sequence_text);
+      rb.field_int("detected", static_cast<long long>(r.detected));
+      rb.field_int("total", static_cast<long long>(r.total));
+    } else {  // fault-sim
+      const std::string seq_text = req.get_string("sequence");
+      if (seq_text.empty()) throw UsageError("fault-sim needs \"sequence\"");
+      const auto seq = sim::read_sequence(seq_text);
+      const auto threads =
+          static_cast<unsigned>(req.get_int("threads", 0));
+      const auto r = core::run_fault_sim_job(*cc, seq, threads);
+      output = r.output;
+      rb.field_int("detected", static_cast<long long>(r.detected));
+      rb.field_int("total", static_cast<long long>(r.total));
+    }
+
+    rb.field_bool("ok", true);
+    rb.field_int("exit", 0);
+    rb.field("output", output);
+    rb.field_raw("cache", std::string("{\"hit\":") +
+                              (cache_hit ? "true" : "false") +
+                              ",\"key\":" + util::json_quote(cc->key()) + "}");
+    return rb.finish();
+  } catch (const UsageError& e) {
+    util::metrics().counter("serve.errors").add(1);
+    return error_response(2, e.what());
+  } catch (const std::exception& e) {
+    util::metrics().counter("serve.errors").add(1);
+    return error_response(1, e.what());
+  }
+}
+
+}  // namespace wbist::serve

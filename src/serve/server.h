@@ -1,0 +1,115 @@
+// The `wbist serve` daemon: a persistent process answering framed JSON job
+// requests (see serve/protocol.h) against a shared compiled-circuit cache.
+//
+// Architecture (DESIGN.md "Serve architecture" has the full picture):
+//
+//   accept thread ──> pending-connection queue ──> K handler threads
+//                                                      │
+//                                          ArtifactCache (shared, LRU)
+//                                                      │
+//                                    core::run_*_job(const CompiledCircuit&)
+//
+// One thread polls the listening socket (plus a self-pipe, so both the
+// shutdown job and a signal handler can interrupt the poll with a single
+// async-signal-safe write()). Accepted connections queue to a fixed set of
+// handler threads; each handler serves its connection's requests
+// sequentially until the peer closes. Requests compile circuits at most
+// once process-wide through the ArtifactCache and then run the re-entrant
+// core::service entry points — the simulation inside a job parallelizes on
+// the fault simulator's own worker pool exactly as the one-shot CLI does,
+// so daemon results are bit-identical to CLI results.
+//
+// Shutdown is orderly: stop accepting, wake idle handlers, half-close
+// in-flight connections (blocked reads return EOF), join every thread,
+// unlink the unix socket. A `{"job":"shutdown"}` request answers first and
+// then triggers exactly this path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/artifact_cache.h"
+
+namespace wbist::serve {
+
+struct ServerConfig {
+  /// Exactly one listening endpoint: a unix-domain socket path, or TCP on
+  /// 127.0.0.1 when `tcp_port` >= 0 (0 picks an ephemeral port; read it
+  /// back with port()).
+  std::string unix_path;
+  int tcp_port = -1;
+
+  /// Connection-handler threads (concurrent in-flight requests).
+  unsigned handler_threads = 4;
+
+  /// ArtifactCache byte budget (0 = the cache's default).
+  std::size_t cache_bytes = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+
+  /// Joins all threads; equivalent to request_stop() + wait().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept + handler threads. Throws
+  /// std::runtime_error when the endpoint cannot be bound.
+  void start();
+
+  /// Block until the daemon has fully stopped (shutdown job, signal via
+  /// request_stop(), or destructor).
+  void wait();
+
+  /// Interrupt the daemon from any context — including a signal handler:
+  /// the only work done here is an atomic store and one write() to the
+  /// self-pipe. The accept thread performs the orderly teardown.
+  void request_stop();
+
+  /// Resolved TCP port (after start(); -1 for unix endpoints).
+  int port() const { return resolved_port_; }
+
+  const core::ArtifactCache& cache() const { return cache_; }
+
+ private:
+  void accept_main();
+  void handler_main();
+  void serve_connection(int fd);
+
+  /// Executes one request payload; returns the response payload and sets
+  /// `shutdown` when the request asked the daemon to stop.
+  std::string handle_request(const std::string& payload, bool& shutdown);
+
+  void orderly_stop();  // run on the accept thread only
+
+  ServerConfig config_;
+  core::ArtifactCache cache_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int resolved_port_ = -1;
+  bool started_ = false;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;               // accepted, not yet handled
+  std::unordered_set<int> active_fds_;    // currently inside a handler
+
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace wbist::serve

@@ -4,23 +4,29 @@ namespace wbist::util {
 
 ExtractResult extract_option(std::vector<std::string>& args,
                              std::string_view flag, std::string& value) {
+  // Parse into a local first: kMissingValue must leave both `args` and
+  // `value` exactly as the caller passed them, even when an *earlier*
+  // occurrence already produced a value (e.g. `--x=a ... --x` used to
+  // clobber `value` with "a" and then report the usage error).
   ExtractResult result = ExtractResult::kAbsent;
+  std::string extracted;
   std::vector<std::string> kept;
   kept.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == flag) {
       if (i + 1 >= args.size()) return ExtractResult::kMissingValue;
-      value = args[++i];
+      extracted = args[++i];
       result = ExtractResult::kFound;
     } else if (arg.size() > flag.size() && arg.compare(0, flag.size(), flag) == 0 &&
                arg[flag.size()] == '=') {
-      value = arg.substr(flag.size() + 1);
+      extracted = arg.substr(flag.size() + 1);
       result = ExtractResult::kFound;
     } else {
       kept.push_back(arg);
     }
   }
+  if (result == ExtractResult::kFound) value = std::move(extracted);
   args = std::move(kept);
   return result;
 }

@@ -19,10 +19,15 @@ enum class ExtractResult {
 };
 
 /// Remove every `--flag <value>` / `--flag=<value>` occurrence of `flag`
-/// (pass it with the leading dashes) from `args`. When the flag appears more
-/// than once the last value wins. A present-but-empty value (`--flag=`)
-/// reports kFound with an empty string — callers that require a path should
-/// treat that as a usage error.
+/// (pass it with the leading dashes) from `args`.
+///
+/// Duplicate flags are allowed and the *last* occurrence wins; all
+/// occurrences are stripped. On kFound, `value` is overwritten with the
+/// winning value; a present-but-empty value (`--flag=`) reports kFound with
+/// an empty string — callers that require a path should treat that as a
+/// usage error. On kAbsent and kMissingValue both `args` and `value` are
+/// left untouched (kMissingValue in particular never publishes a value from
+/// an earlier duplicate occurrence).
 ExtractResult extract_option(std::vector<std::string>& args,
                              std::string_view flag, std::string& value);
 

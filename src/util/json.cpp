@@ -1,0 +1,370 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace wbist::util {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_json_string(out, s);
+  return out;
+}
+
+// -- JsonValue ---------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void kind_error(std::string_view wanted, JsonValue::Kind got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "number",
+                                           "string", "array", "object"};
+  throw std::runtime_error("json: expected " + std::string(wanted) +
+                           ", got " + kNames[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return num_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double v = as_number();
+  if (std::nearbyint(v) != v ||
+      v < static_cast<double>(std::numeric_limits<std::int64_t>::min()) ||
+      v >= static_cast<double>(std::numeric_limits<std::int64_t>::max()))
+    throw std::runtime_error("json: number is not a representable integer");
+  return static_cast<std::int64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return arr_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return obj_;
+}
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string_view fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind_ == Kind::kString ? v->str_
+                                                   : std::string(fallback);
+}
+
+std::int64_t JsonValue::get_int(std::string_view key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind_ == Kind::kNumber ? v->as_int() : fallback;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind_ == Kind::kBool ? v->bool_ : fallback;
+}
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double x) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = x;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+// -- parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue::null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue::object(std::move(members));
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue::array(std::move(items));
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (take() != '\\' || take() != 'u') fail("lone high surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return JsonValue::number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace wbist::util

@@ -1,0 +1,84 @@
+// Minimal JSON support shared by every writer and by the serve protocol.
+//
+// Writing: append_json_string() is the one string escaper for all emitted
+// JSON (metrics, traces, provenance, serve responses). It escapes the two
+// mandatory characters (`"` and `\`), uses the short forms for `\n` and
+// `\t`, and `\u00XX`-escapes every other control character, so no input
+// byte is ever silently dropped. Bytes >= 0x20 pass through unchanged
+// (UTF-8 stays UTF-8).
+//
+// Reading: a small recursive-descent parser for the serve request/response
+// payloads. It accepts strict JSON (RFC 8259) with the one relaxation that
+// numbers are surfaced as doubles plus an exact-integer view. Depth is
+// bounded to keep adversarial inputs from overflowing the stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wbist::util {
+
+/// Append `s` to `out` as a quoted, escaped JSON string literal.
+void append_json_string(std::string& out, std::string_view s);
+
+/// The escaped literal alone (convenience for tests and small writers).
+std::string json_quote(std::string_view s);
+
+/// A parsed JSON value. Objects preserve no duplicate keys (last wins, as
+/// every mainstream parser does) and are stored sorted for deterministic
+/// iteration.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Type-checked accessors; each throws std::runtime_error (with the
+  /// expected/actual kinds) on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// The number as an integer; throws when the value is not integral or
+  /// does not fit in int64.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or when this is no object.
+  const JsonValue* get(std::string_view key) const;
+
+  /// Convenience lookups with defaults, for optional request fields.
+  std::string get_string(std::string_view key,
+                         std::string_view fallback = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+  // -- construction (used by the parser and by response builders) -----------
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Parse one JSON document (the whole of `text` modulo surrounding
+/// whitespace). Throws std::runtime_error with a byte offset on malformed
+/// input, trailing garbage, or nesting deeper than 64 levels. `\uXXXX`
+/// escapes are decoded to UTF-8 (surrogate pairs included).
+JsonValue json_parse(std::string_view text);
+
+}  // namespace wbist::util

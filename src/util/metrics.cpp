@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/json.h"
+
 namespace wbist::util {
 
 void Histogram::record(std::uint64_t v) {
@@ -74,24 +76,7 @@ auto& find_or_create(Map& map, std::string_view name, std::mutex& mu) {
 }
 
 void append_escaped(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
+  append_json_string(out, s);
 }
 
 void append_double(std::string& out, double v) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/json.h"
+
 namespace wbist::util {
 
 ProvenanceLog& ProvenanceLog::global() {
@@ -35,13 +37,10 @@ void ProvenanceLog::close() {
 
 namespace {
 
+// The shared escaper \u00XX-escapes control characters instead of dropping
+// them (site/phase strings used to lose bytes here).
 void append_escaped(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (static_cast<unsigned char>(c) >= 0x20) out += c;
-  }
-  out += '"';
+  append_json_string(out, s);
 }
 
 }  // namespace

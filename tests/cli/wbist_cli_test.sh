@@ -41,8 +41,11 @@ expect 0 "info" info s27
 expect 0 "emit" emit s27 "$WORK/s27.bench"
 expect 0 "tgen" tgen s27 "$WORK/s27.seq"
 expect 0 "flow" flow s27
+expect 0 "fsim" fsim s27 "$WORK/s27.seq"
 expect 0 "synth" synth s27 "$WORK/s27_gen.bench"
 expect 0 "obs" obs s27
+expect 2 "fsim without sequence" fsim s27
+expect 1 "fsim with missing sequence file" fsim s27 "$WORK/absent.seq"
 
 # Emitted artifacts exist, are non-empty, and the netlists re-parse.
 for f in s27.bench s27.seq s27_gen.bench; do
@@ -92,6 +95,28 @@ WBIST_OUT_DIR="$WORK/outdir" "$WBIST" tgen s27 "$WORK/s27c.seq" \
   --vcd rel.vcd > "$WORK/out.txt" 2> "$WORK/err.txt"
 if [ $? -ne 0 ] || [ ! -s "$WORK/outdir/rel.vcd" ]; then
   echo "FAIL: WBIST_OUT_DIR did not redirect the --vcd artifact" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# WBIST_OUT_DIR applies to every artifact flag, not just --vcd.
+WBIST_OUT_DIR="$WORK/outdir" "$WBIST" flow s27 \
+  --metrics-json rel-metrics.json --trace-json rel-trace.json \
+  --provenance-jsonl rel-prov.jsonl > "$WORK/out.txt" 2> "$WORK/err.txt"
+if [ $? -ne 0 ]; then
+  echo "FAIL: flow with WBIST_OUT_DIR observability flags failed" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+for f in rel-metrics.json rel-trace.json rel-prov.jsonl; do
+  if [ ! -s "$WORK/outdir/$f" ]; then
+    echo "FAIL: WBIST_OUT_DIR did not redirect $f" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+# Absolute paths bypass WBIST_OUT_DIR resolution unchanged.
+WBIST_OUT_DIR="$WORK/outdir" "$WBIST" info s27 \
+  --metrics-json "$WORK/abs-metrics.json" > "$WORK/out.txt" 2> "$WORK/err.txt"
+if [ $? -ne 0 ] || [ ! -s "$WORK/abs-metrics.json" ]; then
+  echo "FAIL: absolute --metrics-json path was not honoured" >&2
   FAILURES=$((FAILURES + 1))
 fi
 

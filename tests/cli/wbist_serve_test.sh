@@ -1,0 +1,107 @@
+#!/bin/sh
+# Integration test for the `wbist serve` daemon and `wbist submit` client:
+# start a daemon on a unix socket, fire concurrent clients at it, check the
+# responses are bit-identical to the one-shot CLI, and shut it down cleanly.
+# Run by ctest as: wbist_serve_test.sh <path-to-wbist-binary>
+set -u
+
+WBIST=${1:?usage: wbist_serve_test.sh <wbist-binary>}
+WORK=$(mktemp -d)
+SOCK="$WORK/d.sock"
+FAILURES=0
+SERVE_PID=
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+  [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+"$WBIST" serve --socket "$SOCK" --serve-threads 4 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Wait (max ~5s) for the socket to appear.
+tries=0
+while [ ! -S "$SOCK" ] && [ "$tries" -lt 50 ]; do
+  sleep 0.1
+  tries=$((tries + 1))
+done
+[ -S "$SOCK" ] || { fail "daemon did not create $SOCK"; exit 1; }
+
+# Client errors do not require a daemon restart.
+"$WBIST" submit --socket "$SOCK" ping > "$WORK/ping.txt" 2>&1
+[ "$(cat "$WORK/ping.txt")" = "pong" ] || fail "ping did not answer pong"
+"$WBIST" submit --socket "$SOCK" info > /dev/null 2>&1
+[ $? -eq 2 ] || fail "submit info without circuit should exit 2"
+"$WBIST" submit --socket "$SOCK" info no-such-circuit > /dev/null 2>&1
+[ $? -eq 1 ] || fail "unknown circuit over the daemon should exit 1"
+"$WBIST" submit --socket "$WORK/absent.sock" ping > /dev/null 2>&1
+[ $? -ne 0 ] || fail "submit to a dead socket should fail"
+
+# 4 concurrent clients, mixed circuits. Every response must be
+# byte-identical to the one-shot CLI (after stripping the CLI's
+# wall-clock-only lines, which the deterministic daemon never emits).
+for c in s27 s298; do
+  "$WBIST" info "$c" > "$WORK/cli_info_$c.txt" 2>&1
+  "$WBIST" flow "$c" 2>&1 | grep -v '^(.*s)$' > "$WORK/cli_flow_$c.txt"
+done
+"$WBIST" submit --socket "$SOCK" info s27 > "$WORK/d1.txt" 2>&1 &
+P1=$!
+"$WBIST" submit --socket "$SOCK" flow s27 > "$WORK/d2.txt" 2>&1 &
+P2=$!
+"$WBIST" submit --socket "$SOCK" info s298 > "$WORK/d3.txt" 2>&1 &
+P3=$!
+"$WBIST" submit --socket "$SOCK" flow s298 > "$WORK/d4.txt" 2>&1 &
+P4=$!
+for p in $P1 $P2 $P3 $P4; do
+  wait "$p" || fail "concurrent submit (pid $p) failed"
+done
+diff "$WORK/d1.txt" "$WORK/cli_info_s27.txt" > /dev/null \
+  || fail "daemon info s27 differs from CLI"
+diff "$WORK/d2.txt" "$WORK/cli_flow_s27.txt" > /dev/null \
+  || fail "daemon flow s27 differs from CLI"
+diff "$WORK/d3.txt" "$WORK/cli_info_s298.txt" > /dev/null \
+  || fail "daemon info s298 differs from CLI"
+diff "$WORK/d4.txt" "$WORK/cli_flow_s298.txt" > /dev/null \
+  || fail "daemon flow s298 differs from CLI"
+
+# tgen through the daemon writes the same sequence the CLI writes, and the
+# fsim job closes the loop on it.
+"$WBIST" tgen s27 "$WORK/cli.seq" > /dev/null 2>&1
+"$WBIST" submit --socket "$SOCK" tgen s27 "$WORK/daemon.seq" > /dev/null 2>&1 \
+  || fail "submit tgen failed"
+diff "$WORK/cli.seq" "$WORK/daemon.seq" > /dev/null \
+  || fail "daemon tgen sequence differs from CLI"
+"$WBIST" submit --socket "$SOCK" fsim s27 "$WORK/daemon.seq" \
+  > "$WORK/fsim.txt" 2>&1 || fail "submit fsim failed"
+grep -q '32/32 faults detected' "$WORK/fsim.txt" \
+  || fail "daemon fsim did not report full coverage"
+
+# The cache compiled each circuit once; every later request was a hit.
+"$WBIST" submit --socket "$SOCK" metrics > "$WORK/metrics.txt" 2>&1
+grep -q '"artifact_cache.compiles": 2' "$WORK/metrics.txt" \
+  || fail "expected exactly 2 compiles (s27 + s298) in daemon metrics"
+grep -q '"artifact_cache.hits"' "$WORK/metrics.txt" \
+  || fail "daemon metrics missing cache hit counter"
+
+# Shutdown job: daemon answers, exits 0, and removes its socket file.
+"$WBIST" submit --socket "$SOCK" shutdown > "$WORK/shutdown.txt" 2>&1
+grep -q 'shutting down' "$WORK/shutdown.txt" || fail "shutdown not confirmed"
+wait "$SERVE_PID"
+rc=$?
+SERVE_PID=
+[ "$rc" -eq 0 ] || fail "daemon exited $rc after shutdown job"
+[ ! -e "$SOCK" ] || fail "daemon left its socket file behind"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES serve check(s) failed" >&2
+  exit 1
+fi
+echo "all serve checks passed"

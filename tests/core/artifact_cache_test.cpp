@@ -1,0 +1,180 @@
+// ArtifactCache: content-addressed keys, LRU eviction under a byte budget,
+// and the compile-once guarantee under concurrency.
+#include "core/artifact_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "netlist/bench_io.h"
+
+namespace wbist::core {
+namespace {
+
+CircuitSpec registry_spec(const std::string& name) {
+  CircuitSpec spec;
+  spec.registry_name = name;
+  return spec;
+}
+
+TEST(ArtifactCacheKey, RegistryNameAndCollapseModeBothKey) {
+  CompileOptions equiv;
+  CompileOptions none;
+  none.collapse = fault::CollapseMode::kNone;
+  EXPECT_EQ(CompiledCircuit::key_for(registry_spec("s27"), equiv),
+            "registry:s27/equivalence");
+  EXPECT_EQ(CompiledCircuit::key_for(registry_spec("s27"), none),
+            "registry:s27/none");
+  EXPECT_NE(CompiledCircuit::key_for(registry_spec("s27"), equiv),
+            CompiledCircuit::key_for(registry_spec("s298"), equiv));
+}
+
+TEST(ArtifactCacheKey, BenchTextKeysByContentNotName) {
+  CircuitSpec a;
+  a.bench_text = "INPUT(x)\nOUTPUT(x)\n";
+  a.display_name = "first";
+  CircuitSpec b = a;
+  b.display_name = "second";  // display name must not change the key
+  CircuitSpec c;
+  c.bench_text = "INPUT(y)\nOUTPUT(y)\n";
+  EXPECT_EQ(CompiledCircuit::key_for(a, {}), CompiledCircuit::key_for(b, {}));
+  EXPECT_NE(CompiledCircuit::key_for(a, {}), CompiledCircuit::key_for(c, {}));
+}
+
+TEST(ArtifactCacheKey, SpecNeedsExactlyOneSource) {
+  CircuitSpec neither;
+  EXPECT_THROW(CompiledCircuit::key_for(neither, {}), std::invalid_argument);
+  CircuitSpec both;
+  both.registry_name = "s27";
+  both.bench_text = "INPUT(x)\n";
+  EXPECT_THROW(CompiledCircuit::key_for(both, {}), std::invalid_argument);
+}
+
+TEST(ArtifactCache, CompileProducesUsableArtifact) {
+  const auto cc = CompiledCircuit::compile(registry_spec("s27"));
+  EXPECT_EQ(cc->name(), "s27");
+  EXPECT_GT(cc->netlist().node_count(), 0u);
+  EXPECT_GT(cc->faults().size(), 0u);
+  EXPECT_GT(cc->uncollapsed_fault_count(), cc->faults().size());
+  EXPECT_EQ(cc->cones().node_count(), cc->netlist().node_count());
+  EXPECT_GT(cc->approx_bytes(), 0u);
+}
+
+TEST(ArtifactCache, HitAfterMissAndWasHitReporting) {
+  ArtifactCache cache;
+  bool hit = true;
+  const auto first = cache.get_or_compile(registry_spec("s27"), {}, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_compile(registry_spec("s27"), {}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // the same shared artifact
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(ArtifactCache, CollapseModeIsPartOfTheKey) {
+  ArtifactCache cache;
+  CompileOptions none;
+  none.collapse = fault::CollapseMode::kNone;
+  const auto collapsed = cache.get_or_compile(registry_spec("s27"));
+  const auto uncollapsed = cache.get_or_compile(registry_spec("s27"), none);
+  EXPECT_NE(collapsed.get(), uncollapsed.get());
+  EXPECT_GT(uncollapsed->faults().size(), collapsed->faults().size());
+  EXPECT_EQ(cache.stats().compiles, 2u);
+}
+
+TEST(ArtifactCache, TinyBudgetEvictsLeastRecentlyUsed) {
+  // Budget of one byte: every insertion evicts everything else (the cache
+  // always retains the newest artifact even when it exceeds the budget).
+  ArtifactCache cache(1);
+  const auto s27 = cache.get_or_compile(registry_spec("s27"));
+  const auto s298 = cache.get_or_compile(registry_spec("s298"));
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+
+  // s27 was evicted, so asking again recompiles.
+  bool hit = true;
+  cache.get_or_compile(registry_spec("s27"), {}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().compiles, 3u);
+
+  // Evicted artifacts stay alive for holders of the shared_ptr.
+  EXPECT_EQ(s298->name(), "s298");
+}
+
+TEST(ArtifactCache, LruTouchKeepsHotEntriesResident) {
+  // Budget one byte short of all three circuits: inserting the third
+  // forces exactly one eviction, which must take the untouched entry.
+  const std::size_t total =
+      CompiledCircuit::compile(registry_spec("s27"))->approx_bytes() +
+      CompiledCircuit::compile(registry_spec("s298"))->approx_bytes() +
+      CompiledCircuit::compile(registry_spec("s344"))->approx_bytes();
+  ArtifactCache cache(total - 1);
+  cache.get_or_compile(registry_spec("s27"));
+  cache.get_or_compile(registry_spec("s298"));
+  cache.get_or_compile(registry_spec("s27"));   // touch: s298 is now LRU
+  cache.get_or_compile(registry_spec("s344"));  // forces an eviction
+
+  bool hit = false;
+  cache.get_or_compile(registry_spec("s27"), {}, &hit);
+  EXPECT_TRUE(hit) << "recently-touched entry was evicted";
+}
+
+TEST(ArtifactCache, ConcurrentRequestsCompileExactlyOnce) {
+  ArtifactCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> hits{0};
+  std::vector<std::shared_ptr<const CompiledCircuit>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int k = 0; k < kThreads; ++k)
+    threads.emplace_back([&, k] {
+      bool hit = false;
+      got[k] = cache.get_or_compile(registry_spec("s526"), {}, &hit);
+      if (hit) hits.fetch_add(1);
+    });
+  for (auto& t : threads) t.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.compiles, 1u) << "concurrent requests must share one compile";
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(hits.load(), kThreads - 1);
+  std::set<const CompiledCircuit*> distinct;
+  for (const auto& cc : got) {
+    ASSERT_NE(cc, nullptr);
+    distinct.insert(cc.get());
+  }
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(ArtifactCache, CompileFailureIsNotCached) {
+  ArtifactCache cache;
+  CircuitSpec bad;
+  bad.bench_text = "INPUT(a)\nb = FROB(a)\n";
+  EXPECT_THROW(cache.get_or_compile(bad), std::exception);
+  // The failure must not leave an entry or a stuck in-flight marker.
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_THROW(cache.get_or_compile(bad), std::exception);  // retries
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().compiles, 0u)
+      << "failed compiles never produce an artifact";
+}
+
+TEST(Fnv1a64, MatchesKnownVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,84 @@
+// The re-entrant job entry points in core/service.h: deterministic output,
+// safety of concurrent jobs over one shared CompiledCircuit, and the
+// round-trip between tgen's sequence text and fault-sim.
+#include "core/service.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/artifact_cache.h"
+#include "sim/sequence_io.h"
+
+namespace wbist::core {
+namespace {
+
+std::shared_ptr<const CompiledCircuit> compile(const std::string& name) {
+  CircuitSpec spec;
+  spec.registry_name = name;
+  return CompiledCircuit::compile(spec);
+}
+
+TEST(ServiceInfo, ReportsTheS27Profile) {
+  const auto cc = compile("s27");
+  EXPECT_EQ(info_report(*cc),
+            "s27\n"
+            "  inputs:        4\n"
+            "  outputs:       1\n"
+            "  flip-flops:    3\n"
+            "  logic gates:   10\n"
+            "  lines:         26\n"
+            "  logic depth:   6\n"
+            "  stuck-at faults: 52 uncollapsed, 32 collapsed\n");
+}
+
+TEST(ServiceFlow, OutputIsDeterministicAndTimingFree) {
+  const auto cc = compile("s27");
+  const auto a = run_flow_job(*cc);
+  const auto b = run_flow_job(*cc);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.output.find("(0."), std::string::npos)
+      << "service output must not contain wall-clock text";
+  EXPECT_NE(a.output.find("s27"), std::string::npos);
+  EXPECT_NE(a.output.find("f.e."), std::string::npos);
+}
+
+TEST(ServiceFlow, ConcurrentJobsOverOneArtifactAgree) {
+  // The re-entrancy contract: many jobs may share one immutable
+  // CompiledCircuit, each building its own short-lived simulator.
+  const auto cc = compile("s298");
+  constexpr int kJobs = 4;
+  std::vector<std::string> outputs(kJobs);
+  std::vector<std::thread> threads;
+  threads.reserve(kJobs);
+  for (int k = 0; k < kJobs; ++k)
+    threads.emplace_back([&, k] { outputs[k] = run_flow_job(*cc).output; });
+  for (auto& t : threads) t.join();
+  for (int k = 1; k < kJobs; ++k) EXPECT_EQ(outputs[k], outputs[0]);
+}
+
+TEST(ServiceTgen, SequenceTextRoundTripsThroughFaultSim) {
+  const auto cc = compile("s27");
+  const auto tg = run_tgen_job(*cc);
+  EXPECT_EQ(tg.detected, tg.total);
+  EXPECT_EQ(tg.total, cc->faults().size());
+  EXPECT_EQ(tg.summary.find('\n'), std::string::npos);
+  EXPECT_EQ(tg.summary.substr(0, 4), "s27:");
+
+  const auto seq = sim::read_sequence(tg.sequence_text);
+  EXPECT_EQ(seq.length(), tg.sequence.length());
+  const auto fs = run_fault_sim_job(*cc, seq);
+  EXPECT_EQ(fs.detected, tg.detected);
+  EXPECT_EQ(fs.total, tg.total);
+  EXPECT_NE(fs.output.find("100.0%"), std::string::npos);
+}
+
+TEST(ServiceFaultSim, RejectsWidthMismatch) {
+  const auto cc = compile("s27");
+  const sim::TestSequence wrong(3, cc->netlist().stats().primary_inputs + 1);
+  EXPECT_THROW(run_fault_sim_job(*cc, wrong), std::exception);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,240 @@
+// End-to-end tests of the `wbist serve` daemon: framed protocol, job
+// dispatch, bit-identity with the direct library calls, the compile-once
+// cache guarantee under concurrent clients, and orderly shutdown.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_cache.h"
+#include "core/service.h"
+#include "netlist/bench_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/json.h"
+
+namespace wbist::serve {
+namespace {
+
+std::string job_request(const std::string& job, const std::string& circuit) {
+  std::string r = "{\"schema\":\"wbist.serve/1\",\"job\":";
+  r += util::json_quote(job);
+  if (!circuit.empty()) r += ",\"circuit\":" + util::json_quote(circuit);
+  r += '}';
+  return r;
+}
+
+core::CircuitSpec registry_spec(const std::string& name) {
+  core::CircuitSpec spec;
+  spec.registry_name = name;
+  return spec;
+}
+
+/// A daemon on an ephemeral loopback TCP port, torn down with the fixture.
+class ServeTest : public ::testing::Test {
+ protected:
+  void start(std::size_t cache_bytes = 0, unsigned threads = 4) {
+    ServerConfig cfg;
+    cfg.tcp_port = 0;
+    cfg.handler_threads = threads;
+    cfg.cache_bytes = cache_bytes;
+    server_ = std::make_unique<Server>(std::move(cfg));
+    server_->start();
+    endpoint_.tcp_port = server_->port();
+    ASSERT_GT(endpoint_.tcp_port, 0);
+  }
+
+  void TearDown() override {
+    if (server_) {
+      server_->request_stop();
+      server_->wait();
+    }
+  }
+
+  util::JsonValue submit_json(const std::string& request) {
+    return util::json_parse(submit(endpoint_, request));
+  }
+
+  std::unique_ptr<Server> server_;
+  Endpoint endpoint_;
+};
+
+TEST_F(ServeTest, PingPong) {
+  start();
+  const auto r = submit_json(job_request("ping", ""));
+  EXPECT_TRUE(r.get_bool("ok"));
+  EXPECT_EQ(r.get_int("exit", -1), 0);
+  EXPECT_EQ(r.get_string("output"), "pong\n");
+  EXPECT_EQ(r.get_string("schema"), "wbist.serve/1");
+}
+
+TEST_F(ServeTest, InfoMatchesDirectLibraryCall) {
+  start();
+  const auto cc = core::CompiledCircuit::compile(registry_spec("s27"));
+  const auto r = submit_json(job_request("info", "s27"));
+  EXPECT_TRUE(r.get_bool("ok"));
+  EXPECT_EQ(r.get_string("output"), core::info_report(*cc));
+}
+
+TEST_F(ServeTest, CacheHitReportedPerRequest) {
+  start();
+  const auto miss = submit_json(job_request("info", "s27"));
+  ASSERT_TRUE(miss.get_bool("ok"));
+  EXPECT_FALSE(miss.get("cache")->get_bool("hit", true));
+  EXPECT_EQ(miss.get("cache")->get_string("key"), "registry:s27/equivalence");
+
+  const auto hit = submit_json(job_request("info", "s27"));
+  EXPECT_TRUE(hit.get("cache")->get_bool("hit", false));
+
+  const auto s = server_->cache().stats();
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST_F(ServeTest, ConcurrentFlowClientsBitIdenticalWithOneCompile) {
+  start();
+  constexpr int kClients = 6;
+  std::vector<std::string> outputs(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int k = 0; k < kClients; ++k)
+    clients.emplace_back([&, k] {
+      const auto r = util::json_parse(
+          submit(endpoint_, job_request("flow", "s27")));
+      if (r.get_bool("ok")) outputs[k] = r.get_string("output");
+    });
+  for (auto& t : clients) t.join();
+
+  const auto cc = core::CompiledCircuit::compile(registry_spec("s27"));
+  const std::string expected = core::run_flow_job(*cc).output;
+  for (int k = 0; k < kClients; ++k)
+    EXPECT_EQ(outputs[k], expected) << "client " << k;
+
+  // N concurrent requests for the same circuit: exactly one compile, no
+  // re-parse / re-collapse / re-levelization for the other N-1.
+  const auto s = server_->cache().stats();
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST_F(ServeTest, TgenSequenceFaultSimulatesToFullCoverage) {
+  start();
+  const auto tg = submit_json(job_request("tgen", "s27"));
+  ASSERT_TRUE(tg.get_bool("ok"));
+  const std::string seq = tg.get_string("sequence");
+  ASSERT_FALSE(seq.empty());
+  EXPECT_EQ(tg.get_int("detected", -1), tg.get_int("total", -2));
+
+  std::string req = "{\"schema\":\"wbist.serve/1\",\"job\":\"fault-sim\","
+                    "\"circuit\":\"s27\",\"sequence\":" +
+                    util::json_quote(seq) + "}";
+  const auto fs = submit_json(req);
+  ASSERT_TRUE(fs.get_bool("ok"));
+  EXPECT_EQ(fs.get_int("detected", -1), tg.get_int("detected", -2));
+}
+
+TEST_F(ServeTest, InlineBenchTextCompilesUnderItsDisplayName) {
+  start();
+  const auto nl = core::CompiledCircuit::compile(registry_spec("s27"));
+  const std::string bench = netlist::write_bench(nl->netlist());
+  std::string req = "{\"schema\":\"wbist.serve/1\",\"job\":\"info\","
+                    "\"bench\":" + util::json_quote(bench) +
+                    ",\"name\":\"inline27\"}";
+  const auto r = submit_json(req);
+  ASSERT_TRUE(r.get_bool("ok"));
+  EXPECT_EQ(r.get_string("output").substr(0, 9), "inline27\n");
+  EXPECT_EQ(r.get("cache")->get_string("key").substr(0, 6), "bench:");
+}
+
+TEST_F(ServeTest, TinyCacheBudgetEvicts) {
+  start(/*cache_bytes=*/1);
+  ASSERT_TRUE(submit_json(job_request("info", "s27")).get_bool("ok"));
+  ASSERT_TRUE(submit_json(job_request("info", "s298")).get_bool("ok"));
+  const auto s = server_->cache().stats();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST_F(ServeTest, ErrorsMapToCliExitCodes) {
+  start();
+  const auto usage = submit_json(job_request("frobnicate", ""));
+  EXPECT_FALSE(usage.get_bool("ok", true));
+  EXPECT_EQ(usage.get_int("exit", -1), 2);
+
+  const auto runtime = submit_json(job_request("info", "no-such-circuit"));
+  EXPECT_FALSE(runtime.get_bool("ok", true));
+  EXPECT_EQ(runtime.get_int("exit", -1), 1);
+  EXPECT_FALSE(runtime.get_string("error").empty());
+
+  const auto garbage = submit_json("this is not json");
+  EXPECT_FALSE(garbage.get_bool("ok", true));
+  EXPECT_EQ(garbage.get_int("exit", -1), 2);
+}
+
+TEST_F(ServeTest, OneConnectionServesManyRequestsInOrder)
+{
+  start();
+  Client client(endpoint_);
+  for (int k = 0; k < 5; ++k) {
+    const auto r = util::json_parse(
+        client.round_trip(job_request("info", "s27")));
+    ASSERT_TRUE(r.get_bool("ok"));
+    EXPECT_EQ(r.get("cache")->get_bool("hit", false), k > 0);
+  }
+}
+
+TEST_F(ServeTest, ShutdownJobStopsTheDaemon) {
+  start();
+  const auto r = submit_json(job_request("shutdown", ""));
+  EXPECT_TRUE(r.get_bool("ok"));
+  EXPECT_EQ(r.get_string("output"), "shutting down\n");
+  server_->wait();  // must return: the daemon stopped itself
+  EXPECT_THROW(Client{endpoint_}, std::runtime_error);
+  server_.reset();
+}
+
+TEST(ServeUnixSocket, RoundTripAndSocketFileCleanup) {
+  const std::string path =
+      "/tmp/wbist_serve_ut_" + std::to_string(::getpid()) + ".sock";
+  ServerConfig cfg;
+  cfg.unix_path = path;
+  cfg.handler_threads = 2;
+  {
+    Server server(std::move(cfg));
+    server.start();
+    struct stat st{};
+    ASSERT_EQ(::stat(path.c_str(), &st), 0) << "socket file missing";
+    Endpoint ep;
+    ep.unix_path = path;
+    const auto r = util::json_parse(submit(ep, job_request("ping", "")));
+    EXPECT_EQ(r.get_string("output"), "pong\n");
+    server.request_stop();
+    server.wait();
+  }
+  struct stat st{};
+  EXPECT_NE(::stat(path.c_str(), &st), 0)
+      << "socket file not unlinked on shutdown";
+}
+
+TEST(ServeProtocol, RejectsOversizedFrames) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Hand-encode a frame header claiming 1 GiB.
+  const unsigned char header[4] = {0x40, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::write(fds[1], header, 4), 4);
+  std::string payload;
+  EXPECT_THROW(read_frame(fds[0], payload), std::exception);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace wbist::serve

@@ -69,6 +69,25 @@ TEST(CliOpts, EmptyEqualsValueReportsFoundWithEmptyString) {
   EXPECT_EQ(args, (Args{"flow", "s27"}));
 }
 
+TEST(CliOpts, MissingValueAfterEarlierOccurrenceLeavesEverythingUntouched) {
+  // Regression: `--x=first ... --x` used to write "first" into `value`
+  // before reporting kMissingValue, so callers saw a clobbered value next
+  // to an unmodified argument vector.
+  Args args{"--x=first", "flow", "s27", "--x"};
+  std::string value = "sentinel";
+  EXPECT_EQ(extract_option(args, "--x", value), ExtractResult::kMissingValue);
+  EXPECT_EQ(value, "sentinel");
+  EXPECT_EQ(args, (Args{"--x=first", "flow", "s27", "--x"}));
+}
+
+TEST(CliOpts, MissingValueAfterSeparateFormOccurrence) {
+  Args args{"--x", "first", "flow", "--x"};
+  std::string value = "sentinel";
+  EXPECT_EQ(extract_option(args, "--x", value), ExtractResult::kMissingValue);
+  EXPECT_EQ(value, "sentinel");
+  EXPECT_EQ(args, (Args{"--x", "first", "flow", "--x"}));
+}
+
 TEST(CliOpts, PrefixFlagsDoNotMatch) {
   // "--trace-json-extra" must not be mistaken for "--trace-json".
   Args args{"--trace-json-extra", "v"};

@@ -1,0 +1,123 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wbist::util {
+namespace {
+
+// -- escaping ---------------------------------------------------------------
+
+TEST(JsonEscape, PlainTextPassesThroughQuoted) {
+  EXPECT_EQ(json_quote("hello"), "\"hello\"");
+  EXPECT_EQ(json_quote(""), "\"\"");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("\\\""), "\"\\\\\\\"\"");
+}
+
+TEST(JsonEscape, ShortFormControlCharacters) {
+  EXPECT_EQ(json_quote("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(json_quote("a\tb"), "\"a\\tb\"");
+}
+
+TEST(JsonEscape, OtherControlCharactersAreUnicodeEscapedNotDropped) {
+  // The provenance writer used to drop these bytes entirely.
+  EXPECT_EQ(json_quote(std::string("a\x01"
+                                   "b")),
+            "\"a\\u0001b\"");
+  EXPECT_EQ(json_quote(std::string("\x00", 1)), "\"\\u0000\"");
+  EXPECT_EQ(json_quote("\r"), "\"\\u000d\"");
+  EXPECT_EQ(json_quote("\x1f"), "\"\\u001f\"");
+}
+
+TEST(JsonEscape, HighBytesPassThrough) {
+  // UTF-8 continuation bytes must not be sign-extended into \uffXX escapes.
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(json_quote(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonEscape, EscapedStringsRoundTripThroughTheParser) {
+  std::string nasty;
+  for (int c = 0; c < 0x20; ++c) nasty += static_cast<char>(c);
+  nasty += "\"\\plain text\x7f";
+  const JsonValue v = json_parse(json_quote(nasty));
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+// -- parsing ----------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(json_parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(json_parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, ObjectAndArray) {
+  const JsonValue v =
+      json_parse(R"({"job":"flow","n":3,"ok":true,"xs":[1,2,3],"o":{}})");
+  EXPECT_EQ(v.get_string("job"), "flow");
+  EXPECT_EQ(v.get_int("n", -1), 3);
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(v.get("xs")->as_array().size(), 3u);
+  EXPECT_TRUE(v.get("o")->as_object().empty());
+  EXPECT_EQ(v.get("absent"), nullptr);
+  EXPECT_EQ(v.get_string("absent", "dflt"), "dflt");
+  EXPECT_EQ(v.get_int("absent", 7), 7);
+}
+
+TEST(JsonParse, WhitespaceEverywhere) {
+  const JsonValue v = json_parse(" \n\t{ \"a\" : [ 1 , 2 ] }\r\n");
+  EXPECT_EQ(v.get("a")->as_array()[1].as_int(), 2);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(json_parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(json_parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(json_parse(""), std::runtime_error);
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json_parse("tru"), std::runtime_error);
+  EXPECT_THROW(json_parse("1 2"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"\\u12"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"\\ud800\""), std::runtime_error);
+  EXPECT_THROW(json_parse("\"raw\ncontrol\""), std::runtime_error);
+  EXPECT_THROW(json_parse("nan"), std::runtime_error);
+}
+
+TEST(JsonParse, DepthIsBounded) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(json_parse(deep), std::runtime_error);
+}
+
+TEST(JsonParse, AsIntRejectsNonIntegers) {
+  EXPECT_THROW(json_parse("1.5").as_int(), std::runtime_error);
+  EXPECT_THROW(json_parse("1e30").as_int(), std::runtime_error);
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  EXPECT_THROW(json_parse("3").as_string(), std::runtime_error);
+  EXPECT_THROW(json_parse("\"s\"").as_number(), std::runtime_error);
+  EXPECT_THROW(json_parse("[]").as_object(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wbist::util

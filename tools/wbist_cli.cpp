@@ -5,8 +5,11 @@
 //   wbist emit <circuit> [out.bench]    write the netlist
 //   wbist tgen <circuit> [out.seq]      deterministic sequence + compaction
 //   wbist flow <circuit>                full method, Table-6 style row
+//   wbist fsim <circuit> <seq-file>     fault-simulate a sequence file
 //   wbist synth <circuit> [out.bench]   flow + Figure-1 generator emission
 //   wbist obs <circuit>                 observation-point tradeoff table
+//   wbist serve --socket <path>|--tcp <port>   persistent daemon
+//   wbist submit --socket <path>|--tcp <port> <job> [args]   daemon client
 //
 // Every subcommand accepts these position-independent options (both
 // `--flag path` and `--flag=path` forms, anywhere on the line):
@@ -16,24 +19,39 @@
 //                             (util::trace spans; load at ui.perfetto.dev)
 //   --provenance-jsonl <path> stream per-fault detection provenance records
 //   --vcd <path>              (tgen only) good-machine waveform of the final
-//                             sequence, resolved against WBIST_OUT_DIR
-// All four are observation-only: the command's results are bit-identical
-// with and without them.
+//                             sequence
+// All four artifact paths resolve against WBIST_OUT_DIR (util::out_path),
+// and all four are observation-only: the command's results are
+// bit-identical with and without them.
 //
 // Circuits may also be arbitrary `.bench` files: any argument containing
 // '/' or ending in ".bench" is loaded from disk instead of the registry.
+//
+// The one-shot subcommands and the daemon share the same re-entrant
+// library calls (core/service.h) over immutable compiled circuits
+// (core/artifact_cache.h), so daemon results are bit-identical to CLI
+// results — the CLI only appends its wall-clock suffixes.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "circuits/registry.h"
+#include "core/artifact_cache.h"
 #include "core/flow.h"
 #include "core/generator_hw.h"
 #include "core/obs_points.h"
+#include "core/service.h"
 #include "fault/fault_list.h"
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "sim/good_sim.h"
 #include "sim/kernel.h"
 #include "sim/sequence_io.h"
@@ -41,6 +59,7 @@
 #include "tgen/compaction.h"
 #include "tgen/random_tgen.h"
 #include "util/cli_opts.h"
+#include "util/json.h"
 #include "util/metrics.h"
 #include "util/out_dir.h"
 #include "util/provenance.h"
@@ -54,13 +73,53 @@ namespace {
 using namespace wbist;
 
 /// Optional --vcd destination for `tgen`, stripped in main() like the other
-/// position-independent options.
+/// position-independent options (already WBIST_OUT_DIR-resolved).
 std::string g_vcd_path;
 
+bool is_bench_path(const std::string& name) {
+  return name.find('/') != std::string::npos ||
+         (name.size() > 6 && name.substr(name.size() - 6) == ".bench");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The path stem, matching netlist::read_bench_file's circuit naming, so a
+/// circuit loaded by path keeps the same name whether it is compiled here
+/// or inlined into a daemon request.
+std::string path_stem(const std::string& path) {
+  std::string name = path;
+  if (const std::size_t slash = name.find_last_of('/');
+      slash != std::string::npos)
+    name = name.substr(slash + 1);
+  if (const std::size_t dot = name.find_last_of('.'); dot != std::string::npos)
+    name = name.substr(0, dot);
+  return name;
+}
+
+core::CircuitSpec spec_for(const std::string& name) {
+  core::CircuitSpec spec;
+  if (is_bench_path(name)) {
+    spec.bench_text = read_file(name);
+    spec.display_name = path_stem(name);
+  } else {
+    spec.registry_name = name;
+  }
+  return spec;
+}
+
+std::shared_ptr<const core::CompiledCircuit> compile_circuit(
+    const std::string& name) {
+  return core::CompiledCircuit::compile(spec_for(name));
+}
+
 netlist::Netlist load_circuit(const std::string& name) {
-  if (name.find('/') != std::string::npos ||
-      (name.size() > 6 && name.substr(name.size() - 6) == ".bench"))
-    return netlist::read_bench_file(name);
+  if (is_bench_path(name)) return netlist::read_bench_file(name);
   return circuits::circuit_by_name(name);
 }
 
@@ -78,19 +137,8 @@ int cmd_list() {
 }
 
 int cmd_info(const std::string& name) {
-  const auto nl = load_circuit(name);
-  const auto stats = nl.stats();
-  const auto collapsed = fault::FaultSet::collapsed(nl);
-  const auto uncollapsed = fault::FaultSet::uncollapsed(nl);
-  std::printf("%s\n", nl.name().c_str());
-  std::printf("  inputs:        %zu\n", stats.primary_inputs);
-  std::printf("  outputs:       %zu\n", stats.primary_outputs);
-  std::printf("  flip-flops:    %zu\n", stats.flip_flops);
-  std::printf("  logic gates:   %zu\n", stats.logic_gates);
-  std::printf("  lines:         %zu\n", stats.lines);
-  std::printf("  logic depth:   %zu\n", stats.max_level);
-  std::printf("  stuck-at faults: %zu uncollapsed, %zu collapsed\n",
-              uncollapsed.size(), collapsed.size());
+  const auto cc = compile_circuit(name);
+  std::fputs(core::info_report(*cc).c_str(), stdout);
   return 0;
 }
 
@@ -102,64 +150,46 @@ int cmd_emit(const std::string& name, const std::string& out) {
 }
 
 int cmd_tgen(const std::string& name, const std::string& out) {
-  const auto nl = load_circuit(name);
-  const auto faults = fault::FaultSet::collapsed(nl);
-  const fault::FaultSimulator sim(nl, faults);
+  const auto cc = compile_circuit(name);
   util::Timer timer;
-  tgen::TgenConfig tc;
-  const auto gen = tgen::generate_test_sequence(sim, tc);
-  std::vector<fault::FaultId> must;
-  for (fault::FaultId f = 0; f < faults.size(); ++f)
-    if (gen.detection_time[f] != fault::DetectionResult::kUndetected)
-      must.push_back(f);
-  const auto comp = tgen::compact_sequence(sim, gen.sequence, must);
-  std::printf("%s: %zu -> %zu vectors, %zu/%zu faults (%.1f%%), %.1fs\n",
-              nl.name().c_str(), gen.sequence.length(),
-              comp.sequence.length(), must.size(), faults.size(),
-              100.0 * static_cast<double>(must.size()) /
-                  static_cast<double>(faults.size()),
-              timer.seconds());
-  sim::write_sequence_file(comp.sequence, out,
-                           nl.name() + " deterministic test sequence");
+  const auto r = core::run_tgen_job(*cc);
+  std::printf("%s, %.1fs\n", r.summary.c_str(), timer.seconds());
+  sim::write_sequence_file(r.sequence, out,
+                           cc->name() + " deterministic test sequence");
   std::printf("wrote %s\n", out.c_str());
   if (!g_vcd_path.empty()) {
-    const std::string vcd_path = util::out_path(g_vcd_path);
-    sim::GoodSimulator good(nl);
-    sim::VcdWriter vcd(vcd_path, nl);
-    for (std::size_t u = 0; u < comp.sequence.length(); ++u) {
-      good.step(comp.sequence.row(u));
+    sim::GoodSimulator good(cc->netlist());
+    sim::VcdWriter vcd(g_vcd_path, cc->netlist());
+    for (std::size_t u = 0; u < r.sequence.length(); ++u) {
+      good.step(r.sequence.row(u));
       vcd.sample(good);
     }
-    std::printf("wrote %s\n", vcd_path.c_str());
+    std::printf("wrote %s\n", g_vcd_path.c_str());
   }
   return 0;
 }
 
 int cmd_flow(const std::string& name) {
-  const auto nl = load_circuit(name);
-  const auto faults = fault::FaultSet::collapsed(nl);
-  const fault::FaultSimulator sim(nl, faults);
+  const auto cc = compile_circuit(name);
   util::Timer timer;
-  const auto flow = core::run_flow(sim, nl.name());
-  const auto& r = flow.table6;
-  util::Table t;
-  t.header({"circuit", "len", "det", "seq", "subs", "len", "num", "out",
-            "f.e."});
-  t.row({r.circuit, std::to_string(r.t_length), std::to_string(r.t_detected),
-         std::to_string(r.n_seq), std::to_string(r.n_subs),
-         std::to_string(r.max_len), std::to_string(r.n_fsms),
-         std::to_string(r.n_fsm_outputs),
-         util::fixed(100.0 * flow.procedure.fault_efficiency(), 1)});
-  std::fputs(t.render().c_str(), stdout);
+  const auto r = core::run_flow_job(*cc);
+  std::fputs(r.output.c_str(), stdout);
   std::printf("(%.1fs)\n", timer.seconds());
   return 0;
 }
 
+int cmd_fsim(const std::string& name, const std::string& seq_path) {
+  const auto cc = compile_circuit(name);
+  const auto seq = sim::read_sequence_file(seq_path);
+  const auto r = core::run_fault_sim_job(*cc, seq);
+  std::fputs(r.output.c_str(), stdout);
+  return 0;
+}
+
 int cmd_synth(const std::string& name, const std::string& out) {
-  const auto nl = load_circuit(name);
-  const auto faults = fault::FaultSet::collapsed(nl);
-  const fault::FaultSimulator sim(nl, faults);
-  const auto flow = core::run_flow(sim, nl.name());
+  const auto cc = compile_circuit(name);
+  const fault::FaultSimulator sim(cc->netlist(), cc->faults(), cc->cones());
+  const auto flow = core::run_flow(sim, cc->name());
   if (flow.pruned.omega.empty()) {
     std::printf("no weight assignments selected\n");
     return 1;
@@ -175,12 +205,11 @@ int cmd_synth(const std::string& name, const std::string& out) {
 }
 
 int cmd_obs(const std::string& name) {
-  const auto nl = load_circuit(name);
-  const auto faults = fault::FaultSet::collapsed(nl);
-  const fault::FaultSimulator sim(nl, faults);
-  const auto flow = core::run_flow(sim, nl.name());
+  const auto cc = compile_circuit(name);
+  const fault::FaultSimulator sim(cc->netlist(), cc->faults(), cc->cones());
+  const auto flow = core::run_flow(sim, cc->name());
   std::vector<fault::FaultId> targets;
-  for (fault::FaultId f = 0; f < faults.size(); ++f)
+  for (fault::FaultId f = 0; f < cc->faults().size(); ++f)
     if (flow.detection_time[f] != fault::DetectionResult::kUndetected)
       targets.push_back(f);
   core::ObsTradeoffConfig cfg;
@@ -197,6 +226,213 @@ int cmd_obs(const std::string& name) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve / submit
+
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  // Server::request_stop is async-signal-safe by contract (one atomic
+  // store plus one write to the self-pipe).
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+/// Parse an integral option (both `--flag N` and `--flag=N`). Returns false
+/// after printing an error; `found` reports presence.
+bool take_int_option(std::vector<std::string>& args, std::string_view flag,
+                     long long& value, bool& found) {
+  std::string text;
+  const util::ExtractResult r = util::extract_option(args, flag, text);
+  found = r == util::ExtractResult::kFound;
+  if (r == util::ExtractResult::kMissingValue) {
+    std::fprintf(stderr, "wbist: %.*s needs a value\n",
+                 static_cast<int>(flag.size()), flag.data());
+    return false;
+  }
+  if (!found) return true;
+  try {
+    std::size_t used = 0;
+    value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "wbist: %.*s: '%s' is not a number\n",
+                 static_cast<int>(flag.size()), flag.data(), text.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Shared --socket/--tcp endpoint parsing for serve and submit. Returns
+/// false (after a usage message) unless exactly one endpoint was given.
+bool take_endpoint(std::vector<std::string>& args, std::string& unix_path,
+                   long long& tcp_port, bool& tcp_given) {
+  std::string socket_text;
+  if (util::extract_option(args, "--socket", socket_text) ==
+      util::ExtractResult::kMissingValue) {
+    std::fprintf(stderr, "wbist: --socket needs a path\n");
+    return false;
+  }
+  unix_path = socket_text;
+  tcp_port = -1;
+  if (!take_int_option(args, "--tcp", tcp_port, tcp_given)) return false;
+  if (unix_path.empty() == !tcp_given) {
+    std::fprintf(stderr,
+                 "wbist: give exactly one of --socket <path> and --tcp "
+                 "<port>\n");
+    return false;
+  }
+  if (tcp_given && (tcp_port < 0 || tcp_port > 65535)) {
+    std::fprintf(stderr, "wbist: --tcp port out of range\n");
+    return false;
+  }
+  return true;
+}
+
+int cmd_serve(std::vector<std::string> args) {
+  serve::ServerConfig cfg;
+  long long tcp_port = -1;
+  bool tcp_given = false;
+  if (!take_endpoint(args, cfg.unix_path, tcp_port, tcp_given)) return 2;
+  if (tcp_given) cfg.tcp_port = static_cast<int>(tcp_port);
+
+  long long threads = 0, cache_bytes = 0;
+  bool found = false;
+  if (!take_int_option(args, "--serve-threads", threads, found)) return 2;
+  if (found && threads > 0)
+    cfg.handler_threads = static_cast<unsigned>(threads);
+  if (!take_int_option(args, "--cache-bytes", cache_bytes, found)) return 2;
+  if (found && cache_bytes > 0)
+    cfg.cache_bytes = static_cast<std::size_t>(cache_bytes);
+  if (!args.empty()) {
+    std::fprintf(stderr, "wbist: serve: unexpected argument '%s'\n",
+                 args[0].c_str());
+    return 2;
+  }
+
+  const std::string unix_path = cfg.unix_path;
+  serve::Server server(std::move(cfg));
+  server.start();
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  if (server.port() >= 0)
+    std::printf("wbist serve: listening on 127.0.0.1:%d\n", server.port());
+  else
+    std::printf("wbist serve: listening on %s\n", unix_path.c_str());
+  std::fflush(stdout);
+
+  server.wait();
+  g_server = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const auto stats = server.cache().stats();
+  std::fprintf(stderr,
+               "wbist serve: stopped (cache: %llu hits, %llu misses, "
+               "%llu evictions, %zu resident)\n",
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.evictions),
+               stats.entries);
+  return 0;
+}
+
+/// Append `"key":"value"` (JSON-escaped) to an in-progress object body.
+void request_field(std::string& json, std::string_view key,
+                   std::string_view value) {
+  if (json.size() > 1) json += ',';
+  util::append_json_string(json, key);
+  json += ':';
+  util::append_json_string(json, value);
+}
+
+int cmd_submit(std::vector<std::string> args) {
+  serve::Endpoint ep;
+  long long tcp_port = -1;
+  bool tcp_given = false;
+  if (!take_endpoint(args, ep.unix_path, tcp_port, tcp_given)) return 2;
+  if (tcp_given) ep.tcp_port = static_cast<int>(tcp_port);
+
+  std::string collapse;
+  if (util::extract_option(args, "--collapse", collapse) ==
+      util::ExtractResult::kMissingValue) {
+    std::fprintf(stderr, "wbist: --collapse needs a mode\n");
+    return 2;
+  }
+
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: wbist submit --socket <path>|--tcp <port> "
+                 "<ping|shutdown|metrics|info|flow|tgen|fsim> [circuit] "
+                 "[args]\n");
+    return 2;
+  }
+  const std::string cli_job = args[0];
+  const std::string job = cli_job == "fsim" ? "fault-sim" : cli_job;
+
+  std::string request = "{";
+  request_field(request, "schema", serve::kSchema);
+  request_field(request, "job", job);
+  if (!collapse.empty()) request_field(request, "collapse", collapse);
+
+  const bool needs_circuit =
+      job == "info" || job == "flow" || job == "tgen" || job == "fault-sim";
+  std::string tgen_out;
+  if (needs_circuit) {
+    if (args.size() < 2) {
+      std::fprintf(stderr, "wbist: submit %s needs a circuit\n",
+                   cli_job.c_str());
+      return 2;
+    }
+    const std::string& name = args[1];
+    if (is_bench_path(name)) {
+      // Inline the bench source; the daemon never reads client paths. The
+      // stem name keeps outputs identical to compiling the file locally.
+      request_field(request, "bench", read_file(name));
+      request_field(request, "name", path_stem(name));
+    } else {
+      request_field(request, "circuit", name);
+    }
+    if (job == "fault-sim") {
+      if (args.size() < 3) {
+        std::fprintf(stderr, "wbist: submit fsim needs a sequence file\n");
+        return 2;
+      }
+      request_field(request, "sequence", read_file(args[2]));
+    } else if (job == "tgen" && args.size() > 2) {
+      tgen_out = args[2];
+    }
+  }
+  request += '}';
+
+  const std::string response_text = serve::submit(ep, request);
+  const util::JsonValue response = util::json_parse(response_text);
+  const long long exit_code = response.get_int("exit", 1);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "wbist: %s\n",
+                 response.get_string("error", "daemon error").c_str());
+    return static_cast<int>(exit_code);
+  }
+  if (job == "metrics") {
+    // The metrics payload is a nested JSON document; hand the daemon's
+    // response through verbatim so nothing is re-encoded.
+    std::printf("%s\n", response_text.c_str());
+    return static_cast<int>(exit_code);
+  }
+  std::fputs(response.get_string("output").c_str(), stdout);
+  if (!tgen_out.empty()) {
+    const std::string seq_text = response.get_string("sequence");
+    std::ofstream out(tgen_out);
+    if (!out || !(out << seq_text)) {
+      std::fprintf(stderr, "wbist: cannot write '%s'\n", tgen_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", tgen_out.c_str());
+  }
+  return static_cast<int>(exit_code);
+}
+
 int usage() {
   std::fputs(
       "usage: wbist <command> [args] [--metrics-json <path>]\n"
@@ -208,30 +444,43 @@ int usage() {
       "  tgen  <circuit> [out.seq]    deterministic sequence + compaction\n"
       "                               (--vcd <path>: good-machine waveform)\n"
       "  flow  <circuit>              full weighted-BIST flow (Table-6 row)\n"
+      "  fsim  <circuit> <seq-file>   fault-simulate a .seq file\n"
       "  synth <circuit> [out.bench]  emit the Figure-1 generator netlist\n"
       "  obs   <circuit>              observation-point tradeoff\n"
+      "  serve --socket <path>|--tcp <port> [--serve-threads N]\n"
+      "        [--cache-bytes N]      persistent daemon (wbist.serve/1)\n"
+      "  submit --socket <path>|--tcp <port> <job> [circuit] [args]\n"
+      "                               send one job to a running daemon\n"
       "a circuit is a registry name (see `list`) or a .bench file path;\n"
       "--metrics-json dumps the run-metrics registry, --trace-json records a\n"
       "Chrome/Perfetto trace, --provenance-jsonl streams per-fault detection\n"
-      "provenance (see EXPERIMENTS.md); --kernel pins the simulation\n"
-      "backend (auto = widest this CPU supports; all are bit-identical)\n",
+      "provenance (see EXPERIMENTS.md); all artifact paths resolve against\n"
+      "WBIST_OUT_DIR; --kernel pins the simulation backend (auto = widest\n"
+      "this CPU supports; all are bit-identical)\n",
       stderr);
   return 2;
 }
 
-int dispatch(const std::vector<std::string>& args) {
+int dispatch(std::vector<std::string> args) {
   if (args.empty()) return usage();
-  const std::string& cmd = args[0];
+  const std::string cmd = args[0];
+  args.erase(args.begin());
   if (cmd == "list") return cmd_list();
-  if (args.size() < 2) return usage();
-  const std::string& name = args[1];
-  const std::string arg3 = args.size() > 2 ? args[2] : "";
+  if (cmd == "serve") return cmd_serve(std::move(args));
+  if (cmd == "submit") return cmd_submit(std::move(args));
+  if (args.empty()) return usage();
+  const std::string& name = args[0];
+  const std::string arg3 = args.size() > 1 ? args[1] : "";
   if (cmd == "info") return cmd_info(name);
   if (cmd == "emit")
     return cmd_emit(name, arg3.empty() ? name + ".bench" : arg3);
   if (cmd == "tgen")
     return cmd_tgen(name, arg3.empty() ? name + ".seq" : arg3);
   if (cmd == "flow") return cmd_flow(name);
+  if (cmd == "fsim") {
+    if (arg3.empty()) return usage();
+    return cmd_fsim(name, arg3);
+  }
   if (cmd == "synth")
     return cmd_synth(name, arg3.empty() ? name + "_bist.bench" : arg3);
   if (cmd == "obs") return cmd_obs(name);
@@ -266,6 +515,12 @@ int main(int argc, char** argv) {
       !take_path_option(args, "--provenance-jsonl", provenance_path) ||
       !take_path_option(args, "--vcd", g_vcd_path))
     return 2;
+  // Every artifact path honours WBIST_OUT_DIR, not just --vcd.
+  if (!metrics_path.empty()) metrics_path = wbist::util::out_path(metrics_path);
+  if (!trace_path.empty()) trace_path = wbist::util::out_path(trace_path);
+  if (!provenance_path.empty())
+    provenance_path = wbist::util::out_path(provenance_path);
+  if (!g_vcd_path.empty()) g_vcd_path = wbist::util::out_path(g_vcd_path);
 
   // Backend override before any simulator is constructed. The resolved
   // backend (overridden or not) lands in the metrics labels so a
@@ -297,7 +552,7 @@ int main(int argc, char** argv) {
 
   int rc;
   try {
-    rc = dispatch(args);
+    rc = dispatch(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wbist: %s\n", e.what());
     rc = 1;
