@@ -47,8 +47,10 @@ std::string info_report(const CompiledCircuit& cc) {
 }
 
 FlowJobResult run_flow_job(const CompiledCircuit& cc,
-                           const FlowConfig& config) {
+                           const FlowConfig& config,
+                           const Deadline& deadline) {
   util::TraceSpan span("job.flow", util::TraceArg::copy("circuit", cc.name()));
+  deadline.check("flow");
   const auto sim = make_simulator(cc);
   FlowJobResult result{.output = {}, .flow = run_flow(sim, cc.name(), config)};
   const auto& r = result.flow.table6;
@@ -66,14 +68,17 @@ FlowJobResult run_flow_job(const CompiledCircuit& cc,
 
 TgenJobResult run_tgen_job(const CompiledCircuit& cc,
                            const tgen::TgenConfig& config,
-                           const tgen::CompactionConfig& compaction) {
+                           const tgen::CompactionConfig& compaction,
+                           const Deadline& deadline) {
   util::TraceSpan span("job.tgen", util::TraceArg::copy("circuit", cc.name()));
+  deadline.check("tgen");
   const auto sim = make_simulator(cc);
   const auto gen = tgen::generate_test_sequence(sim, config);
   std::vector<fault::FaultId> must;
   for (fault::FaultId f = 0; f < cc.faults().size(); ++f)
     if (gen.detection_time[f] != fault::DetectionResult::kUndetected)
       must.push_back(f);
+  deadline.check("compaction");
   const auto comp = tgen::compact_sequence(sim, gen.sequence, must, compaction);
 
   TgenJobResult result;
@@ -94,9 +99,11 @@ TgenJobResult run_tgen_job(const CompiledCircuit& cc,
 
 FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
                                     const sim::TestSequence& seq,
-                                    unsigned threads) {
+                                    unsigned threads,
+                                    const Deadline& deadline) {
   util::TraceSpan span("job.fault_sim",
                        util::TraceArg::copy("circuit", cc.name()));
+  deadline.check("fault-sim");
   const auto sim = make_simulator(cc);
   fault::FaultSimOptions options;
   options.threads = threads;

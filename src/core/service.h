@@ -12,7 +12,10 @@
 // call builds its own short-lived FaultSimulator on top of it.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "core/flow.h"
@@ -24,6 +27,46 @@ namespace wbist::core {
 
 class CompiledCircuit;
 
+/// Thrown by Deadline::check when a job's time budget is exhausted. The
+/// serve daemon maps it to the `deadline_exceeded` wire error.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& stage)
+      : std::runtime_error("deadline exceeded (" + stage + ")") {}
+};
+
+/// A cooperative per-job time budget. Deadlines never alter a job's
+/// output: they are polled *between* stages (check()), so a job either
+/// runs a stage to completion — producing exactly the bytes an undeadlined
+/// run produces — or throws DeadlineExceeded before starting it. The
+/// default-constructed Deadline is inactive and never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// A deadline `ms` milliseconds from now (ms must be > 0).
+  static Deadline after_ms(std::int64_t ms) {
+    return Deadline(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(ms));
+  }
+
+  bool active() const { return active_; }
+  bool expired() const {
+    return active_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Throws DeadlineExceeded (tagged with `stage`) when expired.
+  void check(const char* stage) const {
+    if (expired()) throw DeadlineExceeded(stage);
+  }
+
+ private:
+  explicit Deadline(std::chrono::steady_clock::time_point at)
+      : at_(at), active_(true) {}
+
+  std::chrono::steady_clock::time_point at_{};
+  bool active_ = false;
+};
+
 /// `wbist info`: structure + fault counts. Byte-identical to the CLI.
 std::string info_report(const CompiledCircuit& cc);
 
@@ -34,9 +77,11 @@ struct FlowJobResult {
   FlowResult flow;
 };
 
-/// `wbist flow`: the complete weighted-BIST flow.
+/// `wbist flow`: the complete weighted-BIST flow. The deadline is checked
+/// before the flow starts (the expensive stages live in run_flow).
 FlowJobResult run_flow_job(const CompiledCircuit& cc,
-                           const FlowConfig& config = {});
+                           const FlowConfig& config = {},
+                           const Deadline& deadline = {});
 
 struct TgenJobResult {
   /// "s27: 104 -> 31 vectors, 32/32 faults (100.0%)" — the CLI appends
@@ -50,9 +95,12 @@ struct TgenJobResult {
 };
 
 /// `wbist tgen`: deterministic sequence generation + static compaction.
+/// The deadline is checked before generation and again between generation
+/// and compaction.
 TgenJobResult run_tgen_job(const CompiledCircuit& cc,
                            const tgen::TgenConfig& config = {},
-                           const tgen::CompactionConfig& compaction = {});
+                           const tgen::CompactionConfig& compaction = {},
+                           const Deadline& deadline = {});
 
 struct FaultSimJobResult {
   /// "s27: 31/32 faults detected (96.9%), 14 vectors" — deterministic.
@@ -66,6 +114,7 @@ struct FaultSimJobResult {
 /// match the circuit's primary-input count.
 FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
                                     const sim::TestSequence& seq,
-                                    unsigned threads = 0);
+                                    unsigned threads = 0,
+                                    const Deadline& deadline = {});
 
 }  // namespace wbist::core

@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -14,51 +16,83 @@
 
 namespace wbist::serve {
 
-Client::Client(const Endpoint& endpoint) {
+namespace {
+
+/// connect(2) with a deadline: flip to non-blocking, start the connect,
+/// poll for writability, then read back SO_ERROR. The fd is returned in
+/// blocking mode so the framing layer's poll-gated I/O behaves normally.
+void connect_deadline(int fd, const sockaddr* addr, socklen_t len,
+                      int timeout_ms, const std::string& where) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw ConnectError("serve: fcntl: " + std::string(std::strerror(errno)));
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN)
+    throw ConnectError("serve: cannot connect to " + where + ": " +
+                       std::strerror(errno));
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0)
+      throw TimeoutError("serve: connect to " + where + " timed out after " +
+                         std::to_string(timeout_ms) + "ms");
+    if (rc < 0)
+      throw ConnectError("serve: poll: " + std::string(std::strerror(errno)));
+    int err = 0;
+    socklen_t errlen = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0)
+      err = errno;
+    if (err != 0)
+      throw ConnectError("serve: cannot connect to " + where + ": " +
+                         std::strerror(err));
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0)
+    throw ConnectError("serve: fcntl: " + std::string(std::strerror(errno)));
+}
+
+}  // namespace
+
+Client::Client(const Endpoint& endpoint, const ClientOptions& options)
+    : options_(options) {
   if (endpoint.unix_path.empty() == (endpoint.tcp_port < 0))
     throw std::invalid_argument(
         "serve: endpoint needs exactly one of unix_path and tcp_port");
-  if (!endpoint.unix_path.empty()) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0)
-      throw std::runtime_error(std::string("serve: socket: ") +
-                               std::strerror(errno));
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (endpoint.unix_path.size() >= sizeof addr.sun_path) {
-      ::close(fd_);
-      throw std::runtime_error("serve: unix socket path too long: " +
-                               endpoint.unix_path);
+  try {
+    if (!endpoint.unix_path.empty()) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0)
+        throw ConnectError(std::string("serve: socket: ") +
+                           std::strerror(errno));
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (endpoint.unix_path.size() >= sizeof addr.sun_path)
+        throw ConnectError("serve: unix socket path too long: " +
+                           endpoint.unix_path);
+      std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                   sizeof addr.sun_path - 1);
+      connect_deadline(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                       options_.connect_timeout_ms, endpoint.unix_path);
+    } else {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0)
+        throw ConnectError(std::string("serve: socket: ") +
+                           std::strerror(errno));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.tcp_port));
+      if (::inet_pton(AF_INET, endpoint.tcp_host.c_str(), &addr.sin_addr) != 1)
+        throw ConnectError("serve: bad host '" + endpoint.tcp_host + "'");
+      connect_deadline(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                       options_.connect_timeout_ms,
+                       endpoint.tcp_host + ":" +
+                           std::to_string(endpoint.tcp_port));
     }
-    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
-                 sizeof addr.sun_path - 1);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      const int err = errno;
-      ::close(fd_);
-      throw std::runtime_error("serve: cannot connect to " +
-                               endpoint.unix_path + ": " +
-                               std::strerror(err));
-    }
-  } else {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
-      throw std::runtime_error(std::string("serve: socket: ") +
-                               std::strerror(errno));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.tcp_port));
-    if (::inet_pton(AF_INET, endpoint.tcp_host.c_str(), &addr.sin_addr) != 1) {
-      ::close(fd_);
-      throw std::runtime_error("serve: bad host '" + endpoint.tcp_host + "'");
-    }
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      const int err = errno;
-      ::close(fd_);
-      throw std::runtime_error("serve: cannot connect to " +
-                               endpoint.tcp_host + ":" +
-                               std::to_string(endpoint.tcp_port) + ": " +
-                               std::strerror(err));
-    }
+  } catch (...) {
+    if (fd_ != -1) ::close(fd_);
+    fd_ = -1;
+    throw;
   }
 }
 
@@ -67,15 +101,37 @@ Client::~Client() {
 }
 
 std::string Client::round_trip(std::string_view request) {
-  write_frame(fd_, request);
+  try {
+    write_frame(fd_, request, options_.io_timeout_ms);
+  } catch (const FrameTimeout& e) {
+    throw TimeoutError(e.what());
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("serve: connection lost while sending: ") +
+                        e.what());
+  }
   std::string response;
-  if (!read_frame(fd_, response))
-    throw std::runtime_error("serve: daemon closed the connection");
-  return response;
+  ReadStatus status;
+  try {
+    status = read_frame(
+        fd_, response,
+        ReadDeadlines{options_.io_timeout_ms, options_.io_timeout_ms});
+  } catch (const std::exception& e) {
+    throw ProtocolError(e.what());
+  }
+  switch (status) {
+    case ReadStatus::kFrame:
+      return response;
+    case ReadStatus::kEof:
+      throw ProtocolError("serve: daemon closed the connection");
+    default:
+      throw TimeoutError("serve: no response within " +
+                         std::to_string(options_.io_timeout_ms) + "ms");
+  }
 }
 
-std::string submit(const Endpoint& endpoint, std::string_view request) {
-  Client client(endpoint);
+std::string submit(const Endpoint& endpoint, std::string_view request,
+                   const ClientOptions& options) {
+  Client client(endpoint, options);
   return client.round_trip(request);
 }
 

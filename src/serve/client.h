@@ -1,8 +1,18 @@
 // Client side of the `wbist serve` protocol: connect, frame a request,
 // read the framed response. Used by `wbist submit`, the serve tests, and
 // any embedding that wants to talk to a running daemon in-process.
+//
+// Every step is bounded: connect() is attempted non-blocking under
+// `connect_timeout_ms`, and each round trip's write and read are gated by
+// poll(2) under `io_timeout_ms` — a wedged or absent daemon surfaces as a
+// typed error instead of hanging the client forever. The error taxonomy
+// maps 1:1 onto `wbist submit` exit codes (see docs/schemas/
+// wbist.serve-v1.md): ConnectError (cannot reach a daemon), TimeoutError
+// (reached one but it did not answer in time), ProtocolError (it answered
+// with something that is not a well-formed frame).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -15,29 +25,59 @@ struct Endpoint {
   int tcp_port = -1;
 };
 
+/// Client-side transport bounds. -1 disables a bound (never recommended
+/// against a shared daemon).
+struct ClientOptions {
+  int connect_timeout_ms = 30000;
+  /// Bounds each round trip's request write and response read. The read
+  /// bound is the time budget for the *daemon's answer*, so it should
+  /// exceed any `deadline_ms` carried by the request itself.
+  int io_timeout_ms = 30000;
+};
+
+/// Base of every transport-level client failure.
+struct ClientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// No daemon reachable: connection refused, unreachable, absent socket.
+struct ConnectError : ClientError {
+  using ClientError::ClientError;
+};
+/// A bound elapsed: connect, request write, or response read timed out.
+struct TimeoutError : ClientError {
+  using ClientError::ClientError;
+};
+/// The peer violated the framing contract (closed mid-frame, oversized or
+/// truncated frame).
+struct ProtocolError : ClientError {
+  using ClientError::ClientError;
+};
+
 /// A connection to a daemon. One Client = one socket; requests on the same
-/// Client are served in order by one handler thread on the server side.
-/// Not thread-safe — use one Client per thread.
+/// Client are answered in request order by the server. Not thread-safe —
+/// use one Client per thread.
 class Client {
  public:
-  /// Connects immediately; throws std::runtime_error when the daemon is
-  /// not reachable.
-  explicit Client(const Endpoint& endpoint);
+  /// Connects immediately; throws ConnectError when the daemon is not
+  /// reachable and TimeoutError when connecting exceeds its bound.
+  explicit Client(const Endpoint& endpoint, const ClientOptions& options = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// One request/response round trip. `request` must be a wbist.serve/1
-  /// JSON document; the raw response payload is returned. Throws on
-  /// transport errors (including the daemon closing mid-request).
+  /// JSON document; the raw response payload is returned. Throws
+  /// TimeoutError / ProtocolError (see above).
   std::string round_trip(std::string_view request);
 
  private:
   int fd_ = -1;
+  ClientOptions options_;
 };
 
 /// Convenience: one-shot connect + round_trip + close.
-std::string submit(const Endpoint& endpoint, std::string_view request);
+std::string submit(const Endpoint& endpoint, std::string_view request,
+                   const ClientOptions& options = {});
 
 }  // namespace wbist::serve

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -17,44 +18,40 @@ namespace {
                            std::strerror(errno));
 }
 
-/// Read exactly `n` bytes. Returns bytes read before EOF (== n normally).
-std::size_t read_exact(int fd, void* buf, std::size_t n) {
-  std::size_t done = 0;
-  while (done < n) {
-    const ssize_t r = ::read(fd, static_cast<char*>(buf) + done, n - done);
-    if (r == 0) break;  // EOF
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      io_error("read");
-    }
-    done += static_cast<std::size_t>(r);
-  }
-  return done;
-}
-
-void write_all(int fd, const void* buf, std::size_t n) {
-  std::size_t done = 0;
-  while (done < n) {
-    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE instead of killing
-    // the daemon with SIGPIPE.
-    const ssize_t w = ::send(fd, static_cast<const char*>(buf) + done,
-                             n - done, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      io_error("write");
-    }
-    done += static_cast<std::size_t>(w);
+/// Wait until `fd` is ready for `events` (POLLIN/POLLOUT) or `timeout_ms`
+/// elapses. Returns false on timeout. POLLERR/POLLHUP count as ready: the
+/// following read/write surfaces the condition as EOF or an errno.
+bool poll_ready(int fd, short events, int timeout_ms) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    io_error("poll");
   }
 }
 
 }  // namespace
 
-bool read_frame(int fd, std::string& payload) {
+ReadStatus read_frame(int fd, std::string& payload, const ReadDeadlines& dl) {
   unsigned char hdr[4];
-  const std::size_t got = read_exact(fd, hdr, sizeof hdr);
-  if (got == 0) return false;  // clean EOF between frames
-  if (got != sizeof hdr)
-    throw std::runtime_error("serve: truncated frame header");
+  std::size_t got = 0;
+  while (got < sizeof hdr) {
+    const int timeout = got == 0 ? dl.idle_timeout_ms : dl.stall_timeout_ms;
+    if (!poll_ready(fd, POLLIN, timeout))
+      return got == 0 ? ReadStatus::kIdleTimeout : ReadStatus::kStallTimeout;
+    const ssize_t r = ::read(fd, hdr + got, sizeof hdr - got);
+    if (r == 0) {
+      if (got == 0) return ReadStatus::kEof;  // clean close between frames
+      throw std::runtime_error("serve: truncated frame header");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_error("read");
+    }
+    got += static_cast<std::size_t>(r);
+  }
   const std::uint32_t len = (std::uint32_t{hdr[0]} << 24) |
                             (std::uint32_t{hdr[1]} << 16) |
                             (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
@@ -62,12 +59,31 @@ bool read_frame(int fd, std::string& payload) {
     throw std::runtime_error("serve: frame exceeds " +
                              std::to_string(kMaxFrameBytes) + " bytes");
   payload.resize(len);
-  if (len != 0 && read_exact(fd, payload.data(), len) != len)
-    throw std::runtime_error("serve: truncated frame payload");
-  return true;
+  std::size_t done = 0;
+  while (done < len) {
+    if (!poll_ready(fd, POLLIN, dl.stall_timeout_ms))
+      return ReadStatus::kStallTimeout;
+    const ssize_t r = ::read(fd, payload.data() + done, len - done);
+    if (r == 0) throw std::runtime_error("serve: truncated frame payload");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_error("read");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return ReadStatus::kFrame;
 }
 
-void write_frame(int fd, std::string_view payload) {
+bool read_frame(int fd, std::string& payload) {
+  switch (read_frame(fd, payload, ReadDeadlines{})) {
+    case ReadStatus::kEof:
+      return false;
+    default:
+      return true;  // timeouts are impossible with unbounded deadlines
+  }
+}
+
+void write_frame(int fd, std::string_view payload, int stall_timeout_ms) {
   if (payload.size() > kMaxFrameBytes)
     throw std::runtime_error("serve: frame exceeds " +
                              std::to_string(kMaxFrameBytes) + " bytes");
@@ -76,8 +92,33 @@ void write_frame(int fd, std::string_view payload) {
                                 static_cast<unsigned char>(len >> 16),
                                 static_cast<unsigned char>(len >> 8),
                                 static_cast<unsigned char>(len)};
-  write_all(fd, hdr, sizeof hdr);
-  write_all(fd, payload.data(), payload.size());
+  // One gathered buffer so the header cannot be split from a tiny payload.
+  std::string frame;
+  frame.reserve(sizeof hdr + payload.size());
+  frame.append(reinterpret_cast<const char*>(hdr), sizeof hdr);
+  frame.append(payload.data(), payload.size());
+
+  // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE instead of killing the
+  // daemon with SIGPIPE. MSG_DONTWAIT under a stall bound: an AF_UNIX
+  // stream send() blocks until the *whole* buffer is consumed rather than
+  // returning a partial write the way TCP does, which would let a
+  // non-draining peer pin the writer past its bound even after a
+  // successful poll; non-blocking sends make every wait happen in poll.
+  const int flags =
+      MSG_NOSIGNAL | (stall_timeout_ms >= 0 ? MSG_DONTWAIT : 0);
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    if (stall_timeout_ms >= 0 && !poll_ready(fd, POLLOUT, stall_timeout_ms))
+      throw FrameTimeout("serve: peer not draining, write stalled for " +
+                         std::to_string(stall_timeout_ms) + "ms");
+    const ssize_t w =
+        ::send(fd, frame.data() + done, frame.size() - done, flags);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      io_error("write");
+    }
+    done += static_cast<std::size_t>(w);
+  }
 }
 
 }  // namespace wbist::serve

@@ -11,9 +11,18 @@
 // framing keeps the parser trivial for any client language: read 4 bytes,
 // read N bytes, parse. Frames above kMaxFrameBytes are rejected before any
 // allocation so a malicious length cannot balloon the server.
+//
+// Both directions support *deadlines* enforced by poll(2)-before-I/O: a
+// reader distinguishes "idle between frames" (a healthy keep-alive
+// connection with nothing to say) from "stalled mid-frame" (a slow-loris
+// peer that sent part of a frame and went quiet), and a writer bounds how
+// long a peer may refuse to drain a response. Timeouts never block a thread
+// past the configured bound, which is what makes handler threads evictable
+// instead of pinnable.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -25,13 +34,42 @@ inline constexpr std::string_view kSchema = "wbist.serve/1";
 /// inlined in a request is ~1 MiB, so this is generous).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
-/// Read one frame from `fd` into `payload`. Returns false on clean EOF at a
-/// frame boundary (the peer closed); throws std::runtime_error on short
-/// reads inside a frame, I/O errors, or an oversized length prefix.
+/// Poll-before-read deadlines for read_frame. -1 disables a bound.
+struct ReadDeadlines {
+  /// Max wait for the first header byte of the next frame (a connection
+  /// with no request in flight is merely idle, not misbehaving).
+  int idle_timeout_ms = -1;
+  /// Max silent gap once inside a frame — between any two reads of header
+  /// or payload bytes. A peer that trips this is stalling mid-frame.
+  int stall_timeout_ms = -1;
+};
+
+enum class ReadStatus {
+  kFrame,         ///< one complete frame landed in `payload`
+  kEof,           ///< clean close at a frame boundary
+  kIdleTimeout,   ///< no frame started within idle_timeout_ms
+  kStallTimeout,  ///< peer went quiet mid-frame for stall_timeout_ms
+};
+
+/// A frame write that could not make progress within its stall bound.
+struct FrameTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Read one frame from `fd` into `payload`, honouring the deadlines.
+/// Returns kFrame/kEof/kIdleTimeout/kStallTimeout; throws
+/// std::runtime_error on short reads inside a frame (EOF mid-frame), I/O
+/// errors, or an oversized length prefix.
+ReadStatus read_frame(int fd, std::string& payload, const ReadDeadlines& dl);
+
+/// Unbounded read (no deadlines). Returns false on clean EOF at a frame
+/// boundary; throws as above.
 bool read_frame(int fd, std::string& payload);
 
-/// Write one frame. Throws std::runtime_error on I/O errors (including a
-/// peer that disappeared mid-write; SIGPIPE is suppressed).
-void write_frame(int fd, std::string_view payload);
+/// Write one frame. `stall_timeout_ms` bounds every silent gap in which the
+/// peer accepts no bytes (-1 = unbounded); tripping it throws FrameTimeout.
+/// Throws std::runtime_error on I/O errors (including a peer that
+/// disappeared mid-write; SIGPIPE is suppressed).
+void write_frame(int fd, std::string_view payload, int stall_timeout_ms = -1);
 
 }  // namespace wbist::serve

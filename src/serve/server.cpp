@@ -1,6 +1,9 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -22,6 +25,15 @@
 namespace wbist::serve {
 
 namespace {
+
+/// Retry hint attached to `overloaded` responses. Advisory: clients should
+/// back off at least this long (with jitter) before resubmitting.
+constexpr int kRetryAfterMs = 100;
+
+/// Bound on the accept thread's best-effort turn-away write. Tiny frames
+/// into a fresh socket buffer never block in practice; the bound only
+/// protects the accept loop from a pathological peer.
+constexpr int kTurnAwayWriteMs = 100;
 
 [[noreturn]] void sys_error(const std::string& what) {
   throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
@@ -86,7 +98,30 @@ std::string error_response(int exit_code, std::string_view message) {
   return rb.finish();
 }
 
+/// The backpressure answer: exit 3 (transient), machine-readable error
+/// vocabulary word, and a retry hint.
+std::string overloaded_response() {
+  ResponseBuilder rb;
+  rb.field("schema", kSchema);
+  rb.field_bool("ok", false);
+  rb.field_int("exit", 3);
+  rb.field("error", "overloaded");
+  rb.field_int("retry_after_ms", kRetryAfterMs);
+  return rb.finish();
+}
+
+std::string deadline_response() {
+  ResponseBuilder rb;
+  rb.field("schema", kSchema);
+  rb.field_bool("ok", false);
+  rb.field_int("exit", 3);
+  rb.field("error", "deadline_exceeded");
+  return rb.finish();
+}
+
 }  // namespace
+
+Server::Connection::~Connection() { ::close(fd); }
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)), cache_(config_.cache_bytes) {
@@ -94,6 +129,10 @@ Server::Server(ServerConfig config)
     throw std::invalid_argument(
         "serve: configure exactly one of unix_path and tcp_port");
   if (config_.handler_threads == 0) config_.handler_threads = 1;
+  if (config_.worker_threads == 0)
+    config_.worker_threads = config_.handler_threads;
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  if (config_.max_pending_conns == 0) config_.max_pending_conns = 1;
 }
 
 Server::~Server() {
@@ -141,9 +180,12 @@ void Server::start() {
 
   started_ = true;
   accept_thread_ = std::thread([this] { accept_main(); });
-  handlers_.reserve(config_.handler_threads);
+  readers_.reserve(config_.handler_threads);
   for (unsigned k = 0; k < config_.handler_threads; ++k)
-    handlers_.emplace_back([this] { handler_main(); });
+    readers_.emplace_back([this] { reader_main(); });
+  workers_.reserve(config_.worker_threads);
+  for (unsigned k = 0; k < config_.worker_threads; ++k)
+    workers_.emplace_back([this] { worker_main(); });
 }
 
 void Server::request_stop() {
@@ -157,9 +199,12 @@ void Server::request_stop() {
 
 void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : handlers_)
+  for (auto& t : readers_)
     if (t.joinable()) t.join();
-  handlers_.clear();
+  readers_.clear();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
 }
 
 void Server::accept_main() {
@@ -177,11 +222,28 @@ void Server::accept_main() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     util::metrics().counter("serve.connections").add(1);
+    bool admitted = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      pending_.push_back(fd);
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      if (pending_.size() < config_.max_pending_conns) {
+        pending_.push_back(std::make_shared<Connection>(fd));
+        admitted = true;
+      }
     }
-    queue_cv_.notify_one();
+    if (admitted) {
+      conn_cv_.notify_one();
+      continue;
+    }
+    // Shed the connection instead of holding its fd: a best-effort framed
+    // turn-away, then close. A flood beyond the cap costs one small write
+    // per connection, never an fd.
+    util::metrics().counter("serve.conns_rejected").add(1);
+    try {
+      write_frame(fd, overloaded_response(), kTurnAwayWriteMs);
+    } catch (const std::exception&) {
+      // The peer is gone or not draining; nothing owed to it.
+    }
+    ::close(fd);
   }
   orderly_stop();
 }
@@ -192,74 +254,220 @@ void Server::orderly_stop() {
   listen_fd_ = -1;
   if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    // Drop connections that were accepted but never picked up, and
-    // half-close in-flight ones so their handler's blocking read returns.
-    for (const int fd : pending_) ::close(fd);
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    // Connections accepted but never picked up simply drop (their
+    // destructor closes the fd); in-flight ones are half-closed so their
+    // reader's blocking poll/read returns.
     pending_.clear();
-    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (Connection* c : active_) ::shutdown(c->fd, SHUT_RDWR);
   }
-  queue_cv_.notify_all();
+  {
+    // Queued jobs are dropped: their connections are being torn down, so
+    // there is no one left to answer.
+    std::lock_guard<std::mutex> lk(job_mu_);
+    jobs_.clear();
+  }
+  conn_cv_.notify_all();
+  job_cv_.notify_all();
 }
 
-void Server::handler_main() {
+void Server::reader_main() {
   while (true) {
-    int fd = -1;
+    ConnPtr conn;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      queue_cv_.wait(lk, [this] {
+      std::unique_lock<std::mutex> lk(conn_mu_);
+      conn_cv_.wait(lk, [this] {
         return !pending_.empty() || stopping_.load(std::memory_order_acquire);
       });
       if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
+      conn = std::move(pending_.front());
       pending_.pop_front();
-      active_fds_.insert(fd);
+      active_.insert(conn.get());
     }
-    serve_connection(fd);
+    serve_connection(conn);
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      active_fds_.erase(fd);
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      active_.erase(conn.get());
     }
-    ::close(fd);
+    // The fd closes when the last holder (possibly a worker still writing
+    // a response) releases the connection.
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(const ConnPtr& conn) {
   std::string payload;
   while (!stopping_.load(std::memory_order_acquire)) {
+    ReadStatus status;
     try {
-      if (!read_frame(fd, payload)) return;  // peer closed
+      status = read_frame(
+          conn->fd, payload,
+          ReadDeadlines{config_.idle_timeout_ms, config_.stall_timeout_ms});
     } catch (const std::exception&) {
-      return;  // torn frame / reset: nothing sane to answer
-    }
-    bool shutdown = false;
-    std::string response = handle_request(payload, shutdown);
-    try {
-      write_frame(fd, response);
-    } catch (const std::exception&) {
-      util::metrics().counter("serve.write_errors").add(1);
+      // Torn frame, oversize length, reset: nothing sane to answer.
+      util::metrics().counter("serve.read_errors").add(1);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      conn->dead = true;
+      ::shutdown(conn->fd, SHUT_RDWR);
       return;
     }
-    if (shutdown) {
-      request_stop();
+    if (status == ReadStatus::kEof) {
+      // Clean close. The peer may have pipelined requests and half-closed
+      // its sending side; workers keep writing the responses it is owed.
       return;
     }
+    if (status != ReadStatus::kFrame) {
+      // Slow-loris eviction: the peer either went idle past the keep-alive
+      // bound or stalled mid-frame. Close it (with a logged reason) so the
+      // reader thread frees up instead of being pinned forever.
+      util::metrics().counter("serve.slow_clients_evicted").add(1);
+      std::fprintf(stderr, "wbist serve: evicting slow client fd=%d (%s)\n",
+                   conn->fd,
+                   status == ReadStatus::kIdleTimeout
+                       ? "idle between frames"
+                       : "stalled mid-frame");
+      std::lock_guard<std::mutex> lk(conn->mu);
+      conn->dead = true;
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
+    dispatch_request(conn, conn->next_seq++, std::move(payload));
+    payload = std::string();
   }
 }
 
-std::string Server::handle_request(const std::string& payload,
-                                   bool& shutdown) {
+void Server::dispatch_request(const ConnPtr& conn, std::uint64_t seq,
+                              std::string payload) {
   util::metrics().counter("serve.requests").add(1);
+  util::JsonValue req;
   std::string job;
+  long long priority = 0;
+  long long deadline_ms = 0;
   try {
-    const util::JsonValue req = [&] {
-      try {
-        return util::json_parse(payload);
-      } catch (const std::exception& e) {
-        throw UsageError(e.what());
-      }
-    }();
+    req = util::json_parse(payload);
     job = req.get_string("job");
+    priority = std::clamp<long long>(req.get_int("priority", 0), -1000000,
+                                     1000000);
+    deadline_ms = req.get_int("deadline_ms", 0);
+  } catch (const std::exception& e) {
+    util::metrics().counter("serve.errors").add(1);
+    complete(conn, seq, error_response(2, e.what()));
+    return;
+  }
+
+  // Control-plane requests (and the missing-job error) answer inline on
+  // the reader: they do no simulation work, and bypassing the queue keeps
+  // liveness probes and shutdown responsive when the queue is saturated.
+  if (job.empty() || job == "ping" || job == "shutdown" || job == "metrics") {
+    bool shutdown = false;
+    std::string response = handle_request(req, job, shutdown, {});
+    complete(conn, seq, std::move(response));
+    if (shutdown) request_stop();
+    return;
+  }
+
+  Job j;
+  j.conn = conn;
+  j.seq = seq;
+  j.job_name = job;
+  j.request = std::move(req);
+  if (deadline_ms <= 0) deadline_ms = config_.request_timeout_ms;
+  if (deadline_ms > 0) j.deadline = core::Deadline::after_ms(deadline_ms);
+  j.enqueued = std::chrono::steady_clock::now();
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    if (!stopping_.load(std::memory_order_acquire) &&
+        jobs_.size() < config_.queue_depth) {
+      jobs_.emplace(JobKey{-priority, job_counter_++}, std::move(j));
+      util::metrics()
+          .histogram("serve.queue_depth")
+          .record(static_cast<std::uint64_t>(jobs_.size()));
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    job_cv_.notify_one();
+    return;
+  }
+  // Backpressure: answer instead of queueing. The client sees a structured
+  // transient error with a retry hint rather than unbounded latency.
+  util::metrics().counter("serve.jobs_rejected").add(1);
+  complete(conn, seq, overloaded_response());
+}
+
+void Server::worker_main() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(job_mu_);
+      job_cv_.wait(lk, [this] {
+        return !jobs_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      auto it = jobs_.begin();
+      job = std::move(it->second);
+      jobs_.erase(it);
+    }
+    const auto wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - job.enqueued)
+                             .count();
+    util::metrics()
+        .histogram("serve.queue_wait_us")
+        .record(static_cast<std::uint64_t>(std::max<long long>(wait_us, 0)));
+    if (config_.test_worker_gate) config_.test_worker_gate();
+    if (job.deadline.expired()) {
+      // The job waited out its whole budget in the queue: answer without
+      // running the simulation at all.
+      util::metrics().counter("serve.deadline_expired").add(1);
+      complete(job.conn, job.seq, deadline_response());
+      continue;
+    }
+    bool shutdown = false;
+    std::string response =
+        handle_request(job.request, job.job_name, shutdown, job.deadline);
+    complete(job.conn, job.seq, std::move(response));
+    if (shutdown) request_stop();
+  }
+}
+
+void Server::complete(const ConnPtr& conn, std::uint64_t seq,
+                      std::string response) {
+  std::lock_guard<std::mutex> lk(conn->mu);
+  conn->done.emplace(seq, std::move(response));
+  // Flush the in-order prefix. Out-of-order completions park in `done`
+  // until every earlier response has been written, so one connection's
+  // responses always arrive in request order no matter how the workers
+  // interleave.
+  while (!conn->done.empty() &&
+         conn->done.begin()->first == conn->next_write) {
+    if (!conn->dead) {
+      try {
+        write_frame(conn->fd, conn->done.begin()->second,
+                    config_.stall_timeout_ms);
+      } catch (const FrameTimeout&) {
+        util::metrics().counter("serve.slow_clients_evicted").add(1);
+        std::fprintf(stderr,
+                     "wbist serve: evicting slow client fd=%d (not draining "
+                     "responses)\n",
+                     conn->fd);
+        conn->dead = true;
+        ::shutdown(conn->fd, SHUT_RDWR);
+      } catch (const std::exception&) {
+        util::metrics().counter("serve.write_errors").add(1);
+        conn->dead = true;
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+    conn->done.erase(conn->done.begin());
+    ++conn->next_write;
+  }
+}
+
+std::string Server::handle_request(const util::JsonValue& req,
+                                   const std::string& job, bool& shutdown,
+                                   const core::Deadline& deadline) {
+  try {
     if (job.empty()) throw UsageError("request is missing \"job\"");
     util::TraceSpan span("serve.request", util::TraceArg::copy("job", job));
     util::metrics().counter("serve.jobs." + job).add(1);
@@ -309,16 +517,18 @@ std::string Server::handle_request(const std::string& payload,
       }
     }
 
+    deadline.check("compile");
     bool cache_hit = false;
     const auto cc = cache_.get_or_compile(spec, copts, &cache_hit);
 
     std::string output;
     if (job == "info") {
+      deadline.check("info");
       output = core::info_report(*cc);
     } else if (job == "flow") {
-      output = core::run_flow_job(*cc).output;
+      output = core::run_flow_job(*cc, {}, deadline).output;
     } else if (job == "tgen") {
-      const auto r = core::run_tgen_job(*cc);
+      const auto r = core::run_tgen_job(*cc, {}, {}, deadline);
       output = r.summary + "\n";
       rb.field("sequence", r.sequence_text);
       rb.field_int("detected", static_cast<long long>(r.detected));
@@ -329,7 +539,7 @@ std::string Server::handle_request(const std::string& payload,
       const auto seq = sim::read_sequence(seq_text);
       const auto threads =
           static_cast<unsigned>(req.get_int("threads", 0));
-      const auto r = core::run_fault_sim_job(*cc, seq, threads);
+      const auto r = core::run_fault_sim_job(*cc, seq, threads, deadline);
       output = r.output;
       rb.field_int("detected", static_cast<long long>(r.detected));
       rb.field_int("total", static_cast<long long>(r.total));
@@ -342,6 +552,11 @@ std::string Server::handle_request(const std::string& payload,
                               (cache_hit ? "true" : "false") +
                               ",\"key\":" + util::json_quote(cc->key()) + "}");
     return rb.finish();
+  } catch (const core::DeadlineExceeded&) {
+    // The budget ran out mid-job: no partial output ever leaves the
+    // daemon — deadlines decide whether a job runs, never what it prints.
+    util::metrics().counter("serve.deadline_expired").add(1);
+    return deadline_response();
   } catch (const UsageError& e) {
     util::metrics().counter("serve.errors").add(1);
     return error_response(2, e.what());

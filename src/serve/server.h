@@ -3,32 +3,53 @@
 //
 // Architecture (DESIGN.md "Serve architecture" has the full picture):
 //
-//   accept thread ──> pending-connection queue ──> K handler threads
-//                                                      │
-//                                          ArtifactCache (shared, LRU)
-//                                                      │
-//                                    core::run_*_job(const CompiledCircuit&)
+//   accept thread ──> pending-connection queue (bounded; overflow is
+//        │             turned away with a framed `overloaded` error)
+//        │
+//   K reader threads ──> bounded priority job queue ──> W worker threads
+//   (poll-gated frame     Job{conn, seq, request,           │
+//    reads: idle and       priority, deadline};   ArtifactCache (shared LRU)
+//    mid-frame stall       full queue answers              │
+//    deadlines evict       `overloaded` instead   core::run_*_job(const
+//    slow-loris peers)     of queueing)             CompiledCircuit&,
+//        │                                          cooperative Deadline)
+//        └── responses are written back per-connection *in request order*
+//            (a per-connection sequencer reorders out-of-order completions)
 //
 // One thread polls the listening socket (plus a self-pipe, so both the
 // shutdown job and a signal handler can interrupt the poll with a single
-// async-signal-safe write()). Accepted connections queue to a fixed set of
-// handler threads; each handler serves its connection's requests
-// sequentially until the peer closes. Requests compile circuits at most
-// once process-wide through the ArtifactCache and then run the re-entrant
-// core::service entry points — the simulation inside a job parallelizes on
-// the fault simulator's own worker pool exactly as the one-shot CLI does,
-// so daemon results are bit-identical to CLI results.
+// async-signal-safe write()). Readers only parse and route: control-plane
+// jobs (ping / metrics / shutdown) and malformed requests are answered
+// inline — they do no simulation work, and keeping them out of the job
+// queue means liveness probes and shutdown still answer when the queue is
+// saturated — while simulation jobs are enqueued with an optional client
+// priority and deadline. Workers drain the queue highest-priority-first
+// (FIFO within a priority), answer already-expired jobs with
+// `deadline_exceeded` without running them, and execute the rest through
+// the re-entrant core::service entry points — the simulation inside a job
+// parallelizes on the fault simulator's own worker pool exactly as the
+// one-shot CLI does, so daemon results are bit-identical to CLI results
+// (deadlines only decide *whether* a job runs, never its output).
 //
-// Shutdown is orderly: stop accepting, wake idle handlers, half-close
-// in-flight connections (blocked reads return EOF), join every thread,
-// unlink the unix socket. A `{"job":"shutdown"}` request answers first and
-// then triggers exactly this path.
+// Every load-shedding decision is observable in wbist.metrics/1:
+// serve.queue_depth (histogram, sampled at enqueue), serve.queue_wait_us
+// (histogram), serve.jobs_rejected, serve.conns_rejected,
+// serve.deadline_expired, serve.slow_clients_evicted.
+//
+// Shutdown is orderly: stop accepting, wake idle readers and workers, drop
+// queued jobs, half-close in-flight connections (blocked reads return
+// EOF), join every thread, unlink the unix socket. A `{"job":"shutdown"}`
+// request answers first and then triggers exactly this path.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -36,6 +57,8 @@
 #include <vector>
 
 #include "core/artifact_cache.h"
+#include "core/service.h"
+#include "util/json.h"
 
 namespace wbist::serve {
 
@@ -46,11 +69,39 @@ struct ServerConfig {
   std::string unix_path;
   int tcp_port = -1;
 
-  /// Connection-handler threads (concurrent in-flight requests).
+  /// Connection-reader threads (concurrent connections being read).
   unsigned handler_threads = 4;
+
+  /// Job-executor threads draining the queue (0 = handler_threads).
+  unsigned worker_threads = 0;
 
   /// ArtifactCache byte budget (0 = the cache's default).
   std::size_t cache_bytes = 0;
+
+  /// Bounded job queue: a request arriving when `queue_depth` jobs are
+  /// already waiting is answered `overloaded` instead of queued.
+  std::size_t queue_depth = 64;
+
+  /// Accepted-but-not-yet-picked-up connection cap: beyond it, new
+  /// connections are turned away with a framed `overloaded` error so a
+  /// connection flood sheds load instead of exhausting fds.
+  std::size_t max_pending_conns = 128;
+
+  /// Read deadline between frames on an established connection (-1 = none).
+  int idle_timeout_ms = 30000;
+
+  /// Stricter deadline once a peer is mid-frame (and for draining writes);
+  /// tripping either evicts the connection (-1 = none).
+  int stall_timeout_ms = 5000;
+
+  /// Default per-request deadline applied when a request carries no
+  /// `deadline_ms` of its own (0 = none).
+  int request_timeout_ms = 0;
+
+  /// Test-only: invoked on a worker thread after dequeue, before the
+  /// expiry check and execution. Lets tests hold a worker deterministically
+  /// busy; never set in production.
+  std::function<void()> test_worker_gate;
 };
 
 class Server {
@@ -63,7 +114,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, and spawn the accept + handler threads. Throws
+  /// Bind, listen, and spawn the accept + reader + worker threads. Throws
   /// std::runtime_error when the endpoint cannot be bound.
   void start();
 
@@ -82,13 +133,64 @@ class Server {
   const core::ArtifactCache& cache() const { return cache_; }
 
  private:
-  void accept_main();
-  void handler_main();
-  void serve_connection(int fd);
+  /// One accepted connection, shared between its reader and any workers
+  /// still owing it responses; the fd closes when the last holder lets go.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
 
-  /// Executes one request payload; returns the response payload and sets
+    const int fd;
+    /// Next request sequence number; touched only by the connection's
+    /// single reader thread.
+    std::uint64_t next_seq = 0;
+
+    std::mutex mu;  // guards everything below
+    std::uint64_t next_write = 0;             ///< next seq to write back
+    std::map<std::uint64_t, std::string> done;  ///< out-of-order completions
+    bool dead = false;  ///< write failed or peer evicted; drop responses
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct Job {
+    ConnPtr conn;
+    std::uint64_t seq = 0;
+    util::JsonValue request;
+    std::string job_name;
+    core::Deadline deadline;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Queue order: highest priority first, FIFO within a priority.
+  struct JobKey {
+    long long neg_priority;
+    std::uint64_t order;
+    bool operator<(const JobKey& o) const {
+      return neg_priority != o.neg_priority ? neg_priority < o.neg_priority
+                                            : order < o.order;
+    }
+  };
+
+  void accept_main();
+  void reader_main();
+  void worker_main();
+  void serve_connection(const ConnPtr& conn);
+
+  /// Parse one request payload and route it: answer inline (control jobs,
+  /// parse errors), enqueue it, or shed it with `overloaded`.
+  void dispatch_request(const ConnPtr& conn, std::uint64_t seq,
+                        std::string payload);
+
+  /// Hand a finished response to the connection's sequencer; writes every
+  /// response that is now next-in-order.
+  void complete(const ConnPtr& conn, std::uint64_t seq, std::string response);
+
+  /// Executes one parsed request; returns the response payload and sets
   /// `shutdown` when the request asked the daemon to stop.
-  std::string handle_request(const std::string& payload, bool& shutdown);
+  std::string handle_request(const util::JsonValue& req,
+                             const std::string& job, bool& shutdown,
+                             const core::Deadline& deadline);
 
   void orderly_stop();  // run on the accept thread only
 
@@ -103,13 +205,19 @@ class Server {
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> stopping_{false};
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;               // accepted, not yet handled
-  std::unordered_set<int> active_fds_;    // currently inside a handler
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<ConnPtr> pending_;            ///< accepted, not yet picked up
+  std::unordered_set<Connection*> active_;  ///< currently owned by a reader
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::map<JobKey, Job> jobs_;
+  std::uint64_t job_counter_ = 0;
 
   std::thread accept_thread_;
-  std::vector<std::thread> handlers_;
+  std::vector<std::thread> readers_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace wbist::serve

@@ -1,0 +1,136 @@
+#!/bin/sh
+# Stress smoke for `wbist serve` under hostile load: slow-loris clients
+# pinning readers plus a burst of legitimate submits against a deliberately
+# tiny job queue. Asserts that legitimate work completes, that the bounded
+# queue sheds the overflow with structured `overloaded` rejections, and
+# that the load-shedding counters fire.
+# Run by ctest/CI as: wbist_serve_stress.sh <path-to-wbist-binary>
+set -u
+
+WBIST=${1:?usage: wbist_serve_stress.sh <wbist-binary>}
+WORK=$(mktemp -d)
+SOCK="$WORK/d.sock"
+FAILURES=0
+SERVE_PID=
+LORIS_PIDS=
+
+cleanup() {
+  for p in $LORIS_PIDS; do
+    kill "$p" 2>/dev/null
+    wait "$p" 2>/dev/null
+  done
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+  [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# Many readers but one worker and a one-slot queue: once 3+ jobs are in
+# flight the daemon must shed load rather than buffer it unboundedly.
+"$WBIST" serve --socket "$SOCK" --serve-threads 8 --worker-threads 1 \
+  --queue-depth 1 --stall-timeout 500 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+tries=0
+while [ ! -S "$SOCK" ] && [ "$tries" -lt 50 ]; do
+  sleep 0.1
+  tries=$((tries + 1))
+done
+[ -S "$SOCK" ] || { fail "daemon did not create $SOCK"; exit 1; }
+
+# Slow-loris peers: two header bytes, then silence. Each pins a reader
+# until the stall bound evicts it. Skipped without python3.
+LORIS=0
+if command -v python3 > /dev/null 2>&1; then
+  LORIS=3
+  k=0
+  while [ "$k" -lt "$LORIS" ]; do
+    python3 -c '
+import socket, sys, time
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b"\x00\x00")
+time.sleep(60)' "$SOCK" 2>/dev/null &
+    LORIS_PIDS="$LORIS_PIDS $!"
+    k=$((k + 1))
+  done
+fi
+
+# Burst of legitimate submits. With one worker and a one-slot queue the
+# daemon can hold two; the rest must come back exit 3 / "overloaded".
+BURST=12
+i=0
+PIDS=
+while [ "$i" -lt "$BURST" ]; do
+  "$WBIST" submit --socket "$SOCK" flow s298 > "$WORK/burst_$i.out" \
+    2> "$WORK/burst_$i.err" &
+  PIDS="$PIDS $!"
+  i=$((i + 1))
+done
+
+# Control-plane liveness: a ping answers even while the queue is full and
+# readers are being slow-lorised.
+"$WBIST" submit --socket "$SOCK" --timeout 30000 ping > "$WORK/ping.txt" 2>&1
+[ "$(cat "$WORK/ping.txt")" = "pong" ] || fail "ping failed under load"
+
+OK=0
+REJECTED=0
+OTHER=0
+for p in $PIDS; do
+  wait "$p"
+  rc=$?
+  if [ "$rc" -eq 0 ]; then OK=$((OK + 1))
+  elif [ "$rc" -eq 3 ]; then REJECTED=$((REJECTED + 1))
+  else OTHER=$((OTHER + 1))
+  fi
+done
+echo "burst: $OK ok, $REJECTED rejected, $OTHER other"
+[ "$OK" -ge 1 ] || fail "no legitimate submit completed under load"
+[ "$REJECTED" -ge 1 ] || fail "tiny queue produced no overloaded rejections"
+[ "$OTHER" -eq 0 ] || fail "$OTHER submit(s) died with unexpected exit codes"
+if [ "$REJECTED" -ge 1 ]; then
+  grep -l 'overloaded' "$WORK"/burst_*.err > /dev/null \
+    || fail "rejected submits did not mention 'overloaded'"
+  grep -l 'retry in' "$WORK"/burst_*.err > /dev/null \
+    || fail "rejected submits carried no retry hint"
+fi
+
+# Every load-shedding decision is visible in the metrics job.
+"$WBIST" submit --socket "$SOCK" metrics > "$WORK/metrics.txt" 2>&1 \
+  || fail "metrics job failed after the burst"
+grep -q '"serve.jobs_rejected"' "$WORK/metrics.txt" \
+  || fail "metrics missing serve.jobs_rejected"
+grep -q '"serve.jobs_rejected": 0' "$WORK/metrics.txt" \
+  && fail "serve.jobs_rejected stayed zero despite rejections"
+grep -q '"serve.queue_wait_us"' "$WORK/metrics.txt" \
+  || fail "metrics missing the serve.queue_wait_us histogram"
+if [ "$LORIS" -gt 0 ]; then
+  tries=0
+  while ! grep -q 'evicting slow client' "$WORK/serve.log" \
+      && [ "$tries" -lt 100 ]; do
+    sleep 0.1
+    tries=$((tries + 1))
+  done
+  grep -q 'evicting slow client' "$WORK/serve.log" \
+    || fail "slow-loris peers were never evicted"
+fi
+
+# The daemon is still healthy and shuts down cleanly.
+"$WBIST" submit --socket "$SOCK" info s27 > /dev/null 2>&1 \
+  || fail "daemon unhealthy after the stress"
+"$WBIST" submit --socket "$SOCK" shutdown > /dev/null 2>&1
+wait "$SERVE_PID"
+rc=$?
+SERVE_PID=
+[ "$rc" -eq 0 ] || fail "daemon exited $rc after shutdown"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES stress check(s) failed" >&2
+  exit 1
+fi
+echo "all stress checks passed"

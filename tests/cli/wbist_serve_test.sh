@@ -23,7 +23,7 @@ fail() {
   FAILURES=$((FAILURES + 1))
 }
 
-"$WBIST" serve --socket "$SOCK" --serve-threads 4 \
+"$WBIST" serve --socket "$SOCK" --serve-threads 4 --stall-timeout 500 \
   > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -43,7 +43,61 @@ done
 "$WBIST" submit --socket "$SOCK" info no-such-circuit > /dev/null 2>&1
 [ $? -eq 1 ] || fail "unknown circuit over the daemon should exit 1"
 "$WBIST" submit --socket "$WORK/absent.sock" ping > /dev/null 2>&1
-[ $? -ne 0 ] || fail "submit to a dead socket should fail"
+[ $? -eq 5 ] || fail "submit to a dead socket should exit 5 (unreachable)"
+"$WBIST" submit --socket "$SOCK" --deadline-ms 0 ping > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--deadline-ms 0 should be a usage error (exit 2)"
+
+# Malformed peers must not wedge the daemon: a slow-loris that stalls
+# mid-frame is evicted (connection closed by the daemon), and a frame whose
+# payload is not JSON gets a structured exit-2 error — after both, a normal
+# submit still answers. Needs a raw-socket speaker; skipped without python3.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SOCK" > "$WORK/malformed.txt" 2>&1 << 'PYEOF'
+import socket, struct, sys
+
+path = sys.argv[1]
+
+# Slow-loris: two bytes of header, then silence. The daemon must hang up
+# (recv sees EOF) within its stall bound instead of pinning a reader.
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+s.sendall(b"\x00\x00")
+s.settimeout(10)
+if s.recv(1) != b"":
+    sys.exit("expected the daemon to close a stalled connection")
+s.close()
+
+# Garbage JSON in a well-formed frame: a framed error response, exit 2.
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+payload = b"this is not json"
+s.sendall(struct.pack(">I", len(payload)) + payload)
+s.settimeout(10)
+hdr = b""
+while len(hdr) < 4:
+    chunk = s.recv(4 - len(hdr))
+    if not chunk:
+        sys.exit("daemon closed instead of answering a garbage payload")
+    hdr += chunk
+(n,) = struct.unpack(">I", hdr)
+body = b""
+while len(body) < n:
+    chunk = s.recv(n - len(body))
+    if not chunk:
+        sys.exit("short response frame")
+    body += chunk
+if b'"exit":2' not in body:
+    sys.exit("garbage payload should answer exit 2, got: %r" % body[:200])
+s.close()
+print("malformed-peer checks passed")
+PYEOF
+  [ $? -eq 0 ] || { cat "$WORK/malformed.txt" >&2; fail "malformed-peer checks failed"; }
+  grep -q 'evicting slow client' "$WORK/serve.log" \
+    || fail "daemon did not log the slow-client eviction"
+  "$WBIST" submit --socket "$SOCK" ping > "$WORK/ping2.txt" 2>&1
+  [ "$(cat "$WORK/ping2.txt")" = "pong" ] \
+    || fail "daemon unhealthy after malformed peers"
+fi
 
 # 4 concurrent clients, mixed circuits. Every response must be
 # byte-identical to the one-shot CLI (after stripping the CLI's

@@ -80,5 +80,34 @@ TEST(ServiceFaultSim, RejectsWidthMismatch) {
   EXPECT_THROW(run_fault_sim_job(*cc, wrong), std::exception);
 }
 
+TEST(ServiceDeadline, DefaultIsInactiveAndNeverExpires) {
+  const Deadline none;
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.expired());
+  EXPECT_NO_THROW(none.check("anywhere"));
+}
+
+TEST(ServiceDeadline, ExpiredDeadlineThrowsBeforeAnyWork) {
+  const auto cc = compile("s27");
+  const auto expired = Deadline::after_ms(1);
+  while (!expired.expired()) std::this_thread::yield();
+  EXPECT_THROW(run_flow_job(*cc, {}, expired), DeadlineExceeded);
+  EXPECT_THROW(run_tgen_job(*cc, {}, {}, expired), DeadlineExceeded);
+  const auto tg = run_tgen_job(*cc);
+  const auto seq = sim::read_sequence(tg.sequence_text);
+  EXPECT_THROW(run_fault_sim_job(*cc, seq, 0, expired), DeadlineExceeded);
+}
+
+TEST(ServiceDeadline, GenerousDeadlineLeavesOutputBitIdentical) {
+  // The core contract: a deadline decides whether a job runs, never what
+  // it produces. A job that completes under a deadline is byte-for-byte
+  // the job that runs without one.
+  const auto cc = compile("s27");
+  const auto generous = Deadline::after_ms(600000);
+  EXPECT_EQ(run_flow_job(*cc, {}, generous).output, run_flow_job(*cc).output);
+  EXPECT_EQ(run_tgen_job(*cc, {}, {}, generous).sequence_text,
+            run_tgen_job(*cc).sequence_text);
+}
+
 }  // namespace
 }  // namespace wbist::core

@@ -1,14 +1,25 @@
-// End-to-end tests of the `wbist serve` daemon: framed protocol, job
-// dispatch, bit-identity with the direct library calls, the compile-once
-// cache guarantee under concurrent clients, and orderly shutdown.
+// End-to-end tests of the `wbist serve` daemon: framed protocol (incl.
+// torn/stalled frames), job dispatch through the bounded priority queue,
+// backpressure and per-request deadlines, slow-client eviction,
+// bit-identity with the direct library calls, the compile-once cache
+// guarantee under concurrent clients, and orderly shutdown.
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +30,7 @@
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "util/json.h"
+#include "util/metrics.h"
 
 namespace wbist::serve {
 namespace {
@@ -31,24 +43,118 @@ std::string job_request(const std::string& job, const std::string& circuit) {
   return r;
 }
 
+/// A request with the optional scheduling fields (0 omits a field).
+std::string scheduled_request(const std::string& job,
+                              const std::string& circuit, long long priority,
+                              long long deadline_ms) {
+  std::string r = "{\"schema\":\"wbist.serve/1\",\"job\":";
+  r += util::json_quote(job);
+  r += ",\"circuit\":" + util::json_quote(circuit);
+  if (priority != 0) r += ",\"priority\":" + std::to_string(priority);
+  if (deadline_ms != 0) r += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  r += '}';
+  return r;
+}
+
 core::CircuitSpec registry_spec(const std::string& name) {
   core::CircuitSpec spec;
   spec.registry_name = name;
   return spec;
 }
 
+/// Spin until `pred` holds (true) or `timeout_ms` elapses (false).
+template <typename Pred>
+bool wait_until(Pred pred, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+/// A bare TCP connection to the daemon, for speaking the wire protocol by
+/// hand (partial frames, pipelining). Returns -1 on failure.
+int raw_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Counting semaphore handed to ServerConfig::test_worker_gate: each
+/// dequeued job parks in hold() until a permit arrives, which lets tests
+/// freeze the worker pool at an exact queue state. release() opens the
+/// gate for good (idempotent, safe to call from a scope guard).
+struct WorkerGate {
+  std::atomic<int> entered{0};
+
+  void hold() {
+    entered.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return permits_ != 0; });
+    if (permits_ > 0) --permits_;
+  }
+  void post(int n = 1) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (permits_ >= 0) permits_ += n;
+    }
+    cv_.notify_all();
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      permits_ = -1;  // open for good
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_ = 0;
+};
+
+/// Scope guard for gated tests: on exit — including an early ASSERT
+/// return — opens the gate, then joins the client threads, so a failure
+/// can neither park a worker forever nor terminate on an unjoined thread.
+struct GatedClients {
+  std::shared_ptr<WorkerGate> gate;
+  std::vector<std::thread> threads;
+
+  explicit GatedClients(std::shared_ptr<WorkerGate> g) : gate(std::move(g)) {}
+  ~GatedClients() {
+    gate->release();
+    for (auto& t : threads)
+      if (t.joinable()) t.join();
+  }
+};
+
 /// A daemon on an ephemeral loopback TCP port, torn down with the fixture.
 class ServeTest : public ::testing::Test {
  protected:
-  void start(std::size_t cache_bytes = 0, unsigned threads = 4) {
-    ServerConfig cfg;
+  void start_cfg(ServerConfig cfg) {
     cfg.tcp_port = 0;
-    cfg.handler_threads = threads;
-    cfg.cache_bytes = cache_bytes;
     server_ = std::make_unique<Server>(std::move(cfg));
     server_->start();
     endpoint_.tcp_port = server_->port();
     ASSERT_GT(endpoint_.tcp_port, 0);
+  }
+
+  void start(std::size_t cache_bytes = 0, unsigned threads = 4) {
+    ServerConfig cfg;
+    cfg.handler_threads = threads;
+    cfg.cache_bytes = cache_bytes;
+    start_cfg(std::move(cfg));
   }
 
   void TearDown() override {
@@ -234,6 +340,381 @@ TEST(ServeProtocol, RejectsOversizedFrames) {
   EXPECT_THROW(read_frame(fds[0], payload), std::exception);
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+TEST(ServeProtocol, EofInsideAHeaderIsATruncationError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char half[2] = {0x00, 0x00};
+  ASSERT_EQ(::send(fds[1], half, sizeof half, 0), 2);
+  ::close(fds[1]);  // peer vanishes two bytes into the length prefix
+  std::string payload;
+  EXPECT_THROW(read_frame(fds[0], payload), std::exception);
+  ::close(fds[0]);
+}
+
+TEST(ServeProtocol, EofInsideAPayloadIsATruncationError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char hdr[4] = {0x00, 0x00, 0x00, 0x0a};  // claims 10 bytes
+  ASSERT_EQ(::send(fds[1], hdr, sizeof hdr, 0), 4);
+  ASSERT_EQ(::send(fds[1], "{\"jo", 4, 0), 4);  // ...delivers 4
+  ::close(fds[1]);
+  std::string payload;
+  EXPECT_THROW(read_frame(fds[0], payload), std::exception);
+  ::close(fds[0]);
+}
+
+TEST(ServeProtocol, HeaderThenSilenceIsAStallNotIdleness) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char half[2] = {0x00, 0x00};
+  ASSERT_EQ(::send(fds[1], half, sizeof half, 0), 2);
+  // The peer stays connected but quiet: a slow-loris, not a keep-alive.
+  // The generous idle bound must not apply once a frame has started.
+  std::string payload;
+  EXPECT_EQ(read_frame(fds[0], payload, ReadDeadlines{5000, 50}),
+            ReadStatus::kStallTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, PartialPayloadThenSilenceIsAStall) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char hdr[4] = {0x00, 0x00, 0x00, 0x0a};
+  ASSERT_EQ(::send(fds[1], hdr, sizeof hdr, 0), 4);
+  ASSERT_EQ(::send(fds[1], "{\"jo", 4, 0), 4);
+  std::string payload;
+  EXPECT_EQ(read_frame(fds[0], payload, ReadDeadlines{5000, 50}),
+            ReadStatus::kStallTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, NoFrameWithinTheIdleBoundIsAnIdleTimeout) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string payload;
+  EXPECT_EQ(read_frame(fds[0], payload, ReadDeadlines{50, 5000}),
+            ReadStatus::kIdleTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, WriterBoundsAPeerThatNeverDrains) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // 8 MiB into a never-read socket overfills any default buffer, so the
+  // writer must hit its stall bound instead of blocking forever.
+  const std::string big(8u << 20, 'x');
+  EXPECT_THROW(write_frame(fds[0], big, 50), FrameTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Queue behavior: backpressure, deadlines, priorities, response ordering.
+
+TEST_F(ServeTest, FullQueueAnswersOverloadedWithARetryHint) {
+  auto gate = std::make_shared<WorkerGate>();
+  ServerConfig cfg;
+  cfg.handler_threads = 4;
+  cfg.worker_threads = 1;
+  cfg.queue_depth = 1;
+  cfg.test_worker_gate = [gate] { gate->hold(); };
+  start_cfg(std::move(cfg));
+  GatedClients gc(gate);
+
+  auto& rejected = util::metrics().counter("serve.jobs_rejected");
+  auto& enqueues = util::metrics().histogram("serve.queue_depth");
+  const auto rejected0 = rejected.value();
+  const auto enqueues0 = enqueues.count();
+
+  // A occupies the only worker (parked at the gate); B fills the queue.
+  std::string response_a, response_b;
+  gc.threads.emplace_back([&] {
+    response_a = submit(endpoint_, job_request("flow", "s27"));
+  });
+  ASSERT_TRUE(wait_until([&] { return gate->entered.load() >= 1; }));
+  gc.threads.emplace_back([&] {
+    response_b = submit(endpoint_, job_request("flow", "s27"));
+  });
+  ASSERT_TRUE(wait_until([&] { return enqueues.count() >= enqueues0 + 2; }));
+
+  // C finds the queue full: a structured transient error, immediately.
+  const auto c = submit_json(job_request("flow", "s27"));
+  EXPECT_FALSE(c.get_bool("ok", true));
+  EXPECT_EQ(c.get_int("exit", -1), 3);
+  EXPECT_EQ(c.get_string("error"), "overloaded");
+  EXPECT_GT(c.get_int("retry_after_ms", 0), 0);
+  EXPECT_EQ(rejected.value(), rejected0 + 1);
+
+  gate->release();
+  for (auto& t : gc.threads) t.join();
+  EXPECT_TRUE(util::json_parse(response_a).get_bool("ok"));
+  EXPECT_TRUE(util::json_parse(response_b).get_bool("ok"));
+}
+
+TEST_F(ServeTest, JobThatWaitsOutItsDeadlineNeverRuns) {
+  auto gate = std::make_shared<WorkerGate>();
+  ServerConfig cfg;
+  cfg.handler_threads = 4;
+  cfg.worker_threads = 1;
+  cfg.test_worker_gate = [gate] { gate->hold(); };
+  start_cfg(std::move(cfg));
+  GatedClients gc(gate);
+
+  auto& expired = util::metrics().counter("serve.deadline_expired");
+  auto& flow_runs = util::metrics().counter("serve.jobs.flow");
+  auto& enqueues = util::metrics().histogram("serve.queue_depth");
+  const auto expired0 = expired.value();
+  const auto flow_runs0 = flow_runs.value();
+  const auto enqueues0 = enqueues.count();
+
+  // A holds the worker; B queues behind it with a 50ms budget.
+  std::string response_a, response_b;
+  gc.threads.emplace_back([&] {
+    response_a = submit(endpoint_, job_request("flow", "s27"));
+  });
+  ASSERT_TRUE(wait_until([&] { return gate->entered.load() >= 1; }));
+  gc.threads.emplace_back([&] {
+    response_b = submit(endpoint_, scheduled_request("flow", "s27", 0, 50));
+  });
+  ASSERT_TRUE(wait_until([&] { return enqueues.count() >= enqueues0 + 2; }));
+
+  // Let B's whole budget lapse in the queue, then free the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  gate->release();
+  for (auto& t : gc.threads) t.join();
+
+  EXPECT_TRUE(util::json_parse(response_a).get_bool("ok"));
+  const auto b = util::json_parse(response_b);
+  EXPECT_FALSE(b.get_bool("ok", true));
+  EXPECT_EQ(b.get_int("exit", -1), 3);
+  EXPECT_EQ(b.get_string("error"), "deadline_exceeded");
+  EXPECT_EQ(expired.value(), expired0 + 1);
+  // The load-bearing claim: B was answered without ever being run.
+  EXPECT_EQ(flow_runs.value(), flow_runs0 + 1);
+}
+
+TEST_F(ServeTest, HigherPriorityJobsJumpTheQueue) {
+  auto gate = std::make_shared<WorkerGate>();
+  ServerConfig cfg;
+  cfg.handler_threads = 4;
+  cfg.worker_threads = 1;
+  cfg.test_worker_gate = [gate] { gate->hold(); };
+  start_cfg(std::move(cfg));
+  GatedClients gc(gate);
+
+  auto& flow_runs = util::metrics().counter("serve.jobs.flow");
+  auto& tgen_runs = util::metrics().counter("serve.jobs.tgen");
+  auto& enqueues = util::metrics().histogram("serve.queue_depth");
+  const auto flow_runs0 = flow_runs.value();
+  const auto tgen_runs0 = tgen_runs.value();
+  const auto enqueues0 = enqueues.count();
+
+  // A (flow) is dequeued first and parked. While it is held, a low-priority
+  // tgen arrives before a high-priority flow.
+  std::string response_a, response_low, response_high;
+  gc.threads.emplace_back([&] {
+    response_a = submit(endpoint_, job_request("flow", "s27"));
+  });
+  ASSERT_TRUE(wait_until([&] { return gate->entered.load() >= 1; }));
+  gc.threads.emplace_back([&] {
+    response_low = submit(endpoint_, scheduled_request("tgen", "s27", -5, 0));
+  });
+  ASSERT_TRUE(wait_until([&] { return enqueues.count() >= enqueues0 + 2; }));
+  gc.threads.emplace_back([&] {
+    response_high = submit(endpoint_, scheduled_request("flow", "s27", 5, 0));
+  });
+  ASSERT_TRUE(wait_until([&] { return enqueues.count() >= enqueues0 + 3; }));
+
+  // One permit: A runs, and the *next* job is dequeued and parked. Despite
+  // arriving last, the high-priority flow must be that job — the second
+  // permit runs it while the low-priority tgen still waits.
+  gate->post();
+  ASSERT_TRUE(wait_until([&] { return gate->entered.load() >= 2; }));
+  EXPECT_EQ(flow_runs.value(), flow_runs0 + 1);
+  gate->post();
+  ASSERT_TRUE(wait_until([&] { return flow_runs.value() >= flow_runs0 + 2; }));
+  EXPECT_EQ(tgen_runs.value(), tgen_runs0);
+
+  gate->release();
+  for (auto& t : gc.threads) t.join();
+  EXPECT_TRUE(util::json_parse(response_a).get_bool("ok"));
+  EXPECT_TRUE(util::json_parse(response_low).get_bool("ok"));
+  EXPECT_TRUE(util::json_parse(response_high).get_bool("ok"));
+}
+
+TEST_F(ServeTest, PipelinedResponsesComeBackInRequestOrder) {
+  auto gate = std::make_shared<WorkerGate>();
+  ServerConfig cfg;
+  cfg.handler_threads = 2;
+  cfg.worker_threads = 1;
+  cfg.test_worker_gate = [gate] { gate->hold(); };
+  start_cfg(std::move(cfg));
+  GatedClients gc(gate);
+
+  auto& pings = util::metrics().counter("serve.jobs.ping");
+  const auto pings0 = pings.value();
+
+  const int fd = raw_connect(endpoint_.tcp_port);
+  ASSERT_GE(fd, 0);
+  // Pipeline a flow (held at the gate) and then a ping. The ping is
+  // answered inline on the reader long before the flow completes...
+  write_frame(fd, job_request("flow", "s27"));
+  ASSERT_TRUE(wait_until([&] { return gate->entered.load() >= 1; }));
+  write_frame(fd, job_request("ping", ""));
+  ASSERT_TRUE(wait_until([&] { return pings.value() >= pings0 + 1; }));
+  // ...but the sequencer must hold the pong: nothing readable yet.
+  pollfd p{fd, POLLIN, 0};
+  EXPECT_EQ(::poll(&p, 1, 50), 0)
+      << "pong must not overtake the still-running flow response";
+
+  gate->release();
+  std::string first, second;
+  ASSERT_TRUE(read_frame(fd, first));
+  ASSERT_TRUE(read_frame(fd, second));
+  EXPECT_TRUE(util::json_parse(first).get_bool("ok"));
+  EXPECT_NE(util::json_parse(first).get_string("output").find("s27"),
+            std::string::npos);
+  EXPECT_EQ(util::json_parse(second).get_string("output"), "pong\n");
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction and admission under hostile load.
+
+TEST_F(ServeTest, StalledClientsAreEvictedAndFreshSubmitsStillAnswer) {
+  // The headline fix: every reader pinned by a slow-loris peer used to
+  // starve new clients forever. Now stalled peers are evicted within the
+  // stall bound and a fresh submit still answers inside its own deadline.
+  ServerConfig cfg;
+  cfg.handler_threads = 2;
+  cfg.worker_threads = 2;
+  cfg.stall_timeout_ms = 300;
+  start_cfg(std::move(cfg));
+
+  auto& evicted = util::metrics().counter("serve.slow_clients_evicted");
+  const auto evicted0 = evicted.value();
+
+  // Pin both readers mid-frame: two bytes of header, then silence.
+  int loris[2] = {-1, -1};
+  const unsigned char half[2] = {0x00, 0x00};
+  for (int& fd : loris) {
+    fd = raw_connect(endpoint_.tcp_port);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, half, sizeof half, MSG_NOSIGNAL), 2);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ClientOptions opts;
+  opts.connect_timeout_ms = 10000;
+  opts.io_timeout_ms = 10000;
+  const auto r = util::json_parse(
+      submit(endpoint_, job_request("flow", "s27"), opts));
+  EXPECT_TRUE(r.get_bool("ok"));
+  EXPECT_TRUE(wait_until([&] { return evicted.value() >= evicted0 + 2; }));
+  for (const int fd : loris) ::close(fd);
+}
+
+TEST_F(ServeTest, ConnectionFloodBeyondThePendingCapIsTurnedAway) {
+  ServerConfig cfg;
+  cfg.handler_threads = 1;
+  cfg.worker_threads = 1;
+  cfg.max_pending_conns = 1;
+  cfg.stall_timeout_ms = 5000;
+  start_cfg(std::move(cfg));
+
+  auto& conns = util::metrics().counter("serve.connections");
+  auto& rejected = util::metrics().counter("serve.conns_rejected");
+  const auto conns0 = conns.value();
+  const auto rejected0 = rejected.value();
+
+  // Own the single reader (a completed round trip proves it), then stall
+  // mid-frame so the reader stays pinned for the rest of the test.
+  const int pinned = raw_connect(endpoint_.tcp_port);
+  ASSERT_GE(pinned, 0);
+  write_frame(pinned, job_request("ping", ""));
+  std::string pong;
+  ASSERT_TRUE(read_frame(pinned, pong));
+  const unsigned char half[2] = {0x00, 0x00};
+  ASSERT_EQ(::send(pinned, half, sizeof half, MSG_NOSIGNAL), 2);
+
+  // One connection may park in pending_ (cap 1)...
+  const int parked = raw_connect(endpoint_.tcp_port);
+  ASSERT_GE(parked, 0);
+  ASSERT_TRUE(wait_until([&] { return conns.value() >= conns0 + 2; }));
+
+  // ...and the next is turned away with a framed error, not a held fd.
+  const int extra = raw_connect(endpoint_.tcp_port);
+  ASSERT_GE(extra, 0);
+  std::string turned_away;
+  ASSERT_EQ(read_frame(extra, turned_away, ReadDeadlines{5000, 5000}),
+            ReadStatus::kFrame);
+  const auto r = util::json_parse(turned_away);
+  EXPECT_FALSE(r.get_bool("ok", true));
+  EXPECT_EQ(r.get_int("exit", -1), 3);
+  EXPECT_EQ(r.get_string("error"), "overloaded");
+  EXPECT_GT(r.get_int("retry_after_ms", 0), 0);
+  EXPECT_EQ(rejected.value(), rejected0 + 1);
+
+  ::close(extra);
+  ::close(parked);
+  ::close(pinned);
+}
+
+// ---------------------------------------------------------------------------
+// Client-side failure taxonomy: each cause gets its own exception type so
+// the CLI can map them to distinct exit codes.
+
+TEST(ServeClient, AbsentUnixSocketIsAConnectError) {
+  Endpoint ep;
+  ep.unix_path =
+      "/tmp/wbist_no_such_socket_" + std::to_string(::getpid()) + ".sock";
+  EXPECT_THROW(submit(ep, "{}"), ConnectError);
+}
+
+TEST(ServeClient, RefusedTcpPortIsAConnectError) {
+  // Bind an ephemeral port and immediately free it: nothing listens there.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+  ::close(fd);
+
+  Endpoint ep;
+  ep.tcp_port = static_cast<int>(ntohs(bound.sin_port));
+  EXPECT_THROW(submit(ep, "{}"), ConnectError);
+}
+
+TEST(ServeClient, SilentServerTripsTheIoTimeout) {
+  // A listener whose backlog completes the handshake but that never reads
+  // or answers: the client's read bound must fire, not block forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+
+  Endpoint ep;
+  ep.tcp_port = static_cast<int>(ntohs(bound.sin_port));
+  ClientOptions opts;
+  opts.connect_timeout_ms = 5000;
+  opts.io_timeout_ms = 100;
+  EXPECT_THROW(submit(ep, job_request("ping", ""), opts), TimeoutError);
+  ::close(fd);
 }
 
 }  // namespace

@@ -295,14 +295,25 @@ int cmd_serve(std::vector<std::string> args) {
   if (!take_endpoint(args, cfg.unix_path, tcp_port, tcp_given)) return 2;
   if (tcp_given) cfg.tcp_port = static_cast<int>(tcp_port);
 
-  long long threads = 0, cache_bytes = 0;
+  long long value = 0;
   bool found = false;
-  if (!take_int_option(args, "--serve-threads", threads, found)) return 2;
-  if (found && threads > 0)
-    cfg.handler_threads = static_cast<unsigned>(threads);
-  if (!take_int_option(args, "--cache-bytes", cache_bytes, found)) return 2;
-  if (found && cache_bytes > 0)
-    cfg.cache_bytes = static_cast<std::size_t>(cache_bytes);
+  if (!take_int_option(args, "--serve-threads", value, found)) return 2;
+  if (found && value > 0) cfg.handler_threads = static_cast<unsigned>(value);
+  if (!take_int_option(args, "--worker-threads", value, found)) return 2;
+  if (found && value > 0) cfg.worker_threads = static_cast<unsigned>(value);
+  if (!take_int_option(args, "--cache-bytes", value, found)) return 2;
+  if (found && value > 0) cfg.cache_bytes = static_cast<std::size_t>(value);
+  if (!take_int_option(args, "--queue-depth", value, found)) return 2;
+  if (found && value > 0) cfg.queue_depth = static_cast<std::size_t>(value);
+  if (!take_int_option(args, "--max-pending", value, found)) return 2;
+  if (found && value > 0)
+    cfg.max_pending_conns = static_cast<std::size_t>(value);
+  if (!take_int_option(args, "--idle-timeout", value, found)) return 2;
+  if (found) cfg.idle_timeout_ms = static_cast<int>(value);
+  if (!take_int_option(args, "--stall-timeout", value, found)) return 2;
+  if (found) cfg.stall_timeout_ms = static_cast<int>(value);
+  if (!take_int_option(args, "--request-timeout", value, found)) return 2;
+  if (found && value > 0) cfg.request_timeout_ms = static_cast<int>(value);
   if (!args.empty()) {
     std::fprintf(stderr, "wbist: serve: unexpected argument '%s'\n",
                  args[0].c_str());
@@ -347,6 +358,15 @@ void request_field(std::string& json, std::string_view key,
   util::append_json_string(json, value);
 }
 
+/// Append `"key":N` (a bare JSON number) to an in-progress object body.
+void request_field_int(std::string& json, std::string_view key,
+                       long long value) {
+  if (json.size() > 1) json += ',';
+  util::append_json_string(json, key);
+  json += ':';
+  json += std::to_string(value);
+}
+
 int cmd_submit(std::vector<std::string> args) {
   serve::Endpoint ep;
   long long tcp_port = -1;
@@ -361,9 +381,32 @@ int cmd_submit(std::vector<std::string> args) {
     return 2;
   }
 
+  long long priority = 0, deadline_ms = 0, timeout_ms = 0;
+  bool priority_given = false, deadline_given = false, timeout_given = false;
+  if (!take_int_option(args, "--priority", priority, priority_given))
+    return 2;
+  if (!take_int_option(args, "--deadline-ms", deadline_ms, deadline_given))
+    return 2;
+  if (deadline_given && deadline_ms <= 0) {
+    std::fprintf(stderr, "wbist: --deadline-ms must be positive\n");
+    return 2;
+  }
+  if (!take_int_option(args, "--timeout", timeout_ms, timeout_given))
+    return 2;
+  if (timeout_given && timeout_ms <= 0) {
+    std::fprintf(stderr, "wbist: --timeout must be positive (milliseconds)\n");
+    return 2;
+  }
+  serve::ClientOptions copts;
+  if (timeout_given) {
+    copts.connect_timeout_ms = static_cast<int>(timeout_ms);
+    copts.io_timeout_ms = static_cast<int>(timeout_ms);
+  }
+
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: wbist submit --socket <path>|--tcp <port> "
+                 "[--priority N] [--deadline-ms N] [--timeout MS] "
                  "<ping|shutdown|metrics|info|flow|tgen|fsim> [circuit] "
                  "[args]\n");
     return 2;
@@ -375,6 +418,8 @@ int cmd_submit(std::vector<std::string> args) {
   request_field(request, "schema", serve::kSchema);
   request_field(request, "job", job);
   if (!collapse.empty()) request_field(request, "collapse", collapse);
+  if (priority_given) request_field_int(request, "priority", priority);
+  if (deadline_given) request_field_int(request, "deadline_ms", deadline_ms);
 
   const bool needs_circuit =
       job == "info" || job == "flow" || job == "tgen" || job == "fault-sim";
@@ -406,12 +451,32 @@ int cmd_submit(std::vector<std::string> args) {
   }
   request += '}';
 
-  const std::string response_text = serve::submit(ep, request);
+  // Transport failures get exit codes distinct from daemon-reported errors
+  // so scripts can tell "retry later" from "fix the request": 4 = timed
+  // out, 5 = no daemon reachable, 6 = framing violation.
+  std::string response_text;
+  try {
+    response_text = serve::submit(ep, request, copts);
+  } catch (const serve::TimeoutError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 4;
+  } catch (const serve::ConnectError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 5;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 6;
+  }
   const util::JsonValue response = util::json_parse(response_text);
   const long long exit_code = response.get_int("exit", 1);
   if (!response.get_bool("ok", false)) {
-    std::fprintf(stderr, "wbist: %s\n",
-                 response.get_string("error", "daemon error").c_str());
+    const std::string error = response.get_string("error", "daemon error");
+    if (const long long retry = response.get_int("retry_after_ms", 0);
+        retry > 0)
+      std::fprintf(stderr, "wbist: %s (retry in %lldms)\n", error.c_str(),
+                   retry);
+    else
+      std::fprintf(stderr, "wbist: %s\n", error.c_str());
     return static_cast<int>(exit_code);
   }
   if (job == "metrics") {
@@ -448,9 +513,16 @@ int usage() {
       "  synth <circuit> [out.bench]  emit the Figure-1 generator netlist\n"
       "  obs   <circuit>              observation-point tradeoff\n"
       "  serve --socket <path>|--tcp <port> [--serve-threads N]\n"
-      "        [--cache-bytes N]      persistent daemon (wbist.serve/1)\n"
-      "  submit --socket <path>|--tcp <port> <job> [circuit] [args]\n"
+      "        [--worker-threads N] [--cache-bytes N] [--queue-depth N]\n"
+      "        [--max-pending N] [--idle-timeout MS] [--stall-timeout MS]\n"
+      "        [--request-timeout MS] persistent daemon (wbist.serve/1):\n"
+      "                               bounded job queue with backpressure,\n"
+      "                               slow clients evicted past the timeouts\n"
+      "  submit --socket <path>|--tcp <port> [--priority N]\n"
+      "        [--deadline-ms N] [--timeout MS] <job> [circuit] [args]\n"
       "                               send one job to a running daemon\n"
+      "                               (exit: 3 overloaded/deadline, 4 client\n"
+      "                               timeout, 5 unreachable, 6 bad frame)\n"
       "a circuit is a registry name (see `list`) or a .bench file path;\n"
       "--metrics-json dumps the run-metrics registry, --trace-json records a\n"
       "Chrome/Perfetto trace, --provenance-jsonl streams per-fault detection\n"
