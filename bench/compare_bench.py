@@ -36,6 +36,17 @@ import shutil
 import sys
 
 SCHEMA = "wbist.bench.procedure/1"
+# Every hard-gated metric: when a baseline row carries one of these, the
+# current row must too — a missing key is a FAIL naming the circuit and
+# key, never a silent pass (a truncated or incompatible record would
+# otherwise sail through every gate below).
+HARD_FIELDS = (
+    "fault_efficiency",
+    "kernel_cycles",
+    "uncollapsed_faults",
+    "uncollapsed_detected",
+    "uncollapsed_coverage",
+)
 WARN_FIELDS = (
     "t_length",
     "t_detected",
@@ -117,6 +128,14 @@ def main() -> int:
 
     for name in sorted(set(base_rows) & set(cur_rows)):
         b, c = base_rows[name], cur_rows[name]
+
+        for key in HARD_FIELDS:
+            if key in b and key not in c:
+                failures.append(
+                    f"{name}: hard-gated key '{key}' is in the baseline but "
+                    f"missing from the current report (truncated or "
+                    f"incompatible record?)"
+                )
 
         b_fe, c_fe = b.get("fault_efficiency"), c.get("fault_efficiency")
         if b_fe is not None and c_fe is not None and c_fe < b_fe - 1e-9:

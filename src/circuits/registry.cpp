@@ -1,8 +1,11 @@
 #include "circuits/registry.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "circuits/iscas.h"
+#include "netlist/bench_io.h"
 
 namespace wbist::circuits {
 
@@ -27,21 +30,39 @@ const SynthProfile kProfiles[] = {
     {"s1423", 17, 5, 74, 657, 1423},
     {"s1488", 8, 19, 6, 653, 1488},
     {"s5378", 35, 49, 179, 2779, 5378},
+    {"s9234", 36, 39, 211, 5597, 9234},
+    {"s13207", 62, 152, 638, 7951, 13207},
+    {"s15850", 77, 150, 534, 9772, 15850},
     {"s35932", 35, 320, 1728, 16065, 35932},
+    {"s38417", 28, 106, 1636, 22179, 38417},
 };
+
+CircuitInfo info_for(const SynthProfile& p) {
+  return {p.name, p.name != "s27", !fetched_bench_path(p.name).empty(), p};
+}
 
 }  // namespace
 
+std::string fetched_bench_path(std::string_view name) {
+  const char* dir = std::getenv("WBIST_BENCH_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::string path = std::string(dir) + "/" + std::string(name) + ".bench";
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return path;
+  }
+  return {};
+}
+
 std::vector<CircuitInfo> known_circuits() {
   std::vector<CircuitInfo> out;
-  for (const SynthProfile& p : kProfiles)
-    out.push_back({p.name, p.name != "s27", p});
+  for (const SynthProfile& p : kProfiles) out.push_back(info_for(p));
   return out;
 }
 
 std::optional<CircuitInfo> circuit_info(std::string_view name) {
   for (const SynthProfile& p : kProfiles)
-    if (p.name == name) return CircuitInfo{p.name, p.name != "s27", p};
+    if (p.name == name) return info_for(p);
   return std::nullopt;
 }
 
@@ -50,6 +71,8 @@ netlist::Netlist circuit_by_name(std::string_view name) {
   if (!info)
     throw std::invalid_argument("registry: unknown circuit '" +
                                 std::string(name) + "'");
+  if (info->fetched)
+    return netlist::read_bench_file(fetched_bench_path(name));
   if (!info->synthetic) return s27();
   return generate_circuit(info->profile);
 }

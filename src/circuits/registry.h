@@ -4,6 +4,12 @@
 // analog generated with the published structural profile of the ISCAS-89
 // circuit of the same name (see DESIGN.md, substitutions). All circuits are
 // fully deterministic: a name always produces the same netlist.
+//
+// Real benchmark override: when WBIST_BENCH_DIR is set and contains
+// `<name>.bench` (fetched by tools/fetch_iscas89.py), circuit_by_name()
+// loads that real netlist instead of generating the synthetic analog, and
+// CircuitInfo::fetched reports the substitution. The env var is read per
+// lookup, so a test can point different lookups at different directories.
 #pragma once
 
 #include <optional>
@@ -19,6 +25,7 @@ namespace wbist::circuits {
 struct CircuitInfo {
   std::string name;
   bool synthetic = true;  ///< false only for the embedded real s27
+  bool fetched = false;   ///< a real `.bench` from WBIST_BENCH_DIR wins
   SynthProfile profile;   ///< structural profile (also filled in for s27)
 };
 
@@ -29,6 +36,12 @@ std::vector<CircuitInfo> known_circuits();
 std::optional<CircuitInfo> circuit_info(std::string_view name);
 
 /// Build the circuit. Throws std::invalid_argument for unknown names.
+/// Prefers a fetched real `.bench` (WBIST_BENCH_DIR, see above) over the
+/// synthetic generator.
 netlist::Netlist circuit_by_name(std::string_view name);
+
+/// The WBIST_BENCH_DIR path of a fetched real `.bench` for `name`, or ""
+/// when the override is unset or the file does not exist.
+std::string fetched_bench_path(std::string_view name);
 
 }  // namespace wbist::circuits

@@ -1,0 +1,307 @@
+#include "core/campaign.h"
+
+#include <cstdio>
+
+#include "fault/fault.h"
+
+namespace wbist::core {
+
+namespace {
+
+/// `"key":N` appended to an in-progress object body.
+void field_int(std::string& out, std::string_view key, long long value) {
+  if (!out.empty() && out.back() != '{') out += ',';
+  util::append_json_string(out, key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+void field_str(std::string& out, std::string_view key,
+               std::string_view value) {
+  if (!out.empty() && out.back() != '{') out += ',';
+  util::append_json_string(out, key);
+  out += ':';
+  util::append_json_string(out, value);
+}
+
+std::int64_t require_int(const util::JsonValue& v, std::string_view key) {
+  const util::JsonValue* m = v.get(key);
+  if (m == nullptr)
+    throw std::runtime_error("campaign record: missing field '" +
+                             std::string(key) + "'");
+  return m->as_int();
+}
+
+const std::vector<util::JsonValue>& require_array(const util::JsonValue& v,
+                                                  std::string_view key) {
+  const util::JsonValue* m = v.get(key);
+  if (m == nullptr)
+    throw std::runtime_error("campaign record: missing field '" +
+                             std::string(key) + "'");
+  return m->as_array();
+}
+
+}  // namespace
+
+std::vector<Shard> plan_shards(std::size_t fault_count,
+                               std::size_t shard_count) {
+  if (fault_count == 0)
+    throw std::invalid_argument("plan_shards: no faults to shard");
+  if (shard_count == 0)
+    throw std::invalid_argument("plan_shards: shard count must be > 0");
+  const std::size_t n = std::min(shard_count, fault_count);
+  const std::size_t base = fault_count / n;
+  const std::size_t extra = fault_count % n;  // first `extra` shards get +1
+  std::vector<Shard> plan;
+  plan.reserve(n);
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t size = base + (k < extra ? 1 : 0);
+    plan.push_back({static_cast<std::uint32_t>(k),
+                    static_cast<std::uint32_t>(begin),
+                    static_cast<std::uint32_t>(begin + size)});
+    begin += size;
+  }
+  return plan;
+}
+
+std::size_t ShardResult::detected_count() const {
+  std::size_t n = 0;
+  for (const std::int32_t t : detection_time)
+    if (t != fault::DetectionResult::kUndetected) ++n;
+  return n;
+}
+
+void merge_shard(FaultSimResult& into, const ShardResult& shard) {
+  if (shard.begin > shard.end || shard.end > into.total())
+    throw std::invalid_argument(
+        "merge_shard: shard " + std::to_string(shard.shard) + " range [" +
+        std::to_string(shard.begin) + ", " + std::to_string(shard.end) +
+        ") outside fault list of " + std::to_string(into.total()));
+  const std::size_t size = shard.end - shard.begin;
+  if (shard.detection_time.size() != size ||
+      shard.detecting_line.size() != size)
+    throw std::invalid_argument(
+        "merge_shard: shard " + std::to_string(shard.shard) + " carries " +
+        std::to_string(shard.detection_time.size()) + "/" +
+        std::to_string(shard.detecting_line.size()) + " entries for a " +
+        std::to_string(size) + "-fault range");
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t f = shard.begin + i;
+    // Re-merging the same shard (a resume replay) must not double-count.
+    if (into.detection_time[f] != fault::DetectionResult::kUndetected)
+      --into.detected;
+    into.detection_time[f] = shard.detection_time[i];
+    into.detecting_line[f] = shard.detecting_line[i];
+    if (shard.detection_time[i] != fault::DetectionResult::kUndetected)
+      ++into.detected;
+  }
+}
+
+std::string render_fault_sim_summary(const std::string& circuit,
+                                     std::size_t detected, std::size_t total,
+                                     std::size_t vectors) {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf, "%s: %zu/%zu faults detected (%.1f%%), %zu vectors\n",
+      circuit.c_str(), detected, total,
+      total == 0 ? 100.0
+                 : 100.0 * static_cast<double>(detected) /
+                       static_cast<double>(total),
+      vectors);
+  return buf;
+}
+
+std::string render_fault_sim_result_json(const FaultSimResult& result) {
+  std::string out = "{";
+  field_str(out, "schema", kCampaignSchema);
+  field_str(out, "kind", "fault_sim_result");
+  field_str(out, "circuit", result.circuit);
+  field_int(out, "seq_len", static_cast<long long>(result.seq_length));
+  field_int(out, "faults", static_cast<long long>(result.total()));
+  field_int(out, "detected", static_cast<long long>(result.detected));
+  out += ",\"times\":[";
+  for (std::size_t i = 0; i < result.detection_time.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(result.detection_time[i]);
+  }
+  out += "],\"lines\":[";
+  for (std::size_t i = 0; i < result.detecting_line.size(); ++i) {
+    if (i != 0) out += ',';
+    out += result.detecting_line[i] == netlist::kNoNode
+               ? "-1"
+               : std::to_string(result.detecting_line[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+void append_shard_fields(std::string& out, const ShardResult& shard) {
+  field_int(out, "shard", shard.shard);
+  field_int(out, "begin", shard.begin);
+  field_int(out, "end", shard.end);
+  field_int(out, "attempt", shard.attempt);
+  field_int(out, "detected", static_cast<long long>(shard.detected_count()));
+  if (!out.empty() && out.back() != '{') out += ',';
+  out += "\"times\":[";
+  for (std::size_t i = 0; i < shard.detection_time.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(shard.detection_time[i]);
+  }
+  out += "],\"lines\":[";
+  for (std::size_t i = 0; i < shard.detecting_line.size(); ++i) {
+    if (i != 0) out += ',';
+    out += shard.detecting_line[i] == netlist::kNoNode
+               ? "-1"
+               : std::to_string(shard.detecting_line[i]);
+  }
+  out += ']';
+  field_int(out, "kernel_cycles",
+            static_cast<long long>(shard.kernel_cycles));
+  field_int(out, "fault_cycles", static_cast<long long>(shard.fault_cycles));
+}
+
+ShardResult parse_shard_fields(const util::JsonValue& record) {
+  ShardResult s;
+  s.shard = static_cast<std::uint32_t>(require_int(record, "shard"));
+  s.begin = static_cast<std::uint32_t>(require_int(record, "begin"));
+  s.end = static_cast<std::uint32_t>(require_int(record, "end"));
+  s.attempt = static_cast<std::uint32_t>(record.get_int("attempt", 1));
+  s.kernel_cycles =
+      static_cast<std::uint64_t>(record.get_int("kernel_cycles", 0));
+  s.fault_cycles =
+      static_cast<std::uint64_t>(record.get_int("fault_cycles", 0));
+  if (s.begin > s.end)
+    throw std::runtime_error("campaign record: shard range reversed");
+  const std::size_t size = s.end - s.begin;
+  const auto& times = require_array(record, "times");
+  const auto& lines = require_array(record, "lines");
+  if (times.size() != size || lines.size() != size)
+    throw std::runtime_error(
+        "campaign record: shard " + std::to_string(s.shard) + " carries " +
+        std::to_string(times.size()) + "/" + std::to_string(lines.size()) +
+        " entries for a " + std::to_string(size) + "-fault range");
+  s.detection_time.reserve(size);
+  s.detecting_line.reserve(size);
+  for (const util::JsonValue& v : times)
+    s.detection_time.push_back(static_cast<std::int32_t>(v.as_int()));
+  for (const util::JsonValue& v : lines) {
+    const std::int64_t id = v.as_int();
+    s.detecting_line.push_back(
+        id < 0 ? netlist::kNoNode : static_cast<netlist::NodeId>(id));
+  }
+  return s;
+}
+
+CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
+  const util::JsonlReadResult raw = util::read_jsonl_file(path);
+  CampaignCheckpoint ck;
+  ck.skipped_truncated_line = raw.truncated_trailer;
+  bool saw_header = false;
+  for (std::size_t ln = 0; ln < raw.lines.size(); ++ln) {
+    util::JsonValue rec;
+    try {
+      rec = util::json_parse(raw.lines[ln]);
+    } catch (const std::exception& e) {
+      // A torn *trailing* line is a crash artifact and tolerated by the
+      // reader layer; a malformed line with records after it means the
+      // stream is corrupt and no partial merge can be trusted.
+      throw CampaignCheckpointError(
+          "checkpoint " + path + ": corrupt record on line " +
+          std::to_string(ln + 1) + ": " + e.what());
+    }
+    const std::string event = rec.get_string("event");
+    if (ln == 0) {
+      if (event != "header")
+        throw CampaignCheckpointError("checkpoint " + path +
+                                      ": first record is not a header");
+      const std::string schema = rec.get_string("schema");
+      if (schema != kCampaignSchema)
+        throw CampaignCheckpointError(
+            "checkpoint " + path + ": schema '" + schema + "', want '" +
+            std::string(kCampaignSchema) + "'");
+      ck.header.circuit = rec.get_string("circuit");
+      ck.header.collapse = rec.get_string("collapse");
+      ck.header.faults = static_cast<std::uint64_t>(rec.get_int("faults"));
+      ck.header.shards = static_cast<std::uint64_t>(rec.get_int("shards"));
+      ck.header.seq_length =
+          static_cast<std::uint64_t>(rec.get_int("seq_len"));
+      if (const util::JsonValue* h = rec.get("seq_hash"); h != nullptr)
+        ck.header.seq_hash = std::stoull(h->as_string(), nullptr, 16);
+      saw_header = true;
+      continue;
+    }
+    if (event == "shard") {
+      ShardResult s;
+      try {
+        s = parse_shard_fields(rec);
+      } catch (const std::exception& e) {
+        throw CampaignCheckpointError("checkpoint " + path + ": line " +
+                                      std::to_string(ln + 1) + ": " +
+                                      e.what());
+      }
+      if (ck.shards.count(s.shard) != 0) ++ck.duplicate_records;
+      ck.shards[s.shard] = std::move(s);  // last record wins
+    } else if (event == "done") {
+      ck.complete = true;
+    }
+    // "retry" and unknown events are informational; skip.
+  }
+  if (!saw_header)
+    throw CampaignCheckpointError("checkpoint " + path +
+                                  ": empty stream (no header record)");
+  return ck;
+}
+
+void CampaignCheckpointWriter::open(const std::string& path,
+                                    const CampaignHeader& header,
+                                    bool resume) {
+  writer_.open(path, resume);
+  if (resume) return;
+  char hash[24];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(header.seq_hash));
+  std::string line = "{";
+  field_str(line, "schema", kCampaignSchema);
+  field_str(line, "event", "header");
+  field_str(line, "circuit", header.circuit);
+  field_str(line, "collapse", header.collapse);
+  field_int(line, "faults", static_cast<long long>(header.faults));
+  field_int(line, "shards", static_cast<long long>(header.shards));
+  field_int(line, "seq_len", static_cast<long long>(header.seq_length));
+  field_str(line, "seq_hash", hash);
+  line += '}';
+  writer_.write_line(line);
+}
+
+void CampaignCheckpointWriter::record_shard(const ShardResult& shard) {
+  std::string line = "{";
+  field_str(line, "event", "shard");
+  append_shard_fields(line, shard);
+  line += '}';
+  writer_.write_line(line);
+}
+
+void CampaignCheckpointWriter::record_retry(std::uint32_t shard,
+                                            std::uint32_t attempt,
+                                            const std::string& reason) {
+  std::string line = "{";
+  field_str(line, "event", "retry");
+  field_int(line, "shard", shard);
+  field_int(line, "attempt", attempt);
+  field_str(line, "reason", reason);
+  line += '}';
+  writer_.write_line(line);
+}
+
+void CampaignCheckpointWriter::record_done(std::size_t detected,
+                                           std::size_t faults) {
+  std::string line = "{";
+  field_str(line, "event", "done");
+  field_int(line, "detected", static_cast<long long>(detected));
+  field_int(line, "faults", static_cast<long long>(faults));
+  line += '}';
+  writer_.write_line(line);
+}
+
+}  // namespace wbist::core

@@ -1,0 +1,196 @@
+// Sharded fault-simulation campaigns: planning, deterministic merge, and
+// the wbist.campaign/1 checkpoint stream.
+//
+// A campaign evaluates one test sequence against a circuit's entire
+// collapsed fault list by splitting the list into contiguous *shards* and
+// fault-simulating each shard independently (in practice: in parallel
+// worker processes — see serve/campaign_runner.h). Because every fault's
+// detection time depends only on the circuit, the sequence, and the fault
+// itself — group packing, kernels, threads, and the simulation levers are
+// all pinned bit-identical by the fault-sim test suite — per-shard results
+// merge into a FaultSimResult that is bit-identical to a single-process
+// FaultSimulator::run_all over the same sequence, no matter how the list
+// was sharded or in which order shards completed.
+//
+// The checkpoint is an append-only JSONL stream (schema "wbist.campaign/1",
+// docs/schemas/wbist.campaign-v1.md): a header line pinning the campaign's
+// identity (circuit, collapse mode, fault count, shard plan, sequence
+// hash), then one line per completed shard carrying that shard's full
+// per-fault detection data. A campaign killed at any point can therefore
+// --resume: completed shards replay from the checkpoint byte-for-byte, and
+// only the missing shards are re-simulated. The loader is tolerant exactly
+// where crash recovery needs it (a truncated trailing line is skipped, a
+// duplicated shard record is last-wins) and strict everywhere else (schema
+// or header mismatch refuses to merge anything).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+#include "util/json.h"
+#include "util/jsonl.h"
+
+namespace wbist::core {
+
+inline constexpr std::string_view kCampaignSchema = "wbist.campaign/1";
+
+// ---------------------------------------------------------------------------
+// Shard planning
+
+struct Shard {
+  std::uint32_t index = 0;
+  std::uint32_t begin = 0;  ///< first fault id (inclusive)
+  std::uint32_t end = 0;    ///< one past the last fault id
+};
+
+/// Split `fault_count` faults into `shard_count` contiguous, disjoint,
+/// covering shards, sizes differing by at most one (larger shards first).
+/// Deterministic. Empty shards are never produced: the plan has
+/// min(shard_count, fault_count) entries. Throws std::invalid_argument when
+/// either count is zero.
+std::vector<Shard> plan_shards(std::size_t fault_count,
+                               std::size_t shard_count);
+
+// ---------------------------------------------------------------------------
+// Results and deterministic merge
+
+/// The product of a fault-simulation campaign: per-fault detection data for
+/// the whole collapsed list, plus the identifying context. Bit-identical to
+/// a single-process run_all (see render_fault_sim_result_json for the
+/// canonical serialized form used by CI's diff gates).
+struct FaultSimResult {
+  std::string circuit;
+  std::size_t seq_length = 0;
+  /// Aligned with fault ids 0..total-1; fault::DetectionResult::kUndetected
+  /// where undetected.
+  std::vector<std::int32_t> detection_time;
+  /// First detecting observed line per fault; netlist::kNoNode where
+  /// undetected.
+  std::vector<netlist::NodeId> detecting_line;
+  std::size_t detected = 0;
+
+  std::size_t total() const { return detection_time.size(); }
+};
+
+/// One completed shard: the detection slices for fault ids [begin, end).
+struct ShardResult {
+  std::uint32_t shard = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t attempt = 1;  ///< 1 = first try (informational)
+  std::vector<std::int32_t> detection_time;   ///< end - begin entries
+  std::vector<netlist::NodeId> detecting_line;  ///< end - begin entries
+  /// Worker-side simulation effort for this shard (wbist.metrics/1 deltas),
+  /// summed by the driver into the campaign's aggregate cost record.
+  std::uint64_t kernel_cycles = 0;
+  std::uint64_t fault_cycles = 0;
+
+  std::size_t detected_count() const;
+};
+
+/// Copy `shard`'s slices into `into` (which must already be sized to the
+/// full fault list) and update the detected count. Throws
+/// std::invalid_argument on a malformed shard (range out of bounds or
+/// slice sizes that do not match the range). Merging the shards of a plan
+/// in any order yields the same FaultSimResult.
+void merge_shard(FaultSimResult& into, const ShardResult& shard);
+
+/// The canonical one-line human summary, shared verbatim by `wbist fsim`
+/// (core::run_fault_sim_job) and `wbist campaign` so the two paths can be
+/// diffed byte for byte: "s27: 31/32 faults detected (96.9%), 14 vectors\n".
+std::string render_fault_sim_summary(const std::string& circuit,
+                                     std::size_t detected, std::size_t total,
+                                     std::size_t vectors);
+
+/// The canonical machine-readable form of a campaign / fsim result: one
+/// JSON document with the per-fault detection arrays. Two runs over the
+/// same circuit + sequence produce byte-identical documents regardless of
+/// process count, sharding, threads, or kernel — this is CI's bit-identity
+/// gate for the campaign runner.
+std::string render_fault_sim_result_json(const FaultSimResult& result);
+
+// ---------------------------------------------------------------------------
+// Checkpoint stream (wbist.campaign/1)
+
+/// Campaign identity, pinned by the checkpoint header. A resume refuses to
+/// merge anything unless every field matches the live campaign.
+struct CampaignHeader {
+  std::string circuit;
+  std::string collapse;        ///< "none" | "equivalence" | "dominance"
+  std::uint64_t faults = 0;    ///< collapsed fault-list size
+  std::uint64_t shards = 0;    ///< shard-plan size
+  std::uint64_t seq_length = 0;
+  std::uint64_t seq_hash = 0;  ///< fnv1a64 of the comment-free sequence text
+};
+
+/// A checkpoint problem that must stop the campaign *before* any partial
+/// merge: unknown schema, corrupt (non-trailer) record, or a header that
+/// does not match the live campaign. The CLI maps it to exit 2.
+class CampaignCheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A loaded checkpoint: the header plus the completed shards (last record
+/// wins for duplicated shard indices), with the tolerance counters CI and
+/// tests assert on.
+struct CampaignCheckpoint {
+  CampaignHeader header;
+  std::map<std::uint32_t, ShardResult> shards;
+  std::size_t duplicate_records = 0;   ///< shard records superseded
+  bool skipped_truncated_line = false;  ///< torn trailer was ignored
+  bool complete = false;               ///< a "done" record was seen
+};
+
+/// Load and validate a checkpoint stream. Throws CampaignCheckpointError on
+/// schema mismatch, a missing/invalid header, or a corrupt complete line;
+/// throws std::runtime_error when the file cannot be read. A truncated
+/// trailing line and duplicate shard records are tolerated and counted.
+CampaignCheckpoint load_campaign_checkpoint(const std::string& path);
+
+/// Append-only checkpoint writer. Every record is flushed as it is
+/// written, so the stream is exactly as complete as the campaign's
+/// progress at any kill point.
+class CampaignCheckpointWriter {
+ public:
+  /// Start a fresh stream at `path` (truncates, writes the header line) or,
+  /// when `resume` is true, append to an existing one (no new header — the
+  /// caller has already validated the existing header via
+  /// load_campaign_checkpoint).
+  void open(const std::string& path, const CampaignHeader& header,
+            bool resume);
+
+  bool is_open() const { return writer_.is_open(); }
+
+  void record_shard(const ShardResult& shard);
+  void record_retry(std::uint32_t shard, std::uint32_t attempt,
+                    const std::string& reason);
+  void record_done(std::size_t detected, std::size_t faults);
+  void close() { writer_.close(); }
+
+ private:
+  util::JsonlWriter writer_;
+};
+
+// ---------------------------------------------------------------------------
+// Record (de)serialization, shared by the checkpoint stream and the worker
+// wire protocol (a worker's shard response carries exactly a shard record's
+// fields, so the driver can checkpoint a response without re-encoding).
+
+/// Append the body fields of a shard record ("shard", "begin", "end",
+/// "attempt", "detected", "times", "lines", "kernel_cycles",
+/// "fault_cycles") to an in-progress JSON object body (no braces; callers
+/// add their own "event"/"ok" framing). Undetected lines are encoded -1.
+void append_shard_fields(std::string& out, const ShardResult& shard);
+
+/// Parse the shard fields back out of a parsed record. Throws
+/// std::runtime_error on missing/mistyped fields or slice-size mismatches.
+ShardResult parse_shard_fields(const util::JsonValue& record);
+
+}  // namespace wbist::core

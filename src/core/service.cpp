@@ -112,16 +112,13 @@ FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
   FaultSimJobResult result;
   result.detected = det.detected_count;
   result.total = cc.faults().size();
-  char buf[160];
-  std::snprintf(
-      buf, sizeof buf, "%s: %zu/%zu faults detected (%.1f%%), %zu vectors\n",
-      cc.name().c_str(), result.detected, result.total,
-      result.total == 0
-          ? 100.0
-          : 100.0 * static_cast<double>(result.detected) /
-                static_cast<double>(result.total),
-      seq.length());
-  result.output = buf;
+  result.output = render_fault_sim_summary(cc.name(), result.detected,
+                                           result.total, seq.length());
+  result.detail.circuit = cc.name();
+  result.detail.seq_length = seq.length();
+  result.detail.detection_time = det.detection_time;
+  result.detail.detecting_line = det.detecting_line;
+  result.detail.detected = det.detected_count;
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/campaign.h"
 #include "core/flow.h"
 #include "sim/sequence.h"
 #include "tgen/compaction.h"
@@ -107,6 +108,10 @@ struct FaultSimJobResult {
   std::string output;
   std::size_t detected = 0;
   std::size_t total = 0;
+  /// The full per-fault detection data, in the campaign result form — the
+  /// payload behind `wbist fsim --result-json`, which CI diffs byte for
+  /// byte against `wbist campaign --result-json`.
+  FaultSimResult detail;
 };
 
 /// `wbist fsim`: fault-simulate one sequence against the compiled fault

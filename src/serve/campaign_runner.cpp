@@ -1,0 +1,453 @@
+#include "serve/campaign_runner.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "fault/fault.h"
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace wbist::serve {
+
+namespace {
+
+/// Bound on every silent I/O gap with a worker. Workers answer a frame the
+/// moment the shard finishes; a mid-frame stall this long means the worker
+/// is wedged and is treated as a death (long shards are fine — the bound is
+/// per byte gap *inside* a frame, not per shard).
+constexpr int kStallMs = 60'000;
+
+const char* collapse_name(fault::CollapseMode mode) {
+  switch (mode) {
+    case fault::CollapseMode::kNone: return "none";
+    case fault::CollapseMode::kDominance: return "dominance";
+    case fault::CollapseMode::kEquivalence: break;
+  }
+  return "equivalence";
+}
+
+void field_int(std::string& out, std::string_view key, long long value) {
+  if (!out.empty() && out.back() != '{') out += ',';
+  util::append_json_string(out, key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+void field_str(std::string& out, std::string_view key,
+               std::string_view value) {
+  if (!out.empty() && out.back() != '{') out += ',';
+  util::append_json_string(out, key);
+  out += ':';
+  util::append_json_string(out, value);
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;
+  bool inited = false;
+  std::int64_t shard = -1;  ///< in-flight shard index, -1 when idle
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void reap(pid_t pid) {
+  if (pid <= 0) return;
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+/// Forcibly terminate and reap one worker (harmless when already dead).
+void kill_worker(Worker& w) {
+  if (w.pid > 0) ::kill(w.pid, SIGKILL);
+  close_fd(w.fd);
+  reap(w.pid);
+  w.pid = -1;
+  w.inited = false;
+  w.shard = -1;
+}
+
+/// Let an idle worker finish cleanly: closing our socket end is the EOF its
+/// read loop exits on.
+void retire_worker(Worker& w) {
+  close_fd(w.fd);
+  reap(w.pid);
+  w.pid = -1;
+  w.inited = false;
+}
+
+}  // namespace
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 != nullptr ? argv0 : "wbist";
+}
+
+CampaignOutcome run_campaign(const core::CircuitSpec& spec,
+                             const std::string& circuit_name,
+                             std::size_t fault_count,
+                             const std::string& sequence_text,
+                             std::size_t seq_length,
+                             const CampaignOptions& options) {
+  if (options.worker_exe.empty())
+    throw std::invalid_argument("campaign: worker executable path is empty");
+  if (options.workers == 0)
+    throw std::invalid_argument("campaign: worker count must be > 0");
+  if (options.resume && options.checkpoint_path.empty())
+    throw std::invalid_argument("campaign: --resume requires a checkpoint");
+
+  const std::size_t shard_count =
+      options.shards != 0 ? options.shards
+                          : static_cast<std::size_t>(options.workers) * 4;
+  const std::vector<core::Shard> plan =
+      core::plan_shards(fault_count, shard_count);
+
+  util::MetricsRegistry& m = util::metrics();
+
+  CampaignOutcome out;
+  out.shards_total = plan.size();
+  out.result.circuit = circuit_name;
+  out.result.seq_length = seq_length;
+  out.result.detection_time.assign(fault_count,
+                                   fault::DetectionResult::kUndetected);
+  out.result.detecting_line.assign(fault_count, netlist::kNoNode);
+
+  core::CampaignHeader header;
+  header.circuit = circuit_name;
+  header.collapse = collapse_name(options.collapse);
+  header.faults = fault_count;
+  header.shards = plan.size();
+  header.seq_length = seq_length;
+  header.seq_hash = core::fnv1a64(sequence_text);
+
+  std::vector<bool> done(plan.size(), false);
+  std::map<std::uint32_t, core::ShardResult> replayed;
+  if (options.resume) {
+    core::CampaignCheckpoint ck =
+        core::load_campaign_checkpoint(options.checkpoint_path);
+    const auto mismatch = [&](const std::string& what, const std::string& got,
+                              const std::string& want) {
+      throw core::CampaignCheckpointError(
+          "checkpoint " + options.checkpoint_path + ": " + what + " is '" +
+          got + "' but the live campaign has '" + want +
+          "' — refusing to merge");
+    };
+    if (ck.header.circuit != header.circuit)
+      mismatch("circuit", ck.header.circuit, header.circuit);
+    if (ck.header.collapse != header.collapse)
+      mismatch("collapse", ck.header.collapse, header.collapse);
+    if (ck.header.faults != header.faults)
+      mismatch("fault count", std::to_string(ck.header.faults),
+               std::to_string(header.faults));
+    if (ck.header.shards != header.shards)
+      mismatch("shard count", std::to_string(ck.header.shards),
+               std::to_string(header.shards));
+    if (ck.header.seq_length != header.seq_length)
+      mismatch("sequence length", std::to_string(ck.header.seq_length),
+               std::to_string(header.seq_length));
+    if (ck.header.seq_hash != header.seq_hash)
+      mismatch("sequence hash", "differing", "differing");
+    for (const auto& [k, s] : ck.shards) {
+      if (k >= plan.size() || s.begin != plan[k].begin ||
+          s.end != plan[k].end)
+        throw core::CampaignCheckpointError(
+            "checkpoint " + options.checkpoint_path + ": shard " +
+            std::to_string(k) + " does not match the live shard plan");
+      core::merge_shard(out.result, s);
+      out.kernel_cycles += s.kernel_cycles;
+      out.fault_cycles += s.fault_cycles;
+      done[k] = true;
+    }
+    out.shards_resumed = ck.shards.size();
+    m.counter("campaign.shards_resumed").add(out.shards_resumed);
+    replayed = std::move(ck.shards);
+  }
+
+  std::deque<std::uint32_t> pending;
+  for (std::uint32_t k = 0; k < plan.size(); ++k)
+    if (!done[k]) pending.push_back(k);
+
+  // Checkpointing. A resume *compacts*: the stream is rewritten fresh with
+  // the header plus every replayed shard, which heals torn trailers and
+  // duplicate records instead of appending after them (every record is
+  // flushed, so the exposure window is one line, same as a normal append).
+  core::CampaignCheckpointWriter writer;
+  if (!options.checkpoint_path.empty()) {
+    writer.open(options.checkpoint_path, header, /*resume=*/false);
+    for (const auto& [k, s] : replayed) writer.record_shard(s);
+  }
+  replayed.clear();
+
+  // The init frame every spawned worker receives: the full campaign context
+  // (circuit spec, collapse mode, the sequence text verbatim), so workers
+  // never read driver-side paths.
+  std::string init_payload = "{";
+  field_str(init_payload, "schema", core::kCampaignSchema);
+  field_str(init_payload, "job", "init");
+  if (!spec.registry_name.empty()) {
+    field_str(init_payload, "circuit", spec.registry_name);
+  } else {
+    field_str(init_payload, "bench", spec.bench_text);
+    if (!spec.display_name.empty())
+      field_str(init_payload, "name", spec.display_name);
+  }
+  field_str(init_payload, "collapse", header.collapse);
+  field_int(init_payload, "threads",
+            options.worker_threads == 0 ? 1 : options.worker_threads);
+  field_str(init_payload, "sequence", sequence_text);
+  init_payload += '}';
+
+  std::vector<Worker> workers;
+  std::vector<std::uint32_t> attempts(plan.size(), 0);  // failures per shard
+  std::size_t completed_this_run = 0;
+  std::size_t early_deaths = 0;  // deaths before the init handshake landed
+  bool halted = false;
+
+  const auto fatal_shutdown = [&](const std::string& msg) {
+    for (Worker& w : workers) kill_worker(w);
+    throw std::runtime_error(msg);
+  };
+
+  const auto handle_death = [&](Worker& w, const std::string& reason) {
+    const bool was_inited = w.inited;
+    const std::int64_t shard = w.shard;
+    kill_worker(w);
+    ++out.worker_deaths;
+    m.counter("campaign.worker_deaths").add(1);
+    // A fleet that keeps dying before it even answers init is not going to
+    // be saved by retries (bad worker_exe, broken exec environment).
+    if (!was_inited &&
+        ++early_deaths >
+            static_cast<std::size_t>(options.workers) + options.max_retries)
+      fatal_shutdown("campaign: workers repeatedly dying before init (" +
+                     reason + ")");
+    if (shard >= 0) {
+      const auto k = static_cast<std::uint32_t>(shard);
+      if (++attempts[k] > options.max_retries)
+        fatal_shutdown("campaign: shard " + std::to_string(k) +
+                       " failed on all " + std::to_string(attempts[k]) +
+                       " attempts, last: " + reason);
+      // Front of the queue: the freshly spawned replacement retries the
+      // surrendered shard before any untouched work.
+      pending.push_front(k);
+      ++out.shards_retried;
+      m.counter("campaign.shards_retried").add(1);
+      if (writer.is_open()) writer.record_retry(k, attempts[k] + 1, reason);
+    }
+  };
+
+  const auto spawn_into = [&](Worker& w) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+      fatal_shutdown(std::string("campaign: socketpair: ") +
+                     std::strerror(errno));
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      fatal_shutdown(std::string("campaign: fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: the socketpair is its stdin/stdout (dup2 clears CLOEXEC).
+      ::dup2(sv[1], STDIN_FILENO);
+      ::dup2(sv[1], STDOUT_FILENO);
+      ::execl(options.worker_exe.c_str(), options.worker_exe.c_str(),
+              "campaign-worker", static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(sv[1]);
+    w.pid = pid;
+    w.fd = sv[0];
+    w.inited = false;
+    w.shard = -1;
+    ++out.workers_spawned;
+    m.counter("campaign.workers_spawned").add(1);
+    try {
+      write_frame(w.fd, init_payload, kStallMs);
+    } catch (const std::exception& e) {
+      handle_death(w, e.what());
+    }
+  };
+
+  const auto assign = [&](Worker& w) {
+    if (pending.empty()) {
+      retire_worker(w);
+      return;
+    }
+    const std::uint32_t k = pending.front();
+    pending.pop_front();
+    w.shard = k;
+    std::string req = "{";
+    field_str(req, "schema", core::kCampaignSchema);
+    field_str(req, "job", "shard");
+    field_int(req, "shard", k);
+    field_int(req, "begin", plan[k].begin);
+    field_int(req, "end", plan[k].end);
+    field_int(req, "attempt", attempts[k] + 1);
+    req += '}';
+    try {
+      write_frame(w.fd, req, kStallMs);
+      m.counter("campaign.shards_dispatched").add(1);
+    } catch (const std::exception& e) {
+      handle_death(w, e.what());
+    }
+  };
+
+  const auto handle_response = [&](Worker& w) {
+    std::string payload;
+    ReadStatus st;
+    try {
+      st = read_frame(w.fd, payload, ReadDeadlines{-1, kStallMs});
+    } catch (const std::exception& e) {
+      handle_death(w, e.what());
+      return;
+    }
+    if (st != ReadStatus::kFrame) {
+      handle_death(w, st == ReadStatus::kEof ? "worker exited"
+                                             : "worker stalled mid-frame");
+      return;
+    }
+    util::JsonValue rec;
+    try {
+      rec = util::json_parse(payload);
+    } catch (const std::exception& e) {
+      handle_death(w, std::string("unparseable worker response: ") + e.what());
+      return;
+    }
+    if (!rec.get_bool("ok", false)) {
+      // A structured refusal means the worker is healthy and the request is
+      // wrong (unknown circuit, bad sequence...). Retrying cannot help.
+      fatal_shutdown("campaign: worker error: " +
+                     rec.get_string("error", "unspecified"));
+    }
+    const std::string job = rec.get_string("job");
+    if (!w.inited) {
+      if (job != "init") {
+        handle_death(w, "worker answered '" + job + "' before init");
+        return;
+      }
+      const std::int64_t f = rec.get_int("faults", -1);
+      const std::int64_t l = rec.get_int("seq_len", -1);
+      if (f != static_cast<std::int64_t>(fault_count) ||
+          l != static_cast<std::int64_t>(seq_length))
+        fatal_shutdown(
+            "campaign: worker compiled a different campaign (" +
+            std::to_string(f) + " faults, " + std::to_string(l) +
+            " vectors; driver has " + std::to_string(fault_count) + ", " +
+            std::to_string(seq_length) + ")");
+      out.trace_cycles +=
+          static_cast<std::uint64_t>(rec.get_int("trace_cycles", 0));
+      w.inited = true;
+      assign(w);
+      return;
+    }
+    if (job != "shard" || w.shard < 0) {
+      handle_death(w, "unexpected worker response '" + job + "'");
+      return;
+    }
+    core::ShardResult s;
+    try {
+      s = core::parse_shard_fields(rec);
+    } catch (const std::exception& e) {
+      handle_death(w, e.what());
+      return;
+    }
+    const auto k = static_cast<std::uint32_t>(w.shard);
+    if (s.shard != k || s.begin != plan[k].begin || s.end != plan[k].end) {
+      handle_death(w, "worker answered shard " + std::to_string(s.shard) +
+                          " while shard " + std::to_string(k) +
+                          " was in flight");
+      return;
+    }
+    core::merge_shard(out.result, s);
+    out.kernel_cycles += s.kernel_cycles;
+    out.fault_cycles += s.fault_cycles;
+    if (writer.is_open()) writer.record_shard(s);
+    done[k] = true;
+    w.shard = -1;
+    ++completed_this_run;
+    m.counter("campaign.shards_completed").add(1);
+    if (options.halt_after != 0 && completed_this_run >= options.halt_after) {
+      halted = true;
+      return;
+    }
+    assign(w);
+  };
+
+  const auto outstanding = [&]() {
+    std::size_t inflight = 0;
+    for (const Worker& w : workers)
+      if (w.pid > 0 && w.shard >= 0) ++inflight;
+    // A live worker that has not answered init yet is about to be assigned.
+    for (const Worker& w : workers)
+      if (w.pid > 0 && !w.inited) ++inflight;
+    return pending.size() + inflight;
+  };
+
+  try {
+    workers.resize(std::min<std::size_t>(options.workers, pending.size()));
+    for (Worker& w : workers) spawn_into(w);
+
+    while (!halted && outstanding() > 0) {
+      // Refill dead slots while unassigned work remains.
+      for (Worker& w : workers)
+        if (w.pid < 0 && !pending.empty()) spawn_into(w);
+
+      std::vector<pollfd> pfds;
+      std::vector<std::size_t> idx;
+      for (std::size_t i = 0; i < workers.size(); ++i)
+        if (workers[i].pid > 0 && workers[i].fd >= 0) {
+          pfds.push_back({workers[i].fd, POLLIN, 0});
+          idx.push_back(i);
+        }
+      if (pfds.empty()) continue;  // every slot just died; refill and retry
+      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        fatal_shutdown(std::string("campaign: poll: ") +
+                       std::strerror(errno));
+      }
+      for (std::size_t j = 0; j < pfds.size() && !halted; ++j)
+        if (pfds[j].revents != 0) handle_response(workers[idx[j]]);
+    }
+  } catch (...) {
+    for (Worker& w : workers) kill_worker(w);
+    throw;
+  }
+
+  if (halted) {
+    // Test hook: abandon in-flight shards; their results are simply not
+    // checkpointed, which is exactly what a mid-run kill looks like.
+    for (Worker& w : workers) kill_worker(w);
+    out.complete = false;
+  } else {
+    for (Worker& w : workers) retire_worker(w);
+    if (writer.is_open())
+      writer.record_done(out.result.detected, out.result.total());
+  }
+  writer.close();
+  return out;
+}
+
+}  // namespace wbist::serve

@@ -1,0 +1,103 @@
+// The `wbist campaign` driver: shard a collapsed fault list across spawned
+// `wbist campaign-worker` processes and merge the results deterministically.
+//
+// Transport reuses the wbist.serve/1 wire framing (serve/protocol.h): each
+// worker is a child process whose stdin/stdout are one AF_UNIX socketpair,
+// speaking length-prefixed JSON frames. The driver sends one `init` frame
+// (circuit spec + collapse mode + the full sequence text — workers never
+// read driver paths, exactly like `wbist submit` inlines `.bench` files)
+// and then one `shard` frame at a time; a worker always has exactly one
+// request in flight, so the driver's poll loop treats "worker fd readable"
+// as "a response or a death is ready".
+//
+// Fault tolerance: a worker that dies (EOF, I/O error, stalled write, or a
+// SIGKILL from outside) surrenders its in-flight shard, which is pushed
+// back to the front of the pending queue and retried on a freshly spawned
+// worker — up to `max_retries` extra attempts per shard before the
+// campaign aborts. Completed shards are appended to the wbist.campaign/1
+// checkpoint stream the moment they merge, so a campaign killed at any
+// point resumes by replaying the checkpoint and re-simulating only the
+// missing shards (core/campaign.h owns the stream format and validation).
+//
+// Determinism: per-fault detection results do not depend on sharding,
+// grouping, threads, or kernel backend (pinned by the fault-sim suites),
+// so the merged FaultSimResult is bit-identical to a single-process
+// FaultSimulator::run_all — CI gates this by diffing the canonical result
+// JSON of `wbist campaign` against `wbist fsim`.
+//
+// Observability (wbist.metrics/1): campaign.shards_dispatched / retried /
+// resumed / completed, campaign.workers_spawned / worker_deaths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/artifact_cache.h"
+#include "core/campaign.h"
+#include "fault/fault_list.h"
+
+namespace wbist::serve {
+
+struct CampaignOptions {
+  /// Path to the wbist binary to spawn as `campaign-worker` (see
+  /// self_exe_path()). Required.
+  std::string worker_exe;
+  /// Worker processes running concurrently.
+  unsigned workers = 4;
+  /// Shard count (0 = workers * 4; capped at the fault count). More shards
+  /// than workers keeps the retry/kill blast radius small and the tail
+  /// balanced.
+  std::size_t shards = 0;
+  /// FaultSimOptions::threads inside each worker (campaigns parallelize
+  /// across processes; 1 keeps workers single-threaded).
+  unsigned worker_threads = 1;
+  /// Extra attempts per shard after its first failure before the campaign
+  /// aborts.
+  unsigned max_retries = 2;
+  /// Checkpoint stream path; empty disables checkpointing (and --resume).
+  std::string checkpoint_path;
+  /// Replay completed shards from the checkpoint instead of re-simulating.
+  bool resume = false;
+  /// Test hook: stop dispatching after this many shard completions *this
+  /// run* (0 = run to completion). The outcome reports complete = false;
+  /// the CLI maps it to exit 3 (transient — resume later).
+  std::size_t halt_after = 0;
+  fault::CollapseMode collapse = fault::CollapseMode::kEquivalence;
+};
+
+struct CampaignOutcome {
+  core::FaultSimResult result;
+  bool complete = true;          ///< false only on the halt_after path
+  std::size_t shards_total = 0;
+  std::size_t shards_resumed = 0;   ///< replayed from the checkpoint
+  std::size_t shards_retried = 0;   ///< reassignments after worker deaths
+  std::size_t worker_deaths = 0;
+  std::size_t workers_spawned = 0;
+  /// Simulation effort summed across workers (resumed shards contribute
+  /// their checkpointed cost), for BENCH_procedure-compatible reporting.
+  std::uint64_t kernel_cycles = 0;
+  std::uint64_t fault_cycles = 0;
+  std::uint64_t trace_cycles = 0;
+};
+
+/// Run a sharded fault-simulation campaign of `sequence_text` (.seq format,
+/// `seq_length` vectors) against `spec`'s collapsed fault list of
+/// `fault_count` faults.
+///
+/// Throws core::CampaignCheckpointError on checkpoint schema/header
+/// mismatches (CLI exit 2), std::invalid_argument on bad configuration,
+/// and std::runtime_error when a shard exhausts its retries or a worker
+/// answers a structured error (CLI exit 1).
+CampaignOutcome run_campaign(const core::CircuitSpec& spec,
+                             const std::string& circuit_name,
+                             std::size_t fault_count,
+                             const std::string& sequence_text,
+                             std::size_t seq_length,
+                             const CampaignOptions& options);
+
+/// This process's executable path (/proc/self/exe where available,
+/// `argv0` otherwise) — the default CampaignOptions::worker_exe.
+std::string self_exe_path(const char* argv0);
+
+}  // namespace wbist::serve

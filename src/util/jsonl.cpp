@@ -1,0 +1,59 @@
+#include "util/jsonl.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace wbist::util {
+
+void JsonlWriter::open(const std::string& path, bool append) {
+  close();
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr)
+    throw std::runtime_error("jsonl: cannot open '" + path +
+                             "': " + std::strerror(errno));
+}
+
+void JsonlWriter::write_line(std::string_view json) {
+  if (file_ == nullptr) throw std::runtime_error("jsonl: writer not open");
+  if (std::fwrite(json.data(), 1, json.size(), file_) != json.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0)
+    throw std::runtime_error("jsonl: write failed");
+}
+
+void JsonlWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+JsonlReadResult read_jsonl_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("jsonl: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  JsonlReadResult result;
+  std::string line;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buf[i] != '\n') continue;
+      line.append(buf + start, i - start);
+      result.lines.push_back(std::move(line));
+      line.clear();
+      start = i + 1;
+    }
+    line.append(buf + start, n - start);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error)
+    throw std::runtime_error("jsonl: read failed for '" + path + "'");
+  result.truncated_trailer = !line.empty();
+  return result;
+}
+
+}  // namespace wbist::util

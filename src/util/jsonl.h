@@ -1,0 +1,64 @@
+// Append-only JSONL (one JSON document per line) file support.
+//
+// JSONL is the repo's durable-stream format (provenance records, campaign
+// checkpoints): appends are atomic at the line level, a reader never needs
+// the whole file in memory, and a crash mid-write loses at most the line
+// being written. This module factors the two halves every stream needs:
+//
+//   * JsonlWriter — line-buffered appends with an explicit flush after every
+//     line, so a record is on its way to disk the moment write_line()
+//     returns. Open modes: truncate (a fresh stream) or append (resuming an
+//     existing one).
+//
+//   * read_jsonl_file — a *tolerant* reader for crash-surviving streams: it
+//     returns every newline-terminated line and reports (instead of
+//     failing on) a truncated trailer — the partial last line a killed
+//     writer leaves behind. Interpreting the lines (parsing, schema checks,
+//     duplicate handling) is the caller's business; this layer only decides
+//     what counts as a complete record.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wbist::util {
+
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  ~JsonlWriter() { close(); }
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Open `path`, truncating when `append` is false. Throws
+  /// std::runtime_error when the file cannot be opened.
+  void open(const std::string& path, bool append);
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Append one line (the terminating '\n' is added here; `json` must not
+  /// contain one) and flush. Throws std::runtime_error on write failure.
+  void write_line(std::string_view json);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+struct JsonlReadResult {
+  /// Every newline-terminated line, in file order, without the '\n'.
+  std::vector<std::string> lines;
+  /// True when the file ended mid-line; the partial trailer is *not* in
+  /// `lines` (it is the torn record of a writer that died mid-append).
+  bool truncated_trailer = false;
+};
+
+/// Read a JSONL file tolerantly (see above). Throws std::runtime_error when
+/// the file cannot be opened or read.
+JsonlReadResult read_jsonl_file(const std::string& path);
+
+}  // namespace wbist::util

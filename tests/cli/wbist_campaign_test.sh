@@ -1,0 +1,142 @@
+#!/bin/sh
+# Integration test for the sharded `wbist campaign` runner: bit-identity
+# with the single-process `wbist fsim`, worker-kill retry, halt/resume
+# convergence, and the checkpoint edge cases (torn trailer, schema
+# mismatch). Run by ctest as: wbist_campaign_test.sh <path-to-wbist-binary>
+set -u
+
+WBIST=${1:?usage: wbist_campaign_test.sh <wbist-binary>}
+WORK=$(mktemp -d)
+FAILURES=0
+
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+cd "$WORK" || exit 1
+
+# A deterministic test sequence via the random generator (no tgen cost).
+"$WBIST" campaign s298 --random-cycles 24 --seed 7 --workers 2 \
+  --save-seq s298.seq --result-json campaign.json \
+  --checkpoint ck.jsonl > campaign.txt 2> campaign.err
+[ $? -eq 0 ] || fail "campaign on s298 should exit 0"
+[ -s s298.seq ] || fail "--save-seq did not write the sequence"
+grep -q "faults detected" campaign.txt \
+  || fail "campaign stdout is not the fsim summary line"
+
+# Bit-identity gate: the single-process fsim result must match byte for
+# byte, and stdout summaries must be identical too.
+"$WBIST" fsim s298 s298.seq --result-json fsim.json > fsim.txt 2> /dev/null \
+  || fail "fsim on the saved sequence failed"
+cmp -s campaign.json fsim.json \
+  || fail "campaign result-json differs from single-process fsim"
+head -1 campaign.txt > c1.txt
+head -1 fsim.txt > f1.txt
+cmp -s c1.txt f1.txt || fail "campaign summary line differs from fsim"
+
+# Re-running with more workers/shards must not change a byte.
+"$WBIST" campaign s298 s298.seq --workers 4 --shards 13 \
+  --result-json campaign2.json --checkpoint ck2.jsonl > /dev/null 2>&1 \
+  || fail "campaign with 4 workers / 13 shards failed"
+cmp -s campaign.json campaign2.json \
+  || fail "shard count changed the merged result"
+
+# The checkpoint stream: header first, shard records, done trailer.
+head -1 ck.jsonl | grep -q '"event":"header"' \
+  || fail "checkpoint does not start with a header record"
+grep -q '"event":"done"' ck.jsonl \
+  || fail "complete campaign has no done record"
+
+# Halt/resume: stop after 3 shards (exit 3), resume converges to the same
+# bytes and reports the replayed shards.
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --halt-after 3 \
+  --checkpoint halt.jsonl > /dev/null 2> halt.err
+[ $? -eq 3 ] || fail "--halt-after should exit 3 (incomplete)"
+n_shards=$(grep -c '"event":"shard"' halt.jsonl)
+[ "$n_shards" -eq 3 ] || fail "halted checkpoint has $n_shards shards, want 3"
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --resume \
+  --checkpoint halt.jsonl --result-json resumed.json > /dev/null 2> resume.err
+[ $? -eq 0 ] || fail "--resume from a halted checkpoint should exit 0"
+grep -q "3 resumed" resume.err \
+  || fail "resume did not report 3 replayed shards"
+"$WBIST" campaign s298 s298.seq --shards 8 --workers 2 \
+  --result-json straight8.json --checkpoint s8.jsonl > /dev/null 2>&1
+cmp -s resumed.json straight8.json \
+  || fail "resumed result differs from an uninterrupted run"
+
+# Torn trailer: chop the last checkpoint line mid-record; resume must skip
+# the torn record cleanly and still converge.
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --halt-after 4 \
+  --checkpoint torn.jsonl > /dev/null 2>&1
+size=$(wc -c < torn.jsonl)
+dd if=torn.jsonl of=torn_cut.jsonl bs=1 count=$((size - 30)) 2> /dev/null
+mv torn_cut.jsonl torn.jsonl
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --resume \
+  --checkpoint torn.jsonl --result-json torn.json > /dev/null 2> torn.err
+[ $? -eq 0 ] || fail "resume from a torn checkpoint should exit 0"
+cmp -s torn.json straight8.json \
+  || fail "torn-trailer resume result differs from an uninterrupted run"
+
+# Schema mismatch: a future-versioned checkpoint must refuse with exit 2
+# and never partially merge.
+sed 's/wbist.campaign\/1/wbist.campaign\/99/' halt.jsonl > vnext.jsonl
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --resume \
+  --checkpoint vnext.jsonl > /dev/null 2> vnext.err
+[ $? -eq 2 ] || fail "schema-mismatch resume should exit 2"
+grep -qi "schema" vnext.err || fail "schema mismatch not diagnosed on stderr"
+
+# Header mismatch: resuming with a different sequence must refuse (exit 2).
+"$WBIST" campaign s298 --random-cycles 24 --seed 8 --resume \
+  --checkpoint halt.jsonl > /dev/null 2>&1
+[ $? -eq 2 ] || fail "resume with a different sequence should exit 2"
+
+# Usage errors.
+"$WBIST" campaign s298 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "campaign without a sequence source should exit 2"
+"$WBIST" campaign s298 s298.seq --random-cycles 8 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "seq-file plus --random-cycles should exit 2"
+"$WBIST" campaign s298 s298.seq --workers 0 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--workers 0 should exit 2"
+"$WBIST" campaign no-such-circuit s298.seq > /dev/null 2>&1
+[ $? -eq 1 ] || fail "unknown circuit should exit 1"
+
+# Worker death: slow the shards down, SIGKILL one worker mid-run, and
+# check the campaign retries the lost shard and still produces identical
+# bytes. pgrep -P finds the campaign driver's direct children.
+if command -v pgrep > /dev/null 2>&1; then
+  WBIST_CAMPAIGN_TEST_SHARD_DELAY_MS=300 \
+    "$WBIST" campaign s298 s298.seq --workers 2 --shards 8 \
+    --checkpoint kill.jsonl --result-json kill.json > /dev/null 2> kill.err &
+  CPID=$!
+  victim=
+  tries=0
+  while [ -z "$victim" ] && [ "$tries" -lt 50 ]; do
+    sleep 0.1
+    victim=$(pgrep -P "$CPID" | head -1)
+    tries=$((tries + 1))
+  done
+  if [ -n "$victim" ]; then
+    kill -9 "$victim" 2> /dev/null
+    wait "$CPID"
+    [ $? -eq 0 ] || fail "campaign did not survive a SIGKILLed worker"
+    grep -q "1 deaths" kill.err \
+      || fail "worker death not reported: $(cat kill.err)"
+    grep -q '"event":"retry"' kill.jsonl \
+      || fail "retry record missing after worker death"
+    cmp -s kill.json straight8.json \
+      || fail "result after worker death differs from a clean run"
+  else
+    wait "$CPID"
+    fail "no campaign worker appeared to kill"
+  fi
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "$FAILURES campaign test(s) failed" >&2
+  exit 1
+fi
+echo "all campaign tests passed"

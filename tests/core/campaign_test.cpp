@@ -1,0 +1,304 @@
+// Sharded campaigns (core/campaign.h): shard planning invariants, the
+// deterministic merge's bit-identity with a single-process run_all, and the
+// wbist.campaign/1 checkpoint stream's tolerance/strictness contract.
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/artifact_cache.h"
+#include "fault/fault_sim.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace wbist::core {
+namespace {
+
+// -------------------------------------------------------------------------
+// plan_shards
+
+TEST(PlanShards, ContiguousDisjointCovering) {
+  for (const auto& [faults, shards] :
+       {std::pair<std::size_t, std::size_t>{493, 16},
+        {100, 7},
+        {32, 32},
+        {5, 16},
+        {1, 1}}) {
+    const auto plan = plan_shards(faults, shards);
+    ASSERT_EQ(plan.size(), std::min(faults, shards));
+    std::uint32_t next = 0;
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+      EXPECT_EQ(plan[k].index, k);
+      EXPECT_EQ(plan[k].begin, next) << "gap/overlap at shard " << k;
+      EXPECT_LT(plan[k].begin, plan[k].end) << "empty shard " << k;
+      const std::size_t size = plan[k].end - plan[k].begin;
+      const std::size_t first = plan[0].end - plan[0].begin;
+      if (k > 0) {
+        const std::size_t prev = plan[k - 1].end - plan[k - 1].begin;
+        EXPECT_LE(size, prev) << "larger shard after smaller at " << k;
+      }
+      EXPECT_LE(first - size, 1u) << "sizes differ by >1 at " << k;
+      next = plan[k].end;
+    }
+    EXPECT_EQ(next, faults) << "plan does not cover the fault list";
+  }
+}
+
+TEST(PlanShards, ZeroCountsThrow) {
+  EXPECT_THROW(plan_shards(0, 4), std::invalid_argument);
+  EXPECT_THROW(plan_shards(100, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------------
+// Merge: sharded results equal a single-process run_all, bit for bit.
+
+std::shared_ptr<const CompiledCircuit> compile(const std::string& name) {
+  CircuitSpec spec;
+  spec.registry_name = name;
+  return CompiledCircuit::compile(spec);
+}
+
+FaultSimResult result_shell(const CompiledCircuit& cc, std::size_t seq_len) {
+  FaultSimResult r;
+  r.circuit = cc.name();
+  r.seq_length = seq_len;
+  r.detection_time.assign(cc.faults().size(),
+                          fault::DetectionResult::kUndetected);
+  r.detecting_line.assign(cc.faults().size(), netlist::kNoNode);
+  return r;
+}
+
+TEST(CampaignMerge, ShardedMergeIsBitIdenticalToRunAll) {
+  const auto cc = compile("s298");
+  fault::FaultSimulator sim(cc->netlist(), cc->faults(), cc->cones());
+  const auto seq = test::random_sequence(
+      24, cc->netlist().primary_inputs().size(), 0x5eed);
+
+  const auto whole = sim.run_all(seq);
+  FaultSimResult expect = result_shell(*cc, seq.length());
+  expect.detection_time = whole.detection_time;
+  expect.detecting_line = whole.detecting_line;
+  expect.detected = whole.detected_count;
+
+  // Simulate shard by shard and merge out of order.
+  const auto trace = sim.make_trace(seq);
+  const auto plan = plan_shards(cc->faults().size(), 7);
+  std::vector<ShardResult> shards;
+  for (const Shard& sh : plan) {
+    std::vector<fault::FaultId> ids;
+    for (std::uint32_t f = sh.begin; f < sh.end; ++f) ids.push_back(f);
+    const auto det = sim.run(trace, ids, {});
+    ShardResult s;
+    s.shard = sh.index;
+    s.begin = sh.begin;
+    s.end = sh.end;
+    s.detection_time.assign(det.detection_time.begin(),
+                            det.detection_time.end());
+    s.detecting_line.assign(det.detecting_line.begin(),
+                            det.detecting_line.end());
+    shards.push_back(std::move(s));
+  }
+  FaultSimResult merged = result_shell(*cc, seq.length());
+  for (std::size_t k = shards.size(); k-- > 0;)  // reverse completion order
+    merge_shard(merged, shards[k]);
+
+  EXPECT_EQ(render_fault_sim_result_json(merged),
+            render_fault_sim_result_json(expect));
+  EXPECT_GT(merged.detected, 0u);
+}
+
+TEST(CampaignMerge, ReMergingAShardDoesNotDoubleCount) {
+  FaultSimResult r;
+  r.circuit = "toy";
+  r.detection_time.assign(4, fault::DetectionResult::kUndetected);
+  r.detecting_line.assign(4, netlist::kNoNode);
+  ShardResult s;
+  s.shard = 0;
+  s.begin = 1;
+  s.end = 3;
+  s.detection_time = {5, fault::DetectionResult::kUndetected};
+  s.detecting_line = {7, netlist::kNoNode};
+  merge_shard(r, s);
+  merge_shard(r, s);  // a resume replay
+  EXPECT_EQ(r.detected, 1u);
+  EXPECT_EQ(r.detection_time[1], 5);
+  EXPECT_EQ(r.detecting_line[1], 7u);
+}
+
+TEST(CampaignMerge, MalformedShardsThrow) {
+  FaultSimResult r;
+  r.detection_time.assign(4, -1);
+  r.detecting_line.assign(4, netlist::kNoNode);
+  ShardResult out_of_range;
+  out_of_range.begin = 2;
+  out_of_range.end = 5;
+  out_of_range.detection_time.assign(3, -1);
+  out_of_range.detecting_line.assign(3, netlist::kNoNode);
+  EXPECT_THROW(merge_shard(r, out_of_range), std::invalid_argument);
+  ShardResult short_slice;
+  short_slice.begin = 0;
+  short_slice.end = 3;
+  short_slice.detection_time.assign(2, -1);
+  short_slice.detecting_line.assign(3, netlist::kNoNode);
+  EXPECT_THROW(merge_shard(r, short_slice), std::invalid_argument);
+}
+
+TEST(CampaignRender, SummaryMatchesFsimFormat) {
+  EXPECT_EQ(render_fault_sim_summary("s27", 31, 32, 14),
+            "s27: 31/32 faults detected (96.9%), 14 vectors\n");
+}
+
+// -------------------------------------------------------------------------
+// Checkpoint stream
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  std::string path_;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/campaign_ck_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static CampaignHeader header() {
+    return {"s298", "equivalence", 493, 8, 24, 0xdeadbeef12345678ull};
+  }
+
+  static ShardResult shard(std::uint32_t k, std::int32_t time) {
+    ShardResult s;
+    s.shard = k;
+    s.begin = k * 2;
+    s.end = k * 2 + 2;
+    s.attempt = 1;
+    s.detection_time = {time, fault::DetectionResult::kUndetected};
+    s.detecting_line = {9, netlist::kNoNode};
+    s.kernel_cycles = 11;
+    s.fault_cycles = 3;
+    return s;
+  }
+
+  void raw_append(const std::string& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+};
+
+TEST_F(CheckpointTest, RoundTripsHeaderShardsAndDone) {
+  CampaignCheckpointWriter w;
+  w.open(path_, header(), /*resume=*/false);
+  w.record_shard(shard(0, 4));
+  w.record_retry(1, 2, "worker died");
+  w.record_shard(shard(1, 6));
+  w.record_done(2, 493);
+  w.close();
+
+  const CampaignCheckpoint ck = load_campaign_checkpoint(path_);
+  EXPECT_EQ(ck.header.circuit, "s298");
+  EXPECT_EQ(ck.header.collapse, "equivalence");
+  EXPECT_EQ(ck.header.faults, 493u);
+  EXPECT_EQ(ck.header.shards, 8u);
+  EXPECT_EQ(ck.header.seq_length, 24u);
+  EXPECT_EQ(ck.header.seq_hash, 0xdeadbeef12345678ull);
+  ASSERT_EQ(ck.shards.size(), 2u);
+  EXPECT_EQ(ck.shards.at(0).detection_time[0], 4);
+  EXPECT_EQ(ck.shards.at(1).detection_time[0], 6);
+  EXPECT_EQ(ck.shards.at(1).kernel_cycles, 11u);
+  EXPECT_EQ(ck.duplicate_records, 0u);
+  EXPECT_FALSE(ck.skipped_truncated_line);
+  EXPECT_TRUE(ck.complete);
+}
+
+TEST_F(CheckpointTest, TruncatedTrailerIsSkippedAndFlagged) {
+  CampaignCheckpointWriter w;
+  w.open(path_, header(), false);
+  w.record_shard(shard(0, 4));
+  w.close();
+  raw_append("{\"event\":\"shard\",\"shard\":1,\"beg");  // killed mid-append
+
+  const CampaignCheckpoint ck = load_campaign_checkpoint(path_);
+  ASSERT_EQ(ck.shards.size(), 1u);
+  EXPECT_TRUE(ck.skipped_truncated_line);
+  EXPECT_FALSE(ck.complete);
+}
+
+TEST_F(CheckpointTest, DuplicateShardRecordsLastWinsAndCounted) {
+  CampaignCheckpointWriter w;
+  w.open(path_, header(), false);
+  w.record_shard(shard(0, 4));
+  w.record_shard(shard(0, 9));  // a retried shard re-recorded
+  w.close();
+
+  const CampaignCheckpoint ck = load_campaign_checkpoint(path_);
+  ASSERT_EQ(ck.shards.size(), 1u);
+  EXPECT_EQ(ck.shards.at(0).detection_time[0], 9);
+  EXPECT_EQ(ck.duplicate_records, 1u);
+}
+
+TEST_F(CheckpointTest, SchemaMismatchThrows) {
+  raw_append(
+      "{\"schema\":\"wbist.campaign/99\",\"event\":\"header\","
+      "\"circuit\":\"s298\",\"collapse\":\"equivalence\",\"faults\":493,"
+      "\"shards\":8,\"seq_len\":24,\"seq_hash\":\"0\"}\n");
+  EXPECT_THROW(load_campaign_checkpoint(path_), CampaignCheckpointError);
+}
+
+TEST_F(CheckpointTest, MissingHeaderThrows) {
+  raw_append("{\"event\":\"shard\",\"shard\":0}\n");
+  EXPECT_THROW(load_campaign_checkpoint(path_), CampaignCheckpointError);
+  std::remove(path_.c_str());
+  raw_append("");
+  EXPECT_THROW(load_campaign_checkpoint(path_), CampaignCheckpointError);
+}
+
+TEST_F(CheckpointTest, CorruptMidFileLineThrows) {
+  CampaignCheckpointWriter w;
+  w.open(path_, header(), false);
+  w.close();
+  raw_append("{not json}\n");
+  raw_append("{\"event\":\"done\",\"detected\":0,\"faults\":493}\n");
+  try {
+    load_campaign_checkpoint(path_);
+    FAIL() << "corrupt mid-file line must not be tolerated";
+  } catch (const CampaignCheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointTest, MalformedShardRecordThrows) {
+  CampaignCheckpointWriter w;
+  w.open(path_, header(), false);
+  w.close();
+  // Slice sizes do not match the range.
+  raw_append(
+      "{\"event\":\"shard\",\"shard\":0,\"begin\":0,\"end\":3,"
+      "\"times\":[1],\"lines\":[2]}\n");
+  EXPECT_THROW(load_campaign_checkpoint(path_), CampaignCheckpointError);
+}
+
+TEST_F(CheckpointTest, ShardWireFieldsRoundTrip) {
+  const ShardResult s = shard(3, 17);
+  std::string body = "{";
+  append_shard_fields(body, s);
+  body += '}';
+  const ShardResult back = parse_shard_fields(util::json_parse(body));
+  EXPECT_EQ(back.shard, s.shard);
+  EXPECT_EQ(back.begin, s.begin);
+  EXPECT_EQ(back.end, s.end);
+  EXPECT_EQ(back.attempt, s.attempt);
+  EXPECT_EQ(back.detection_time, s.detection_time);
+  EXPECT_EQ(back.detecting_line, s.detecting_line);
+  EXPECT_EQ(back.kernel_cycles, s.kernel_cycles);
+  EXPECT_EQ(back.fault_cycles, s.fault_cycles);
+}
+
+}  // namespace
+}  // namespace wbist::core

@@ -1,0 +1,91 @@
+// JsonlWriter / read_jsonl_file: line round-trips, append vs truncate
+// open modes, and the torn-trailer tolerance crash recovery relies on.
+#include "util/jsonl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace wbist::util {
+namespace {
+
+class JsonlTest : public ::testing::Test {
+ protected:
+  std::string path_;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/jsonl_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void raw_write(const std::string& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+};
+
+TEST_F(JsonlTest, LinesRoundTripInOrder) {
+  JsonlWriter w;
+  w.open(path_, /*append=*/false);
+  w.write_line("{\"a\":1}");
+  w.write_line("{\"b\":2}");
+  w.close();
+
+  const JsonlReadResult r = read_jsonl_file(path_);
+  ASSERT_EQ(r.lines.size(), 2u);
+  EXPECT_EQ(r.lines[0], "{\"a\":1}");
+  EXPECT_EQ(r.lines[1], "{\"b\":2}");
+  EXPECT_FALSE(r.truncated_trailer);
+}
+
+TEST_F(JsonlTest, AppendModeExtendsTruncateModeReplaces) {
+  {
+    JsonlWriter w;
+    w.open(path_, /*append=*/false);
+    w.write_line("first");
+  }
+  {
+    JsonlWriter w;
+    w.open(path_, /*append=*/true);
+    w.write_line("second");
+  }
+  EXPECT_EQ(read_jsonl_file(path_).lines.size(), 2u);
+
+  JsonlWriter w;
+  w.open(path_, /*append=*/false);
+  w.write_line("only");
+  w.close();
+  const JsonlReadResult r = read_jsonl_file(path_);
+  ASSERT_EQ(r.lines.size(), 1u);
+  EXPECT_EQ(r.lines[0], "only");
+}
+
+TEST_F(JsonlTest, TornTrailerIsReportedNotReturned) {
+  raw_write("{\"a\":1}\n{\"b\":2}\n{\"torn\":");
+  const JsonlReadResult r = read_jsonl_file(path_);
+  ASSERT_EQ(r.lines.size(), 2u);
+  EXPECT_EQ(r.lines[1], "{\"b\":2}");
+  EXPECT_TRUE(r.truncated_trailer);
+}
+
+TEST_F(JsonlTest, EmptyFileIsEmptyNotTruncated) {
+  raw_write("");
+  const JsonlReadResult r = read_jsonl_file(path_);
+  EXPECT_TRUE(r.lines.empty());
+  EXPECT_FALSE(r.truncated_trailer);
+}
+
+TEST_F(JsonlTest, MissingFileThrows) {
+  EXPECT_THROW(read_jsonl_file(path_ + ".absent"), std::runtime_error);
+  JsonlWriter w;
+  EXPECT_THROW(w.open("/nonexistent-dir/x.jsonl", false),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wbist::util

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Fetch the large ISCAS-89 benchmark netlists and pin their checksums.
+
+Usage:
+  tools/fetch_iscas89.py --dest bench_data                 # fetch + verify
+  tools/fetch_iscas89.py --dest bench_data --pin           # record new pins
+  tools/fetch_iscas89.py --dest bench_data --verify-only   # offline check
+
+Downloads the real `.bench` files for the large ISCAS-89 set (s9234,
+s13207, s15850, s35932, s38417) from a list of public mirrors, verifies
+each file two ways, and leaves them under --dest where `wbist` picks them
+up via WBIST_BENCH_DIR:
+
+  1. Structural pins (authoritative, from the published benchmark tables):
+     the INPUT/OUTPUT/DFF counts parsed out of the fetched text must match
+     exactly. A mirror serving a renamed or re-synthesized variant fails
+     here no matter what its checksum says.
+  2. SHA-256 pins, trust-on-first-use: the first successful fetch records
+     the digest in tools/iscas89.lock (run with --pin to write it); later
+     fetches must reproduce it bit for bit. The lockfile ships empty pins
+     for files never fetched — this script never fabricates a digest.
+
+--verify-only skips the network entirely and re-checks files already in
+--dest against both pin kinds, so CI can gate on a warm cache offline.
+
+Stdlib only — no third-party dependencies. Exit codes: 0 all requested
+circuits present and verified, 1 fetch/verification failure, 2 usage.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+import urllib.error
+import urllib.request
+
+LOCKFILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "iscas89.lock")
+
+# Published structural sizes: name -> (PIs, POs, DFFs). Gate counts vary
+# by how a mirror counts inverters/buffers, so they are advisory only.
+STRUCTURE = {
+    "s9234": (36, 39, 211),
+    "s13207": (62, 152, 638),
+    "s15850": (77, 150, 534),
+    "s35932": (35, 320, 1728),
+    "s38417": (28, 106, 1636),
+}
+
+# Mirrors are tried in order; {name} is substituted per circuit.
+MIRRORS = [
+    "https://raw.githubusercontent.com/santoshsmalagi/Benchmarks/master/"
+    "ISCAS89/{name}.bench",
+    "https://raw.githubusercontent.com/jpsety/verilog_benchmark_circuits/"
+    "master/{name}.bench",
+    "https://ddd.fit.cvut.cz/prj/Benchmarks/ISCAS89/{name}.bench",
+]
+
+TIMEOUT_S = 30
+
+
+def load_lock():
+    if not os.path.exists(LOCKFILE):
+        return {}
+    with open(LOCKFILE, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "wbist.iscas89-lock/1":
+        sys.exit(f"fetch_iscas89: unexpected lockfile schema "
+                 f"{doc.get('schema')!r}")
+    return doc.get("sha256", {})
+
+
+def save_lock(pins):
+    doc = {"schema": "wbist.iscas89-lock/1", "sha256": dict(sorted(pins.items()))}
+    with open(LOCKFILE, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def parse_structure(text):
+    """Count INPUT/OUTPUT declarations and DFF assignments in bench text."""
+    pis = len(re.findall(r"(?im)^\s*INPUT\s*\(", text))
+    pos = len(re.findall(r"(?im)^\s*OUTPUT\s*\(", text))
+    ffs = len(re.findall(r"(?im)=\s*DFF\s*\(", text))
+    return pis, pos, ffs
+
+
+def verify(name, data, pins, pin_mode):
+    """Return an error string, or None when `data` passes both pin kinds."""
+    try:
+        text = data.decode("utf-8", errors="strict")
+    except UnicodeDecodeError:
+        return "not valid UTF-8 text"
+    got = parse_structure(text)
+    want = STRUCTURE[name]
+    if got != want:
+        return (f"structural mismatch: got PI/PO/FF {got}, "
+                f"published {want}")
+    digest = hashlib.sha256(data).hexdigest()
+    pinned = pins.get(name)
+    if pinned:
+        if digest != pinned:
+            return (f"sha256 mismatch: got {digest}, pinned {pinned} "
+                    f"(mirror content changed; re-run with --pin only if "
+                    f"the change is expected)")
+    elif pin_mode:
+        pins[name] = digest
+        print(f"  pinned sha256 {digest[:16]}…")
+    else:
+        print(f"  warning: no sha256 pin for {name} yet "
+              f"(run with --pin to record {digest[:16]}…)", file=sys.stderr)
+    return None
+
+
+def fetch(name):
+    """Try every mirror; return bench file bytes or raise RuntimeError."""
+    errors = []
+    for mirror in MIRRORS:
+        url = mirror.format(name=name)
+        try:
+            with urllib.request.urlopen(url, timeout=TIMEOUT_S) as resp:
+                return resp.read()
+        except (urllib.error.URLError, OSError, ValueError) as e:
+            errors.append(f"    {url}: {e}")
+    raise RuntimeError("all mirrors failed:\n" + "\n".join(errors))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dest", required=True,
+                    help="directory for the fetched .bench files "
+                         "(use as WBIST_BENCH_DIR)")
+    ap.add_argument("--circuits", nargs="*", default=sorted(STRUCTURE),
+                    help="subset of circuits (default: all five)")
+    ap.add_argument("--pin", action="store_true",
+                    help="record sha256 pins for newly fetched files")
+    ap.add_argument("--verify-only", action="store_true",
+                    help="no network: verify files already in --dest")
+    args = ap.parse_args()
+
+    for name in args.circuits:
+        if name not in STRUCTURE:
+            ap.error(f"unknown circuit {name!r} "
+                     f"(known: {', '.join(sorted(STRUCTURE))})")
+
+    os.makedirs(args.dest, exist_ok=True)
+    pins = load_lock()
+    failures = 0
+    for name in args.circuits:
+        path = os.path.join(args.dest, f"{name}.bench")
+        data = None
+        if os.path.exists(path):
+            with open(path, "rb") as f:
+                data = f.read()
+            source = "cached"
+        elif args.verify_only:
+            print(f"{name}: MISSING ({path})", file=sys.stderr)
+            failures += 1
+            continue
+        else:
+            print(f"{name}: fetching…")
+            try:
+                data = fetch(name)
+            except RuntimeError as e:
+                print(f"{name}: FAILED\n{e}", file=sys.stderr)
+                failures += 1
+                continue
+            source = "fetched"
+        err = verify(name, data, pins, args.pin)
+        if err:
+            print(f"{name}: FAILED ({source}): {err}", file=sys.stderr)
+            if source == "fetched":
+                # Never leave an unverified file where WBIST_BENCH_DIR
+                # would pick it up.
+                pass
+            else:
+                os.rename(path, path + ".rejected")
+                print(f"  moved aside to {path}.rejected", file=sys.stderr)
+            failures += 1
+            continue
+        if source == "fetched":
+            with open(path, "wb") as f:
+                f.write(data)
+        print(f"{name}: ok ({source}, {len(data)} bytes)")
+
+    if args.pin:
+        save_lock(pins)
+        print(f"pins written to {LOCKFILE}")
+    if failures:
+        print(f"fetch_iscas89: {failures} circuit(s) failed", file=sys.stderr)
+        return 1
+    print(f"all circuits verified; export WBIST_BENCH_DIR={args.dest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

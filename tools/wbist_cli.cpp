@@ -10,6 +10,10 @@
 //   wbist obs <circuit>                 observation-point tradeoff table
 //   wbist serve --socket <path>|--tcp <port>   persistent daemon
 //   wbist submit --socket <path>|--tcp <port> <job> [args]   daemon client
+//   wbist campaign <circuit> [seq]      sharded multi-process fault-sim
+//                                       campaign with checkpoint/resume
+//   wbist campaign-worker               internal: one campaign worker
+//                                       process (frames on stdin/stdout)
 //
 // Every subcommand accepts these position-independent options (both
 // `--flag path` and `--flag=path` forms, anywhere on the line):
@@ -31,17 +35,21 @@
 // library calls (core/service.h) over immutable compiled circuits
 // (core/artifact_cache.h), so daemon results are bit-identical to CLI
 // results — the CLI only appends its wall-clock suffixes.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/registry.h"
 #include "core/artifact_cache.h"
+#include "core/campaign.h"
 #include "core/flow.h"
 #include "core/generator_hw.h"
 #include "core/obs_points.h"
@@ -49,6 +57,7 @@
 #include "fault/fault_list.h"
 #include "fault/fault_sim.h"
 #include "netlist/bench_io.h"
+#include "serve/campaign_runner.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -63,6 +72,7 @@
 #include "util/metrics.h"
 #include "util/out_dir.h"
 #include "util/provenance.h"
+#include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -75,6 +85,16 @@ using namespace wbist;
 /// Optional --vcd destination for `tgen`, stripped in main() like the other
 /// position-independent options (already WBIST_OUT_DIR-resolved).
 std::string g_vcd_path;
+
+/// Optional --result-json destination for `fsim` and `campaign`: the
+/// canonical per-fault detection document (core::render_fault_sim_result_json)
+/// CI diffs byte for byte between the two paths. Stripped in main(),
+/// WBIST_OUT_DIR-resolved.
+std::string g_result_json_path;
+
+/// argv[0], the fallback when /proc/self/exe is unavailable (campaign
+/// workers are spawned from this binary).
+const char* g_argv0 = "wbist";
 
 bool is_bench_path(const std::string& name) {
   return name.find('/') != std::string::npos ||
@@ -131,7 +151,9 @@ int cmd_list() {
            std::to_string(info.profile.n_po),
            std::to_string(info.profile.n_ff),
            std::to_string(info.profile.n_gates),
-           info.synthetic ? "synthetic analog" : "real ISCAS-89"});
+           info.fetched      ? "real ISCAS-89 (fetched)"
+           : info.synthetic ? "synthetic analog"
+                            : "real ISCAS-89"});
   std::fputs(t.render().c_str(), stdout);
   return 0;
 }
@@ -178,11 +200,23 @@ int cmd_flow(const std::string& name) {
   return 0;
 }
 
+void write_text_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !out.write(text.data(),
+                         static_cast<std::streamsize>(text.size())))
+    throw std::runtime_error("cannot write '" + path + "'");
+}
+
 int cmd_fsim(const std::string& name, const std::string& seq_path) {
   const auto cc = compile_circuit(name);
   const auto seq = sim::read_sequence_file(seq_path);
   const auto r = core::run_fault_sim_job(*cc, seq);
   std::fputs(r.output.c_str(), stdout);
+  if (!g_result_json_path.empty()) {
+    write_text_file(g_result_json_path,
+                    core::render_fault_sim_result_json(r.detail));
+    std::fprintf(stderr, "wrote %s\n", g_result_json_path.c_str());
+  }
   return 0;
 }
 
@@ -498,6 +532,371 @@ int cmd_submit(std::vector<std::string> args) {
   return static_cast<int>(exit_code);
 }
 
+// ---------------------------------------------------------------------------
+// campaign / campaign-worker
+
+bool take_path_option(std::vector<std::string>& args, std::string_view flag,
+                      std::string& value);
+
+fault::CollapseMode parse_collapse(const std::string& s) {
+  if (s == "none") return fault::CollapseMode::kNone;
+  if (s == "equivalence") return fault::CollapseMode::kEquivalence;
+  if (s == "dominance") return fault::CollapseMode::kDominance;
+  throw std::invalid_argument("unknown collapse mode '" + s + "'");
+}
+
+/// Strip every occurrence of a valueless flag; true when it was present.
+bool take_flag(std::vector<std::string>& args, std::string_view flag) {
+  bool found = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == flag) {
+      found = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return found;
+}
+
+/// A deterministic random binary sequence in `.seq` text form: `cycles`
+/// rows of `width` 0/1 characters from util::Rng(seed). Large-circuit
+/// campaigns use this instead of tgen (whose deterministic generation is
+/// not the object under test and is slow at s9234+ scale).
+std::string random_sequence_text(std::size_t cycles, std::size_t width,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string text;
+  text.reserve(cycles * (width + 1));
+  for (std::size_t u = 0; u < cycles; ++u) {
+    for (std::size_t i = 0; i < width; ++i)
+      text += (rng.next_u64() & 1) != 0 ? '1' : '0';
+    text += '\n';
+  }
+  return text;
+}
+
+/// wbist.bench.procedure/1-shaped report for a campaign run, so campaign
+/// results flow through the same compare_bench.py regression gate as the
+/// procedure bench. Procedure-only fields are omitted (the comparer skips
+/// absent warn fields); fault_efficiency here is collapsed detected/total.
+std::string render_campaign_bench_json(const std::string& label,
+                                       const serve::CampaignOutcome& outcome,
+                                       const fault::FaultSet& fs,
+                                       fault::CollapseMode collapse,
+                                       unsigned workers, double wall_s) {
+  const core::FaultSimResult& r = outcome.result;
+  std::size_t uncollapsed_detected = 0;
+  for (fault::FaultId f = 0; f < r.total(); ++f)
+    if (r.detection_time[f] != fault::DetectionResult::kUndetected)
+      uncollapsed_detected += fs.represented_size(f);
+  const std::size_t uncollapsed_faults = fs.uncollapsed_size();
+  const char* collapse_text = collapse == fault::CollapseMode::kNone
+                                  ? "none"
+                                  : collapse == fault::CollapseMode::kDominance
+                                        ? "dominance"
+                                        : "equivalence";
+  std::string out = "{\n  \"schema\": \"wbist.bench.procedure/1\",\n";
+  out += "  \"label\": ";
+  util::append_json_string(out, label);
+  out += ",\n  \"threads\": " + std::to_string(workers) + ",\n";
+  out += "  \"kernel\": ";
+  util::append_json_string(out, sim::active_kernel().name);
+  out +=
+      ",\n  \"kernel_words\": " + std::to_string(sim::active_kernel().words);
+  out += ",\n  \"collapse\": ";
+  util::append_json_string(out, collapse_text);
+  out += ",\n  \"circuits\": [\n    {\"name\": ";
+  util::append_json_string(out, r.circuit);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ", \"wall_s\": %.6f", wall_s);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf, ", \"fault_efficiency\": %.6f",
+      r.total() == 0 ? 1.0
+                     : static_cast<double>(r.detected) /
+                           static_cast<double>(r.total()));
+  out += buf;
+  out += ",\n     \"t_length\": " + std::to_string(r.seq_length);
+  out += ", \"t_detected\": " + std::to_string(r.detected);
+  out += ",\n     \"kernel_cycles\": " +
+         std::to_string(outcome.kernel_cycles);
+  out += ", \"fault_cycles\": " + std::to_string(outcome.fault_cycles);
+  out += ", \"trace_cycles\": " + std::to_string(outcome.trace_cycles);
+  out += ",\n     \"fault_list_size\": " + std::to_string(r.total());
+  out += ", \"uncollapsed_faults\": " + std::to_string(uncollapsed_faults);
+  out +=
+      ", \"uncollapsed_detected\": " + std::to_string(uncollapsed_detected);
+  std::snprintf(buf, sizeof buf, ", \"uncollapsed_coverage\": %.6f",
+                uncollapsed_faults == 0
+                    ? 1.0
+                    : static_cast<double>(uncollapsed_detected) /
+                          static_cast<double>(uncollapsed_faults));
+  out += buf;
+  out += "}\n  ]\n}\n";
+  return out;
+}
+
+int cmd_campaign(std::vector<std::string> args) {
+  serve::CampaignOptions opts;
+  opts.worker_exe = serve::self_exe_path(g_argv0);
+
+  long long v = 0;
+  bool found = false;
+  const auto positive = [](const char* flag, long long val) {
+    if (val > 0) return true;
+    std::fprintf(stderr, "wbist: %s must be positive\n", flag);
+    return false;
+  };
+  if (!take_int_option(args, "--workers", v, found)) return 2;
+  if (found && !positive("--workers", v)) return 2;
+  if (found) opts.workers = static_cast<unsigned>(v);
+  if (!take_int_option(args, "--shards", v, found)) return 2;
+  if (found && !positive("--shards", v)) return 2;
+  if (found) opts.shards = static_cast<std::size_t>(v);
+  if (!take_int_option(args, "--worker-threads", v, found)) return 2;
+  if (found && !positive("--worker-threads", v)) return 2;
+  if (found) opts.worker_threads = static_cast<unsigned>(v);
+  if (!take_int_option(args, "--retries", v, found)) return 2;
+  if (found && v < 0) {
+    std::fprintf(stderr, "wbist: --retries must be >= 0\n");
+    return 2;
+  }
+  if (found) opts.max_retries = static_cast<unsigned>(v);
+  if (!take_int_option(args, "--halt-after", v, found)) return 2;
+  if (found && !positive("--halt-after", v)) return 2;
+  if (found) opts.halt_after = static_cast<std::size_t>(v);
+  long long random_cycles = 0;
+  bool random_given = false;
+  if (!take_int_option(args, "--random-cycles", random_cycles, random_given))
+    return 2;
+  if (random_given && random_cycles <= 0) {
+    std::fprintf(stderr, "wbist: --random-cycles must be positive\n");
+    return 2;
+  }
+  long long seed = 1;
+  bool seed_given = false;
+  if (!take_int_option(args, "--seed", seed, seed_given)) return 2;
+  opts.resume = take_flag(args, "--resume");
+  std::string checkpoint, save_seq, bench_json, label, collapse_text;
+  if (!take_path_option(args, "--checkpoint", checkpoint) ||
+      !take_path_option(args, "--save-seq", save_seq) ||
+      !take_path_option(args, "--bench-json", bench_json) ||
+      !take_path_option(args, "--label", label))
+    return 2;
+  if (util::extract_option(args, "--collapse", collapse_text) ==
+      util::ExtractResult::kMissingValue) {
+    std::fprintf(stderr, "wbist: --collapse needs a mode\n");
+    return 2;
+  }
+
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "wbist: campaign needs a circuit (and a .seq file or "
+                 "--random-cycles N)\n");
+    return 2;
+  }
+  const std::string name = args[0];
+  const std::string seq_path = args.size() > 1 ? args[1] : "";
+  if (args.size() > 2) {
+    std::fprintf(stderr, "wbist: campaign: unexpected argument '%s'\n",
+                 args[2].c_str());
+    return 2;
+  }
+  if (seq_path.empty() == !random_given) {
+    std::fprintf(stderr,
+                 "wbist: campaign needs exactly one of a .seq file and "
+                 "--random-cycles N\n");
+    return 2;
+  }
+
+  try {
+    if (!collapse_text.empty()) opts.collapse = parse_collapse(collapse_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string display =
+      is_bench_path(name) ? path_stem(name) : name;
+  opts.checkpoint_path = util::out_path(
+      checkpoint.empty() ? display + ".campaign.jsonl" : checkpoint);
+
+  util::Timer timer;
+  int rc = 0;
+  // The driver derives only what sharding needs — the netlist and the
+  // collapsed fault list. The expensive fanout-cone closure is paid in
+  // the workers, each of which compiles the full artifact itself. An
+  // unknown circuit propagates to main's runtime-error handler (exit 1),
+  // matching every other subcommand.
+  const netlist::Netlist nl = load_circuit(name);
+  try {
+    const fault::FaultSet fs = fault::FaultSet::collapsed(nl, opts.collapse);
+
+    std::string seq_text;
+    if (random_given)
+      seq_text = random_sequence_text(
+          static_cast<std::size_t>(random_cycles),
+          nl.primary_inputs().size(), static_cast<std::uint64_t>(seed));
+    else
+      seq_text = read_file(seq_path);
+    const sim::TestSequence seq = sim::read_sequence(seq_text);
+    if (seq.width() != nl.primary_inputs().size())
+      throw std::invalid_argument(
+          "sequence width " + std::to_string(seq.width()) + " does not match " +
+          display + "'s " + std::to_string(nl.primary_inputs().size()) +
+          " primary inputs");
+    if (!save_seq.empty()) {
+      const std::string p = util::out_path(save_seq);
+      write_text_file(p, seq_text);
+      std::fprintf(stderr, "wrote %s\n", p.c_str());
+    }
+
+    const serve::CampaignOutcome outcome = serve::run_campaign(
+        spec_for(name), display, fs.size(), seq_text, seq.length(), opts);
+
+    // Stdout carries exactly the fsim summary line, so the two commands can
+    // be diffed; the campaign accounting goes to stderr.
+    std::fputs(core::render_fault_sim_summary(display, outcome.result.detected,
+                                              outcome.result.total(),
+                                              outcome.result.seq_length)
+                   .c_str(),
+               stdout);
+    std::fprintf(
+        stderr,
+        "campaign: %zu/%zu shards this run (%zu resumed, %zu retried), "
+        "%zu workers spawned, %zu deaths, %.1fs\n",
+        outcome.shards_total - outcome.shards_resumed, outcome.shards_total,
+        outcome.shards_resumed, outcome.shards_retried,
+        outcome.workers_spawned, outcome.worker_deaths, timer.seconds());
+    std::fprintf(stderr, "checkpoint: %s\n", opts.checkpoint_path.c_str());
+
+    if (!g_result_json_path.empty()) {
+      write_text_file(g_result_json_path,
+                      core::render_fault_sim_result_json(outcome.result));
+      std::fprintf(stderr, "wrote %s\n", g_result_json_path.c_str());
+    }
+    if (!bench_json.empty()) {
+      const std::string p = util::out_path(bench_json);
+      write_text_file(
+          p, render_campaign_bench_json(
+                 label.empty() ? "campaign" : label, outcome, fs,
+                 opts.collapse, opts.workers, timer.seconds()));
+      std::fprintf(stderr, "wrote %s\n", p.c_str());
+    }
+    if (!outcome.complete) {
+      std::fprintf(stderr,
+                   "campaign: halted with shards outstanding — rerun with "
+                   "--resume to finish\n");
+      rc = 3;
+    }
+  } catch (const core::CampaignCheckpointError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 2;
+  }
+  return rc;
+}
+
+/// One campaign worker: a frame loop over stdin/stdout (a socketpair the
+/// driver owns). Protocol errors are answered as structured {"ok":false}
+/// frames — the driver treats them as fatal configuration problems — and
+/// stdout is *only* frames, never text.
+int cmd_campaign_worker() {
+  long long delay_ms = 0;
+  if (const char* d = std::getenv("WBIST_CAMPAIGN_TEST_SHARD_DELAY_MS");
+      d != nullptr)
+    delay_ms = std::atoll(d);
+
+  std::shared_ptr<const core::CompiledCircuit> cc;
+  std::unique_ptr<fault::FaultSimulator> simulator;
+  fault::GoodTrace trace;
+  std::size_t seq_length = 0;
+  unsigned threads = 1;
+  util::MetricsRegistry& reg = util::metrics();
+
+  std::string payload;
+  while (serve::read_frame(STDIN_FILENO, payload)) {
+    std::string resp = "{";
+    try {
+      const util::JsonValue req = util::json_parse(payload);
+      const std::string job = req.get_string("job");
+      if (job == "init") {
+        core::CircuitSpec spec;
+        spec.registry_name = req.get_string("circuit");
+        if (spec.registry_name.empty()) {
+          spec.bench_text = req.get_string("bench");
+          spec.display_name = req.get_string("name");
+          if (spec.bench_text.empty())
+            throw std::invalid_argument("init carries no circuit");
+        }
+        core::CompileOptions copts;
+        if (const std::string c = req.get_string("collapse"); !c.empty())
+          copts.collapse = parse_collapse(c);
+        if (const long long t = req.get_int("threads", 1); t > 0)
+          threads = static_cast<unsigned>(t);
+        cc = core::CompiledCircuit::compile(spec, copts);
+        simulator = std::make_unique<fault::FaultSimulator>(
+            cc->netlist(), cc->faults(), cc->cones());
+        const sim::TestSequence seq =
+            sim::read_sequence(req.get_string("sequence"));
+        seq_length = seq.length();
+        const std::uint64_t cycles0 =
+            reg.counter("fault_sim.trace_cycles").value();
+        trace = simulator->make_trace(seq);
+        resp += "\"ok\":true,\"job\":\"init\"";
+        resp += ",\"faults\":" + std::to_string(cc->faults().size());
+        resp += ",\"seq_len\":" + std::to_string(seq_length);
+        resp += ",\"trace_cycles\":" +
+                std::to_string(reg.counter("fault_sim.trace_cycles").value() -
+                               cycles0);
+      } else if (job == "shard") {
+        if (simulator == nullptr)
+          throw std::invalid_argument("shard request before init");
+        // Test hook: hold the shard in flight so kill-mid-run CI tests can
+        // land a SIGKILL deterministically.
+        if (delay_ms > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        core::ShardResult s;
+        s.shard = static_cast<std::uint32_t>(req.get_int("shard"));
+        s.begin = static_cast<std::uint32_t>(req.get_int("begin"));
+        s.end = static_cast<std::uint32_t>(req.get_int("end"));
+        s.attempt = static_cast<std::uint32_t>(req.get_int("attempt", 1));
+        if (s.begin > s.end || s.end > cc->faults().size())
+          throw std::invalid_argument("shard range outside the fault list");
+        std::vector<fault::FaultId> ids;
+        ids.reserve(s.end - s.begin);
+        for (std::uint32_t f = s.begin; f < s.end; ++f) ids.push_back(f);
+        fault::FaultSimOptions fopts;
+        fopts.threads = threads;
+        const std::uint64_t kernel0 =
+            reg.counter("fault_sim.kernel_cycles").value();
+        const std::uint64_t fault0 =
+            reg.counter("fault_sim.fault_cycles").value();
+        const fault::DetectionResult det = simulator->run(trace, ids, fopts);
+        s.kernel_cycles =
+            reg.counter("fault_sim.kernel_cycles").value() - kernel0;
+        s.fault_cycles =
+            reg.counter("fault_sim.fault_cycles").value() - fault0;
+        s.detection_time = det.detection_time;
+        s.detecting_line = det.detecting_line;
+        resp += "\"ok\":true,\"job\":\"shard\"";
+        core::append_shard_fields(resp, s);
+      } else {
+        throw std::invalid_argument("unknown campaign job '" + job + "'");
+      }
+    } catch (const std::exception& e) {
+      resp = "{\"ok\":false,\"exit\":2,\"error\":";
+      util::append_json_string(resp, e.what());
+    }
+    resp += '}';
+    serve::write_frame(STDOUT_FILENO, resp);
+  }
+  return 0;  // clean EOF: the driver retired this worker
+}
+
 int usage() {
   std::fputs(
       "usage: wbist <command> [args] [--metrics-json <path>]\n"
@@ -510,6 +909,8 @@ int usage() {
       "                               (--vcd <path>: good-machine waveform)\n"
       "  flow  <circuit>              full weighted-BIST flow (Table-6 row)\n"
       "  fsim  <circuit> <seq-file>   fault-simulate a .seq file\n"
+      "                               (--result-json <path>: canonical\n"
+      "                               per-fault detection document)\n"
       "  synth <circuit> [out.bench]  emit the Figure-1 generator netlist\n"
       "  obs   <circuit>              observation-point tradeoff\n"
       "  serve --socket <path>|--tcp <port> [--serve-threads N]\n"
@@ -523,6 +924,17 @@ int usage() {
       "                               send one job to a running daemon\n"
       "                               (exit: 3 overloaded/deadline, 4 client\n"
       "                               timeout, 5 unreachable, 6 bad frame)\n"
+      "  campaign <circuit> [seq-file] [--workers N] [--shards N]\n"
+      "        [--worker-threads N] [--retries N] [--checkpoint <path>]\n"
+      "        [--resume] [--random-cycles N] [--seed N] [--save-seq <path>]\n"
+      "        [--result-json <path>] [--bench-json <path>] [--label S]\n"
+      "        [--collapse none|equivalence|dominance] [--halt-after N]\n"
+      "                               shard the fault list across worker\n"
+      "                               processes; results are bit-identical\n"
+      "                               to fsim; completed shards checkpoint\n"
+      "                               to <circuit>.campaign.jsonl and\n"
+      "                               --resume replays them (exit: 2 bad\n"
+      "                               usage/checkpoint, 3 halted early)\n"
       "a circuit is a registry name (see `list`) or a .bench file path;\n"
       "--metrics-json dumps the run-metrics registry, --trace-json records a\n"
       "Chrome/Perfetto trace, --provenance-jsonl streams per-fault detection\n"
@@ -540,6 +952,8 @@ int dispatch(std::vector<std::string> args) {
   if (cmd == "list") return cmd_list();
   if (cmd == "serve") return cmd_serve(std::move(args));
   if (cmd == "submit") return cmd_submit(std::move(args));
+  if (cmd == "campaign") return cmd_campaign(std::move(args));
+  if (cmd == "campaign-worker") return cmd_campaign_worker();
   if (args.empty()) return usage();
   const std::string& name = args[0];
   const std::string arg3 = args.size() > 1 ? args[1] : "";
@@ -578,6 +992,7 @@ bool take_path_option(std::vector<std::string>& args, std::string_view flag,
 int main(int argc, char** argv) {
   // Strip the position-independent options before dispatch so positional
   // parsing never sees them.
+  if (argc > 0 && argv[0] != nullptr) g_argv0 = argv[0];
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string metrics_path;
   std::string trace_path;
@@ -585,7 +1000,8 @@ int main(int argc, char** argv) {
   if (!take_path_option(args, "--metrics-json", metrics_path) ||
       !take_path_option(args, "--trace-json", trace_path) ||
       !take_path_option(args, "--provenance-jsonl", provenance_path) ||
-      !take_path_option(args, "--vcd", g_vcd_path))
+      !take_path_option(args, "--vcd", g_vcd_path) ||
+      !take_path_option(args, "--result-json", g_result_json_path))
     return 2;
   // Every artifact path honours WBIST_OUT_DIR, not just --vcd.
   if (!metrics_path.empty()) metrics_path = wbist::util::out_path(metrics_path);
@@ -593,6 +1009,8 @@ int main(int argc, char** argv) {
   if (!provenance_path.empty())
     provenance_path = wbist::util::out_path(provenance_path);
   if (!g_vcd_path.empty()) g_vcd_path = wbist::util::out_path(g_vcd_path);
+  if (!g_result_json_path.empty())
+    g_result_json_path = wbist::util::out_path(g_result_json_path);
 
   // Backend override before any simulator is constructed. The resolved
   // backend (overridden or not) lands in the metrics labels so a
