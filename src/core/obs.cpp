@@ -1,0 +1,80 @@
+#include "core/obs.h"
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace wbist::core {
+
+namespace {
+
+std::uint64_t us_between(JobObservation::Clock::time_point a,
+                         JobObservation::Clock::time_point b) {
+  if (b < a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+void JobObservation::add_span(const std::string& name, Clock::time_point start,
+                              Clock::time_point end) {
+  spans_.push_back(Span{name, us_between(t0_, start), us_between(start, end)});
+}
+
+void JobObservation::set_counter(const std::string& name, std::uint64_t value) {
+  counters_[name] = value;
+}
+
+void JobObservation::set_note(const std::string& name,
+                              const std::string& value) {
+  notes_[name] = value;
+}
+
+JobObservation::CounterDelta::CounterDelta(JobObservation* obs,
+                                           const std::string& name)
+    : obs_(obs), name_(name) {
+  if (obs_ != nullptr) start_ = util::metrics().counter(name).value();
+}
+
+JobObservation::CounterDelta::~CounterDelta() {
+  if (obs_ == nullptr) return;
+  const std::uint64_t now = util::metrics().counter(name_).value();
+  obs_->set_counter(name_, now >= start_ ? now - start_ : 0);
+}
+
+std::string JobObservation::to_json() const {
+  std::string out = "{\"schema\":";
+  util::append_json_string(out, kObsSchema);
+
+  out += ",\"notes\":{";
+  bool first = true;
+  for (const auto& [name, value] : notes_) {
+    if (!first) out += ",";
+    first = false;
+    util::append_json_string(out, name);
+    out += ":";
+    util::append_json_string(out, value);
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    util::append_json_string(out, name);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"spans\":[";
+  first = true;
+  for (const auto& s : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    util::append_json_string(out, s.name);
+    out += ",\"start_us\":" + std::to_string(s.start_us) +
+           ",\"dur_us\":" + std::to_string(s.dur_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wbist::core

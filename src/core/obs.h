@@ -1,0 +1,106 @@
+// Per-job observation capture (`wbist.obs/1`): stage spans, counter deltas
+// and annotations for one service-layer job, rendered as a JSON block that a
+// serve response can carry back to the client.
+//
+// This is deliberately NOT the global util::TraceRegistry — trace sessions
+// are process-wide and cannot overlap, while a daemon runs many observed
+// jobs concurrently. A JobObservation is a small private recorder owned by
+// one request: the worker thread that runs the job is the only writer, so
+// no locking is needed.
+//
+// The observation contract of every instrumentation PR holds here too:
+// capture is observation-only. Service code records into the observation
+// when a non-null pointer is passed and never reads it back, so a job's
+// primary output is bit-identical with observation on or off.
+//
+// Counter deltas are computed by snapshotting process-wide counters around
+// the job body. With a single daemon worker thread the deltas are exact;
+// with several, concurrently running jobs may bleed into each other's
+// deltas — they are attribution hints, not an accounting invariant, and the
+// schema documents them as such.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wbist::core {
+
+inline constexpr char kObsSchema[] = "wbist.obs/1";
+
+class JobObservation {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  JobObservation() : t0_(Clock::now()) {}
+
+  /// Start of the observation window; span start offsets are relative to it.
+  Clock::time_point origin() const { return t0_; }
+
+  /// Record a completed stage span. Offsets/durations are stored in
+  /// microseconds relative to origin().
+  void add_span(const std::string& name, Clock::time_point start,
+                Clock::time_point end);
+
+  /// Set an integer measurement (queue_wait_us, kernel_cycles, ...).
+  /// Last write wins.
+  void set_counter(const std::string& name, std::uint64_t value);
+
+  /// Set a string annotation (job name, cache key, ...). Last write wins.
+  void set_note(const std::string& name, const std::string& value);
+
+  /// RAII stage scope; records a span on destruction. A null observation
+  /// makes the scope a no-op, so call sites don't need to branch.
+  class Scope {
+   public:
+    Scope(JobObservation* obs, std::string name)
+        : obs_(obs), name_(std::move(name)), start_(Clock::now()) {}
+    ~Scope() {
+      if (obs_ != nullptr) obs_->add_span(name_, start_, Clock::now());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    JobObservation* obs_;
+    std::string name_;
+    Clock::time_point start_;
+  };
+
+  /// Snapshot-delta helper: captures a process-wide counter's value at
+  /// construction and writes `counter(name) - start` into the observation on
+  /// destruction. No-op when obs is null.
+  class CounterDelta {
+   public:
+    CounterDelta(JobObservation* obs, const std::string& name);
+    ~CounterDelta();
+    CounterDelta(const CounterDelta&) = delete;
+    CounterDelta& operator=(const CounterDelta&) = delete;
+
+   private:
+    JobObservation* obs_;
+    std::string name_;
+    std::uint64_t start_ = 0;
+  };
+
+  /// `wbist.obs/1` JSON object: {"schema":...,"notes":{...},
+  /// "counters":{...},"spans":[{"name","start_us","dur_us"},...]}.
+  std::string to_json() const;
+
+ private:
+  struct Span {
+    std::string name;
+    std::uint64_t start_us;
+    std::uint64_t dur_us;
+  };
+
+  Clock::time_point t0_;
+  std::vector<Span> spans_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::string> notes_;
+};
+
+}  // namespace wbist::core

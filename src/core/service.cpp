@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/artifact_cache.h"
+#include "core/obs.h"
 #include "fault/fault_sim.h"
 #include "sim/sequence_io.h"
 #include "util/strings.h"
@@ -48,9 +49,14 @@ std::string info_report(const CompiledCircuit& cc) {
 
 FlowJobResult run_flow_job(const CompiledCircuit& cc,
                            const FlowConfig& config,
-                           const Deadline& deadline) {
+                           const Deadline& deadline,
+                           JobObservation* obs) {
   util::TraceSpan span("job.flow", util::TraceArg::copy("circuit", cc.name()));
   deadline.check("flow");
+  JobObservation::Scope stage(obs, "flow");
+  JobObservation::CounterDelta kernel(obs, "fault_sim.kernel_cycles");
+  JobObservation::CounterDelta faults(obs, "fault_sim.fault_cycles");
+  JobObservation::CounterDelta sims(obs, "procedure.full_simulations");
   const auto sim = make_simulator(cc);
   FlowJobResult result{.output = {}, .flow = run_flow(sim, cc.name(), config)};
   const auto& r = result.flow.table6;
@@ -69,16 +75,24 @@ FlowJobResult run_flow_job(const CompiledCircuit& cc,
 TgenJobResult run_tgen_job(const CompiledCircuit& cc,
                            const tgen::TgenConfig& config,
                            const tgen::CompactionConfig& compaction,
-                           const Deadline& deadline) {
+                           const Deadline& deadline,
+                           JobObservation* obs) {
   util::TraceSpan span("job.tgen", util::TraceArg::copy("circuit", cc.name()));
   deadline.check("tgen");
+  JobObservation::CounterDelta kernel(obs, "fault_sim.kernel_cycles");
+  JobObservation::CounterDelta faults(obs, "fault_sim.fault_cycles");
   const auto sim = make_simulator(cc);
+  const JobObservation::Clock::time_point gen_start =
+      JobObservation::Clock::now();
   const auto gen = tgen::generate_test_sequence(sim, config);
+  if (obs != nullptr)
+    obs->add_span("generate", gen_start, JobObservation::Clock::now());
   std::vector<fault::FaultId> must;
   for (fault::FaultId f = 0; f < cc.faults().size(); ++f)
     if (gen.detection_time[f] != fault::DetectionResult::kUndetected)
       must.push_back(f);
   deadline.check("compaction");
+  JobObservation::Scope compact_stage(obs, "compaction");
   const auto comp = tgen::compact_sequence(sim, gen.sequence, must, compaction);
 
   TgenJobResult result;
@@ -100,10 +114,15 @@ TgenJobResult run_tgen_job(const CompiledCircuit& cc,
 FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
                                     const sim::TestSequence& seq,
                                     unsigned threads,
-                                    const Deadline& deadline) {
+                                    const Deadline& deadline,
+                                    JobObservation* obs) {
   util::TraceSpan span("job.fault_sim",
                        util::TraceArg::copy("circuit", cc.name()));
   deadline.check("fault-sim");
+  JobObservation::Scope stage(obs, "fault_sim");
+  JobObservation::CounterDelta kernel(obs, "fault_sim.kernel_cycles");
+  JobObservation::CounterDelta faults(obs, "fault_sim.fault_cycles");
+  JobObservation::CounterDelta gates(obs, "fault_sim.gates_evaluated");
   const auto sim = make_simulator(cc);
   fault::FaultSimOptions options;
   options.threads = threads;

@@ -27,6 +27,7 @@
 namespace wbist::core {
 
 class CompiledCircuit;
+class JobObservation;
 
 /// Thrown by Deadline::check when a job's time budget is exhausted. The
 /// serve daemon maps it to the `deadline_exceeded` wire error.
@@ -80,9 +81,14 @@ struct FlowJobResult {
 
 /// `wbist flow`: the complete weighted-BIST flow. The deadline is checked
 /// before the flow starts (the expensive stages live in run_flow).
+///
+/// All job entry points take an optional `obs` recorder (core/obs.h). When
+/// non-null, stage spans and counter deltas are written into it; nothing is
+/// ever read back, so results are bit-identical with or without it.
 FlowJobResult run_flow_job(const CompiledCircuit& cc,
                            const FlowConfig& config = {},
-                           const Deadline& deadline = {});
+                           const Deadline& deadline = {},
+                           JobObservation* obs = nullptr);
 
 struct TgenJobResult {
   /// "s27: 104 -> 31 vectors, 32/32 faults (100.0%)" — the CLI appends
@@ -101,7 +107,8 @@ struct TgenJobResult {
 TgenJobResult run_tgen_job(const CompiledCircuit& cc,
                            const tgen::TgenConfig& config = {},
                            const tgen::CompactionConfig& compaction = {},
-                           const Deadline& deadline = {});
+                           const Deadline& deadline = {},
+                           JobObservation* obs = nullptr);
 
 struct FaultSimJobResult {
   /// "s27: 31/32 faults detected (96.9%), 14 vectors" — deterministic.
@@ -120,6 +127,7 @@ struct FaultSimJobResult {
 FaultSimJobResult run_fault_sim_job(const CompiledCircuit& cc,
                                     const sim::TestSequence& seq,
                                     unsigned threads = 0,
-                                    const Deadline& deadline = {});
+                                    const Deadline& deadline = {},
+                                    JobObservation* obs = nullptr);
 
 }  // namespace wbist::core

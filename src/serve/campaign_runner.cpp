@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <vector>
@@ -57,6 +59,10 @@ struct Worker {
   int fd = -1;
   bool inited = false;
   std::int64_t shard = -1;  ///< in-flight shard index, -1 when idle
+  // Live-progress fields fed by heartbeat frames (cumulative per process).
+  std::uint64_t hb_kernel_cycles = 0;
+  std::uint64_t hb_fault_cycles = 0;
+  double hb_last_s = -1.0;  ///< campaign-elapsed seconds at last heartbeat
 };
 
 void close_fd(int& fd) {
@@ -81,6 +87,15 @@ void kill_worker(Worker& w) {
   w.pid = -1;
   w.inited = false;
   w.shard = -1;
+  w.hb_kernel_cycles = 0;
+  w.hb_fault_cycles = 0;
+  w.hb_last_s = -1.0;
+}
+
+void append_status_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
 }
 
 /// Let an idle worker finish cleanly: closing our socket end is the EOF its
@@ -199,6 +214,17 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
   }
   replayed.clear();
 
+  // Campaign identity: stamped into the status snapshot and every worker
+  // trace so cross-process timelines can be stitched back together.
+  std::string campaign_id = options.campaign_id;
+  if (campaign_id.empty()) {
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%08llx",
+                  static_cast<unsigned long long>(header.seq_hash &
+                                                  0xffffffffull));
+    campaign_id = circuit_name + "-" + hex;
+  }
+
   // The init frame every spawned worker receives: the full campaign context
   // (circuit spec, collapse mode, the sequence text verbatim), so workers
   // never read driver-side paths.
@@ -215,6 +241,11 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
   field_str(init_payload, "collapse", header.collapse);
   field_int(init_payload, "threads",
             options.worker_threads == 0 ? 1 : options.worker_threads);
+  field_str(init_payload, "campaign", campaign_id);
+  if (options.heartbeat_ms > 0)
+    field_int(init_payload, "heartbeat_ms", options.heartbeat_ms);
+  if (!options.trace_dir.empty())
+    field_str(init_payload, "trace_dir", options.trace_dir);
   field_str(init_payload, "sequence", sequence_text);
   init_payload += '}';
 
@@ -223,6 +254,87 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
   std::size_t completed_this_run = 0;
   std::size_t early_deaths = 0;  // deaths before the init handshake landed
   bool halted = false;
+
+  // -- live progress ---------------------------------------------------------
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::size_t shards_done = out.shards_resumed;
+
+  /// Atomically replace the status snapshot (write tmp + rename), so a
+  /// concurrent `wbist top` or poller never reads a torn document.
+  /// Best-effort: a failed write warns once and never aborts the campaign.
+  bool status_warned = false;
+  const auto write_status = [&](bool complete_flag) {
+    if (options.status_json_path.empty()) return;
+    const double el = elapsed_s();
+    const std::size_t remaining = plan.size() - shards_done;
+    double eta = -1.0;
+    if (remaining == 0)
+      eta = 0.0;
+    else if (completed_this_run > 0)
+      eta = el / static_cast<double>(completed_this_run) *
+            static_cast<double>(remaining);
+
+    std::string j = "{\"schema\":\"wbist.campaign.status/1\",\"campaign\":";
+    util::append_json_string(j, campaign_id);
+    j += ",\"circuit\":";
+    util::append_json_string(j, circuit_name);
+    j += ",\"collapse\":";
+    util::append_json_string(j, header.collapse);
+    j += ",\"shards_total\":" + std::to_string(plan.size()) +
+         ",\"shards_done\":" + std::to_string(shards_done) +
+         ",\"shards_resumed\":" + std::to_string(out.shards_resumed) +
+         ",\"shards_retried\":" + std::to_string(out.shards_retried) +
+         ",\"faults\":" + std::to_string(fault_count) +
+         ",\"detected\":" + std::to_string(out.result.detected) +
+         ",\"seq_length\":" + std::to_string(seq_length) +
+         ",\"worker_deaths\":" + std::to_string(out.worker_deaths) +
+         ",\"workers_spawned\":" + std::to_string(out.workers_spawned) +
+         ",\"kernel_cycles\":" + std::to_string(out.kernel_cycles) +
+         ",\"fault_cycles\":" + std::to_string(out.fault_cycles) +
+         ",\"elapsed_s\":";
+    append_status_double(j, el);
+    j += ",\"eta_s\":";
+    append_status_double(j, eta);
+    j += complete_flag ? ",\"complete\":true" : ",\"complete\":false";
+    j += ",\"workers\":[";
+    bool first = true;
+    for (const Worker& w : workers) {
+      if (w.pid <= 0) continue;
+      if (!first) j += ",";
+      first = false;
+      j += "{\"pid\":" + std::to_string(w.pid) +
+           ",\"shard\":" + std::to_string(w.shard) +
+           ",\"kernel_cycles\":" + std::to_string(w.hb_kernel_cycles) +
+           ",\"fault_cycles\":" + std::to_string(w.hb_fault_cycles) +
+           ",\"last_heartbeat_s\":";
+      append_status_double(j, w.hb_last_s);
+      j += ",\"cycles_per_s\":";
+      append_status_double(
+          j, w.hb_last_s > 0.0
+                 ? static_cast<double>(w.hb_kernel_cycles) / w.hb_last_s
+                 : 0.0);
+      j += "}";
+    }
+    j += "]}\n";
+
+    const std::string tmp = options.status_json_path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    bool ok = f != nullptr;
+    if (ok) {
+      ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+      ok = (std::fclose(f) == 0) && ok;
+    }
+    if (ok) ok = std::rename(tmp.c_str(), options.status_json_path.c_str()) == 0;
+    if (!ok && !status_warned) {
+      status_warned = true;
+      std::fprintf(stderr, "campaign: cannot write status snapshot %s: %s\n",
+                   options.status_json_path.c_str(), std::strerror(errno));
+    }
+  };
 
   const auto fatal_shutdown = [&](const std::string& msg) {
     for (Worker& w : workers) kill_worker(w);
@@ -255,6 +367,7 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
       m.counter("campaign.shards_retried").add(1);
       if (writer.is_open()) writer.record_retry(k, attempts[k] + 1, reason);
     }
+    write_status(false);
   };
 
   const auto spawn_into = [&](Worker& w) {
@@ -362,6 +475,17 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
       assign(w);
       return;
     }
+    if (job == "heartbeat") {
+      // Progress piggybacked between shard responses: cumulative fault-sim
+      // counters for this worker process, never a shard result.
+      w.hb_kernel_cycles =
+          static_cast<std::uint64_t>(rec.get_int("kernel_cycles", 0));
+      w.hb_fault_cycles =
+          static_cast<std::uint64_t>(rec.get_int("fault_cycles", 0));
+      w.hb_last_s = elapsed_s();
+      write_status(false);
+      return;
+    }
     if (job != "shard" || w.shard < 0) {
       handle_death(w, "unexpected worker response '" + job + "'");
       return;
@@ -387,7 +511,9 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
     done[k] = true;
     w.shard = -1;
     ++completed_this_run;
+    ++shards_done;
     m.counter("campaign.shards_completed").add(1);
+    write_status(false);
     if (options.halt_after != 0 && completed_this_run >= options.halt_after) {
       halted = true;
       return;
@@ -408,6 +534,7 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
   try {
     workers.resize(std::min<std::size_t>(options.workers, pending.size()));
     for (Worker& w : workers) spawn_into(w);
+    write_status(false);
 
     while (!halted && outstanding() > 0) {
       // Refill dead slots while unassigned work remains.
@@ -446,6 +573,7 @@ CampaignOutcome run_campaign(const core::CircuitSpec& spec,
     if (writer.is_open())
       writer.record_done(out.result.detected, out.result.total());
   }
+  write_status(out.complete);
   writer.close();
   return out;
 }

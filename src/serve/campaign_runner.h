@@ -64,6 +64,28 @@ struct CampaignOptions {
   /// the CLI maps it to exit 3 (transient — resume later).
   std::size_t halt_after = 0;
   fault::CollapseMode collapse = fault::CollapseMode::kEquivalence;
+
+  /// Live-progress snapshot (`wbist.campaign.status/1`): the driver
+  /// atomically replaces this file (write tmp + rename) on every shard
+  /// completion, retry, worker death and heartbeat, so `wbist top` and
+  /// external pollers always read a consistent document. Empty disables.
+  std::string status_json_path;
+
+  /// Worker heartbeat cadence in milliseconds. Workers piggyback periodic
+  /// `{"job":"heartbeat",...}` frames (current shard, cumulative fault-sim
+  /// counters) on the socketpair between shard responses; 0 disables.
+  /// Overridable for tests via WBIST_CAMPAIGN_HEARTBEAT_MS in the worker.
+  int heartbeat_ms = 500;
+
+  /// Directory for per-worker Chrome traces: each worker records its run
+  /// and writes `<trace_dir>/worker-<pid>.trace.json`, with shard spans
+  /// stamped with the campaign id so `tools/trace_summary.py --merge`
+  /// can stitch one cross-process timeline. Empty disables.
+  std::string trace_dir;
+
+  /// Campaign identifier stamped into the status snapshot and worker
+  /// traces. Empty derives `<circuit>-<seq_hash lowest 8 hex>`.
+  std::string campaign_id;
 };
 
 struct CampaignOutcome {

@@ -15,6 +15,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/obs.h"
 #include "core/service.h"
 #include "serve/protocol.h"
 #include "sim/sequence_io.h"
@@ -99,14 +100,18 @@ std::string error_response(int exit_code, std::string_view message) {
 }
 
 /// The backpressure answer: exit 3 (transient), machine-readable error
-/// vocabulary word, and a retry hint.
-std::string overloaded_response() {
+/// vocabulary word, a retry hint, and the queue state the request bounced
+/// off (`wbist submit` folds these into its one-line overloaded report).
+std::string overloaded_response(std::size_t queue_depth,
+                                std::size_t queue_capacity) {
   ResponseBuilder rb;
   rb.field("schema", kSchema);
   rb.field_bool("ok", false);
   rb.field_int("exit", 3);
   rb.field("error", "overloaded");
   rb.field_int("retry_after_ms", kRetryAfterMs);
+  rb.field_int("queue_depth", static_cast<long long>(queue_depth));
+  rb.field_int("queue_capacity", static_cast<long long>(queue_capacity));
   return rb.finish();
 }
 
@@ -119,12 +124,67 @@ std::string deadline_response() {
   return rb.finish();
 }
 
+/// Copy-truncate into a flight entry's inline char array.
+void copy_word(char* dst, std::size_t cap, std::string_view s) {
+  const std::size_t n = s.size() < cap - 1 ? s.size() : cap - 1;
+  std::memcpy(dst, s.data(), n);
+  dst[n] = '\0';
+}
+
+/// Classify a finished response for the flight recorder: "ok" for
+/// successes, the wire error word otherwise.
+std::string response_outcome(const std::string& response) {
+  try {
+    const auto v = util::json_parse(response);
+    if (v.get_bool("ok", false)) return "ok";
+    const std::string err = v.get_string("error");
+    return err.empty() ? "error" : err;
+  } catch (const std::exception&) {
+    return "error";
+  }
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+void append_stat_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+/// Minimal unsigned formatting for the async-signal-safe flight dump.
+std::size_t fmt_u64(char* buf, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+std::size_t fmt_i64(char* buf, long long v) {
+  if (v < 0) {
+    buf[0] = '-';
+    return 1 + fmt_u64(buf + 1, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  }
+  return fmt_u64(buf, static_cast<std::uint64_t>(v));
+}
+
 }  // namespace
 
 Server::Connection::~Connection() { ::close(fd); }
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), cache_(config_.cache_bytes) {
+    : config_(std::move(config)),
+      cache_(config_.cache_bytes),
+      flight_(config_.flight_entries) {
   if (config_.unix_path.empty() == (config_.tcp_port < 0))
     throw std::invalid_argument(
         "serve: configure exactly one of unix_path and tcp_port");
@@ -144,6 +204,7 @@ Server::~Server() {
 
 void Server::start() {
   if (started_) throw std::logic_error("serve: already started");
+  started_at_ = std::chrono::steady_clock::now();
   if (::pipe(wake_pipe_) != 0) sys_error("pipe");
 
   if (!config_.unix_path.empty()) {
@@ -223,9 +284,11 @@ void Server::accept_main() {
     if (fd < 0) continue;
     util::metrics().counter("serve.connections").add(1);
     bool admitted = false;
+    std::size_t pending_now = 0;
     {
       std::lock_guard<std::mutex> lk(conn_mu_);
-      if (pending_.size() < config_.max_pending_conns) {
+      pending_now = pending_.size();
+      if (pending_now < config_.max_pending_conns) {
         pending_.push_back(std::make_shared<Connection>(fd));
         admitted = true;
       }
@@ -239,7 +302,8 @@ void Server::accept_main() {
     // per connection, never an fd.
     util::metrics().counter("serve.conns_rejected").add(1);
     try {
-      write_frame(fd, overloaded_response(), kTurnAwayWriteMs);
+      write_frame(fd, overloaded_response(pending_now, config_.max_pending_conns),
+                  kTurnAwayWriteMs);
     } catch (const std::exception&) {
       // The peer is gone or not draining; nothing owed to it.
     }
@@ -356,10 +420,15 @@ void Server::dispatch_request(const ConnPtr& conn, std::uint64_t seq,
 
   // Control-plane requests (and the missing-job error) answer inline on
   // the reader: they do no simulation work, and bypassing the queue keeps
-  // liveness probes and shutdown responsive when the queue is saturated.
-  if (job.empty() || job == "ping" || job == "shutdown" || job == "metrics") {
+  // liveness probes, stats scrapes and shutdown responsive when the queue
+  // is saturated.
+  if (job.empty() || job == "ping" || job == "shutdown" || job == "metrics" ||
+      job == "stats" || job == "flight") {
+    const auto start = std::chrono::steady_clock::now();
     bool shutdown = false;
-    std::string response = handle_request(req, job, shutdown, {});
+    std::string response = handle_request(req, job, shutdown, {}, 0);
+    record_flight(conn, job.empty() ? "?" : job, priority, 0, us_since(start),
+                  response);
     complete(conn, seq, std::move(response));
     if (shutdown) request_stop();
     return;
@@ -369,14 +438,17 @@ void Server::dispatch_request(const ConnPtr& conn, std::uint64_t seq,
   j.conn = conn;
   j.seq = seq;
   j.job_name = job;
+  j.priority = priority;
   j.request = std::move(req);
   if (deadline_ms <= 0) deadline_ms = config_.request_timeout_ms;
   if (deadline_ms > 0) j.deadline = core::Deadline::after_ms(deadline_ms);
   j.enqueued = std::chrono::steady_clock::now();
 
   bool admitted = false;
+  std::size_t depth_now = 0;
   {
     std::lock_guard<std::mutex> lk(job_mu_);
+    depth_now = jobs_.size();
     if (!stopping_.load(std::memory_order_acquire) &&
         jobs_.size() < config_.queue_depth) {
       jobs_.emplace(JobKey{-priority, job_counter_++}, std::move(j));
@@ -393,7 +465,9 @@ void Server::dispatch_request(const ConnPtr& conn, std::uint64_t seq,
   // Backpressure: answer instead of queueing. The client sees a structured
   // transient error with a retry hint rather than unbounded latency.
   util::metrics().counter("serve.jobs_rejected").add(1);
-  complete(conn, seq, overloaded_response());
+  std::string response = overloaded_response(depth_now, config_.queue_depth);
+  record_flight(conn, job, priority, 0, 0, response);
+  complete(conn, seq, std::move(response));
 }
 
 void Server::worker_main() {
@@ -412,20 +486,28 @@ void Server::worker_main() {
     const auto wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - job.enqueued)
                              .count();
-    util::metrics()
-        .histogram("serve.queue_wait_us")
-        .record(static_cast<std::uint64_t>(std::max<long long>(wait_us, 0)));
+    const auto queue_wait_us =
+        static_cast<std::uint64_t>(std::max<long long>(wait_us, 0));
+    util::metrics().histogram("serve.queue_wait_us").record(queue_wait_us);
     if (config_.test_worker_gate) config_.test_worker_gate();
     if (job.deadline.expired()) {
       // The job waited out its whole budget in the queue: answer without
       // running the simulation at all.
       util::metrics().counter("serve.deadline_expired").add(1);
-      complete(job.conn, job.seq, deadline_response());
+      std::string response = deadline_response();
+      record_flight(job.conn, job.job_name, job.priority, queue_wait_us, 0,
+                    response);
+      complete(job.conn, job.seq, std::move(response));
       continue;
     }
+    const auto run_start = std::chrono::steady_clock::now();
     bool shutdown = false;
-    std::string response =
-        handle_request(job.request, job.job_name, shutdown, job.deadline);
+    std::string response = handle_request(job.request, job.job_name, shutdown,
+                                          job.deadline, queue_wait_us);
+    const std::uint64_t run_us = us_since(run_start);
+    util::metrics().histogram("serve.run_us." + job.job_name).record(run_us);
+    record_flight(job.conn, job.job_name, job.priority, queue_wait_us, run_us,
+                  response);
     complete(job.conn, job.seq, std::move(response));
     if (shutdown) request_stop();
   }
@@ -466,7 +548,8 @@ void Server::complete(const ConnPtr& conn, std::uint64_t seq,
 
 std::string Server::handle_request(const util::JsonValue& req,
                                    const std::string& job, bool& shutdown,
-                                   const core::Deadline& deadline) {
+                                   const core::Deadline& deadline,
+                                   std::uint64_t queue_wait_us) {
   try {
     if (job.empty()) throw UsageError("request is missing \"job\"");
     util::TraceSpan span("serve.request", util::TraceArg::copy("job", job));
@@ -495,9 +578,33 @@ std::string Server::handle_request(const util::JsonValue& req,
       rb.field_raw("metrics", util::metrics().to_json());
       return rb.finish();
     }
+    if (job == "stats") {
+      rb.field_bool("ok", true);
+      rb.field_int("exit", 0);
+      rb.field_raw("stats", stats_json());
+      return rb.finish();
+    }
+    if (job == "flight") {
+      rb.field_bool("ok", true);
+      rb.field_int("exit", 0);
+      rb.field_raw("flight", flight_json());
+      return rb.finish();
+    }
 
     if (job != "info" && job != "flow" && job != "tgen" && job != "fault-sim")
       throw UsageError("unknown job '" + job + "'");
+
+    // Opt-in request observation (`wbist.obs/1`): a per-request recorder
+    // the service layer writes stage spans and counter deltas into. It is
+    // never read back by any computation — the `output` field is
+    // bit-identical with observation on or off (gated by obs-smoke in CI).
+    const bool observe = req.get_bool("observe", false);
+    core::JobObservation obs;
+    core::JobObservation* op = observe ? &obs : nullptr;
+    if (observe) {
+      obs.set_note("job", job);
+      obs.set_counter("queue_wait_us", queue_wait_us);
+    }
 
     core::CircuitSpec spec;
     spec.registry_name = req.get_string("circuit");
@@ -519,16 +626,23 @@ std::string Server::handle_request(const util::JsonValue& req,
 
     deadline.check("compile");
     bool cache_hit = false;
+    const auto compile_start = std::chrono::steady_clock::now();
     const auto cc = cache_.get_or_compile(spec, copts, &cache_hit);
+    if (observe) {
+      obs.add_span("compile", compile_start, std::chrono::steady_clock::now());
+      obs.set_counter("cache_hit", cache_hit ? 1 : 0);
+      obs.set_note("circuit", cc->name());
+      obs.set_note("cache_key", cc->key());
+    }
 
     std::string output;
     if (job == "info") {
       deadline.check("info");
       output = core::info_report(*cc);
     } else if (job == "flow") {
-      output = core::run_flow_job(*cc, {}, deadline).output;
+      output = core::run_flow_job(*cc, {}, deadline, op).output;
     } else if (job == "tgen") {
-      const auto r = core::run_tgen_job(*cc, {}, {}, deadline);
+      const auto r = core::run_tgen_job(*cc, {}, {}, deadline, op);
       output = r.summary + "\n";
       rb.field("sequence", r.sequence_text);
       rb.field_int("detected", static_cast<long long>(r.detected));
@@ -539,7 +653,7 @@ std::string Server::handle_request(const util::JsonValue& req,
       const auto seq = sim::read_sequence(seq_text);
       const auto threads =
           static_cast<unsigned>(req.get_int("threads", 0));
-      const auto r = core::run_fault_sim_job(*cc, seq, threads, deadline);
+      const auto r = core::run_fault_sim_job(*cc, seq, threads, deadline, op);
       output = r.output;
       rb.field_int("detected", static_cast<long long>(r.detected));
       rb.field_int("total", static_cast<long long>(r.total));
@@ -551,6 +665,10 @@ std::string Server::handle_request(const util::JsonValue& req,
     rb.field_raw("cache", std::string("{\"hit\":") +
                               (cache_hit ? "true" : "false") +
                               ",\"key\":" + util::json_quote(cc->key()) + "}");
+    if (observe) {
+      obs.set_counter("run_us", us_since(obs.origin()));
+      rb.field_raw("obs", obs.to_json());
+    }
     return rb.finish();
   } catch (const core::DeadlineExceeded&) {
     // The budget ran out mid-job: no partial output ever leaves the
@@ -563,6 +681,163 @@ std::string Server::handle_request(const util::JsonValue& req,
   } catch (const std::exception& e) {
     util::metrics().counter("serve.errors").add(1);
     return error_response(1, e.what());
+  }
+}
+
+void Server::record_flight(const ConnPtr& conn, std::string_view job,
+                           long long priority, std::uint64_t queue_wait_us,
+                           std::uint64_t run_us, const std::string& response) {
+  FlightEntry e;
+  e.ts_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  e.peer_fd = conn->fd;
+  e.priority = priority;
+  e.queue_wait_us = queue_wait_us;
+  e.run_us = run_us;
+  copy_word(e.job, sizeof e.job, job);
+  copy_word(e.outcome, sizeof e.outcome, response_outcome(response));
+  flight_.push(e);
+}
+
+std::string Server::stats_json() {
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    depth = jobs_.size();
+  }
+  const auto cache_stats = cache_.stats();
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+
+  std::string out = "{\"schema\":\"wbist.stats/1\",\"uptime_s\":";
+  append_stat_double(out, uptime);
+  out += ",\"queue\":{\"depth\":" + std::to_string(depth) +
+         ",\"capacity\":" + std::to_string(config_.queue_depth) +
+         ",\"workers\":" + std::to_string(config_.worker_threads) +
+         ",\"readers\":" + std::to_string(config_.handler_threads) + "}";
+
+  out += ",\"cache\":{\"hits\":" + std::to_string(cache_stats.hits) +
+         ",\"misses\":" + std::to_string(cache_stats.misses) +
+         ",\"evictions\":" + std::to_string(cache_stats.evictions) +
+         ",\"compiles\":" + std::to_string(cache_stats.compiles) +
+         ",\"entries\":" + std::to_string(cache_stats.entries) +
+         ",\"bytes\":" + std::to_string(cache_stats.bytes) + "}";
+
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : util::metrics().counter_values()) {
+    if (!first) out += ",";
+    first = false;
+    util::append_json_string(out, name);
+    out += ":" + std::to_string(value);
+  }
+  out += "}";
+
+  out += ",\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : util::metrics().histogram_entries()) {
+    if (!first) out += ",";
+    first = false;
+    util::append_json_string(out, name);
+    out += ":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) +
+           ",\"max\":" + std::to_string(h->max()) + ",\"p50\":";
+    append_stat_double(out, h->quantile(0.50));
+    out += ",\"p90\":";
+    append_stat_double(out, h->quantile(0.90));
+    out += ",\"p99\":";
+    append_stat_double(out, h->quantile(0.99));
+    out += ",\"buckets\":{";
+    const auto buckets = h->buckets();
+    bool bfirst = true;
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+      if (buckets[k] == 0) continue;
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "\"" + std::to_string(k) + "\":" + std::to_string(buckets[k]);
+    }
+    out += "}}";
+  }
+  out += "}";
+
+  out += ",\"flight\":{\"recorded\":" + std::to_string(flight_.pushed()) +
+         ",\"retained\":" +
+         std::to_string(std::min<std::uint64_t>(flight_.pushed(),
+                                                flight_.capacity())) +
+         ",\"capacity\":" + std::to_string(flight_.capacity()) + "}}";
+  return out;
+}
+
+std::string Server::flight_json() {
+  const auto entries = flight_.snapshot();
+  std::string out =
+      "{\"schema\":\"wbist.flight/1\",\"dropped\":" +
+      std::to_string(flight_.dropped()) + ",\"entries\":[";
+  bool first = true;
+  for (const auto& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ts_ms\":" + std::to_string(e.ts_ms) +
+           ",\"peer_fd\":" + std::to_string(e.peer_fd) + ",\"job\":";
+    util::append_json_string(out, e.job);
+    out += ",\"priority\":" + std::to_string(e.priority) +
+           ",\"queue_wait_us\":" + std::to_string(e.queue_wait_us) +
+           ",\"run_us\":" + std::to_string(e.run_us) + ",\"outcome\":";
+    util::append_json_string(out, e.outcome);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Server::dump_flight(int fd) const {
+  // Fatal-signal path: fixed-size stack storage, manual formatting, raw
+  // write(2) only. A record being overwritten concurrently may read torn
+  // (garbled text, never UB) — acceptable for a crash dump.
+  constexpr std::size_t kMaxDump = 256;
+  FlightEntry entries[kMaxDump];
+  const std::size_t n = flight_.crash_copy_into(entries, kMaxDump);
+
+  const char header[] = "wbist serve: flight recorder (oldest first)\n";
+  [[maybe_unused]] ssize_t w = ::write(fd, header, sizeof header - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlightEntry& e = entries[i];
+    char line[256];
+    std::size_t p = 0;
+    const auto put = [&](const char* s) {
+      while (*s != '\0' && p < sizeof line - 1) line[p++] = *s++;
+    };
+    const auto put_bounded = [&](const char* s, std::size_t cap) {
+      for (std::size_t k = 0; k < cap && s[k] != '\0' && p < sizeof line - 1;
+           ++k)
+        line[p++] = s[k];
+    };
+    char num[24];
+    put("  +");
+    num[fmt_u64(num, e.ts_ms)] = '\0';
+    put(num);
+    put("ms fd=");
+    num[fmt_i64(num, e.peer_fd)] = '\0';
+    put(num);
+    put(" job=");
+    put_bounded(e.job, sizeof e.job);
+    put(" prio=");
+    num[fmt_i64(num, e.priority)] = '\0';
+    put(num);
+    put(" wait_us=");
+    num[fmt_u64(num, e.queue_wait_us)] = '\0';
+    put(num);
+    put(" run_us=");
+    num[fmt_u64(num, e.run_us)] = '\0';
+    put(num);
+    put(" outcome=");
+    put_bounded(e.outcome, sizeof e.outcome);
+    put("\n");
+    w = ::write(fd, line, p);
   }
 }
 

@@ -19,10 +19,11 @@
 // One thread polls the listening socket (plus a self-pipe, so both the
 // shutdown job and a signal handler can interrupt the poll with a single
 // async-signal-safe write()). Readers only parse and route: control-plane
-// jobs (ping / metrics / shutdown) and malformed requests are answered
-// inline — they do no simulation work, and keeping them out of the job
-// queue means liveness probes and shutdown still answer when the queue is
-// saturated — while simulation jobs are enqueued with an optional client
+// jobs (ping / metrics / stats / flight / shutdown) and malformed requests
+// are answered inline — they do no simulation work, and keeping them out of
+// the job queue means liveness probes, stats scrapes and shutdown still
+// answer when the queue is saturated — while simulation jobs are enqueued
+// with an optional client
 // priority and deadline. Workers drain the queue highest-priority-first
 // (FIFO within a priority), answer already-expired jobs with
 // `deadline_exceeded` without running them, and execute the rest through
@@ -52,6 +53,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -59,8 +61,23 @@
 #include "core/artifact_cache.h"
 #include "core/service.h"
 #include "util/json.h"
+#include "util/ring.h"
 
 namespace wbist::serve {
+
+/// One retained request summary in the daemon's flight recorder: a
+/// drop-oldest ring of the most recent requests, dumpable via the `flight`
+/// control job and (best-effort) from a fatal-signal handler — which is why
+/// this is a flat POD with inline char arrays, not strings.
+struct FlightEntry {
+  std::uint64_t ts_ms = 0;  ///< completion time, ms since server start
+  int peer_fd = 0;
+  long long priority = 0;
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t run_us = 0;
+  char job[24] = {};      ///< NUL-terminated, truncated
+  char outcome[24] = {};  ///< "ok" or the wire error word, truncated
+};
 
 struct ServerConfig {
   /// Exactly one listening endpoint: a unix-domain socket path, or TCP on
@@ -98,6 +115,10 @@ struct ServerConfig {
   /// `deadline_ms` of its own (0 = none).
   int request_timeout_ms = 0;
 
+  /// Flight-recorder depth: how many recent request summaries the daemon
+  /// retains (drop-oldest).
+  std::size_t flight_entries = 256;
+
   /// Test-only: invoked on a worker thread after dequeue, before the
   /// expiry check and execution. Lets tests hold a worker deterministically
   /// busy; never set in production.
@@ -132,6 +153,12 @@ class Server {
 
   const core::ArtifactCache& cache() const { return cache_; }
 
+  /// Best-effort flight-recorder dump for fatal-signal handlers: reads the
+  /// ring without locking (see util::SnapshotRing::crash_copy_into) and
+  /// emits one line per retained request via write(2) — no allocation, no
+  /// stdio, no locks, so it is safe to call from a signal handler.
+  void dump_flight(int fd) const;
+
  private:
   /// One accepted connection, shared between its reader and any workers
   /// still owing it responses; the fd closes when the last holder lets go.
@@ -158,6 +185,7 @@ class Server {
     std::uint64_t seq = 0;
     util::JsonValue request;
     std::string job_name;
+    long long priority = 0;
     core::Deadline deadline;
     std::chrono::steady_clock::time_point enqueued;
   };
@@ -187,15 +215,33 @@ class Server {
   void complete(const ConnPtr& conn, std::uint64_t seq, std::string response);
 
   /// Executes one parsed request; returns the response payload and sets
-  /// `shutdown` when the request asked the daemon to stop.
+  /// `shutdown` when the request asked the daemon to stop. `queue_wait_us`
+  /// is the time the job spent queued (0 for inline control jobs) — it is
+  /// reported back in the `wbist.obs/1` block when the request opted into
+  /// observation.
   std::string handle_request(const util::JsonValue& req,
                              const std::string& job, bool& shutdown,
-                             const core::Deadline& deadline);
+                             const core::Deadline& deadline,
+                             std::uint64_t queue_wait_us);
+
+  /// `wbist.stats/1` snapshot: queue state, cache stats, every global
+  /// counter, and each histogram with p50/p90/p99 quantiles.
+  std::string stats_json();
+
+  /// `wbist.flight/1` snapshot of the flight-recorder ring (oldest first).
+  std::string flight_json();
+
+  /// Append one request summary to the flight recorder.
+  void record_flight(const ConnPtr& conn, std::string_view job,
+                     long long priority, std::uint64_t queue_wait_us,
+                     std::uint64_t run_us, const std::string& response);
 
   void orderly_stop();  // run on the accept thread only
 
   ServerConfig config_;
   core::ArtifactCache cache_;
+  util::SnapshotRing<FlightEntry> flight_;
+  std::chrono::steady_clock::time_point started_at_{};
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};

@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -24,6 +25,41 @@ std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
   for (std::size_t k = 0; k < kBuckets; ++k)
     out[k] = buckets_[k].load(std::memory_order_relaxed);
   return out;
+}
+
+double Histogram::quantile(double q) const {
+  const auto buckets = this->buckets();
+  std::uint64_t total = 0;
+  for (const auto b : buckets) total += b;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile in [1, total]; walk the cumulative
+  // distribution to the containing bucket, then interpolate linearly across
+  // that bucket's value range [2^(k-1), 2^k) (bucket 0 holds only v == 0).
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  double result = 0.0;
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    if (buckets[k] == 0) continue;
+    const std::uint64_t next = cum + buckets[k];
+    if (static_cast<double>(next) >= rank) {
+      if (k == 0) {
+        result = 0.0;
+      } else {
+        const double lo = std::ldexp(1.0, static_cast<int>(k) - 1);
+        const double hi = std::ldexp(1.0, static_cast<int>(k));
+        const double into =
+            (rank - static_cast<double>(cum)) / static_cast<double>(buckets[k]);
+        result = lo + into * (hi - lo);
+      }
+      break;
+    }
+    cum = next;
+    result = std::ldexp(1.0, static_cast<int>(k));  // past bucket k's range
+  }
+  const double observed_max = static_cast<double>(max());
+  return result < observed_max ? result : observed_max;
 }
 
 void Histogram::reset() {
@@ -110,6 +146,22 @@ void MetricsRegistry::set_label(std::string_view name, std::string_view value) {
     labels_.emplace(std::string(name), std::string(value));
   else
     it->second = value;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histogram_entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
 }
 
 void MetricsRegistry::reset() {

@@ -79,6 +79,13 @@ class Histogram {
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   std::array<std::uint64_t, kBuckets> buckets() const;
+
+  /// Quantile estimate (q in [0, 1]) from the log2 buckets, linearly
+  /// interpolated inside the containing bucket's [2^(k-1), 2^k) range.
+  /// Returns 0 for an empty histogram; the result is clamped to max(), so
+  /// quantile(1.0) is the exact observed maximum.
+  double quantile(double q) const;
+
   void reset();
 
  private:
@@ -124,6 +131,13 @@ class MetricsRegistry {
   /// Set a string-valued annotation (e.g. the resolved kernel backend).
   /// Last write wins; labels are cleared by reset().
   void set_label(std::string_view name, std::string_view value);
+
+  /// Point-in-time snapshots for exporters (the serve `stats` job). The
+  /// Histogram pointers stay valid for the registry's lifetime, like the
+  /// references handed out by histogram().
+  std::map<std::string, std::uint64_t> counter_values() const;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_entries()
+      const;
 
   /// Zero every metric in place (entries and references survive).
   void reset();

@@ -1,0 +1,97 @@
+// Drop-oldest snapshot ring: a fixed-capacity circular buffer of trivially
+// copyable records with a monotone push counter. New entries overwrite the
+// oldest once the ring is full, so the ring always holds the most recent
+// `capacity` records — the shape a flight recorder wants.
+//
+// Two read paths:
+//   - snapshot(): mutex-protected, oldest-first copy for normal inspection
+//     (the serve `flight` control job).
+//   - crash_copy(): lock-free best-effort copy for fatal-signal handlers.
+//     It reads the storage without taking the mutex, so a record that is
+//     mid-overwrite may be torn; entries are PODs with no pointers, so a
+//     torn read is garbled text, never UB the handler can trip over. This
+//     trade (possible one-record tear vs. a handler that can deadlock on a
+//     mutex the crashed thread holds) is deliberate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace wbist::util {
+
+template <typename T>
+class SnapshotRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SnapshotRing entries must be trivially copyable (the crash "
+                "path memcpy-reads them without synchronization)");
+
+ public:
+  explicit SnapshotRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        slots_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total records ever pushed (dropped = pushed - min(pushed, capacity)).
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    const std::uint64_t p = pushed();
+    return p > capacity_ ? p - capacity_ : 0;
+  }
+
+  void push(const T& v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(n % capacity_)] = v;
+    pushed_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Oldest-first copy of the currently retained records.
+  std::vector<T> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return copy_unlocked();
+  }
+
+  /// Fatal-signal-path copy: same oldest-first order, no locking. Records
+  /// being overwritten concurrently may be torn; see the header comment.
+  std::vector<T> crash_copy() const { return copy_unlocked(); }
+
+  /// Crash-path variant that writes into caller storage (no allocation).
+  /// Returns the number of records copied, oldest first.
+  std::size_t crash_copy_into(T* out, std::size_t out_cap) const {
+    const std::uint64_t p = pushed_.load(std::memory_order_acquire);
+    const std::size_t have =
+        p < capacity_ ? static_cast<std::size_t>(p) : capacity_;
+    const std::size_t n = have < out_cap ? have : out_cap;
+    const std::uint64_t first = p - n;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = slots_[static_cast<std::size_t>((first + i) % capacity_)];
+    return n;
+  }
+
+ private:
+  std::vector<T> copy_unlocked() const {
+    const std::uint64_t p = pushed_.load(std::memory_order_acquire);
+    const std::size_t have =
+        p < capacity_ ? static_cast<std::size_t>(p) : capacity_;
+    std::vector<T> out;
+    out.reserve(have);
+    const std::uint64_t first = p - have;
+    for (std::size_t i = 0; i < have; ++i)
+      out.push_back(slots_[static_cast<std::size_t>((first + i) % capacity_)]);
+    return out;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<T> slots_;
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+}  // namespace wbist::util

@@ -94,6 +94,64 @@ grep -qi "schema" vnext.err || fail "schema mismatch not diagnosed on stderr"
   --checkpoint halt.jsonl > /dev/null 2>&1
 [ $? -eq 2 ] || fail "resume with a different sequence should exit 2"
 
+# Live progress: --status-json writes an atomically-replaced snapshot that
+# converges (shards_done == shards_total, complete true) even across a
+# halt/resume pair, and `wbist top --once` renders it.
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --halt-after 3 \
+  --status-json status.json --heartbeat-ms 20 \
+  --checkpoint st.jsonl > /dev/null 2>&1
+[ $? -eq 3 ] || fail "halted status-json campaign should exit 3"
+grep -q '"complete":false' status.json \
+  || fail "halted snapshot should report complete:false"
+grep -q '"shards_done":3' status.json \
+  || fail "halted snapshot should report 3 shards done"
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 --resume \
+  --status-json status.json --heartbeat-ms 20 \
+  --checkpoint st.jsonl --result-json st.json > /dev/null 2>&1
+[ $? -eq 0 ] || fail "resumed status-json campaign should exit 0"
+grep -q '"schema":"wbist.campaign.status/1"' status.json \
+  || fail "snapshot missing the wbist.campaign.status/1 schema"
+grep -q '"complete":true' status.json \
+  || fail "resumed snapshot did not converge to complete:true"
+grep -q '"shards_done":8' status.json \
+  || fail "resumed snapshot did not converge to shards_done 8"
+grep -q '"shards_resumed":3' status.json \
+  || fail "resumed snapshot should report the 3 replayed shards"
+cmp -s st.json straight8.json \
+  || fail "status-json observation changed the campaign result"
+"$WBIST" top status.json --once > top.txt 2> top.err \
+  || fail "wbist top --once on a complete snapshot should exit 0"
+grep -q "complete" top.txt || fail "top render missing the complete marker"
+grep -q "8/8 (100.0%)" top.txt || fail "top render missing the shard progress"
+
+# Worker traces: each worker writes a Chrome-trace file stamped with the
+# campaign id, and trace_summary.py --merge stitches them per process.
+SCRIPT_DIR=$(cd "$(dirname "$0")/../.." && pwd)
+mkdir -p wtr
+"$WBIST" campaign s298 s298.seq --workers 2 --shards 8 \
+  --worker-trace-dir wtr --campaign-id ctest-run \
+  --result-json traced.json > /dev/null 2>&1 \
+  || fail "campaign with --worker-trace-dir failed"
+cmp -s traced.json straight8.json \
+  || fail "worker tracing changed the campaign result"
+n_traces=$(ls wtr/worker-*.trace.json 2> /dev/null | wc -l)
+[ "$n_traces" -ge 1 ] || fail "no worker trace files were written"
+grep -l '"campaign.shard"' wtr/worker-*.trace.json > /dev/null \
+  || fail "worker traces carry no campaign.shard spans"
+grep -l 'ctest-run' wtr/worker-*.trace.json > /dev/null \
+  || fail "worker traces are not stamped with the campaign id"
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$SCRIPT_DIR/tools/trace_summary.py" wtr/worker-*.trace.json \
+    --merge merged.json > /dev/null 2> merge.err \
+    || fail "trace_summary.py --merge failed: $(cat merge.err)"
+  grep -q '"process_name"' merged.json \
+    || fail "merged trace has no per-worker process_name metadata"
+  python3 "$SCRIPT_DIR/tools/check_schema.py" \
+    "$SCRIPT_DIR/docs/schemas/wbist.campaign.status.schema.json" \
+    status.json > /dev/null 2>&1 \
+    || fail "status.json does not validate against its schema"
+fi
+
 # Usage errors.
 "$WBIST" campaign s298 > /dev/null 2>&1
 [ $? -eq 2 ] || fail "campaign without a sequence source should exit 2"

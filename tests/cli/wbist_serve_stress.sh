@@ -98,6 +98,12 @@ if [ "$REJECTED" -ge 1 ]; then
     || fail "rejected submits did not mention 'overloaded'"
   grep -l 'retry in' "$WORK"/burst_*.err > /dev/null \
     || fail "rejected submits carried no retry hint"
+  # The one-line report folds in the queue state the request bounced off:
+  # "wbist: overloaded (queue N/M, retry in Pms)".
+  cat "$WORK"/burst_*.err \
+    | grep -E 'overloaded \(queue [0-9]+/[0-9]+, retry in [0-9]+ms\)' \
+      > /dev/null \
+    || fail "rejected submits lacked the structured queue context"
 fi
 
 # Every load-shedding decision is visible in the metrics job.
@@ -119,6 +125,27 @@ if [ "$LORIS" -gt 0 ]; then
   grep -q 'evicting slow client' "$WORK/serve.log" \
     || fail "slow-loris peers were never evicted"
 fi
+
+# The observability plane survives the stress: `wbist stats` answers with
+# the daemon snapshot (it rides the inline control path, so a saturated
+# queue cannot starve it), the Prometheus rendering carries the
+# load-shedding counter, and the flight recorder kept the rejections.
+"$WBIST" stats --socket "$SOCK" > "$WORK/stats.json" 2>&1 \
+  || fail "stats job failed after the burst"
+grep -q 'wbist.stats/1' "$WORK/stats.json" \
+  || fail "stats response missing the wbist.stats/1 schema"
+grep -q '"queue":{' "$WORK/stats.json" \
+  || fail "stats response missing the queue block"
+"$WBIST" stats --prom --socket "$SOCK" > "$WORK/stats.prom" 2>&1 \
+  || fail "stats --prom failed after the burst"
+grep -q '^wbist_serve_jobs_rejected_total [1-9]' "$WORK/stats.prom" \
+  || fail "Prometheus text missing a nonzero wbist_serve_jobs_rejected_total"
+grep -q '^# TYPE wbist_uptime_seconds gauge' "$WORK/stats.prom" \
+  || fail "Prometheus text missing the uptime gauge TYPE line"
+"$WBIST" stats --flight --socket "$SOCK" > "$WORK/flight.json" 2>&1 \
+  || fail "flight job failed after the burst"
+grep -q '"outcome":"overloaded"' "$WORK/flight.json" \
+  || fail "flight recorder retained no overloaded rejection"
 
 # The daemon is still healthy and shuts down cleanly.
 "$WBIST" submit --socket "$SOCK" info s27 > /dev/null 2>&1 \

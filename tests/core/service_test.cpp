@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "core/artifact_cache.h"
+#include "core/obs.h"
 #include "sim/sequence_io.h"
+#include "util/json.h"
 
 namespace wbist::core {
 namespace {
@@ -96,6 +98,53 @@ TEST(ServiceDeadline, ExpiredDeadlineThrowsBeforeAnyWork) {
   const auto tg = run_tgen_job(*cc);
   const auto seq = sim::read_sequence(tg.sequence_text);
   EXPECT_THROW(run_fault_sim_job(*cc, seq, 0, expired), DeadlineExceeded);
+}
+
+TEST(ServiceObservation, FlowCaptureIsObservationOnlyAndRecordsStages) {
+  const auto cc = compile("s27");
+  JobObservation obs;
+  const auto observed = run_flow_job(*cc, {}, {}, &obs);
+  const auto plain = run_flow_job(*cc);
+  // The observation contract: capture never changes the primary output.
+  EXPECT_EQ(observed.output, plain.output);
+
+  const auto v = util::json_parse(obs.to_json());
+  EXPECT_EQ(v.get_string("schema"), kObsSchema);
+  const util::JsonValue* spans = v.get("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->as_array().size(), 1u);
+  EXPECT_EQ(spans->as_array()[0].get_string("name"), "flow");
+  EXPECT_GE(spans->as_array()[0].get_int("start_us", -1), 0);
+  EXPECT_GE(spans->as_array()[0].get_int("dur_us", -1), 0);
+  const util::JsonValue* counters = v.get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->get_int("fault_sim.kernel_cycles", 0), 0);
+  EXPECT_GT(counters->get_int("procedure.full_simulations", 0), 0);
+}
+
+TEST(ServiceObservation, TgenCapturesGenerateAndCompactionSpans) {
+  const auto cc = compile("s27");
+  JobObservation obs;
+  const auto with = run_tgen_job(*cc, {}, {}, {}, &obs);
+  const auto without = run_tgen_job(*cc);
+  EXPECT_EQ(with.sequence_text, without.sequence_text);
+
+  const auto v = util::json_parse(obs.to_json());
+  std::vector<std::string> names;
+  for (const auto& s : v.get("spans")->as_array())
+    names.push_back(s.get_string("name"));
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "generate");
+  EXPECT_EQ(names[1], "compaction");
+}
+
+TEST(ServiceObservation, NullObservationScopesAreNoOps) {
+  // Scope and CounterDelta must tolerate a null recorder so call sites
+  // never branch on whether observation is on.
+  JobObservation::Scope scope(nullptr, "stage");
+  JobObservation::CounterDelta delta(nullptr, "counter");
+  const auto cc = compile("s27");
+  EXPECT_NO_THROW(run_flow_job(*cc, {}, {}, nullptr));
 }
 
 TEST(ServiceDeadline, GenerousDeadlineLeavesOutputBitIdentical) {

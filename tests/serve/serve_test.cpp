@@ -666,6 +666,133 @@ TEST_F(ServeTest, ConnectionFloodBeyondThePendingCapIsTurnedAway) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability plane: per-request observation blocks, the inline stats
+// job (which must answer even when every worker is saturated), and the
+// flight recorder.
+
+TEST_F(ServeTest, ObserveReturnsObsBlockAndKeepsOutputBitIdentical) {
+  start();
+  const auto plain = submit_json(job_request("flow", "s27"));
+  ASSERT_TRUE(plain.get_bool("ok"));
+  EXPECT_EQ(plain.get("obs"), nullptr);
+
+  std::string req = "{\"schema\":\"wbist.serve/1\",\"job\":\"flow\","
+                    "\"circuit\":\"s27\",\"observe\":true}";
+  const auto observed = submit_json(req);
+  ASSERT_TRUE(observed.get_bool("ok"));
+  // The primary result is bit-identical with observation on.
+  EXPECT_EQ(observed.get_string("output"), plain.get_string("output"));
+
+  const util::JsonValue* obs = observed.get("obs");
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->get_string("schema"), "wbist.obs/1");
+  const util::JsonValue* spans = obs->get("spans");
+  ASSERT_NE(spans, nullptr);
+  bool saw_flow = false;
+  for (const auto& s : spans->as_array())
+    if (s.get_string("name") == "flow") saw_flow = true;
+  EXPECT_TRUE(saw_flow);
+  const util::JsonValue* counters = obs->get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->get_int("run_us", -1), 0);
+  EXPECT_EQ(counters->get_int("cache_hit", -1), 1);  // plain compiled it
+  const util::JsonValue* notes = obs->get("notes");
+  ASSERT_NE(notes, nullptr);
+  EXPECT_EQ(notes->get_string("job"), "flow");
+  EXPECT_EQ(notes->get_string("circuit"), "s27");
+}
+
+TEST_F(ServeTest, StatsAnswersInlineWhileWorkersAreSaturated) {
+  auto gate = std::make_shared<WorkerGate>();
+  ServerConfig cfg;
+  cfg.handler_threads = 4;
+  cfg.worker_threads = 1;
+  cfg.queue_depth = 1;
+  cfg.test_worker_gate = [gate] { gate->hold(); };
+  start_cfg(std::move(cfg));
+  GatedClients gc(gate);
+
+  auto& enqueues = util::metrics().histogram("serve.queue_depth");
+  const auto enqueues0 = enqueues.count();
+
+  // A parks on the only worker; B fills the queue (depth 1).
+  std::string response_a, response_b;
+  gc.threads.emplace_back([&] {
+    response_a = submit(endpoint_, job_request("flow", "s27"));
+  });
+  ASSERT_TRUE(wait_until([&] { return gate->entered.load() >= 1; }));
+  gc.threads.emplace_back([&] {
+    response_b = submit(endpoint_, job_request("flow", "s27"));
+  });
+  ASSERT_TRUE(wait_until([&] { return enqueues.count() >= enqueues0 + 2; }));
+
+  // The daemon is saturated (a new sim job would be turned away) — but
+  // stats is answered inline on a reader thread and must still work,
+  // reporting the queued job.
+  const auto r = submit_json(job_request("stats", ""));
+  ASSERT_TRUE(r.get_bool("ok"));
+  const util::JsonValue* stats = r.get("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->get_string("schema"), "wbist.stats/1");
+  const util::JsonValue* queue = stats->get("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->get_int("depth", -1), 1);
+  EXPECT_EQ(queue->get_int("capacity", -1), 1);
+  EXPECT_EQ(queue->get_int("workers", -1), 1);
+
+  // The enriched overloaded answer carries the backlog that caused it.
+  const auto c = submit_json(job_request("flow", "s27"));
+  EXPECT_FALSE(c.get_bool("ok", true));
+  EXPECT_EQ(c.get_string("error"), "overloaded");
+  EXPECT_EQ(c.get_int("queue_depth", -1), 1);
+  EXPECT_EQ(c.get_int("queue_capacity", -1), 1);
+  EXPECT_GT(c.get_int("retry_after_ms", 0), 0);
+
+  gate->release();
+  for (auto& t : gc.threads) t.join();
+  EXPECT_TRUE(util::json_parse(response_a).get_bool("ok"));
+  EXPECT_TRUE(util::json_parse(response_b).get_bool("ok"));
+}
+
+TEST_F(ServeTest, FlightRecorderRetainsRecentRequestsOldestFirst) {
+  start();
+  ASSERT_TRUE(submit_json(job_request("ping", "")).get_bool("ok"));
+  ASSERT_TRUE(submit_json(job_request("flow", "s27")).get_bool("ok"));
+  EXPECT_FALSE(submit_json(job_request("no-such-job", "")).get_bool("ok", true));
+
+  const auto r = submit_json(job_request("flight", ""));
+  ASSERT_TRUE(r.get_bool("ok"));
+  const util::JsonValue* flight = r.get("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->get_string("schema"), "wbist.flight/1");
+  EXPECT_EQ(flight->get_int("dropped", -1), 0);
+  const util::JsonValue* entries = flight->get("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->as_array().size(), 3u);  // the flight job itself is
+                                              // recorded after it answers
+  const auto& v = entries->as_array();
+  EXPECT_EQ(v[0].get_string("job"), "ping");
+  EXPECT_EQ(v[0].get_string("outcome"), "ok");
+  EXPECT_EQ(v[1].get_string("job"), "flow");
+  EXPECT_EQ(v[1].get_string("outcome"), "ok");
+  EXPECT_GT(v[1].get_int("run_us", -1), 0);
+  EXPECT_EQ(v[2].get_string("job"), "no-such-job");
+  // The outcome is the wire error word (here the UsageError message,
+  // truncated to the entry's inline capacity).
+  EXPECT_EQ(v[2].get_string("outcome").substr(0, 7), "unknown");
+
+  // The per-job-type latency histogram fed the stats quantiles.
+  const auto s = submit_json(job_request("stats", ""));
+  const util::JsonValue* hists = s.get("stats")->get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const util::JsonValue* flow_h = hists->get("serve.run_us.flow");
+  ASSERT_NE(flow_h, nullptr);
+  EXPECT_GE(flow_h->get_int("count", 0), 1);
+  EXPECT_GE(flow_h->get_int("max", 0), 1);
+  EXPECT_NE(flow_h->get("p50"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
 // Client-side failure taxonomy: each cause gets its own exception type so
 // the CLI can map them to distinct exit codes.
 

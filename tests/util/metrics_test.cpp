@@ -142,5 +142,81 @@ TEST(Metrics, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::global(), &metrics());
 }
 
+TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinTheContainingBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  h.record(100);  // bucket 7 spans [64, 128)
+  // rank = q * count walks into the only bucket; the estimate moves
+  // linearly across [64, 128) with q and is clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 64.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 96.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // 128 clamped to max()
+}
+
+TEST(Metrics, QuantileOfAllZeroSamplesIsZero) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  h.record(0);
+  h.record(0);
+  h.record(0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Metrics, QuantileWalksAcrossBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  for (std::uint64_t v = 1; v <= 8; ++v) h.record(v);
+  // rank 4 falls one sample into bucket 3 ([4, 8), 4 samples):
+  // 4 + (1/4) * (8 - 4) = 5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Metrics, QuantileIsClampedToTheObservedMaximum) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h");
+  h.record(3);
+  h.record(70);
+  // The p100 estimate lands at the top of bucket 7 (128) before the
+  // clamp; the exact observed maximum wins.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 70.0);
+  // Out-of-range q is clamped into [0, 1], not an error.
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 70.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+}
+
+TEST(Metrics, CounterValuesSnapshotsEveryCounter) {
+  MetricsRegistry reg;
+  reg.counter("a").add(5);
+  reg.counter("b").add(7);
+  const auto values = reg.counter_values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("a"), 5u);
+  EXPECT_EQ(values.at("b"), 7u);
+}
+
+TEST(Metrics, HistogramEntriesPointAtLiveHistograms) {
+  MetricsRegistry reg;
+  reg.histogram("x").record(1);
+  reg.histogram("y").record(2);
+  const auto entries = reg.histogram_entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "x");
+  EXPECT_EQ(entries[0].second, &reg.histogram("x"));
+  EXPECT_EQ(entries[1].first, "y");
+  EXPECT_EQ(entries[1].second, &reg.histogram("y"));
+  // Snapshot pointers observe later records (stable references).
+  reg.histogram("x").record(9);
+  EXPECT_EQ(entries[0].second->count(), 2u);
+}
+
 }  // namespace
 }  // namespace wbist::util

@@ -1,0 +1,90 @@
+#include "util/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wbist::util {
+namespace {
+
+TEST(SnapshotRing, SnapshotIsOldestFirstBeforeWrap) {
+  SnapshotRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  ring.push(10);
+  ring.push(11);
+  ring.push(12);
+  const auto s = ring.snapshot();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 10);
+  EXPECT_EQ(s[1], 11);
+  EXPECT_EQ(s[2], 12);
+  EXPECT_EQ(ring.pushed(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SnapshotRing, FullRingDropsTheOldest) {
+  SnapshotRing<int> ring(3);
+  for (int v = 1; v <= 5; ++v) ring.push(v);
+  const auto s = ring.snapshot();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 5);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(SnapshotRing, ZeroCapacityIsPromotedToOne) {
+  SnapshotRing<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(7);
+  ring.push(8);
+  const auto s = ring.snapshot();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 8);
+}
+
+TEST(SnapshotRing, CrashCopyMatchesSnapshot) {
+  SnapshotRing<int> ring(3);
+  for (int v = 1; v <= 4; ++v) ring.push(v);
+  EXPECT_EQ(ring.crash_copy(), ring.snapshot());
+}
+
+TEST(SnapshotRing, CrashCopyIntoRespectsCallerCapacity) {
+  SnapshotRing<int> ring(8);
+  for (int v = 1; v <= 5; ++v) ring.push(v);
+
+  int out[8] = {};
+  // Enough room: all retained records, oldest first.
+  ASSERT_EQ(ring.crash_copy_into(out, 8), 5u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[4], 5);
+
+  // A smaller buffer keeps the MOST RECENT records (still oldest-first
+  // among themselves) — the tail of the flight is what a crash dump wants.
+  ASSERT_EQ(ring.crash_copy_into(out, 2), 2u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 5);
+
+  ASSERT_EQ(ring.crash_copy_into(out, 0), 0u);
+}
+
+TEST(SnapshotRing, ConcurrentPushesNeverLoseCount) {
+  SnapshotRing<std::uint64_t> ring(16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&ring, t] {
+      for (int k = 0; k < kPerThread; ++k)
+        ring.push(static_cast<std::uint64_t>(t) * kPerThread + k);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ring.pushed(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(ring.snapshot().size(), 16u);
+}
+
+}  // namespace
+}  // namespace wbist::util

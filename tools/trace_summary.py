@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Fold a wbist --trace-json file into per-phase / per-thread tables.
+"""Fold wbist --trace-json files into per-phase / per-thread tables.
 
 Usage:
-  tools/trace_summary.py trace.json            # per-span-name summary
-  tools/trace_summary.py trace.json --by-tid   # add a per-thread breakdown
+  tools/trace_summary.py trace.json              # per-span-name summary
+  tools/trace_summary.py trace.json --by-tid     # add a per-thread breakdown
+  tools/trace_summary.py w1.json w2.json --merge merged.json
+                                                 # stitch a cross-process
+                                                 # timeline (campaign workers)
 
 Reads the Chrome/Perfetto trace_event JSON written by `wbist --trace-json`
 or `wbist_bench --trace-json` (schema wbist.trace/1) and prints, per span
@@ -11,11 +14,19 @@ name: event count, total wall time, mean and max duration. With --by-tid,
 "worker" spans (fault_sim.group, worker_pool.drain) are additionally broken
 down per thread id, which makes rank imbalance visible at a glance.
 
+Multiple inputs are folded into one summary, each input re-stamped with a
+distinct pid so per-process timelines never collide — the shape produced by
+`wbist campaign --worker-trace-dir`, whose campaign.shard spans carry the
+campaign id and shard number. --merge additionally writes the stitched
+document (one process per input file, process_name metadata naming the
+source) so the whole campaign loads as one Perfetto timeline.
+
 Stdlib only — no third-party dependencies.
 """
 
 import argparse
 import json
+import os
 import sys
 from collections import defaultdict
 
@@ -26,6 +37,30 @@ def load_events(path):
     if doc.get("schema") not in (None, "wbist.trace/1"):
         sys.exit(f"trace_summary: unexpected schema {doc.get('schema')!r}")
     return doc, doc.get("traceEvents", [])
+
+
+def merge_docs(paths):
+    """Fold several wbist.trace/1 documents into one, assigning each input a
+    distinct pid (1, 2, ...) and summing drop counters."""
+    events = []
+    dropped = 0
+    sources = []
+    for pid, path in enumerate(paths, start=1):
+        doc, evs = load_events(path)
+        dropped += int(doc.get("otherData", {}).get("dropped_events", 0) or 0)
+        sources.append(os.path.basename(path))
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": os.path.basename(path)}})
+        for e in evs:
+            e = dict(e)
+            e["pid"] = pid
+            events.append(e)
+    return {
+        "schema": "wbist.trace/1",
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": dropped, "sources": sources},
+        "traceEvents": events,
+    }
 
 
 def fmt_ms(us):
@@ -59,25 +94,39 @@ def render(rows, header):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("trace", help="trace JSON written by --trace-json")
+    ap.add_argument("traces", nargs="+",
+                    help="trace JSON file(s) written by --trace-json")
     ap.add_argument("--by-tid", action="store_true",
                     help="break span names down per thread id")
+    ap.add_argument("--merge", metavar="OUT",
+                    help="write the stitched multi-process trace JSON here")
     args = ap.parse_args()
 
-    doc, events = load_events(args.trace)
+    if len(args.traces) == 1 and not args.merge:
+        doc, events = load_events(args.traces[0])
+    else:
+        doc = merge_docs(args.traces)
+        events = doc["traceEvents"]
+        if args.merge:
+            with open(args.merge, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+                f.write("\n")
+            print(f"wrote {args.merge} ({len(args.traces)} processes)",
+                  file=sys.stderr)
 
     spans = defaultdict(Agg)          # name -> Agg
-    per_tid = defaultdict(Agg)        # (name, tid) -> Agg
+    per_tid = defaultdict(Agg)        # (name, pid, tid) -> Agg
     instants = defaultdict(int)       # name -> count
     tids = set()
     for e in events:
         ph = e.get("ph")
         if ph == "X":
-            name, tid = e.get("name", "?"), e.get("tid", 0)
+            name = e.get("name", "?")
+            key = (e.get("pid", 0), e.get("tid", 0))
             dur = float(e.get("dur", 0.0))
             spans[name].add(dur)
-            per_tid[(name, tid)].add(dur)
-            tids.add(tid)
+            per_tid[(name,) + key].add(dur)
+            tids.add(key)
         elif ph == "i":
             instants[e.get("name", "?")] += 1
 
@@ -93,19 +142,22 @@ def main():
                      ["instant", "count"]))
 
     other = doc.get("otherData", {})
-    dropped = other.get("dropped_events", 0)
+    dropped = int(other.get("dropped_events", 0) or 0)
     print(f"\nthreads: {len(tids)}  span events: "
           f"{sum(a.count for a in spans.values())}  dropped: {dropped}")
     if dropped:
-        print("warning: ring buffers wrapped; earliest events were dropped "
-              "(raise the capacity or trace a shorter run)", file=sys.stderr)
+        print("warning: ring buffers wrapped; the earliest "
+              f"{dropped} event(s) were dropped and this summary is "
+              "incomplete (raise the capacity or trace a shorter run; "
+              "--metrics-json reports the same count as the "
+              "trace.spans_dropped counter)", file=sys.stderr)
 
     if args.by_tid:
         print()
-        rows = [[f"{name} @tid{tid}", a.count, fmt_ms(a.total_us),
+        rows = [[f"{name} @p{pid}t{tid}", a.count, fmt_ms(a.total_us),
                  fmt_ms(a.total_us / a.count), fmt_ms(a.max_us)]
-                for (name, tid), a in sorted(per_tid.items())]
-        print(render(rows, ["span@tid", "count", "total_ms", "mean_ms",
+                for (name, pid, tid), a in sorted(per_tid.items())]
+        print(render(rows, ["span@proc", "count", "total_ms", "mean_ms",
                             "max_ms"]))
     return 0
 

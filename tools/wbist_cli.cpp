@@ -10,6 +10,11 @@
 //   wbist obs <circuit>                 observation-point tradeoff table
 //   wbist serve --socket <path>|--tcp <port>   persistent daemon
 //   wbist submit --socket <path>|--tcp <port> <job> [args]   daemon client
+//   wbist stats --socket <path>|--tcp <port>   daemon stats snapshot
+//                                       (JSON; --prom renders Prometheus
+//                                       text exposition; --flight dumps the
+//                                       flight recorder)
+//   wbist top <status.json>             refreshing campaign progress view
 //   wbist campaign <circuit> [seq]      sharded multi-process fault-sim
 //                                       campaign with checkpoint/resume
 //   wbist campaign-worker               internal: one campaign worker
@@ -35,6 +40,11 @@
 // library calls (core/service.h) over immutable compiled circuits
 // (core/artifact_cache.h), so daemon results are bit-identical to CLI
 // results — the CLI only appends its wall-clock suffixes.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -42,6 +52,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -91,6 +102,14 @@ std::string g_vcd_path;
 /// CI diffs byte for byte between the two paths. Stripped in main(),
 /// WBIST_OUT_DIR-resolved.
 std::string g_result_json_path;
+
+/// --metrics-json / --trace-json destinations, stripped in main(). Globals
+/// (not main() locals) because `submit --observe` redirects them: when the
+/// daemon answered with a wbist.obs/1 block, the *server-side* observation
+/// is written to these paths instead of the client's own (empty) registry,
+/// and the paths are cleared so main()'s epilogue does not overwrite them.
+std::string g_metrics_path;
+std::string g_trace_path;
 
 /// argv[0], the fallback when /proc/self/exe is unavailable (campaign
 /// workers are spawned from this binary).
@@ -271,6 +290,22 @@ void on_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+/// Fatal-signal path: dump the daemon's flight recorder to stderr (see
+/// Server::dump_flight — write(2) only, no locks, no allocation), then
+/// re-raise with the default disposition so the crash still produces a core
+/// and the right wait status.
+void on_fatal_signal(int sig) {
+  if (g_server != nullptr) {
+    static const char banner[] =
+        "wbist serve: fatal signal — recent requests (oldest first):\n";
+    [[maybe_unused]] ssize_t ignored =
+        ::write(STDERR_FILENO, banner, sizeof banner - 1);
+    g_server->dump_flight(STDERR_FILENO);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 /// Parse an integral option (both `--flag N` and `--flag=N`). Returns false
 /// after printing an error; `found` reports presence.
 bool take_int_option(std::vector<std::string>& args, std::string_view flag,
@@ -348,6 +383,8 @@ int cmd_serve(std::vector<std::string> args) {
   if (found) cfg.stall_timeout_ms = static_cast<int>(value);
   if (!take_int_option(args, "--request-timeout", value, found)) return 2;
   if (found && value > 0) cfg.request_timeout_ms = static_cast<int>(value);
+  if (!take_int_option(args, "--flight-entries", value, found)) return 2;
+  if (found && value > 0) cfg.flight_entries = static_cast<std::size_t>(value);
   if (!args.empty()) {
     std::fprintf(stderr, "wbist: serve: unexpected argument '%s'\n",
                  args[0].c_str());
@@ -360,6 +397,9 @@ int cmd_serve(std::vector<std::string> args) {
   g_server = &server;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGSEGV, on_fatal_signal);
+  std::signal(SIGABRT, on_fatal_signal);
+  std::signal(SIGBUS, on_fatal_signal);
 
   if (server.port() >= 0)
     std::printf("wbist serve: listening on 127.0.0.1:%d\n", server.port());
@@ -371,6 +411,9 @@ int cmd_serve(std::vector<std::string> args) {
   g_server = nullptr;
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGSEGV, SIG_DFL);
+  std::signal(SIGABRT, SIG_DFL);
+  std::signal(SIGBUS, SIG_DFL);
 
   const auto stats = server.cache().stats();
   std::fprintf(stderr,
@@ -399,6 +442,79 @@ void request_field_int(std::string& json, std::string_view key,
   util::append_json_string(json, key);
   json += ':';
   json += std::to_string(value);
+}
+
+bool take_flag(std::vector<std::string>& args, std::string_view flag);
+
+/// Render a wbist.obs/1 block as a (tiny) wbist.trace/1 Chrome trace, so
+/// the server-side spans of one observed job load in Perfetto and fold
+/// through tools/trace_summary.py exactly like a local --trace-json run.
+std::string obs_to_trace_json(const util::JsonValue& obs) {
+  std::size_t n_spans = 0;
+  if (const util::JsonValue* spans = obs.get("spans"))
+    n_spans = spans->as_array().size();
+  // otherData carries the wbist.trace/1 required keys (one server worker
+  // thread ran the job; nothing is ever dropped from an obs block).
+  std::string out =
+      "{\"schema\":\"wbist.trace/1\",\"displayTimeUnit\":\"ms\","
+      "\"otherData\":{\"source\":\"wbist.obs/1\",\"threads\":1,\"events\":" +
+      std::to_string(n_spans) + ",\"dropped_events\":0},\"traceEvents\":[";
+  bool first = true;
+  if (const util::JsonValue* spans = obs.get("spans")) {
+    for (const util::JsonValue& s : spans->as_array()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":";
+      util::append_json_string(out, s.get_string("name", "?"));
+      out += ",\"ph\":\"X\",\"cat\":\"obs\",\"pid\":1,\"tid\":1,\"ts\":" +
+             std::to_string(s.get_int("start_us", 0)) +
+             ",\"dur\":" + std::to_string(s.get_int("dur_us", 0)) + "}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+/// Print the wbist.obs/1 block human-readably on stderr (stdout must stay
+/// bit-identical to an unobserved run — CI gates this with cmp) and write
+/// the client-side artifacts when --trace-json/--metrics-json were given.
+int report_observation(const util::JsonValue& obs,
+                       const std::string& response_text) {
+  if (const util::JsonValue* spans = obs.get("spans"))
+    for (const util::JsonValue& s : spans->as_array())
+      std::fprintf(stderr, "obs: span %-12s %10.3f ms (at +%.3f ms)\n",
+                   s.get_string("name", "?").c_str(),
+                   static_cast<double>(s.get_int("dur_us", 0)) / 1000.0,
+                   static_cast<double>(s.get_int("start_us", 0)) / 1000.0);
+  if (const util::JsonValue* counters = obs.get("counters"))
+    for (const auto& [key, v] : counters->as_object())
+      std::fprintf(stderr, "obs: %-24s %lld\n", key.c_str(),
+                   static_cast<long long>(v.as_int()));
+  if (const util::JsonValue* notes = obs.get("notes"))
+    for (const auto& [key, v] : notes->as_object())
+      std::fprintf(stderr, "obs: %-24s %s\n", key.c_str(),
+                   v.as_string().c_str());
+  int rc = 0;
+  try {
+    if (!g_trace_path.empty()) {
+      // Re-extract the obs block verbatim-ish: render spans as a Chrome
+      // trace. The raw daemon response goes to --metrics-json.
+      write_text_file(g_trace_path, obs_to_trace_json(obs));
+      std::fprintf(stderr, "wrote %s\n", g_trace_path.c_str());
+    }
+    if (!g_metrics_path.empty()) {
+      write_text_file(g_metrics_path, response_text + "\n");
+      std::fprintf(stderr, "wrote %s\n", g_metrics_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    rc = 1;
+  }
+  // Suppress main()'s epilogue: the artifacts now carry the server-side
+  // observation, not this client's own (empty) trace/metrics.
+  g_trace_path.clear();
+  g_metrics_path.clear();
+  return rc;
 }
 
 int cmd_submit(std::vector<std::string> args) {
@@ -436,11 +552,13 @@ int cmd_submit(std::vector<std::string> args) {
     copts.connect_timeout_ms = static_cast<int>(timeout_ms);
     copts.io_timeout_ms = static_cast<int>(timeout_ms);
   }
+  const bool observe = take_flag(args, "--observe");
 
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: wbist submit --socket <path>|--tcp <port> "
                  "[--priority N] [--deadline-ms N] [--timeout MS] "
+                 "[--observe] "
                  "<ping|shutdown|metrics|info|flow|tgen|fsim> [circuit] "
                  "[args]\n");
     return 2;
@@ -454,6 +572,10 @@ int cmd_submit(std::vector<std::string> args) {
   if (!collapse.empty()) request_field(request, "collapse", collapse);
   if (priority_given) request_field_int(request, "priority", priority);
   if (deadline_given) request_field_int(request, "deadline_ms", deadline_ms);
+  if (observe) {
+    if (request.size() > 1) request += ',';
+    request += "\"observe\":true";
+  }
 
   const bool needs_circuit =
       job == "info" || job == "flow" || job == "tgen" || job == "fault-sim";
@@ -505,13 +627,30 @@ int cmd_submit(std::vector<std::string> args) {
   const long long exit_code = response.get_int("exit", 1);
   if (!response.get_bool("ok", false)) {
     const std::string error = response.get_string("error", "daemon error");
-    if (const long long retry = response.get_int("retry_after_ms", 0);
-        retry > 0)
+    const long long retry = response.get_int("retry_after_ms", 0);
+    const long long depth = response.get_int("queue_depth", -1);
+    const long long cap = response.get_int("queue_capacity", -1);
+    if (retry > 0 && depth >= 0 && cap >= 0)
+      // One structured line with everything a backoff loop needs: how full
+      // the daemon was and when to come back.
+      std::fprintf(stderr, "wbist: %s (queue %lld/%lld, retry in %lldms)\n",
+                   error.c_str(), depth, cap, retry);
+    else if (retry > 0)
       std::fprintf(stderr, "wbist: %s (retry in %lldms)\n", error.c_str(),
                    retry);
     else
       std::fprintf(stderr, "wbist: %s\n", error.c_str());
     return static_cast<int>(exit_code);
+  }
+  if (observe) {
+    if (const util::JsonValue* obs = response.get("obs")) {
+      if (const int orc = report_observation(*obs, response_text); orc != 0)
+        return orc;
+    } else {
+      std::fprintf(stderr,
+                   "wbist: daemon returned no observation block (control "
+                   "jobs and older daemons do not observe)\n");
+    }
   }
   if (job == "metrics") {
     // The metrics payload is a nested JSON document; hand the daemon's
@@ -530,6 +669,265 @@ int cmd_submit(std::vector<std::string> args) {
     std::printf("wrote %s\n", tgen_out.c_str());
   }
   return static_cast<int>(exit_code);
+}
+
+// ---------------------------------------------------------------------------
+// stats / top
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:]; everything else becomes
+/// '_' (so "serve.run_us.flow" -> "serve_run_us_flow").
+std::string prom_name(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+            c == ':')
+               ? c
+               : '_';
+  return out;
+}
+
+/// Render a wbist.stats/1 document in Prometheus text exposition format:
+/// gauges for queue/cache/flight state, counters for the monotonic counter
+/// registry, and summaries (quantile-labelled series + _sum + _count) for
+/// the histograms.
+std::string render_prometheus(const util::JsonValue& stats) {
+  std::string out;
+  char buf[192];
+  const auto emit = [&](const std::string& name, const char* type, double v) {
+    out += "# TYPE " + name + " " + type + "\n";
+    std::snprintf(buf, sizeof buf, "%s %.17g\n", name.c_str(), v);
+    out += buf;
+  };
+  emit("wbist_uptime_seconds", "gauge",
+       stats.get("uptime_s") != nullptr ? stats.get("uptime_s")->as_number()
+                                        : 0.0);
+  if (const util::JsonValue* q = stats.get("queue"))
+    for (const auto& [key, v] : q->as_object())
+      emit("wbist_queue_" + prom_name(key), "gauge", v.as_number());
+  if (const util::JsonValue* c = stats.get("cache"))
+    for (const auto& [key, v] : c->as_object())
+      emit("wbist_cache_" + prom_name(key), "gauge", v.as_number());
+  if (const util::JsonValue* f = stats.get("flight"))
+    for (const auto& [key, v] : f->as_object())
+      emit("wbist_flight_" + prom_name(key), "gauge", v.as_number());
+  if (const util::JsonValue* counters = stats.get("counters"))
+    for (const auto& [key, v] : counters->as_object())
+      emit("wbist_" + prom_name(key) + "_total", "counter", v.as_number());
+  if (const util::JsonValue* hists = stats.get("histograms"))
+    for (const auto& [key, h] : hists->as_object()) {
+      const std::string base = "wbist_" + prom_name(key);
+      out += "# TYPE " + base + " summary\n";
+      const auto quantile = [&](const char* q, const char* field) {
+        std::snprintf(buf, sizeof buf, "%s{quantile=\"%s\"} %.17g\n",
+                      base.c_str(), q,
+                      h.get(field) != nullptr ? h.get(field)->as_number()
+                                              : 0.0);
+        out += buf;
+      };
+      quantile("0.5", "p50");
+      quantile("0.9", "p90");
+      quantile("0.99", "p99");
+      std::snprintf(buf, sizeof buf, "%s_sum %.17g\n%s_count %.17g\n",
+                    base.c_str(),
+                    h.get("sum") != nullptr ? h.get("sum")->as_number() : 0.0,
+                    base.c_str(),
+                    h.get("count") != nullptr ? h.get("count")->as_number()
+                                              : 0.0);
+      out += buf;
+    }
+  return out;
+}
+
+int cmd_stats(std::vector<std::string> args) {
+  serve::Endpoint ep;
+  long long tcp_port = -1;
+  bool tcp_given = false;
+  if (!take_endpoint(args, ep.unix_path, tcp_port, tcp_given)) return 2;
+  if (tcp_given) ep.tcp_port = static_cast<int>(tcp_port);
+  const bool prom = take_flag(args, "--prom");
+  const bool flight = take_flag(args, "--flight");
+  if (prom && flight) {
+    std::fprintf(stderr, "wbist: --prom renders stats, not the flight ring\n");
+    return 2;
+  }
+  long long timeout_ms = 0;
+  bool timeout_given = false;
+  if (!take_int_option(args, "--timeout", timeout_ms, timeout_given))
+    return 2;
+  serve::ClientOptions copts;
+  if (timeout_given && timeout_ms > 0) {
+    copts.connect_timeout_ms = static_cast<int>(timeout_ms);
+    copts.io_timeout_ms = static_cast<int>(timeout_ms);
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr, "wbist: stats: unexpected argument '%s'\n",
+                 args[0].c_str());
+    return 2;
+  }
+
+  std::string request = "{";
+  request_field(request, "schema", serve::kSchema);
+  request_field(request, "job", flight ? "flight" : "stats");
+  request += '}';
+  std::string response_text;
+  try {
+    response_text = serve::submit(ep, request, copts);
+  } catch (const serve::TimeoutError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 4;
+  } catch (const serve::ConnectError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 5;
+  } catch (const serve::ProtocolError& e) {
+    std::fprintf(stderr, "wbist: %s\n", e.what());
+    return 6;
+  }
+  const util::JsonValue response = util::json_parse(response_text);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "wbist: %s\n",
+                 response.get_string("error", "daemon error").c_str());
+    return static_cast<int>(response.get_int("exit", 1));
+  }
+  if (prom) {
+    const util::JsonValue* stats = response.get("stats");
+    if (stats == nullptr) {
+      std::fprintf(stderr, "wbist: daemon response carries no stats block\n");
+      return 6;
+    }
+    std::fputs(render_prometheus(*stats).c_str(), stdout);
+    return 0;
+  }
+  // JSON mode: hand the daemon's response through verbatim (like `submit
+  // metrics`), so nothing is re-encoded.
+  std::printf("%s\n", response_text.c_str());
+  return 0;
+}
+
+/// One rendered frame of `wbist top`: campaign totals, a progress bar, and
+/// a per-worker table, from one wbist.campaign.status/1 snapshot.
+std::string render_top(const util::JsonValue& st) {
+  char buf[256];
+  const long long total = st.get_int("shards_total", 0);
+  const long long done_n = st.get_int("shards_done", 0);
+  const double frac =
+      total > 0 ? static_cast<double>(done_n) / static_cast<double>(total)
+                : 0.0;
+  std::string out = "campaign " + st.get_string("campaign", "?") +
+                    "   circuit " + st.get_string("circuit", "?") +
+                    "   collapse " + st.get_string("collapse", "?") + "\n";
+  constexpr int kBar = 32;
+  const int filled = static_cast<int>(frac * kBar + 0.5);
+  out += "shards  [";
+  for (int i = 0; i < kBar; ++i) out += i < filled ? '#' : '-';
+  std::snprintf(buf, sizeof buf, "] %lld/%lld (%.1f%%)", done_n, total,
+                frac * 100.0);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "   %lld resumed, %lld retried\n",
+                static_cast<long long>(st.get_int("shards_resumed", 0)),
+                static_cast<long long>(st.get_int("shards_retried", 0)));
+  out += buf;
+  const long long faults = st.get_int("faults", 0);
+  const long long detected = st.get_int("detected", 0);
+  std::snprintf(buf, sizeof buf,
+                "faults  %lld/%lld detected (%.1f%%)   sequence %lld "
+                "vectors\n",
+                detected, faults,
+                faults > 0 ? 100.0 * static_cast<double>(detected) /
+                                 static_cast<double>(faults)
+                           : 0.0,
+                static_cast<long long>(st.get_int("seq_length", 0)));
+  out += buf;
+  const double eta = st.get("eta_s") != nullptr
+                         ? st.get("eta_s")->as_number()
+                         : -1.0;
+  std::snprintf(buf, sizeof buf,
+                "workers %lld spawned, %lld deaths   elapsed %.1fs   ",
+                static_cast<long long>(st.get_int("workers_spawned", 0)),
+                static_cast<long long>(st.get_int("worker_deaths", 0)),
+                st.get("elapsed_s") != nullptr
+                    ? st.get("elapsed_s")->as_number()
+                    : 0.0);
+  out += buf;
+  if (st.get_bool("complete", false))
+    out += "complete\n";
+  else if (eta >= 0.0) {
+    std::snprintf(buf, sizeof buf, "eta %.1fs\n", eta);
+    out += buf;
+  } else {
+    out += "eta --\n";
+  }
+  if (const util::JsonValue* workers = st.get("workers");
+      workers != nullptr && !workers->as_array().empty()) {
+    out += "\n     pid    shard      kernel_cycles      cycles/s   last_hb\n";
+    for (const util::JsonValue& w : workers->as_array()) {
+      const long long shard = w.get_int("shard", -1);
+      std::snprintf(buf, sizeof buf, "%8lld %8s %18lld %13.3g %8.1fs\n",
+                    static_cast<long long>(w.get_int("pid", 0)),
+                    shard < 0 ? "-" : std::to_string(shard).c_str(),
+                    static_cast<long long>(w.get_int("kernel_cycles", 0)),
+                    w.get("cycles_per_s") != nullptr
+                        ? w.get("cycles_per_s")->as_number()
+                        : 0.0,
+                    w.get("last_heartbeat_s") != nullptr
+                        ? w.get("last_heartbeat_s")->as_number()
+                        : -1.0);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+int cmd_top(std::vector<std::string> args) {
+  const bool once = take_flag(args, "--once");
+  long long interval_ms = 1000;
+  bool found = false;
+  if (!take_int_option(args, "--interval-ms", interval_ms, found)) return 2;
+  if (found && interval_ms <= 0) {
+    std::fprintf(stderr, "wbist: --interval-ms must be positive\n");
+    return 2;
+  }
+  if (args.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: wbist top <status.json> [--once] [--interval-ms N]\n");
+    return 2;
+  }
+  const std::string path = args[0];
+
+  bool waiting_notice = false;
+  while (true) {
+    util::JsonValue st;
+    bool have = false;
+    try {
+      st = util::json_parse(read_file(path));
+      have = st.get_string("schema") == "wbist.campaign.status/1";
+      if (!have && once) {
+        std::fprintf(stderr, "wbist: %s is not a wbist.campaign.status/1 "
+                             "snapshot\n",
+                     path.c_str());
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      // Not written yet (or mid-replace on a filesystem without atomic
+      // rename): poll again, or fail fast under --once.
+      if (once) {
+        std::fprintf(stderr, "wbist: %s\n", e.what());
+        return 1;
+      }
+    }
+    if (have) {
+      const std::string frame = render_top(st);
+      if (!once) std::fputs("\033[H\033[J", stdout);
+      std::fputs(frame.c_str(), stdout);
+      std::fflush(stdout);
+      if (once || st.get_bool("complete", false)) return 0;
+    } else if (!once && !waiting_notice) {
+      waiting_notice = true;
+      std::printf("wbist top: waiting for %s ...\n", path.c_str());
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -678,15 +1076,29 @@ int cmd_campaign(std::vector<std::string> args) {
   bool seed_given = false;
   if (!take_int_option(args, "--seed", seed, seed_given)) return 2;
   opts.resume = take_flag(args, "--resume");
+  if (!take_int_option(args, "--heartbeat-ms", v, found)) return 2;
+  if (found && v < 0) {
+    std::fprintf(stderr, "wbist: --heartbeat-ms must be >= 0 (0 disables)\n");
+    return 2;
+  }
+  if (found) opts.heartbeat_ms = static_cast<int>(v);
   std::string checkpoint, save_seq, bench_json, label, collapse_text;
+  std::string status_json, worker_trace_dir;
   if (!take_path_option(args, "--checkpoint", checkpoint) ||
       !take_path_option(args, "--save-seq", save_seq) ||
       !take_path_option(args, "--bench-json", bench_json) ||
-      !take_path_option(args, "--label", label))
+      !take_path_option(args, "--label", label) ||
+      !take_path_option(args, "--status-json", status_json) ||
+      !take_path_option(args, "--worker-trace-dir", worker_trace_dir))
     return 2;
   if (util::extract_option(args, "--collapse", collapse_text) ==
       util::ExtractResult::kMissingValue) {
     std::fprintf(stderr, "wbist: --collapse needs a mode\n");
+    return 2;
+  }
+  if (util::extract_option(args, "--campaign-id", opts.campaign_id) ==
+      util::ExtractResult::kMissingValue) {
+    std::fprintf(stderr, "wbist: --campaign-id needs a name\n");
     return 2;
   }
 
@@ -721,6 +1133,13 @@ int cmd_campaign(std::vector<std::string> args) {
       is_bench_path(name) ? path_stem(name) : name;
   opts.checkpoint_path = util::out_path(
       checkpoint.empty() ? display + ".campaign.jsonl" : checkpoint);
+  if (!status_json.empty())
+    opts.status_json_path = util::out_path(status_json);
+  if (!worker_trace_dir.empty()) {
+    opts.trace_dir = util::out_path(worker_trace_dir);
+    // Best-effort: workers open files inside it and fail loudly otherwise.
+    ::mkdir(opts.trace_dir.c_str(), 0777);
+  }
 
   util::Timer timer;
   int rc = 0;
@@ -805,6 +1224,9 @@ int cmd_campaign(std::vector<std::string> args) {
 /// frames — the driver treats them as fatal configuration problems — and
 /// stdout is *only* frames, never text.
 int cmd_campaign_worker() {
+  // A retired worker may race a heartbeat write against the driver closing
+  // the socketpair: EPIPE must surface as an exception, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
   long long delay_ms = 0;
   if (const char* d = std::getenv("WBIST_CAMPAIGN_TEST_SHARD_DELAY_MS");
       d != nullptr)
@@ -817,8 +1239,51 @@ int cmd_campaign_worker() {
   unsigned threads = 1;
   util::MetricsRegistry& reg = util::metrics();
 
+  // Live-progress context from the init frame. The heartbeat thread shares
+  // stdout with the frame loop, so every frame write goes through one mutex
+  // (frames must never interleave mid-frame on the socketpair).
+  std::string campaign_id;
+  std::string trace_dir;
+  long long heartbeat_ms = 0;
+  std::mutex write_mu;
+  std::atomic<bool> hb_stop{false};
+  std::thread hb_thread;
+  const auto send_frame = [&](const std::string& frame) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    serve::write_frame(STDOUT_FILENO, frame);
+  };
+  const auto heartbeat_main = [&] {
+    using namespace std::chrono;
+    auto next = steady_clock::now() + milliseconds(heartbeat_ms);
+    while (!hb_stop.load(std::memory_order_acquire)) {
+      if (steady_clock::now() < next) {
+        std::this_thread::sleep_for(milliseconds(20));
+        continue;
+      }
+      next = steady_clock::now() + milliseconds(heartbeat_ms);
+      // Cumulative process-wide counters; the driver keeps the last sample
+      // per worker, so deltas and rates are its job.
+      std::string hb = "{\"ok\":true,\"job\":\"heartbeat\"";
+      hb += ",\"kernel_cycles\":" +
+            std::to_string(reg.counter("fault_sim.kernel_cycles").value());
+      hb += ",\"fault_cycles\":" +
+            std::to_string(reg.counter("fault_sim.fault_cycles").value());
+      hb += '}';
+      try {
+        send_frame(hb);
+      } catch (const std::exception&) {
+        return;  // driver is gone; the frame loop will see EOF
+      }
+    }
+  };
+  const auto stop_heartbeat = [&] {
+    hb_stop.store(true, std::memory_order_release);
+    if (hb_thread.joinable()) hb_thread.join();
+  };
+
   std::string payload;
   while (serve::read_frame(STDIN_FILENO, payload)) {
+    bool start_heartbeat = false;
     std::string resp = "{";
     try {
       const util::JsonValue req = util::json_parse(payload);
@@ -837,6 +1302,14 @@ int cmd_campaign_worker() {
           copts.collapse = parse_collapse(c);
         if (const long long t = req.get_int("threads", 1); t > 0)
           threads = static_cast<unsigned>(t);
+        campaign_id = req.get_string("campaign");
+        trace_dir = req.get_string("trace_dir");
+        heartbeat_ms = req.get_int("heartbeat_ms", 0);
+        if (const char* h = std::getenv("WBIST_CAMPAIGN_HEARTBEAT_MS");
+            h != nullptr)
+          heartbeat_ms = std::atoll(h);
+        start_heartbeat = heartbeat_ms > 0 && !hb_thread.joinable();
+        if (!trace_dir.empty()) util::TraceRegistry::global().start();
         cc = core::CompiledCircuit::compile(spec, copts);
         simulator = std::make_unique<fault::FaultSimulator>(
             cc->netlist(), cc->faults(), cc->cones());
@@ -875,7 +1348,16 @@ int cmd_campaign_worker() {
             reg.counter("fault_sim.kernel_cycles").value();
         const std::uint64_t fault0 =
             reg.counter("fault_sim.fault_cycles").value();
-        const fault::DetectionResult det = simulator->run(trace, ids, fopts);
+        fault::DetectionResult det;
+        {
+          // Stamped with the campaign id so trace_summary.py --merge can
+          // stitch every worker's shards onto one cross-process timeline.
+          util::TraceSpan span("campaign.shard",
+                               util::TraceArg("shard", s.shard),
+                               util::TraceArg("attempt", s.attempt),
+                               util::TraceArg::copy("campaign", campaign_id));
+          det = simulator->run(trace, ids, fopts);
+        }
         s.kernel_cycles =
             reg.counter("fault_sim.kernel_cycles").value() - kernel0;
         s.fault_cycles =
@@ -892,7 +1374,21 @@ int cmd_campaign_worker() {
       util::append_json_string(resp, e.what());
     }
     resp += '}';
-    serve::write_frame(STDOUT_FILENO, resp);
+    send_frame(resp);
+    if (start_heartbeat) hb_thread = std::thread(heartbeat_main);
+  }
+  stop_heartbeat();
+  if (!trace_dir.empty()) {
+    util::TraceRegistry::global().stop();
+    const std::string p =
+        trace_dir + "/worker-" + std::to_string(::getpid()) + ".trace.json";
+    try {
+      util::TraceRegistry::global().write_json(p);
+    } catch (const std::exception& e) {
+      // stderr is ours to use (stdout is only frames); a failed trace dump
+      // never fails the shard work already handed back to the driver.
+      std::fprintf(stderr, "campaign-worker: %s\n", e.what());
+    }
   }
   return 0;  // clean EOF: the driver retired this worker
 }
@@ -916,19 +1412,37 @@ int usage() {
       "  serve --socket <path>|--tcp <port> [--serve-threads N]\n"
       "        [--worker-threads N] [--cache-bytes N] [--queue-depth N]\n"
       "        [--max-pending N] [--idle-timeout MS] [--stall-timeout MS]\n"
-      "        [--request-timeout MS] persistent daemon (wbist.serve/1):\n"
+      "        [--request-timeout MS] [--flight-entries N]\n"
+      "                               persistent daemon (wbist.serve/1):\n"
       "                               bounded job queue with backpressure,\n"
       "                               slow clients evicted past the timeouts\n"
       "  submit --socket <path>|--tcp <port> [--priority N]\n"
-      "        [--deadline-ms N] [--timeout MS] <job> [circuit] [args]\n"
-      "                               send one job to a running daemon\n"
+      "        [--deadline-ms N] [--timeout MS] [--observe] <job> [circuit]\n"
+      "        [args]                 send one job to a running daemon\n"
       "                               (exit: 3 overloaded/deadline, 4 client\n"
-      "                               timeout, 5 unreachable, 6 bad frame)\n"
+      "                               timeout, 5 unreachable, 6 bad frame;\n"
+      "                               --observe returns the job's wbist.obs/1\n"
+      "                               block — spans and counter deltas — on\n"
+      "                               stderr, leaving stdout bit-identical;\n"
+      "                               with --trace-json/--metrics-json the\n"
+      "                               server-side observation is written\n"
+      "                               there instead of the client's own)\n"
+      "  stats --socket <path>|--tcp <port> [--prom] [--flight]\n"
+      "        [--timeout MS]         daemon-wide wbist.stats/1 snapshot as\n"
+      "                               JSON; --prom renders Prometheus text\n"
+      "                               exposition; --flight dumps the recent-\n"
+      "                               request flight recorder (answered\n"
+      "                               inline even when the queue is full)\n"
+      "  top <status.json> [--once] [--interval-ms N]\n"
+      "                               refreshing terminal view of a running\n"
+      "                               campaign's --status-json snapshot\n"
       "  campaign <circuit> [seq-file] [--workers N] [--shards N]\n"
       "        [--worker-threads N] [--retries N] [--checkpoint <path>]\n"
       "        [--resume] [--random-cycles N] [--seed N] [--save-seq <path>]\n"
       "        [--result-json <path>] [--bench-json <path>] [--label S]\n"
       "        [--collapse none|equivalence|dominance] [--halt-after N]\n"
+      "        [--status-json <path>] [--heartbeat-ms N]\n"
+      "        [--worker-trace-dir <dir>] [--campaign-id S]\n"
       "                               shard the fault list across worker\n"
       "                               processes; results are bit-identical\n"
       "                               to fsim; completed shards checkpoint\n"
@@ -952,6 +1466,8 @@ int dispatch(std::vector<std::string> args) {
   if (cmd == "list") return cmd_list();
   if (cmd == "serve") return cmd_serve(std::move(args));
   if (cmd == "submit") return cmd_submit(std::move(args));
+  if (cmd == "stats") return cmd_stats(std::move(args));
+  if (cmd == "top") return cmd_top(std::move(args));
   if (cmd == "campaign") return cmd_campaign(std::move(args));
   if (cmd == "campaign-worker") return cmd_campaign_worker();
   if (args.empty()) return usage();
@@ -994,18 +1510,17 @@ int main(int argc, char** argv) {
   // parsing never sees them.
   if (argc > 0 && argv[0] != nullptr) g_argv0 = argv[0];
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::string metrics_path;
-  std::string trace_path;
   std::string provenance_path;
-  if (!take_path_option(args, "--metrics-json", metrics_path) ||
-      !take_path_option(args, "--trace-json", trace_path) ||
+  if (!take_path_option(args, "--metrics-json", g_metrics_path) ||
+      !take_path_option(args, "--trace-json", g_trace_path) ||
       !take_path_option(args, "--provenance-jsonl", provenance_path) ||
       !take_path_option(args, "--vcd", g_vcd_path) ||
       !take_path_option(args, "--result-json", g_result_json_path))
     return 2;
   // Every artifact path honours WBIST_OUT_DIR, not just --vcd.
-  if (!metrics_path.empty()) metrics_path = wbist::util::out_path(metrics_path);
-  if (!trace_path.empty()) trace_path = wbist::util::out_path(trace_path);
+  if (!g_metrics_path.empty())
+    g_metrics_path = wbist::util::out_path(g_metrics_path);
+  if (!g_trace_path.empty()) g_trace_path = wbist::util::out_path(g_trace_path);
   if (!provenance_path.empty())
     provenance_path = wbist::util::out_path(provenance_path);
   if (!g_vcd_path.empty()) g_vcd_path = wbist::util::out_path(g_vcd_path);
@@ -1030,7 +1545,8 @@ int main(int argc, char** argv) {
 
   // Tracing and provenance start before any work so every span/detection of
   // the run is captured; both are observation-only (see util/trace.h).
-  if (!trace_path.empty()) wbist::util::TraceRegistry::global().start();
+  const bool tracing = !g_trace_path.empty();
+  if (tracing) wbist::util::TraceRegistry::global().start();
   if (!provenance_path.empty()) {
     try {
       wbist::util::provenance().open(provenance_path);
@@ -1048,18 +1564,28 @@ int main(int argc, char** argv) {
     rc = 1;
   }
   wbist::util::provenance().close();
-  if (!trace_path.empty() && rc != 2) {
+  if (tracing && rc != 2) {
     wbist::util::TraceRegistry::global().stop();
-    try {
-      wbist::util::TraceRegistry::global().write_json(trace_path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "wbist: %s\n", e.what());
-      if (rc == 0) rc = 1;
+    // Surface ring-buffer overflow in the metrics document too, so a
+    // --metrics-json consumer learns the trace is incomplete without
+    // opening it (tools/trace_summary.py warns from the trace side).
+    wbist::util::metrics()
+        .counter("trace.spans_dropped")
+        .add(wbist::util::TraceRegistry::global().dropped_events());
+    // submit --observe clears the path after redirecting it to the
+    // server-side observation; nothing more to write then.
+    if (!g_trace_path.empty()) {
+      try {
+        wbist::util::TraceRegistry::global().write_json(g_trace_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "wbist: %s\n", e.what());
+        if (rc == 0) rc = 1;
+      }
     }
   }
-  if (!metrics_path.empty() && rc != 2) {
+  if (!g_metrics_path.empty() && rc != 2) {
     try {
-      wbist::util::metrics().write_json(metrics_path);
+      wbist::util::metrics().write_json(g_metrics_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "wbist: %s\n", e.what());
       if (rc == 0) rc = 1;
